@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries: config construction,
+ * oracle resolution, policy execution, and the paper-shaped comparison
+ * tables each binary prints before running its google-benchmark micro
+ * measurements.
+ */
+#ifndef AUTOFL_BENCH_BENCH_COMMON_H
+#define AUTOFL_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/oracle_search.h"
+#include "util/table.h"
+
+namespace autofl::bench {
+
+/** Default seed shared by every bench so results line up across figures. */
+constexpr uint64_t kBenchSeed = 2021;  // MICRO 2021.
+
+/** Base experiment configuration for a scenario. */
+inline ExperimentConfig
+base_config(Workload workload, ParamSetting setting,
+            VarianceScenario variance,
+            DataDistribution distribution = DataDistribution::IdealIid,
+            uint64_t seed = kBenchSeed)
+{
+    ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.setting = setting;
+    cfg.variance = variance;
+    cfg.distribution = distribution;
+    cfg.seed = seed;
+    cfg.max_rounds = 55;
+    cfg.threads = 16;
+    return cfg;
+}
+
+/**
+ * Run one policy on a scenario. Oracle policies are resolved first via
+ * the offline search (Section 5.1); under non-IID distributions the
+ * oracle additionally prefers IID devices.
+ */
+inline ExperimentResult
+run_policy(ExperimentConfig cfg, PolicyKind kind)
+{
+    cfg.policy = kind;
+    if (kind == PolicyKind::OracleParticipant || kind == PolicyKind::OracleFl) {
+        auto part = search_oracle_participant(cfg);
+        if (kind == PolicyKind::OracleFl)
+            cfg.oracle_spec = search_oracle_fl(cfg, part.spec).spec;
+        else
+            cfg.oracle_spec = part.spec;
+        cfg.oracle_prefers_iid =
+            cfg.distribution != DataDistribution::IdealIid;
+    }
+    return run_experiment(cfg);
+}
+
+/** Format a normalized ratio ("2.31x") against a baseline value. */
+inline std::string
+ratio(double value, double baseline)
+{
+    if (baseline <= 0.0)
+        return "n/a";
+    return TextTable::num(value / baseline, 2) + "x";
+}
+
+/**
+ * Print the standard comparison table for a set of policy runs. The
+ * first entry is the normalization baseline (FedAvg-Random in the
+ * paper's figures). Energy efficiency (PPW) is reported two ways:
+ * round-level (work per Joule) and convergence-level (1 / energy to
+ * reach the accuracy target; 0 when the run never converged, matching
+ * the paper's "does not converge" bars).
+ */
+inline void
+print_comparison(const std::string &title,
+                 const std::vector<ExperimentResult> &runs)
+{
+    print_banner(std::cout, title);
+    TextTable t;
+    t.set_header({"policy", "PPW(norm)", "PPW-conv(norm)", "conv-rounds",
+                  "time-to-acc(s)", "final-acc(%)", "round(s)",
+                  "mix H/M/L"});
+    const double base_ppw = runs.front().ppw_round();
+    const double base_conv = runs.front().ppw_convergence();
+    for (const auto &r : runs) {
+        auto mix = r.tier_mix();
+        t.add_row({
+            r.policy_name,
+            ratio(r.ppw_round(), base_ppw),
+            r.converged() ? (base_conv > 0.0 ?
+                                 ratio(r.ppw_convergence(), base_conv) :
+                                 ">" + TextTable::num(1.0, 1) + "x") :
+                            "no-conv",
+            r.converged() ? std::to_string(r.rounds_to_target) : "no-conv",
+            r.converged() ? TextTable::num(r.time_to_target_s, 1) : "-",
+            TextTable::num(r.final_accuracy * 100.0, 1),
+            TextTable::num(r.avg_round_s(), 2),
+            TextTable::num(mix[0] * 100, 0) + "/" +
+                TextTable::num(mix[1] * 100, 0) + "/" +
+                TextTable::num(mix[2] * 100, 0),
+        });
+    }
+    t.render(std::cout);
+}
+
+/** The paper's standard baseline trio plus AutoFL and the oracles. */
+inline const std::vector<PolicyKind> &
+fig8_policies()
+{
+    static const std::vector<PolicyKind> kPolicies = {
+        PolicyKind::FedAvgRandom, PolicyKind::Power,
+        PolicyKind::Performance, PolicyKind::OracleParticipant,
+        PolicyKind::AutoFl,      PolicyKind::OracleFl,
+    };
+    return kPolicies;
+}
+
+} // namespace autofl::bench
+
+#endif // AUTOFL_BENCH_BENCH_COMMON_H

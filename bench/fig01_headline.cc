@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 1: headline motivation — judicious participant selection and
+ * execution-target choice (Performance, O_FL) improve FL PPW over the
+ * random-selection baseline by multiples.
+ *
+ * Paper-reported shape: Performance and O_FL beat FedAvg-Random, with
+ * O_FL up to ~5.4x on energy efficiency and ~4.2x on convergence.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+void
+run_figure()
+{
+    ExperimentConfig cfg = base_config(Workload::CnnMnist, ParamSetting::S3,
+                                       VarianceScenario::Combined);
+    std::vector<ExperimentResult> runs;
+    for (PolicyKind kind : {PolicyKind::FedAvgRandom, PolicyKind::Performance,
+                            PolicyKind::OracleFl})
+        runs.push_back(run_policy(cfg, kind));
+    print_comparison(
+        "Fig. 1: PPW of Performance and O_FL vs FedAvg-Random "
+        "(CNN-MNIST, S3, field variance)",
+        runs);
+}
+
+/** Micro: cost of one simulated scheduling round (no NN training). */
+void
+BM_CharacterizationRound(benchmark::State &state)
+{
+    ExperimentConfig cfg = base_config(Workload::CnnMnist, ParamSetting::S3,
+                                       VarianceScenario::Combined);
+    cfg.policy = PolicyKind::FedAvgRandom;
+    for (auto _ : state) {
+        auto res = run_characterization(cfg, 1);
+        benchmark::DoNotOptimize(res.total_energy_j);
+    }
+}
+BENCHMARK(BM_CharacterizationRound);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    run_figure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 4: round-level PPW of the Table 4 clusters C0-C7 under the
+ * global-parameter settings S1-S4, for CNN-MNIST and LSTM-Shakespeare.
+ *
+ * Paper-reported shape: the optimal cluster shifts away from the
+ * high-end-heavy compositions as the per-device computation shrinks
+ * (CNN: C1->C2->C3->C4 across S1->S4), and the LSTM's optimum sits at
+ * lower-power compositions than the CNN's because the tier performance
+ * gap is narrower for memory-bound RC layers.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+void
+run_figure()
+{
+    for (Workload w : {Workload::CnnMnist, Workload::LstmShakespeare}) {
+        print_banner(std::cout,
+                     "Fig. 4: PPW of clusters C0-C7 across S1-S4 (" +
+                         workload_name(w) + ", normalized to C0)");
+        TextTable t;
+        t.set_header({"setting", "C0", "C1", "C2", "C3", "C4", "C5", "C6",
+                      "C7", "best"});
+        for (ParamSetting s : all_param_settings()) {
+            ExperimentConfig cfg =
+                base_config(w, s, VarianceScenario::None);
+            auto rows = characterize_clusters(cfg);
+            const double base = rows.front().second.ppw_round();
+            std::vector<std::string> cells = {param_setting_name(s)};
+            std::string best_label;
+            double best = 0.0;
+            for (const auto &[tmpl, res] : rows) {
+                cells.push_back(TextTable::num(res.ppw_round() / base, 2));
+                if (!tmpl.random && res.ppw_round() > best) {
+                    best = res.ppw_round();
+                    best_label = tmpl.label;
+                }
+            }
+            cells.push_back(best_label);
+            t.add_row(cells);
+        }
+        t.render(std::cout);
+    }
+}
+
+/** Micro: full C0-C7 characterization sweep for one setting. */
+void
+BM_ClusterSweep(benchmark::State &state)
+{
+    ExperimentConfig cfg = base_config(Workload::CnnMnist, ParamSetting::S3,
+                                       VarianceScenario::None);
+    for (auto _ : state) {
+        auto rows = characterize_clusters(cfg, 8);
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_ClusterSweep);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    run_figure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 5: round-level PPW of the Table 4 clusters under (a) no runtime
+ * variance, (b) on-device interference, (c) weak/unstable network.
+ *
+ * Paper-reported shape: the optimal cluster shifts from a mixed interior
+ * composition (no variance) to the all-high-end C1 under interference
+ * (big SoCs absorb co-running load), and toward lower-power compositions
+ * when the network is weak (communication bounds the round, so the tier
+ * performance gap stops mattering).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+void
+run_figure()
+{
+    print_banner(std::cout,
+                 "Fig. 5: PPW of clusters C0-C7 under runtime variance "
+                 "(CNN-MNIST, S3, normalized to C0 no-variance)");
+    TextTable t;
+    t.set_header({"scenario", "C0", "C1", "C2", "C3", "C4", "C5", "C6",
+                  "C7", "best"});
+    double norm = 0.0;
+    for (VarianceScenario v : {VarianceScenario::None,
+                               VarianceScenario::Interference,
+                               VarianceScenario::WeakNetwork}) {
+        ExperimentConfig cfg =
+            base_config(Workload::CnnMnist, ParamSetting::S3, v);
+        auto rows = characterize_clusters(cfg);
+        if (norm == 0.0)
+            norm = rows.front().second.ppw_round();
+        std::vector<std::string> cells = {variance_scenario_name(v)};
+        std::string best_label;
+        double best = 0.0;
+        for (const auto &[tmpl, res] : rows) {
+            cells.push_back(TextTable::num(res.ppw_round() / norm, 2));
+            if (!tmpl.random && res.ppw_round() > best) {
+                best = res.ppw_round();
+                best_label = tmpl.label;
+            }
+        }
+        cells.push_back(best_label);
+        t.add_row(cells);
+    }
+    t.render(std::cout);
+}
+
+/** Micro: per-round state sampling cost across the 200-device fleet. */
+void
+BM_FleetStateSampling(benchmark::State &state)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::Combined, kBenchSeed);
+    for (auto _ : state) {
+        fleet.begin_round();
+        benchmark::DoNotOptimize(fleet.device(0).state().bandwidth_mbps);
+    }
+}
+BENCHMARK(BM_FleetStateSampling);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    run_figure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

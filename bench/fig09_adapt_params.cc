@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 9: AutoFL's adaptability to the FL global parameters — PPW and
+ * convergence across S1-S4 for CNN-MNIST.
+ *
+ * Paper-reported shape: AutoFL consistently beats FedAvg-Random,
+ * Performance and Power across all four settings (it re-identifies the
+ * per-setting optimal cluster), and gains a further ~16% over
+ * O_participant by also picking execution targets.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+void
+run_figure()
+{
+    for (ParamSetting s : all_param_settings()) {
+        ExperimentConfig cfg = base_config(Workload::CnnMnist, s,
+                                           VarianceScenario::Combined);
+        std::vector<ExperimentResult> runs;
+        for (PolicyKind kind :
+             {PolicyKind::FedAvgRandom, PolicyKind::Power,
+              PolicyKind::Performance, PolicyKind::OracleParticipant,
+              PolicyKind::AutoFl})
+            runs.push_back(run_policy(cfg, kind));
+        print_comparison("Fig. 9: adaptability to global parameters, " +
+                             param_setting_name(s) + " (CNN-MNIST)",
+                         runs);
+    }
+}
+
+/** Micro: oracle participant search (full C1-C7 sweep). */
+void
+BM_OracleParticipantSearch(benchmark::State &state)
+{
+    ExperimentConfig cfg = base_config(Workload::CnnMnist, ParamSetting::S3,
+                                       VarianceScenario::Combined);
+    for (auto _ : state) {
+        auto res = search_oracle_participant(cfg, 8);
+        benchmark::DoNotOptimize(res.ppw);
+    }
+}
+BENCHMARK(BM_OracleParticipantSearch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    run_figure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 10: AutoFL's adaptability to stochastic runtime variance — PPW,
+ * convergence and accuracy under (a) no variance, (b) on-device
+ * interference, (c) network variance (CNN-MNIST, S3).
+ *
+ * Paper-reported shape: baselines degrade badly under variance (longer
+ * rounds, straggler drops hurting accuracy) while AutoFL keeps picking
+ * good participants and targets, improving PPW ~5.1x / 6.9x / 2.6x over
+ * FedAvg-Random / Power / Performance and staying close to O_FL.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+void
+run_figure()
+{
+    for (VarianceScenario v : {VarianceScenario::None,
+                               VarianceScenario::Interference,
+                               VarianceScenario::WeakNetwork}) {
+        ExperimentConfig cfg =
+            base_config(Workload::CnnMnist, ParamSetting::S3, v);
+        std::vector<ExperimentResult> runs;
+        for (PolicyKind kind : fig8_policies())
+            runs.push_back(run_policy(cfg, kind));
+        print_comparison("Fig. 10: adaptability to runtime variance — " +
+                             variance_scenario_name(v) + " (CNN-MNIST, S3)",
+                         runs);
+    }
+}
+
+/** Micro: round simulation with 20 participants under variance. */
+void
+BM_SimulateRound(benchmark::State &state)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::Combined, kBenchSeed);
+    fleet.begin_round();
+    std::vector<ParticipantPlan> plans;
+    std::vector<ComputeProfile> profiles;
+    for (int i = 0; i < 20; ++i) {
+        plans.push_back({i * 10, ExecTarget::Cpu, DvfsLevel::High});
+        profiles.push_back({5e7, 0.25, 25000});
+    }
+    for (auto _ : state) {
+        auto exec = simulate_round(fleet, plans, profiles);
+        benchmark::DoNotOptimize(exec.energy_participants_j);
+    }
+}
+BENCHMARK(BM_SimulateRound);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    run_figure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

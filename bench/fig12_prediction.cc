@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 12: prediction accuracy — how closely AutoFL's participant
+ * selections (tier mix) and execution-target choices (action mix) track
+ * the optimal policy O_FL, per workload and per variance scenario.
+ *
+ * Paper-reported shape: ~94% participant-selection accuracy across
+ * workloads and ~93% across variance/heterogeneity scenarios, and ~93%
+ * execution-target accuracy; more high-end devices chosen for
+ * CONV-heavy workloads, more mid/low-end for the LSTM.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+void
+row_for(TextTable &t, const std::string &label, const ExperimentConfig &cfg)
+{
+    auto autofl_res = run_policy(cfg, PolicyKind::AutoFl);
+    auto oracle_res = run_policy(cfg, PolicyKind::OracleFl);
+    const double sel =
+        mix_similarity(autofl_res.tier_mix(), oracle_res.tier_mix());
+    const double act =
+        mix_similarity(autofl_res.action_mix(), oracle_res.action_mix());
+    auto amix = autofl_res.tier_mix();
+    auto omix = oracle_res.tier_mix();
+    t.add_row({label,
+               TextTable::num(amix[0] * 100, 0) + "/" +
+                   TextTable::num(amix[1] * 100, 0) + "/" +
+                   TextTable::num(amix[2] * 100, 0),
+               TextTable::num(omix[0] * 100, 0) + "/" +
+                   TextTable::num(omix[1] * 100, 0) + "/" +
+                   TextTable::num(omix[2] * 100, 0),
+               TextTable::num(sel * 100, 1) + "%",
+               TextTable::num(act * 100, 1) + "%"});
+}
+
+void
+run_figure()
+{
+    print_banner(std::cout,
+                 "Fig. 12(a): AutoFL vs O_FL selection mix per workload "
+                 "(S3, field variance)");
+    TextTable by_workload;
+    by_workload.set_header({"workload", "AutoFL H/M/L", "O_FL H/M/L",
+                            "selection acc", "action acc"});
+    for (Workload w : all_workloads()) {
+        row_for(by_workload, workload_name(w),
+                base_config(w, ParamSetting::S3,
+                            VarianceScenario::Combined));
+    }
+    by_workload.render(std::cout);
+
+    print_banner(std::cout,
+                 "Fig. 12(b): AutoFL vs O_FL per variance/heterogeneity "
+                 "scenario (CNN-MNIST, S3)");
+    TextTable by_scenario;
+    by_scenario.set_header({"scenario", "AutoFL H/M/L", "O_FL H/M/L",
+                            "selection acc", "action acc"});
+    for (VarianceScenario v : {VarianceScenario::None,
+                               VarianceScenario::Interference,
+                               VarianceScenario::WeakNetwork}) {
+        row_for(by_scenario, variance_scenario_name(v),
+                base_config(Workload::CnnMnist, ParamSetting::S3, v));
+    }
+    row_for(by_scenario, "non-IID(50%)",
+            base_config(Workload::CnnMnist, ParamSetting::S3,
+                        VarianceScenario::None, DataDistribution::NonIid50));
+    by_scenario.render(std::cout);
+}
+
+/** Micro: AutoFL scheduling decision for one round (200 devices). */
+void
+BM_AutoFlSelect(benchmark::State &state)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::Combined, kBenchSeed);
+    AutoFlScheduler sched(fleet, AutoFlConfig{});
+    GlobalObservation gobs;
+    gobs.profile = model_profile(Workload::CnnMnist);
+    gobs.params = global_params_for(ParamSetting::S3);
+    std::vector<LocalObservation> locals(200);
+    for (auto &l : locals) {
+        l.state.bandwidth_mbps = 60;
+        l.data_classes = 10;
+        l.total_classes = 10;
+    }
+    for (auto _ : state) {
+        auto plans = sched.select(gobs, locals, 20);
+        benchmark::DoNotOptimize(plans.size());
+    }
+}
+BENCHMARK(BM_AutoFlSelect);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    run_figure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

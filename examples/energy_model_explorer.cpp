@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Energy-model explorer: inspect the per-tier power/performance models
+ * (Equations 1-4 instantiated with Tables 2-3) that everything else in
+ * the library is built on — per-target busy power across the DVFS
+ * ladder, computation time/energy for one round of each workload, and
+ * communication energy across signal strengths.
+ */
+#include <iostream>
+
+#include "nn/models.h"
+#include "sim/perf.h"
+#include "sim/power.h"
+#include "sim/scale.h"
+#include "util/table.h"
+
+using namespace autofl;
+
+int
+main()
+{
+    print_banner(std::cout, "Tier specifications (Tables 2-3)");
+    TextTable spec_t;
+    spec_t.set_header({"tier", "phone", "EC2", "CPU GFLOPS", "CPU train W",
+                       "GPU train W", "V-F steps (CPU/GPU)"});
+    for (Tier tier : {Tier::High, Tier::Mid, Tier::Low}) {
+        const DeviceSpec &s = spec_for_tier(tier);
+        spec_t.add_row({tier_label(tier), s.phone_model, s.ec2_instance,
+                        TextTable::num(s.cpu_gflops, 1),
+                        TextTable::num(s.cpu_train_w, 2),
+                        TextTable::num(s.gpu_train_w, 2),
+                        std::to_string(s.cpu_vf_steps) + "/" +
+                            std::to_string(s.gpu_vf_steps)});
+    }
+    spec_t.render(std::cout);
+
+    print_banner(std::cout, "Busy power across the DVFS ladder (Eq. 1-2)");
+    TextTable power_t;
+    power_t.set_header({"tier", "target", "P@lo (W)", "P@mid (W)",
+                        "P@hi (W)"});
+    for (Tier tier : {Tier::High, Tier::Mid, Tier::Low}) {
+        const DeviceSpec &s = spec_for_tier(tier);
+        for (ExecTarget target : {ExecTarget::Cpu, ExecTarget::Gpu}) {
+            const DvfsLadder ladder = ladder_for(s, target);
+            power_t.add_row(
+                {tier_label(tier), target_label(target),
+                 TextTable::num(busy_power_w(
+                     s, target,
+                     ladder.freq_frac_for_level(DvfsLevel::Low)), 2),
+                 TextTable::num(busy_power_w(
+                     s, target,
+                     ladder.freq_frac_for_level(DvfsLevel::Mid)), 2),
+                 TextTable::num(busy_power_w(
+                     s, target,
+                     ladder.freq_frac_for_level(DvfsLevel::High)), 2)});
+        }
+    }
+    power_t.render(std::cout);
+
+    print_banner(std::cout,
+                 "One S3 round of local training per workload and tier "
+                 "(CPU at max V-F, quiet device)");
+    TextTable round_t;
+    round_t.set_header({"workload", "tier", "compute (s)", "energy (J)",
+                        "H/L time gap"});
+    for (Workload w : all_workloads()) {
+        const NnProfile prof = model_profile(w);
+        ComputeProfile cp;
+        cp.train_flops = 5.0 * 20 * prof.flops_per_sample * kTrainFlopFactor;
+        cp.mem_bound_frac = prof.mem_bound_frac;
+        cp.payload_bytes = prof.model_bytes;
+        cp.batch_size = 16;
+        DeviceRoundState quiet;
+        quiet.bandwidth_mbps = 80.0;
+        const double t_high = compute_time_s(spec_for_tier(Tier::High),
+                                             ExecTarget::Cpu, 1.0, cp, quiet);
+        for (Tier tier : {Tier::High, Tier::Mid, Tier::Low}) {
+            const DeviceSpec &s = spec_for_tier(tier);
+            const double t =
+                compute_time_s(s, ExecTarget::Cpu, 1.0, cp, quiet);
+            const double e = busy_power_w(s, ExecTarget::Cpu, 1.0) *
+                (t - kRoundOverheadS) + overhead_power_w(s) * kRoundOverheadS;
+            round_t.add_row({workload_name(w), tier_label(tier),
+                             TextTable::num(t, 2), TextTable::num(e, 2),
+                             tier == Tier::Low ?
+                                 TextTable::num(t / t_high, 2) + "x" : ""});
+        }
+    }
+    round_t.render(std::cout);
+
+    print_banner(std::cout,
+                 "Communication energy vs signal strength (Eq. 3, CNN "
+                 "payload)");
+    TextTable comm_t;
+    comm_t.set_header({"bandwidth (Mbps)", "TX power (W)", "comm time (s)",
+                       "comm energy (J)"});
+    const double payload = model_profile(Workload::CnnMnist).model_bytes;
+    for (double bw : {90.0, 60.0, 40.0, 20.0, 8.0}) {
+        const double t = comm_time_s(payload, bw);
+        comm_t.add_row({TextTable::num(bw, 0),
+                        TextTable::num(NetworkModel::tx_power_w(bw), 2),
+                        TextTable::num(t, 2),
+                        TextTable::num(comm_energy(bw, t), 2)});
+    }
+    comm_t.render(std::cout);
+    return 0;
+}

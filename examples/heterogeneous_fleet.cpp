@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Heterogeneous-fleet scenario: characterize how the optimal cluster of
+ * participants shifts with runtime variance, using the scheduling/energy
+ * simulator directly (no NN training — runs in milliseconds).
+ *
+ * This is the Section 3 characterization workflow a systems researcher
+ * would run before deploying an FL job: sweep the Table 4 tier
+ * compositions under each variance scenario and find the per-scenario
+ * oracle, including execution targets.
+ */
+#include <iostream>
+
+#include "harness/oracle_search.h"
+#include "util/table.h"
+
+using namespace autofl;
+
+int
+main()
+{
+    std::cout << "Characterizing cluster compositions on the 200-device "
+                 "fleet (CNN-MNIST, S3)\n";
+
+    for (VarianceScenario v : {VarianceScenario::None,
+                               VarianceScenario::Interference,
+                               VarianceScenario::WeakNetwork,
+                               VarianceScenario::Combined}) {
+        ExperimentConfig cfg;
+        cfg.workload = Workload::CnnMnist;
+        cfg.setting = ParamSetting::S3;
+        cfg.variance = v;
+        cfg.seed = 7;
+
+        print_banner(std::cout, variance_scenario_name(v));
+        TextTable t;
+        t.set_header({"cluster", "H/M/L", "PPW (GFLOP/J)", "round (s)",
+                      "energy/round (J)"});
+        for (const auto &[tmpl, res] : characterize_clusters(cfg)) {
+            t.add_row({tmpl.label,
+                       tmpl.random ? "random" :
+                           std::to_string(tmpl.high) + "/" +
+                               std::to_string(tmpl.mid) + "/" +
+                               std::to_string(tmpl.low),
+                       TextTable::num(res.ppw_round() / 1e9, 4),
+                       TextTable::num(res.avg_round_s(), 2),
+                       TextTable::num(res.total_energy_j /
+                                          res.rounds.size(), 1)});
+        }
+        t.render(std::cout);
+
+        auto part = search_oracle_participant(cfg);
+        auto fl = search_oracle_fl(cfg, part.spec);
+        auto show = [](const StaticExecSettings &e) {
+            return target_label(e.target) + "@" + dvfs_label(e.dvfs);
+        };
+        std::cout << "O_participant: " << part.spec.cluster.label
+                  << "   O_FL adds exec targets: H=" << show(fl.spec.exec.high)
+                  << " M=" << show(fl.spec.exec.mid)
+                  << " L=" << show(fl.spec.exec.low)
+                  << "  (+" << TextTable::num(
+                         (fl.ppw / part.ppw - 1.0) * 100.0, 1)
+                  << "% PPW)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Policy comparison on the LSTM workload: run every selection policy on
+ * the same federated next-character-prediction job and compare energy,
+ * convergence, and the selection mix each policy settles on. This is the
+ * "which scheduler should I deploy?" decision a practitioner would make
+ * with this library.
+ */
+#include <iostream>
+
+#include "harness/oracle_search.h"
+#include "util/table.h"
+
+using namespace autofl;
+
+int
+main()
+{
+    ExperimentConfig cfg;
+    cfg.workload = Workload::LstmShakespeare;
+    cfg.setting = ParamSetting::S3;
+    cfg.variance = VarianceScenario::Interference;
+    cfg.max_rounds = 60;
+    cfg.seed = 17;
+
+    print_banner(std::cout,
+                 "Policy comparison: LSTM-Shakespeare under on-device "
+                 "interference (S3)");
+    TextTable t;
+    t.set_header({"policy", "conv rounds", "time-to-acc (s)",
+                  "energy-to-acc (J)", "final acc (%)", "avg round (s)",
+                  "mix H/M/L (%)"});
+
+    for (PolicyKind kind : {PolicyKind::FedAvgRandom, PolicyKind::Power,
+                            PolicyKind::Performance,
+                            PolicyKind::OracleParticipant,
+                            PolicyKind::AutoFl, PolicyKind::OracleFl}) {
+        ExperimentConfig run_cfg = cfg;
+        run_cfg.policy = kind;
+        if (kind == PolicyKind::OracleParticipant ||
+            kind == PolicyKind::OracleFl) {
+            auto part = search_oracle_participant(run_cfg);
+            run_cfg.oracle_spec =
+                kind == PolicyKind::OracleFl ?
+                    search_oracle_fl(run_cfg, part.spec).spec : part.spec;
+        }
+        auto res = run_experiment(run_cfg);
+        auto mix = res.tier_mix();
+        t.add_row({res.policy_name,
+                   res.converged() ? std::to_string(res.rounds_to_target) :
+                                     "no-conv",
+                   res.converged() ? TextTable::num(res.time_to_target_s, 1) :
+                                     "-",
+                   res.converged() ?
+                       TextTable::num(res.energy_to_target_j, 0) : "-",
+                   TextTable::num(res.final_accuracy * 100, 1),
+                   TextTable::num(res.avg_round_s(), 2),
+                   TextTable::num(mix[0] * 100, 0) + "/" +
+                       TextTable::num(mix[1] * 100, 0) + "/" +
+                       TextTable::num(mix[2] * 100, 0)});
+    }
+    t.render(std::cout);
+    return 0;
+}

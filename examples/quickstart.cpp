@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: run AutoFL against the FedAvg-Random baseline on the
+ * CNN-MNIST workload and print per-round progress plus the final
+ * energy-efficiency comparison.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "harness/experiment.h"
+#include "util/table.h"
+
+using namespace autofl;
+
+namespace {
+
+void
+print_run(const ExperimentResult &res)
+{
+    std::cout << "policy: " << res.policy_name << "\n";
+    for (const auto &r : res.rounds) {
+        if (r.round % 5 == 0 || &r == &res.rounds.back()) {
+            std::cout << "  round " << r.round
+                      << "  acc=" << TextTable::num(r.accuracy * 100, 1)
+                      << "%  round_time=" << TextTable::num(r.round_s, 2)
+                      << "s  fleet_energy=" <<
+                TextTable::num(r.energy_global_j, 1)
+                      << "J  mix(H/M/L)=" << r.selected_high << "/"
+                      << r.selected_mid << "/" << r.selected_low << "\n";
+        }
+    }
+    std::cout << "  converged: "
+              << (res.converged() ?
+                      ("round " + std::to_string(res.rounds_to_target)) :
+                      std::string("no"))
+              << "  final_acc=" << TextTable::num(res.final_accuracy * 100, 1)
+              << "%  total_energy=" << TextTable::num(res.total_energy_j, 0)
+              << "J  sim_time=" << TextTable::num(res.total_time_s, 1)
+              << "s\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "AutoFL quickstart: CNN-MNIST, setting S3 (B=16, E=5, "
+                 "K=20), 200-device fleet\n\n";
+
+    ExperimentConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.setting = ParamSetting::S3;
+    cfg.variance = VarianceScenario::Combined;
+    cfg.max_rounds = 60;
+    cfg.seed = 3;
+
+    cfg.policy = PolicyKind::FedAvgRandom;
+    ExperimentResult baseline = run_experiment(cfg);
+    print_run(baseline);
+
+    cfg.policy = PolicyKind::AutoFl;
+    ExperimentResult autofl_res = run_experiment(cfg);
+    print_run(autofl_res);
+
+    TextTable t;
+    t.set_header({"metric", "FedAvg-Random", "AutoFL", "AutoFL gain"});
+    auto ratio = [](double a, double b) {
+        return b > 0.0 ? TextTable::num(a / b, 2) + "x" : "n/a";
+    };
+    t.add_row({"global PPW (work/J)",
+               TextTable::num(baseline.ppw_round(), 0),
+               TextTable::num(autofl_res.ppw_round(), 0),
+               ratio(autofl_res.ppw_round(), baseline.ppw_round())});
+    t.add_row({"local PPW (work/J)",
+               TextTable::num(baseline.ppw_local(), 0),
+               TextTable::num(autofl_res.ppw_local(), 0),
+               ratio(autofl_res.ppw_local(), baseline.ppw_local())});
+    t.add_row({"avg round time (s)",
+               TextTable::num(baseline.avg_round_s(), 2),
+               TextTable::num(autofl_res.avg_round_s(), 2),
+               ratio(baseline.avg_round_s(), autofl_res.avg_round_s())});
+    t.render(std::cout);
+    return 0;
+}

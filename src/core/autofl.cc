@@ -1,0 +1,235 @@
+#include "autofl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "sim/power.h"
+
+namespace autofl {
+
+AutoFlScheduler::AutoFlScheduler(const Fleet &fleet, const AutoFlConfig &cfg)
+    : fleet_(fleet), cfg_(cfg), rng_(cfg.seed)
+{
+    table_index_.resize(static_cast<size_t>(fleet.size()));
+    if (cfg_.shared_tables) {
+        // One table per performance category (H/M/L).
+        for (int t = 0; t < 3; ++t)
+            tables_.emplace_back(rng_.fork(static_cast<uint64_t>(t)),
+                                 cfg_.q_init_range);
+        for (int d = 0; d < fleet.size(); ++d)
+            table_index_[static_cast<size_t>(d)] =
+                static_cast<int>(fleet.device(d).tier());
+    } else {
+        for (int d = 0; d < fleet.size(); ++d) {
+            tables_.emplace_back(rng_.fork(static_cast<uint64_t>(d) + 1000),
+                                 cfg_.q_init_range);
+            table_index_[static_cast<size_t>(d)] = d;
+        }
+    }
+    pending_.resize(static_cast<size_t>(fleet.size()));
+}
+
+QTable &
+AutoFlScheduler::table_for(int device_id)
+{
+    return tables_[static_cast<size_t>(
+        table_index_[static_cast<size_t>(device_id)])];
+}
+
+void
+AutoFlScheduler::apply_pending_updates(int global_idx,
+                                       const std::vector<int> &local_indices)
+{
+    if (!have_pending_ || !learning_enabled_)
+        return;
+    for (int d = 0; d < fleet_.size(); ++d) {
+        Pending &p = pending_[static_cast<size_t>(d)];
+        if (!p.has_reward)
+            continue;
+        QTable &table = table_for(d);
+        // Algorithm 1: the successor value uses the action that would be
+        // chosen greedily in the newly observed state.
+        const int next_local = local_indices[static_cast<size_t>(d)];
+        const int next_action = table.best_action(global_idx, next_local);
+        const double next_q = table.q(global_idx, next_local, next_action);
+        // Only executed actions carry information: idle devices receive
+        // no update (their Q stays at the neutral init), so a device's
+        // Q value is the advantage of selecting it in a given state.
+        table.update(p.global_idx, p.local_idx, p.action_idx, p.reward,
+                     next_q, cfg_.gamma, cfg_.mu);
+        p.has_reward = false;
+    }
+    have_pending_ = false;
+}
+
+std::vector<ParticipantPlan>
+AutoFlScheduler::select(const GlobalObservation &global,
+                        const std::vector<LocalObservation> &locals,
+                        int k)
+{
+    assert(static_cast<int>(locals.size()) == fleet_.size());
+    assert(k > 0 && k <= fleet_.size());
+
+    const GlobalState gs = make_global_state(global.profile, global.params);
+    const int gidx = encode_global(gs);
+
+    std::vector<int> lidx(locals.size());
+    for (size_t d = 0; d < locals.size(); ++d) {
+        lidx[d] = encode_local(make_local_state(
+            locals[d].state, locals[d].data_classes,
+            locals[d].total_classes));
+    }
+
+    apply_pending_updates(gidx, lidx);
+
+    std::vector<int> chosen;
+    std::vector<int> actions(locals.size());
+
+    const bool explore =
+        learning_enabled_ && rng_.bernoulli(cfg_.epsilon);
+    if (explore) {
+        // Uniform random K participants and random actions.
+        std::vector<int> ids(locals.size());
+        std::iota(ids.begin(), ids.end(), 0);
+        rng_.shuffle(ids);
+        chosen.assign(ids.begin(), ids.begin() + k);
+        for (size_t d = 0; d < locals.size(); ++d)
+            actions[d] = static_cast<int>(rng_.randint(0, kNumActions - 1));
+    } else {
+        // Exploit: rank devices by their best attainable Q.
+        std::vector<std::pair<double, int>> scored;
+        scored.reserve(locals.size());
+        for (int d = 0; d < fleet_.size(); ++d) {
+            QTable &table = table_for(d);
+            const int li = lidx[static_cast<size_t>(d)];
+            scored.emplace_back(table.max_q(gidx, li), d);
+            actions[static_cast<size_t>(d)] = table.best_action(gidx, li);
+        }
+        // Random tie-breaking keeps selection unbiased among equals
+        // (Section 4.2); the shuffle-then-stable-sort achieves it.
+        rng_.shuffle(scored);
+        std::stable_sort(scored.begin(), scored.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first > b.first;
+                         });
+        for (int i = 0; i < k; ++i)
+            chosen.push_back(scored[static_cast<size_t>(i)].second);
+    }
+
+    // Record (state, action) for every device; rewards arrive at
+    // observe_outcome() and the Q update happens next round.
+    std::vector<bool> is_chosen(locals.size(), false);
+    for (int d : chosen)
+        is_chosen[static_cast<size_t>(d)] = true;
+    for (int d = 0; d < fleet_.size(); ++d) {
+        Pending &p = pending_[static_cast<size_t>(d)];
+        p.global_idx = gidx;
+        p.local_idx = lidx[static_cast<size_t>(d)];
+        p.action_idx = actions[static_cast<size_t>(d)];
+        p.participated = is_chosen[static_cast<size_t>(d)];
+        p.has_reward = false;
+    }
+
+    std::vector<ParticipantPlan> plans;
+    plans.reserve(static_cast<size_t>(k));
+    for (int d : chosen) {
+        const Action a = decode_action(actions[static_cast<size_t>(d)]);
+        ParticipantPlan plan;
+        plan.device_id = d;
+        plan.target = a.target;
+        plan.dvfs = a.dvfs;
+        plans.push_back(plan);
+    }
+    return plans;
+}
+
+void
+AutoFlScheduler::observe_outcome(const RoundExec &exec,
+                                 double accuracy_percent)
+{
+    const double acc_prev = have_acc_prev_ ? acc_prev_ : 0.0;
+
+    // Per-device local energy: participants from the execution record,
+    // everyone else from the idle model (Eq. 5).
+    std::vector<double> local_energy(static_cast<size_t>(fleet_.size()), -1.0);
+    std::vector<double> completion(static_cast<size_t>(fleet_.size()), 0.0);
+    for (const auto &e : exec.participants) {
+        local_energy[static_cast<size_t>(e.device_id)] = e.energy_j();
+        completion[static_cast<size_t>(e.device_id)] = e.completion_s();
+    }
+    for (int d = 0; d < fleet_.size(); ++d) {
+        if (local_energy[static_cast<size_t>(d)] < 0.0) {
+            local_energy[static_cast<size_t>(d)] =
+                idle_energy(fleet_.device(d).spec(), exec.round_s);
+        }
+    }
+
+    // Raw rewards for the round's participants (Eq. 7), then advantage
+    // centering: subtracting a running baseline of typical participant
+    // rewards turns the shared accuracy/global-energy components into a
+    // zero-mean signal, so Q values rank devices/actions by how much
+    // *better or worse than typical* their execution was. Idle devices
+    // receive no reward (and no update), leaving their Q neutral.
+    double reward_sum = 0.0;
+    int participants = 0;
+    for (int d = 0; d < fleet_.size(); ++d) {
+        Pending &p = pending_[static_cast<size_t>(d)];
+        if (!p.participated)
+            continue;
+        // Apportion the improvement credit by the device's S_Data
+        // bucket (small/medium/large class coverage).
+        const int s_data = p.local_idx % kDataBuckets;
+        const double data_weight = 0.25 + 0.5 * s_data;
+        p.reward = compute_reward(cfg_.reward, exec.energy_global_j(),
+                                  local_energy[static_cast<size_t>(d)],
+                                  accuracy_percent, acc_prev,
+                                  completion[static_cast<size_t>(d)],
+                                  data_weight);
+        reward_sum += p.reward;
+        ++participants;
+    }
+    const double round_mean =
+        participants > 0 ? reward_sum / participants : 0.0;
+    if (participants > 0) {
+        if (!have_baseline_) {
+            reward_baseline_ = round_mean;
+            have_baseline_ = true;
+        } else {
+            reward_baseline_ += 0.1 * (round_mean - reward_baseline_);
+        }
+    }
+    for (int d = 0; d < fleet_.size(); ++d) {
+        Pending &p = pending_[static_cast<size_t>(d)];
+        if (!p.participated)
+            continue;
+        p.reward = std::clamp(p.reward - reward_baseline_, -10.0, 10.0);
+        p.has_reward = true;
+    }
+    have_pending_ = true;
+    last_mean_reward_ = round_mean;
+    ++rounds_seen_;
+
+    acc_prev_ = accuracy_percent;
+    have_acc_prev_ = true;
+}
+
+size_t
+AutoFlScheduler::total_entries() const
+{
+    size_t n = 0;
+    for (const auto &t : tables_)
+        n += t.entries();
+    return n;
+}
+
+size_t
+AutoFlScheduler::total_bytes() const
+{
+    size_t n = 0;
+    for (const auto &t : tables_)
+        n += t.bytes();
+    return n;
+}
+
+} // namespace autofl

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * AutoFlScheduler — the paper's core contribution (Section 4, Algorithm 1).
+ *
+ * Per aggregation round the scheduler:
+ *   1. observes the global state (NN features + global parameters) and
+ *      every device's local state (interference, network, data classes);
+ *   2. applies the deferred Q update for the previous round now that the
+ *      successor state (and its greedy action) is observable;
+ *   3. epsilon-greedily either explores (random K participants, random
+ *      actions) or exploits (top-K devices by Q, best action each);
+ *   4. after training/aggregation, receives the measured round outcome
+ *      and converts it into per-device rewards (Eqs. 5-7).
+ *
+ * Q-tables are per-device by default; the scalability extension shares
+ * one table per performance category (Section 4 "Scalability", Fig. 15).
+ */
+#ifndef AUTOFL_CORE_AUTOFL_H
+#define AUTOFL_CORE_AUTOFL_H
+
+#include <optional>
+#include <vector>
+
+#include "core/qtable.h"
+#include "core/reward.h"
+#include "core/state.h"
+#include "sim/round.h"
+
+namespace autofl {
+
+/** Scheduler hyperparameters (Section 5.3 defaults). */
+struct AutoFlConfig
+{
+    double epsilon = 0.1;  ///< Exploration probability.
+    double gamma = 0.9;    ///< Learning rate (sensitivity study winner).
+    double mu = 0.1;       ///< Discount factor (sensitivity study winner).
+    RewardConfig reward;
+    bool shared_tables = false;  ///< One Q-table per device category.
+    double q_init_range = 0.01;
+    uint64_t seed = 99;
+};
+
+/** Per-round observation of the global configuration. */
+struct GlobalObservation
+{
+    NnProfile profile;
+    FlGlobalParams params;
+};
+
+/** Per-round observation of one device. */
+struct LocalObservation
+{
+    DeviceRoundState state;
+    int data_classes = 0;
+    int total_classes = 1;
+};
+
+/** The AutoFL reinforcement-learning scheduler. */
+class AutoFlScheduler
+{
+  public:
+    /**
+     * @param fleet Device population (tier layout fixes table sharing).
+     * @param cfg Hyperparameters.
+     */
+    AutoFlScheduler(const Fleet &fleet, const AutoFlConfig &cfg);
+
+    /**
+     * Select K participants and their execution targets for this round.
+     * Also applies the deferred Q updates for the previous round.
+     * @param locals One observation per device, indexed by device id.
+     */
+    std::vector<ParticipantPlan> select(const GlobalObservation &global,
+                                        const std::vector<LocalObservation> &locals,
+                                        int k);
+
+    /**
+     * Feed back the measured round outcome (Algorithm 1's reward step).
+     * @param exec Simulated round execution (energies, timing).
+     * @param accuracy_percent Post-aggregation test accuracy in percent.
+     */
+    void observe_outcome(const RoundExec &exec, double accuracy_percent);
+
+    /** Freeze learning (pure inference; used after reward convergence). */
+    void set_learning_enabled(bool enabled) { learning_enabled_ = enabled; }
+
+    /** Override exploration probability (0 disables exploration). */
+    void set_epsilon(double eps) { cfg_.epsilon = eps; }
+
+    /** Q-table backing a device (shared across a category when enabled). */
+    QTable &table_for(int device_id);
+
+    /** Total materialized Q entries across tables. */
+    size_t total_entries() const;
+
+    /** Approximate total Q memory footprint. */
+    size_t total_bytes() const;
+
+    /** Last round's mean per-device reward (Fig. 15's converging signal). */
+    double last_mean_reward() const { return last_mean_reward_; }
+
+    /** Number of rounds observed. */
+    int rounds_seen() const { return rounds_seen_; }
+
+  private:
+    const Fleet &fleet_;
+    AutoFlConfig cfg_;
+    Rng rng_;
+    std::vector<QTable> tables_;
+    std::vector<int> table_index_;  ///< Device id -> table index.
+
+    bool learning_enabled_ = true;
+    double reward_baseline_ = 0.0;   ///< EWMA of participant raw rewards.
+    bool have_baseline_ = false;
+    double acc_prev_ = 0.0;
+    bool have_acc_prev_ = false;
+    double last_mean_reward_ = 0.0;
+    int rounds_seen_ = 0;
+
+    /** Previous round's per-device (state, action) pending an update. */
+    struct Pending
+    {
+        int global_idx = 0;
+        int local_idx = 0;
+        int action_idx = 0;
+        double reward = 0.0;
+        bool has_reward = false;
+        bool participated = false;
+    };
+    std::vector<Pending> pending_;
+    bool have_pending_ = false;
+
+    void apply_pending_updates(int global_idx,
+                               const std::vector<int> &local_indices);
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_CORE_AUTOFL_H

@@ -1,0 +1,112 @@
+#include "cluster.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace autofl {
+
+std::vector<double>
+device_features(const Device &dev)
+{
+    const DeviceSpec &s = dev.spec();
+    // Normalize against the high-end spec so all features are O(1).
+    const DeviceSpec &h = spec_for_tier(Tier::High);
+    return {
+        s.cpu_gflops / h.cpu_gflops,
+        s.mem_gflops / h.mem_gflops,
+        s.cpu_peak_w / h.cpu_peak_w,
+        s.ram_gb / h.ram_gb,
+    };
+}
+
+namespace {
+
+double
+sq_dist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+DeviceClusters
+cluster_devices(const Fleet &fleet, int k, uint64_t seed, int max_iters)
+{
+    assert(k > 0 && k <= fleet.size());
+    Rng rng(seed);
+
+    std::vector<std::vector<double>> points;
+    points.reserve(static_cast<size_t>(fleet.size()));
+    for (int d = 0; d < fleet.size(); ++d)
+        points.push_back(device_features(fleet.device(d)));
+
+    DeviceClusters out;
+    out.k = k;
+
+    // k-means++ seeding.
+    out.centroids.push_back(
+        points[static_cast<size_t>(rng.randint(0, fleet.size() - 1))]);
+    while (static_cast<int>(out.centroids.size()) < k) {
+        std::vector<double> d2(points.size());
+        for (size_t p = 0; p < points.size(); ++p) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &c : out.centroids)
+                best = std::min(best, sq_dist(points[p], c));
+            d2[p] = best;
+        }
+        const int pick = rng.categorical(d2);
+        out.centroids.push_back(points[static_cast<size_t>(pick)]);
+    }
+
+    // Lloyd iterations.
+    out.assignment.assign(points.size(), 0);
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (size_t p = 0; p < points.size(); ++p) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (int c = 0; c < k; ++c) {
+                const double d =
+                    sq_dist(points[p], out.centroids[static_cast<size_t>(c)]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (out.assignment[p] != best) {
+                out.assignment[p] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        const size_t dim = points[0].size();
+        std::vector<std::vector<double>> sums(
+            static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+        std::vector<int> counts(static_cast<size_t>(k), 0);
+        for (size_t p = 0; p < points.size(); ++p) {
+            const auto c = static_cast<size_t>(out.assignment[p]);
+            for (size_t i = 0; i < dim; ++i)
+                sums[c][i] += points[p][i];
+            ++counts[c];
+        }
+        for (int c = 0; c < k; ++c) {
+            if (counts[static_cast<size_t>(c)] == 0)
+                continue;  // Keep the stale centroid for empty clusters.
+            for (size_t i = 0; i < dim; ++i)
+                out.centroids[static_cast<size_t>(c)][i] =
+                    sums[static_cast<size_t>(c)][i] /
+                    counts[static_cast<size_t>(c)];
+        }
+        if (!changed)
+            break;
+    }
+    return out;
+}
+
+} // namespace autofl

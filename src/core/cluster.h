@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Device clustering for the shared-Q-table scalability extension.
+ *
+ * Section 4 ("Scalability") notes an additional clustering algorithm can
+ * bind devices of similar capability to one shared table. This k-means
+ * clusterer groups devices by their capability profile (compute, memory,
+ * power), recovering the H/M/L categories without being told the tiers.
+ */
+#ifndef AUTOFL_CORE_CLUSTER_H
+#define AUTOFL_CORE_CLUSTER_H
+
+#include <vector>
+
+#include "sim/fleet.h"
+#include "util/rng.h"
+
+namespace autofl {
+
+/** K-means result over devices. */
+struct DeviceClusters
+{
+    std::vector<int> assignment;             ///< Cluster id per device.
+    std::vector<std::vector<double>> centroids;
+    int k = 0;
+};
+
+/** Capability feature vector of one device (normalized). */
+std::vector<double> device_features(const Device &dev);
+
+/**
+ * Cluster the fleet into @p k capability groups with k-means++
+ * initialization and Lloyd iterations.
+ */
+DeviceClusters cluster_devices(const Fleet &fleet, int k, uint64_t seed,
+                               int max_iters = 50);
+
+} // namespace autofl
+
+#endif // AUTOFL_CORE_CLUSTER_H

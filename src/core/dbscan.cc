@@ -1,0 +1,125 @@
+#include "dbscan.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace autofl {
+
+namespace {
+
+double
+sq_dist(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+std::vector<int>
+region_query(const std::vector<std::vector<double>> &points, size_t p,
+             double eps_sq)
+{
+    std::vector<int> out;
+    for (size_t q = 0; q < points.size(); ++q)
+        if (sq_dist(points[p], points[q]) <= eps_sq)
+            out.push_back(static_cast<int>(q));
+    return out;
+}
+
+} // namespace
+
+DbscanResult
+dbscan(const std::vector<std::vector<double>> &points, const DbscanConfig &cfg)
+{
+    DbscanResult res;
+    const size_t n = points.size();
+    res.labels.assign(n, -2);  // -2 = unvisited, -1 = noise.
+    const double eps_sq = cfg.eps * cfg.eps;
+    int cluster = 0;
+
+    for (size_t p = 0; p < n; ++p) {
+        if (res.labels[p] != -2)
+            continue;
+        auto neighbors = region_query(points, p, eps_sq);
+        if (static_cast<int>(neighbors.size()) < cfg.min_pts) {
+            res.labels[p] = -1;
+            continue;
+        }
+        // Grow a new cluster from this core point.
+        res.labels[p] = cluster;
+        std::deque<int> frontier(neighbors.begin(), neighbors.end());
+        while (!frontier.empty()) {
+            const int q = frontier.front();
+            frontier.pop_front();
+            auto &lq = res.labels[static_cast<size_t>(q)];
+            if (lq == -1)
+                lq = cluster;  // Border point claimed by this cluster.
+            if (lq != -2)
+                continue;
+            lq = cluster;
+            auto q_neighbors =
+                region_query(points, static_cast<size_t>(q), eps_sq);
+            if (static_cast<int>(q_neighbors.size()) >= cfg.min_pts) {
+                for (int r : q_neighbors)
+                    frontier.push_back(r);
+            }
+        }
+        ++cluster;
+    }
+    res.num_clusters = cluster;
+    return res;
+}
+
+std::vector<double>
+derive_thresholds(const std::vector<double> &samples, const DbscanConfig &cfg)
+{
+    std::vector<std::vector<double>> points;
+    points.reserve(samples.size());
+    for (double s : samples)
+        points.push_back({s});
+    const DbscanResult res = dbscan(points, cfg);
+    if (res.num_clusters < 2)
+        return {};
+
+    // Mean of each cluster, then midpoints between adjacent means.
+    std::vector<double> sum(static_cast<size_t>(res.num_clusters), 0.0);
+    std::vector<int> count(static_cast<size_t>(res.num_clusters), 0);
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const int c = res.labels[i];
+        if (c >= 0) {
+            sum[static_cast<size_t>(c)] += samples[i];
+            ++count[static_cast<size_t>(c)];
+        }
+    }
+    std::vector<double> means;
+    for (size_t c = 0; c < sum.size(); ++c)
+        if (count[c] > 0)
+            means.push_back(sum[c] / count[c]);
+    std::sort(means.begin(), means.end());
+
+    std::vector<double> thresholds;
+    for (size_t i = 0; i + 1 < means.size(); ++i)
+        thresholds.push_back(0.5 * (means[i] + means[i + 1]));
+    return thresholds;
+}
+
+int
+bucket_of(double v, const std::vector<double> &thresholds)
+{
+    int b = 0;
+    for (double t : thresholds) {
+        if (v >= t)
+            ++b;
+        else
+            break;
+    }
+    return b;
+}
+
+} // namespace autofl

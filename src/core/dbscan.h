@@ -1,0 +1,58 @@
+/**
+ * @file
+ * DBSCAN density clustering.
+ *
+ * The paper discretizes continuous state features for the Q-table by
+ * running DBSCAN over observed feature samples (Section 4.1); the cluster
+ * structure determines how many discrete buckets a feature needs and
+ * where the boundaries fall. This implementation provides the generic
+ * algorithm plus the 1-D threshold-derivation helper the state encoder
+ * uses.
+ */
+#ifndef AUTOFL_CORE_DBSCAN_H
+#define AUTOFL_CORE_DBSCAN_H
+
+#include <vector>
+
+namespace autofl {
+
+/** DBSCAN parameters. */
+struct DbscanConfig
+{
+    double eps = 0.5;   ///< Neighborhood radius.
+    int min_pts = 4;    ///< Core-point density threshold.
+};
+
+/** Clustering result. */
+struct DbscanResult
+{
+    /** Cluster id per point; -1 marks noise. */
+    std::vector<int> labels;
+
+    /** Number of clusters found. */
+    int num_clusters = 0;
+};
+
+/**
+ * Run DBSCAN over points in R^d (Euclidean metric).
+ * @param points Row-major points; all rows must share one dimension.
+ */
+DbscanResult dbscan(const std::vector<std::vector<double>> &points,
+                    const DbscanConfig &cfg);
+
+/**
+ * Derive discretization thresholds for a scalar feature: cluster the
+ * samples with 1-D DBSCAN and return the midpoints between adjacent
+ * cluster means, sorted ascending. A feature with k clusters yields
+ * k - 1 thresholds (k discrete buckets). Returns an empty vector when
+ * fewer than two clusters emerge.
+ */
+std::vector<double> derive_thresholds(const std::vector<double> &samples,
+                                      const DbscanConfig &cfg);
+
+/** Bucket index of @p v given ascending thresholds. */
+int bucket_of(double v, const std::vector<double> &thresholds);
+
+} // namespace autofl
+
+#endif // AUTOFL_CORE_DBSCAN_H

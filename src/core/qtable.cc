@@ -1,0 +1,121 @@
+#include "qtable.h"
+
+#include <cassert>
+
+namespace autofl {
+
+int
+encode_action(const Action &a)
+{
+    const int t = a.target == ExecTarget::Cpu ? 0 : 1;
+    int d = 0;
+    switch (a.dvfs) {
+      case DvfsLevel::Low:
+        d = 0;
+        break;
+      case DvfsLevel::Mid:
+        d = 1;
+        break;
+      case DvfsLevel::High:
+        d = 2;
+        break;
+    }
+    return t * 3 + d;
+}
+
+Action
+decode_action(int idx)
+{
+    assert(idx >= 0 && idx < kNumActions);
+    Action a;
+    a.target = idx < 3 ? ExecTarget::Cpu : ExecTarget::Gpu;
+    switch (idx % 3) {
+      case 0:
+        a.dvfs = DvfsLevel::Low;
+        break;
+      case 1:
+        a.dvfs = DvfsLevel::Mid;
+        break;
+      default:
+        a.dvfs = DvfsLevel::High;
+        break;
+    }
+    return a;
+}
+
+QTable::QTable(Rng rng, double init_range)
+    : rng_(rng), init_range_(init_range)
+{
+}
+
+uint32_t
+QTable::key(int global_idx, int local_idx)
+{
+    assert(global_idx >= 0 && global_idx < kGlobalStates);
+    assert(local_idx >= 0 && local_idx < kLocalStates);
+    return static_cast<uint32_t>(global_idx) *
+        static_cast<uint32_t>(kLocalStates) +
+        static_cast<uint32_t>(local_idx);
+}
+
+QTable::Row &
+QTable::row(int global_idx, int local_idx)
+{
+    auto [it, inserted] = table_.try_emplace(key(global_idx, local_idx));
+    if (inserted) {
+        for (auto &v : it->second)
+            v = rng_.uniform(0.0, init_range_);
+    }
+    return it->second;
+}
+
+double
+QTable::q(int global_idx, int local_idx, int action_idx)
+{
+    assert(action_idx >= 0 && action_idx < kNumActions);
+    return row(global_idx, local_idx)[static_cast<size_t>(action_idx)];
+}
+
+double
+QTable::max_q(int global_idx, int local_idx)
+{
+    const Row &r = row(global_idx, local_idx);
+    double best = r[0];
+    for (double v : r)
+        best = std::max(best, v);
+    return best;
+}
+
+int
+QTable::best_action(int global_idx, int local_idx)
+{
+    const Row &r = row(global_idx, local_idx);
+    int best = 0;
+    for (int a = 1; a < kNumActions; ++a)
+        if (r[static_cast<size_t>(a)] > r[static_cast<size_t>(best)])
+            best = a;
+    return best;
+}
+
+void
+QTable::set_q(int global_idx, int local_idx, int action_idx, double v)
+{
+    row(global_idx, local_idx)[static_cast<size_t>(action_idx)] = v;
+}
+
+void
+QTable::update(int global_idx, int local_idx, int action_idx, double reward,
+               double next_q, double gamma, double mu)
+{
+    double &q = row(global_idx, local_idx)[static_cast<size_t>(action_idx)];
+    q += gamma * (reward + mu * next_q - q);
+}
+
+size_t
+QTable::bytes() const
+{
+    // Key + row + hash-map node overhead estimate.
+    return table_.size() * (sizeof(uint32_t) + sizeof(Row) + 16);
+}
+
+} // namespace autofl

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sparse tabular Q function Q(S_global, S_local, A) with the 2-level
+ * action space (execution target x DVFS bucket).
+ *
+ * Tables are hash maps over visited (global, local) state pairs; each
+ * entry stores one value per action. This matches the paper's reported
+ * footprint (~80 MB for 200 per-device tables) since only a small
+ * fraction of the state space is ever visited.
+ */
+#ifndef AUTOFL_CORE_QTABLE_H
+#define AUTOFL_CORE_QTABLE_H
+
+#include <array>
+#include <unordered_map>
+
+#include "core/state.h"
+#include "sim/dvfs.h"
+#include "util/rng.h"
+
+namespace autofl {
+
+/** Second-level action: where and how fast to train (Section 4.1). */
+struct Action
+{
+    ExecTarget target = ExecTarget::Cpu;
+    DvfsLevel dvfs = DvfsLevel::High;
+
+    bool operator==(const Action &) const = default;
+};
+
+/** Number of discrete actions (2 targets x 3 DVFS buckets). */
+constexpr int kNumActions = 6;
+
+/** Encode an action to [0, kNumActions). */
+int encode_action(const Action &a);
+
+/** Decode an action index. */
+Action decode_action(int idx);
+
+/** One device's (or one shared category's) Q-table. */
+class QTable
+{
+  public:
+    /**
+     * @param rng Initialization stream; unseen entries materialize with
+     *        small random values, per Algorithm 1's initialization.
+     * @param init_range Uniform init range [0, init_range).
+     */
+    explicit QTable(Rng rng, double init_range = 0.01);
+
+    /** Q value for (state, action); materializes the entry when new. */
+    double q(int global_idx, int local_idx, int action_idx);
+
+    /** Largest Q over actions for a state. */
+    double max_q(int global_idx, int local_idx);
+
+    /** Action index with the largest Q for a state. */
+    int best_action(int global_idx, int local_idx);
+
+    /** Set Q for (state, action). */
+    void set_q(int global_idx, int local_idx, int action_idx, double v);
+
+    /**
+     * Algorithm 1's update:
+     * Q(s,a) += gamma * (r + mu * Q(s',a') - Q(s,a)).
+     */
+    void update(int global_idx, int local_idx, int action_idx, double reward,
+                double next_q, double gamma, double mu);
+
+    /** Number of materialized state entries. */
+    size_t entries() const { return table_.size(); }
+
+    /** Approximate memory footprint in bytes. */
+    size_t bytes() const;
+
+  private:
+    using Row = std::array<double, kNumActions>;
+    std::unordered_map<uint32_t, Row> table_;
+    Rng rng_;
+    double init_range_;
+
+    static uint32_t key(int global_idx, int local_idx);
+    Row &row(int global_idx, int local_idx);
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_CORE_QTABLE_H

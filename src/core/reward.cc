@@ -1,0 +1,21 @@
+#include "reward.h"
+
+namespace autofl {
+
+double
+compute_reward(const RewardConfig &cfg, double energy_global_j,
+               double energy_local_j, double acc, double acc_prev,
+               double completion_s, double data_weight)
+{
+    if (acc - acc_prev <= 0.0) {
+        // Failure branch of Eq. 7: penalize by distance from 100%.
+        return acc - 100.0;
+    }
+    const double e_global = energy_global_j / cfg.energy_scale_global_j;
+    const double e_local = energy_local_j / cfg.energy_scale_local_j;
+    return -e_global - e_local + cfg.alpha * acc +
+        cfg.beta * (acc - acc_prev) * data_weight -
+        cfg.time_penalty_per_s * completion_s;
+}
+
+} // namespace autofl

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AutoFL reward (Equations 5-7).
+ *
+ * When the round failed to improve accuracy the reward is the (negative)
+ * distance from 100% accuracy, steering the agent away from the action.
+ * Otherwise the reward trades off global fleet energy, the device's own
+ * energy, the absolute accuracy, and the accuracy improvement (the
+ * convergence-speed proxy), weighted by alpha and beta.
+ */
+#ifndef AUTOFL_CORE_REWARD_H
+#define AUTOFL_CORE_REWARD_H
+
+namespace autofl {
+
+/** Reward weights and normalization. */
+struct RewardConfig
+{
+    double alpha = 1.0;  ///< Weight of absolute accuracy.
+    double beta = 2.0;   ///< Weight of accuracy improvement.
+
+    /**
+     * Energies enter Eq. 7 normalized by these scales so they are
+     * commensurate with accuracy percentages. Defaults are the typical
+     * FedAvg round energies observed in the simulator.
+     */
+    double energy_scale_global_j = 40.0;
+    double energy_scale_local_j = 2.0;
+
+    /**
+     * Per-second penalty on a participant's own completion latency. A
+     * device's completion time is exactly its contribution to the
+     * straggler-gated round length, so this term gives each device
+     * individual credit for the convergence-speed objective that the
+     * shared beta term (same value for every device) cannot assign.
+     */
+    double time_penalty_per_s = 1.2;
+};
+
+/**
+ * Compute the per-device reward (Eq. 7).
+ *
+ * @param energy_global_j Fleet energy this round (Eq. 6).
+ * @param energy_local_j This device's energy this round (Eq. 5; idle
+ *        energy when the device did not participate).
+ * @param acc Test accuracy after aggregation, in percent.
+ * @param acc_prev Test accuracy after the previous round, in percent.
+ * @param completion_s The device's own completion latency this round
+ *        (0 when it did not participate).
+ * @param data_weight Per-device apportionment of the accuracy-improvement
+ *        credit: a participant whose shard covers few label classes
+ *        contributed less to the round's improvement (Fig. 6), so its
+ *        share of the beta term is scaled down.
+ */
+double compute_reward(const RewardConfig &cfg, double energy_global_j,
+                      double energy_local_j, double acc, double acc_prev,
+                      double completion_s = 0.0, double data_weight = 1.0);
+
+} // namespace autofl
+
+#endif // AUTOFL_CORE_REWARD_H

@@ -1,0 +1,153 @@
+#include "state.h"
+
+#include <cassert>
+
+namespace autofl {
+
+int
+encode_global(const GlobalState &s)
+{
+    int idx = s.s_conv;
+    idx = idx * kFcBuckets + s.s_fc;
+    idx = idx * kRcBuckets + s.s_rc;
+    idx = idx * kBatchBuckets + s.s_b;
+    idx = idx * kEpochBuckets + s.s_e;
+    idx = idx * kKBuckets + s.s_k;
+    assert(idx >= 0 && idx < kGlobalStates);
+    return idx;
+}
+
+int
+encode_local(const LocalState &s)
+{
+    int idx = s.s_co_cpu;
+    idx = idx * kCoMemBuckets + s.s_co_mem;
+    idx = idx * kNetworkBuckets + s.s_network;
+    idx = idx * kDataBuckets + s.s_data;
+    assert(idx >= 0 && idx < kLocalStates);
+    return idx;
+}
+
+namespace {
+
+// Table 1 thresholds.
+
+int
+bucket_conv(int n)
+{
+    if (n == 0)
+        return 0;  // none
+    if (n < 10)
+        return 1;  // small
+    if (n < 20)
+        return 2;  // medium
+    if (n < 30)
+        return 3;  // large
+    return 4;      // larger
+}
+
+int
+bucket_fc(int n)
+{
+    if (n == 0)
+        return 0;  // none
+    return n < 10 ? 1 : 2;
+}
+
+int
+bucket_rc(int n)
+{
+    if (n == 0)
+        return 0;  // none
+    if (n < 5)
+        return 1;  // small
+    if (n < 10)
+        return 2;  // medium
+    return 3;      // large
+}
+
+int
+bucket_batch(int b)
+{
+    if (b < 8)
+        return 0;
+    if (b < 32)
+        return 1;
+    return 2;
+}
+
+int
+bucket_epochs(int e)
+{
+    if (e < 5)
+        return 0;
+    if (e < 10)
+        return 1;
+    return 2;
+}
+
+int
+bucket_k(int k)
+{
+    if (k < 10)
+        return 0;
+    if (k < 50)
+        return 1;
+    return 2;
+}
+
+int
+bucket_util(double u)
+{
+    // none (0%), small (<25%), medium (<75%), large (<=100%).
+    if (u <= 0.0)
+        return 0;
+    if (u < 0.25)
+        return 1;
+    if (u < 0.75)
+        return 2;
+    return 3;
+}
+
+int
+bucket_data(double fraction)
+{
+    // small (<25%), medium (<100%), large (=100%).
+    if (fraction < 0.25)
+        return 0;
+    if (fraction < 1.0)
+        return 1;
+    return 2;
+}
+
+} // namespace
+
+GlobalState
+make_global_state(const NnProfile &profile, const FlGlobalParams &params)
+{
+    GlobalState s;
+    s.s_conv = bucket_conv(profile.conv_layers);
+    s.s_fc = bucket_fc(profile.fc_layers);
+    s.s_rc = bucket_rc(profile.rc_layers);
+    s.s_b = bucket_batch(params.batch_size);
+    s.s_e = bucket_epochs(params.epochs);
+    s.s_k = bucket_k(params.k);
+    return s;
+}
+
+LocalState
+make_local_state(const DeviceRoundState &state, int data_classes,
+                 int total_classes)
+{
+    assert(total_classes > 0);
+    LocalState s;
+    s.s_co_cpu = bucket_util(state.co_cpu_util);
+    s.s_co_mem = bucket_util(state.co_mem_util);
+    s.s_network =
+        state.bandwidth_mbps > NetworkModel::kBadBandwidthMbps ? 0 : 1;
+    s.s_data = bucket_data(static_cast<double>(data_classes) /
+                           static_cast<double>(total_classes));
+    return s;
+}
+
+} // namespace autofl

@@ -1,0 +1,101 @@
+#include "dataset.h"
+
+#include <cassert>
+#include <set>
+
+namespace autofl {
+
+Dataset
+Dataset::subset(const std::vector<int> &indices) const
+{
+    Dataset out;
+    out.workload = workload;
+    out.num_classes = num_classes;
+    std::vector<int> shape = x.shape();
+    shape[0] = static_cast<int>(indices.size());
+    out.x = Tensor(shape);
+    out.y.reserve(indices.size());
+
+    size_t sample_elems = 1;
+    for (size_t d = 1; d < shape.size(); ++d)
+        sample_elems *= static_cast<size_t>(shape[d]);
+
+    for (size_t i = 0; i < indices.size(); ++i) {
+        const size_t src = static_cast<size_t>(indices[i]) * sample_elems;
+        const size_t dst = i * sample_elems;
+        std::copy(x.data() + src, x.data() + src + sample_elems,
+                  out.x.data() + dst);
+        out.y.push_back(y[static_cast<size_t>(indices[i])]);
+    }
+    return out;
+}
+
+Tensor
+Dataset::batch_x(const std::vector<int> &indices) const
+{
+    const int b = static_cast<int>(indices.size());
+    size_t sample_elems = 1;
+    for (int d = 1; d < x.rank(); ++d)
+        sample_elems *= static_cast<size_t>(x.dim(d));
+
+    if (workload == Workload::LstmShakespeare) {
+        // Stored {n, time, vocab}; model wants {time, b, vocab}.
+        const int time = x.dim(1), vocab = x.dim(2);
+        Tensor out({time, b, vocab});
+        for (int bi = 0; bi < b; ++bi) {
+            const size_t src =
+                static_cast<size_t>(indices[static_cast<size_t>(bi)]) *
+                sample_elems;
+            for (int t = 0; t < time; ++t) {
+                const float *s = x.data() + src +
+                    static_cast<size_t>(t) * vocab;
+                float *d = out.data() +
+                    (static_cast<size_t>(t) * b + bi) * vocab;
+                std::copy(s, s + vocab, d);
+            }
+        }
+        return out;
+    }
+
+    std::vector<int> shape = x.shape();
+    shape[0] = b;
+    Tensor out(shape);
+    for (int bi = 0; bi < b; ++bi) {
+        const size_t src =
+            static_cast<size_t>(indices[static_cast<size_t>(bi)]) *
+            sample_elems;
+        std::copy(x.data() + src, x.data() + src + sample_elems,
+                  out.data() + static_cast<size_t>(bi) * sample_elems);
+    }
+    return out;
+}
+
+std::vector<int>
+Dataset::batch_y(const std::vector<int> &indices) const
+{
+    std::vector<int> out;
+    out.reserve(indices.size());
+    for (int i : indices)
+        out.push_back(y[static_cast<size_t>(i)]);
+    return out;
+}
+
+int
+Dataset::distinct_classes() const
+{
+    std::set<int> s(y.begin(), y.end());
+    return static_cast<int>(s.size());
+}
+
+std::vector<int>
+Dataset::class_histogram() const
+{
+    std::vector<int> hist(static_cast<size_t>(num_classes), 0);
+    for (int label : y) {
+        assert(label >= 0 && label < num_classes);
+        ++hist[static_cast<size_t>(label)];
+    }
+    return hist;
+}
+
+} // namespace autofl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * In-memory labeled dataset container shared by all three workloads.
+ *
+ * Image workloads store samples as {n, c, h, w}; the text workload stores
+ * one-hot sequences as {n, time, vocab}. Batch extraction produces the
+ * layout each model's forward() expects.
+ */
+#ifndef AUTOFL_DATA_DATASET_H
+#define AUTOFL_DATA_DATASET_H
+
+#include <vector>
+
+#include "nn/models.h"
+#include "tensor/tensor.h"
+
+namespace autofl {
+
+/** Labeled sample container for one workload. */
+struct Dataset
+{
+    Workload workload = Workload::CnnMnist;
+    Tensor x;            ///< {n, ...} sample tensor (layout per workload).
+    std::vector<int> y;  ///< One class label per sample.
+    int num_classes = 0;
+
+    /** Number of samples. */
+    size_t size() const { return y.size(); }
+
+    /** True when there are no samples. */
+    bool empty() const { return y.empty(); }
+
+    /** Copy the selected samples into a new dataset. */
+    Dataset subset(const std::vector<int> &indices) const;
+
+    /**
+     * Build a model-ready input batch from sample indices:
+     * {b, c, h, w} for image workloads, {time, b, vocab} for text.
+     */
+    Tensor batch_x(const std::vector<int> &indices) const;
+
+    /** Labels for the same index list. */
+    std::vector<int> batch_y(const std::vector<int> &indices) const;
+
+    /** Distinct labels present. */
+    int distinct_classes() const;
+
+    /** Per-class sample counts (length num_classes). */
+    std::vector<int> class_histogram() const;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_DATA_DATASET_H

@@ -1,0 +1,113 @@
+#include "partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace autofl {
+
+std::string
+data_distribution_name(DataDistribution d)
+{
+    switch (d) {
+      case DataDistribution::IdealIid:
+        return "Ideal IID";
+      case DataDistribution::NonIid50:
+        return "Non-IID (50%)";
+      case DataDistribution::NonIid75:
+        return "Non-IID (75%)";
+      case DataDistribution::NonIid100:
+        return "Non-IID (100%)";
+    }
+    return "unknown";
+}
+
+double
+non_iid_fraction(DataDistribution d)
+{
+    switch (d) {
+      case DataDistribution::IdealIid:
+        return 0.0;
+      case DataDistribution::NonIid50:
+        return 0.5;
+      case DataDistribution::NonIid75:
+        return 0.75;
+      case DataDistribution::NonIid100:
+        return 1.0;
+    }
+    return 0.0;
+}
+
+Partition
+partition_dataset(const Dataset &data, const PartitionConfig &cfg)
+{
+    assert(cfg.num_devices > 0);
+    Rng rng(cfg.seed);
+
+    const int n = static_cast<int>(data.size());
+    const int classes = data.num_classes;
+    const int quota = std::max(1, n / cfg.num_devices);
+
+    // Pools of sample indices per class, pre-shuffled.
+    std::vector<std::vector<int>> pools(static_cast<size_t>(classes));
+    for (int i = 0; i < n; ++i)
+        pools[static_cast<size_t>(data.y[static_cast<size_t>(i)])].push_back(i);
+    for (auto &p : pools)
+        rng.shuffle(p);
+    std::vector<size_t> cursor(static_cast<size_t>(classes), 0);
+
+    // Which devices are non-IID.
+    const int non_iid_count = static_cast<int>(
+        non_iid_fraction(cfg.distribution) * cfg.num_devices + 0.5);
+    std::vector<int> device_order(static_cast<size_t>(cfg.num_devices));
+    for (int i = 0; i < cfg.num_devices; ++i)
+        device_order[static_cast<size_t>(i)] = i;
+    rng.shuffle(device_order);
+
+    Partition out;
+    out.shards.resize(static_cast<size_t>(cfg.num_devices));
+    out.non_iid.assign(static_cast<size_t>(cfg.num_devices), false);
+    out.classes_per_device.assign(static_cast<size_t>(cfg.num_devices), 0);
+    for (int i = 0; i < non_iid_count; ++i)
+        out.non_iid[static_cast<size_t>(device_order[static_cast<size_t>(i)])] =
+            true;
+
+    // Draw from a class pool with wraparound (samples may be reused when a
+    // heavily-demanded class runs dry; this mirrors sampling with
+    // replacement and keeps every shard at its quota).
+    auto draw_from_class = [&](int c) {
+        auto &pool = pools[static_cast<size_t>(c)];
+        if (pool.empty())
+            return static_cast<int>(rng.randint(0, n - 1));
+        size_t &cur = cursor[static_cast<size_t>(c)];
+        const int idx = pool[cur % pool.size()];
+        ++cur;
+        return idx;
+    };
+
+    for (int dev = 0; dev < cfg.num_devices; ++dev) {
+        auto &shard = out.shards[static_cast<size_t>(dev)];
+        shard.reserve(static_cast<size_t>(quota));
+        if (out.non_iid[static_cast<size_t>(dev)]) {
+            const auto props = rng.dirichlet(cfg.dirichlet_alpha, classes);
+            for (int s = 0; s < quota; ++s) {
+                const int c = rng.categorical(props);
+                shard.push_back(draw_from_class(c));
+            }
+        } else {
+            // IID: round-robin over classes for an even split.
+            for (int s = 0; s < quota; ++s) {
+                const int c = (dev + s) % classes;
+                shard.push_back(draw_from_class(c));
+            }
+        }
+        std::set<int> distinct;
+        for (int idx : shard)
+            distinct.insert(data.y[static_cast<size_t>(idx)]);
+        out.classes_per_device[static_cast<size_t>(dev)] =
+            static_cast<int>(distinct.size());
+    }
+    return out;
+}
+
+} // namespace autofl

@@ -1,0 +1,260 @@
+#include "synthetic.h"
+
+#include <cmath>
+
+namespace autofl {
+
+namespace {
+
+/** Smooth a square image in place with a 3x3 box blur (@p passes times). */
+void
+box_blur(std::vector<float> &img, int side, int passes)
+{
+    std::vector<float> tmp(img.size());
+    for (int pass = 0; pass < passes; ++pass) {
+        for (int y = 0; y < side; ++y) {
+            for (int x = 0; x < side; ++x) {
+                float acc = 0.0f;
+                int cnt = 0;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        const int yy = y + dy, xx = x + dx;
+                        if (yy < 0 || yy >= side || xx < 0 || xx >= side)
+                            continue;
+                        acc += img[static_cast<size_t>(yy) * side + xx];
+                        ++cnt;
+                    }
+                }
+                tmp[static_cast<size_t>(y) * side + x] = acc / cnt;
+            }
+        }
+        img.swap(tmp);
+    }
+}
+
+/** Generate the per-class 12x12 digit-like template bank. */
+std::vector<std::vector<float>>
+mnist_templates(Rng &rng)
+{
+    std::vector<std::vector<float>> templates;
+    templates.reserve(kMnistClasses);
+    for (int c = 0; c < kMnistClasses; ++c) {
+        std::vector<float> t(static_cast<size_t>(kMnistSide) * kMnistSide);
+        for (auto &v : t)
+            v = static_cast<float>(rng.uniform(-1.0, 1.0));
+        box_blur(t, kMnistSide, 2);
+        // Re-normalize after blurring so classes keep comparable energy.
+        float mx = 1e-6f;
+        for (float v : t)
+            mx = std::max(mx, std::abs(v));
+        for (auto &v : t)
+            v /= mx;
+        templates.push_back(std::move(t));
+    }
+    return templates;
+}
+
+Dataset
+sample_mnist(const std::vector<std::vector<float>> &templates, int n,
+             double noise, Rng &rng)
+{
+    Dataset d;
+    d.workload = Workload::CnnMnist;
+    d.num_classes = kMnistClasses;
+    d.x = Tensor({n, 1, kMnistSide, kMnistSide});
+    d.y.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const int c = static_cast<int>(rng.randint(0, kMnistClasses - 1));
+        d.y.push_back(c);
+        const auto &t = templates[static_cast<size_t>(c)];
+        const int sy = static_cast<int>(rng.randint(-1, 1));
+        const int sx = static_cast<int>(rng.randint(-1, 1));
+        for (int y = 0; y < kMnistSide; ++y) {
+            for (int x = 0; x < kMnistSide; ++x) {
+                const int yy = std::clamp(y + sy, 0, kMnistSide - 1);
+                const int xx = std::clamp(x + sx, 0, kMnistSide - 1);
+                const float base = t[static_cast<size_t>(yy) * kMnistSide + xx];
+                d.x.at4(i, 0, y, x) = base +
+                    static_cast<float>(rng.normal(0.0, noise));
+            }
+        }
+    }
+    return d;
+}
+
+Dataset
+sample_imagenet(int n, double noise, Rng &rng, Rng &class_rng)
+{
+    // Class-specific grating parameters: frequency, orientation, color.
+    struct ClassParams {
+        float fx1, fy1, fx2, fy2;
+        float col[kImageNetChannels];
+    };
+    std::vector<ClassParams> params;
+    params.reserve(kImageNetClasses);
+    for (int c = 0; c < kImageNetClasses; ++c) {
+        ClassParams p;
+        p.fx1 = static_cast<float>(class_rng.uniform(0.3, 2.2));
+        p.fy1 = static_cast<float>(class_rng.uniform(0.3, 2.2));
+        p.fx2 = static_cast<float>(class_rng.uniform(0.3, 2.2));
+        p.fy2 = static_cast<float>(class_rng.uniform(0.3, 2.2));
+        for (auto &col : p.col)
+            col = static_cast<float>(class_rng.uniform(-1.0, 1.0));
+        params.push_back(p);
+    }
+
+    Dataset d;
+    d.workload = Workload::MobileNetImageNet;
+    d.num_classes = kImageNetClasses;
+    d.x = Tensor({n, kImageNetChannels, kImageNetSide, kImageNetSide});
+    d.y.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const int c = static_cast<int>(rng.randint(0, kImageNetClasses - 1));
+        d.y.push_back(c);
+        const ClassParams &p = params[static_cast<size_t>(c)];
+        const float phase1 = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+        const float phase2 = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+        for (int ch = 0; ch < kImageNetChannels; ++ch) {
+            for (int y = 0; y < kImageNetSide; ++y) {
+                for (int x = 0; x < kImageNetSide; ++x) {
+                    const float g1 = std::sin(p.fx1 * x + p.fy1 * y + phase1);
+                    const float g2 = std::cos(p.fx2 * x - p.fy2 * y + phase2);
+                    d.x.at4(i, ch, y, x) =
+                        p.col[ch] * (0.6f * g1 + 0.4f * g2) +
+                        static_cast<float>(rng.normal(0.0, noise));
+                }
+            }
+        }
+    }
+    return d;
+}
+
+/**
+ * Markov chain over the text vocabulary: the continuation depends on the
+ * last two characters, with the dominant signal carried by the most
+ * recent one. The mixture keeps the task solvable by a recurrent model
+ * within a few hundred federated SGD steps while still rewarding use of
+ * deeper context.
+ */
+class MarkovChain
+{
+  public:
+    explicit MarkovChain(Rng &rng)
+    {
+        // Sparse, peaked continuation distributions make the next
+        // character predictable (an LSTM can reach high accuracy).
+        last_.resize(static_cast<size_t>(kTextVocab));
+        for (auto &row : last_)
+            row = rng.dirichlet(0.05, kTextVocab);
+        pair_.resize(static_cast<size_t>(kTextVocab) * kTextVocab);
+        for (auto &row : pair_)
+            row = rng.dirichlet(0.05, kTextVocab);
+    }
+
+    int
+    next(int a, int b, Rng &rng) const
+    {
+        // 75% of transitions follow the order-1 table, 25% the order-2
+        // table, so most of the attainable accuracy needs only the last
+        // character.
+        if (rng.bernoulli(0.85))
+            return rng.categorical(last_[static_cast<size_t>(b)]);
+        return rng.categorical(
+            pair_[static_cast<size_t>(a) * kTextVocab + b]);
+    }
+
+  private:
+    std::vector<std::vector<double>> last_;
+    std::vector<std::vector<double>> pair_;
+};
+
+Dataset
+sample_text(const MarkovChain &chain, int n, Rng &rng)
+{
+    Dataset d;
+    d.workload = Workload::LstmShakespeare;
+    d.num_classes = kTextVocab;
+    d.x = Tensor({n, kTextSeqLen, kTextVocab});
+    d.y.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        // Generate a fresh window per sample to decorrelate samples.
+        int a = static_cast<int>(rng.randint(0, kTextVocab - 1));
+        int b = static_cast<int>(rng.randint(0, kTextVocab - 1));
+        for (int t = 0; t < kTextSeqLen; ++t) {
+            const int c = chain.next(a, b, rng);
+            d.x.at3(i, t, c) = 1.0f;
+            a = b;
+            b = c;
+        }
+        d.y.push_back(chain.next(a, b, rng));
+    }
+    return d;
+}
+
+} // namespace
+
+TrainTestSplit
+make_synthetic_mnist(const SyntheticConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    Rng template_rng = rng.fork(1);
+    Rng train_rng = rng.fork(2);
+    Rng test_rng = rng.fork(3);
+    const auto templates = mnist_templates(template_rng);
+    TrainTestSplit out;
+    out.train = sample_mnist(templates, cfg.train_samples, cfg.noise,
+                             train_rng);
+    out.test = sample_mnist(templates, cfg.test_samples, cfg.noise, test_rng);
+    return out;
+}
+
+TrainTestSplit
+make_synthetic_imagenet(const SyntheticConfig &cfg)
+{
+    Rng rng(cfg.seed ^ 0xa5a5a5a5ULL);
+    Rng class_rng = rng.fork(1);
+    Rng train_rng = rng.fork(2);
+    Rng test_rng = rng.fork(3);
+    // Re-seed class params identically for train and test draws.
+    TrainTestSplit out;
+    {
+        Rng c1 = class_rng;
+        out.train = sample_imagenet(cfg.train_samples, cfg.noise, train_rng,
+                                    c1);
+    }
+    {
+        Rng c2 = class_rng;
+        out.test = sample_imagenet(cfg.test_samples, cfg.noise, test_rng, c2);
+    }
+    return out;
+}
+
+TrainTestSplit
+make_synthetic_text(const SyntheticConfig &cfg)
+{
+    Rng rng(cfg.seed ^ 0x5a5a5a5aULL);
+    Rng chain_rng = rng.fork(1);
+    Rng train_rng = rng.fork(2);
+    Rng test_rng = rng.fork(3);
+    MarkovChain chain(chain_rng);
+    TrainTestSplit out;
+    out.train = sample_text(chain, cfg.train_samples, train_rng);
+    out.test = sample_text(chain, cfg.test_samples, test_rng);
+    return out;
+}
+
+TrainTestSplit
+make_dataset(Workload w, const SyntheticConfig &cfg)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        return make_synthetic_mnist(cfg);
+      case Workload::LstmShakespeare:
+        return make_synthetic_text(cfg);
+      case Workload::MobileNetImageNet:
+        return make_synthetic_imagenet(cfg);
+    }
+    return {};
+}
+
+} // namespace autofl

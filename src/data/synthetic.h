@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Procedural dataset generators standing in for MNIST, Shakespeare and
+ * ImageNet (see DESIGN.md "Substitutions").
+ *
+ * Each generator produces a learnable class structure: per-class template
+ * patterns (images) or per-class continuation statistics (text) perturbed
+ * with noise, so that real SGD training converges and data-heterogeneity
+ * effects (Dirichlet non-IID partitions) manifest as in the paper.
+ */
+#ifndef AUTOFL_DATA_SYNTHETIC_H
+#define AUTOFL_DATA_SYNTHETIC_H
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace autofl {
+
+/** Generator configuration. */
+struct SyntheticConfig
+{
+    int train_samples = 4000;  ///< Total training samples across the fleet.
+    int test_samples = 800;    ///< Held-out global test set size.
+    double noise = 1.15;       ///< Additive noise level (images).
+    uint64_t seed = 42;        ///< Generation seed.
+};
+
+/** Train + test pair produced by a generator. */
+struct TrainTestSplit
+{
+    Dataset train;
+    Dataset test;
+};
+
+/**
+ * Synthetic MNIST: 12x12 single-channel images. Each class has a smooth
+ * random template; samples are the template with additive noise and a
+ * +/-1 pixel random shift.
+ */
+TrainTestSplit make_synthetic_mnist(const SyntheticConfig &cfg);
+
+/**
+ * Synthetic ImageNet: 16x16 RGB textures. Each class mixes two oriented
+ * sinusoidal gratings with class-specific frequencies and colors.
+ */
+TrainTestSplit make_synthetic_imagenet(const SyntheticConfig &cfg);
+
+/**
+ * Synthetic Shakespeare: one-hot character windows of length kTextSeqLen
+ * drawn from an order-2 Markov chain over a 26-character vocabulary;
+ * the label is the next character.
+ */
+TrainTestSplit make_synthetic_text(const SyntheticConfig &cfg);
+
+/** Dispatch on workload. */
+TrainTestSplit make_dataset(Workload w, const SyntheticConfig &cfg);
+
+} // namespace autofl
+
+#endif // AUTOFL_DATA_SYNTHETIC_H

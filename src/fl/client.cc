@@ -1,0 +1,107 @@
+#include "client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/loss.h"
+
+namespace autofl {
+
+LocalTrainer::LocalTrainer(Workload workload)
+    : workload_(workload), model_(make_model(workload))
+{
+}
+
+LocalUpdate
+LocalTrainer::train(const std::vector<float> &global_weights,
+                    const Dataset &shard, const FlGlobalParams &params,
+                    const TrainHyper &hyper, Algorithm alg,
+                    const std::vector<float> &fedl_correction, Rng rng)
+{
+    assert(!shard.empty());
+    model_.set_flat_weights(global_weights);
+    Sgd opt(hyper.lr, hyper.momentum);
+    SoftmaxCrossEntropy loss;
+
+    const int n = static_cast<int>(shard.size());
+    const int batch = std::max(1, std::min(params.batch_size, n));
+
+    std::vector<int> order(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        order[static_cast<size_t>(i)] = i;
+
+    LocalUpdate update;
+    update.num_samples = n;
+
+    double last_epoch_loss = 0.0;
+    int last_epoch_correct = 0;
+    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+        rng.shuffle(order);
+        last_epoch_loss = 0.0;
+        last_epoch_correct = 0;
+        int batches = 0;
+        for (int start = 0; start < n; start += batch, ++batches) {
+            const int end = std::min(n, start + batch);
+            std::vector<int> idx(order.begin() + start, order.begin() + end);
+            Tensor x = shard.batch_x(idx);
+            std::vector<int> y = shard.batch_y(idx);
+
+            model_.zero_grad();
+            Tensor logits = model_.forward(x);
+            last_epoch_loss += loss.forward(logits, y);
+            last_epoch_correct += loss.correct();
+            model_.backward(loss.backward());
+
+            if (alg == Algorithm::Fedl && !fedl_correction.empty()) {
+                // FEDL linear term: add the correction coefficients to
+                // every parameter gradient before the step.
+                auto grads = model_.grads();
+                size_t off = 0;
+                for (Tensor *g : grads) {
+                    for (size_t i = 0; i < g->size(); ++i, ++off)
+                        (*g)[i] += fedl_correction[off];
+                }
+            }
+
+            if (alg == Algorithm::FedProx) {
+                opt.step_prox(model_, global_weights, hyper.prox_mu);
+            } else {
+                opt.step(model_);
+            }
+            ++update.num_steps;
+        }
+        if (batches > 0)
+            last_epoch_loss /= batches;
+    }
+
+    update.weights = model_.flat_weights();
+    update.train_loss = last_epoch_loss;
+    update.train_acc = n > 0 ? static_cast<double>(last_epoch_correct) / n
+                             : 0.0;
+    return update;
+}
+
+std::vector<float>
+LocalTrainer::full_gradient(const std::vector<float> &weights,
+                            const Dataset &shard)
+{
+    model_.set_flat_weights(weights);
+    model_.zero_grad();
+    std::vector<int> idx(shard.size());
+    for (size_t i = 0; i < shard.size(); ++i)
+        idx[i] = static_cast<int>(i);
+    Tensor x = shard.batch_x(idx);
+    std::vector<int> y = shard.batch_y(idx);
+    SoftmaxCrossEntropy loss;
+    Tensor logits = model_.forward(x);
+    loss.forward(logits, y);
+    model_.backward(loss.backward());
+
+    std::vector<float> out;
+    out.reserve(model_.num_params());
+    for (Tensor *g : model_.grads())
+        out.insert(out.end(), g->vec().begin(), g->vec().end());
+    return out;
+}
+
+} // namespace autofl

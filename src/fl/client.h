@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Local training: one device's E epochs of minibatch SGD on its shard
+ * (Step 3 of the FL protocol, Figure 2).
+ */
+#ifndef AUTOFL_FL_CLIENT_H
+#define AUTOFL_FL_CLIENT_H
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "fl/fl_types.h"
+#include "nn/models.h"
+#include "nn/sgd.h"
+#include "util/rng.h"
+
+namespace autofl {
+
+/**
+ * Reusable local-training engine. One instance holds one scratch model of
+ * the workload's architecture; train() loads the broadcast global weights,
+ * runs local SGD and returns the updated weights. Instances are
+ * independent, so one per worker thread enables parallel client training.
+ */
+class LocalTrainer
+{
+  public:
+    explicit LocalTrainer(Workload workload);
+
+    /**
+     * Run local training.
+     *
+     * @param global_weights Broadcast global model (flat layout).
+     * @param shard This device's local dataset.
+     * @param params Global (B, E, K) parameters; B and E are used here.
+     * @param hyper Learning-rate and algorithm hyperparameters.
+     * @param alg Algorithm: FedProx adds the proximal term; FEDL adds the
+     *        gradient-correction linear term.
+     * @param fedl_correction FEDL per-weight linear-term coefficients
+     *        (empty unless alg == Fedl).
+     * @param rng Per-device, per-round RNG (epoch shuffling).
+     */
+    LocalUpdate train(const std::vector<float> &global_weights,
+                      const Dataset &shard, const FlGlobalParams &params,
+                      const TrainHyper &hyper, Algorithm alg,
+                      const std::vector<float> &fedl_correction, Rng rng);
+
+    /**
+     * Full-shard average gradient at the given weights (one forward +
+     * backward pass, no update). Used by FEDL's correction term.
+     */
+    std::vector<float> full_gradient(const std::vector<float> &weights,
+                                     const Dataset &shard);
+
+    /** The wrapped model (tests). */
+    Sequential &model() { return model_; }
+
+  private:
+    Workload workload_;
+    Sequential model_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_FL_CLIENT_H

@@ -1,0 +1,63 @@
+#include "fl_types.h"
+
+namespace autofl {
+
+FlGlobalParams
+global_params_for(ParamSetting s)
+{
+    // Table 5: (B, E, K).
+    switch (s) {
+      case ParamSetting::S1:
+        return {32, 10, 20};
+      case ParamSetting::S2:
+        return {32, 5, 20};
+      case ParamSetting::S3:
+        return {16, 5, 20};
+      case ParamSetting::S4:
+        return {16, 5, 10};
+    }
+    return {};
+}
+
+std::string
+param_setting_name(ParamSetting s)
+{
+    switch (s) {
+      case ParamSetting::S1:
+        return "S1";
+      case ParamSetting::S2:
+        return "S2";
+      case ParamSetting::S3:
+        return "S3";
+      case ParamSetting::S4:
+        return "S4";
+    }
+    return "?";
+}
+
+const std::vector<ParamSetting> &
+all_param_settings()
+{
+    static const std::vector<ParamSetting> kAll = {
+        ParamSetting::S1, ParamSetting::S2, ParamSetting::S3,
+        ParamSetting::S4};
+    return kAll;
+}
+
+std::string
+algorithm_name(Algorithm a)
+{
+    switch (a) {
+      case Algorithm::FedAvg:
+        return "FedAvg";
+      case Algorithm::FedProx:
+        return "FedProx";
+      case Algorithm::FedNova:
+        return "FedNova";
+      case Algorithm::Fedl:
+        return "FEDL";
+    }
+    return "unknown";
+}
+
+} // namespace autofl

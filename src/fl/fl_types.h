@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared federated-learning types: global parameters (Table 5), training
+ * hyperparameters, aggregation algorithm selection, and update payloads.
+ */
+#ifndef AUTOFL_FL_FL_TYPES_H
+#define AUTOFL_FL_FL_TYPES_H
+
+#include <string>
+#include <vector>
+
+namespace autofl {
+
+/**
+ * FL global parameters (B, E, K) fixed by the service provider for the
+ * lifetime of a training job (Section 2.1).
+ */
+struct FlGlobalParams
+{
+    int batch_size = 16;  ///< Local minibatch size B.
+    int epochs = 5;       ///< Local epochs E per round.
+    int k = 20;           ///< Participants per round K.
+};
+
+/** The paper's four global-parameter settings (Table 5). */
+enum class ParamSetting { S1, S2, S3, S4 };
+
+/** Table 5 values for a setting. */
+FlGlobalParams global_params_for(ParamSetting s);
+
+/** Name like "S1". */
+std::string param_setting_name(ParamSetting s);
+
+/** All settings, for sweeps. */
+const std::vector<ParamSetting> &all_param_settings();
+
+/** Server-side aggregation / client-objective algorithm. */
+enum class Algorithm {
+    FedAvg,   ///< Weighted averaging of local weights (McMahan et al.).
+    FedProx,  ///< FedAvg + proximal term on the local objective.
+    FedNova,  ///< Normalized averaging by local step counts (Wang et al.).
+    Fedl,     ///< Gradient-correction local objective (Dinh et al.).
+};
+
+/** Human-readable algorithm name. */
+std::string algorithm_name(Algorithm a);
+
+/** Local-training hyperparameters. */
+struct TrainHyper
+{
+    double lr = 0.025;         ///< Local SGD learning rate.
+    double momentum = 0.0;     ///< Local SGD momentum.
+    double prox_mu = 0.01;     ///< FedProx proximal strength.
+    double fedl_eta = 0.5;     ///< FEDL gradient-correction weight.
+};
+
+/** Result of one device's local training. */
+struct LocalUpdate
+{
+    int device_id = -1;
+    std::vector<float> weights;  ///< Post-training local weights.
+    int num_steps = 0;           ///< SGD steps taken (tau_i for FedNova).
+    int num_samples = 0;         ///< Shard size (FedAvg weighting).
+    double train_loss = 0.0;     ///< Mean loss over the last local epoch.
+    double train_acc = 0.0;      ///< Accuracy over the last local epoch.
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_FL_FL_TYPES_H

@@ -1,0 +1,174 @@
+#include "server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "nn/loss.h"
+
+namespace autofl {
+
+Server::Server(Workload workload, Algorithm alg, TrainHyper hyper,
+               uint64_t seed)
+    : workload_(workload), alg_(alg), hyper_(hyper),
+      model_(make_model(workload))
+{
+    Rng rng(seed);
+    model_.init_weights(rng);
+    weights_ = model_.flat_weights();
+}
+
+void
+Server::set_global_weights(std::vector<float> w)
+{
+    assert(w.size() == weights_.size());
+    weights_ = std::move(w);
+}
+
+void
+Server::aggregate(const std::vector<LocalUpdate> &updates)
+{
+    if (updates.empty())
+        return;
+    const size_t dim = weights_.size();
+
+    if (alg_ == Algorithm::FedNova) {
+        // FedNova: average the *normalized* directions d_i =
+        // (w_global - w_i) / tau_i, then apply with the effective step
+        // count tau_eff = sum(p_i * tau_i). Removes the objective
+        // inconsistency caused by heterogeneous local step counts.
+        double total_samples = 0.0;
+        for (const auto &u : updates)
+            total_samples += u.num_samples;
+        std::vector<double> avg_dir(dim, 0.0);
+        double tau_eff = 0.0;
+        for (const auto &u : updates) {
+            assert(u.weights.size() == dim);
+            const double p = u.num_samples / total_samples;
+            const double tau = std::max(1, u.num_steps);
+            tau_eff += p * tau;
+            const double scale = p / tau;
+            for (size_t i = 0; i < dim; ++i)
+                avg_dir[i] += scale * (static_cast<double>(weights_[i]) -
+                                       u.weights[i]);
+        }
+        for (size_t i = 0; i < dim; ++i)
+            weights_[i] = static_cast<float>(weights_[i] -
+                                             tau_eff * avg_dir[i]);
+        return;
+    }
+
+    // FedAvg-style sample-weighted averaging (also used by FedProx and
+    // FEDL, whose differences live in the client objective).
+    double total_samples = 0.0;
+    for (const auto &u : updates)
+        total_samples += u.num_samples;
+    std::vector<double> acc(dim, 0.0);
+    for (const auto &u : updates) {
+        assert(u.weights.size() == dim);
+        const double p = u.num_samples / total_samples;
+        for (size_t i = 0; i < dim; ++i)
+            acc[i] += p * u.weights[i];
+    }
+    for (size_t i = 0; i < dim; ++i)
+        weights_[i] = static_cast<float>(acc[i]);
+}
+
+double
+Server::evaluate_impl(const Dataset &test, bool want_loss)
+{
+    model_.set_flat_weights(weights_);
+    const int n = static_cast<int>(test.size());
+    const int batch = 100;
+    const int batches = (n + batch - 1) / batch;
+    if (batches == 0)
+        return 0.0;
+
+    // Inference batches are independent: fan out across worker threads,
+    // each with its own scratch model (weights are shared read-only
+    // through the flat vector).
+    const int threads = std::clamp(batches, 1, 8);
+    std::vector<int> correct(static_cast<size_t>(threads), 0);
+    std::vector<double> loss_sum(static_cast<size_t>(threads), 0.0);
+    auto worker = [&](int tid) {
+        Sequential scratch = make_model(workload_);
+        scratch.set_flat_weights(weights_);
+        SoftmaxCrossEntropy loss;
+        for (int b = tid; b < batches; b += threads) {
+            const int start = b * batch;
+            const int end = std::min(n, start + batch);
+            std::vector<int> idx;
+            idx.reserve(static_cast<size_t>(end - start));
+            for (int i = start; i < end; ++i)
+                idx.push_back(i);
+            Tensor logits = scratch.forward(test.batch_x(idx));
+            loss_sum[static_cast<size_t>(tid)] +=
+                loss.forward(logits, test.batch_y(idx));
+            correct[static_cast<size_t>(tid)] += loss.correct();
+        }
+    };
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    double total_loss = 0.0;
+    int total_correct = 0;
+    for (int t = 0; t < threads; ++t) {
+        total_loss += loss_sum[static_cast<size_t>(t)];
+        total_correct += correct[static_cast<size_t>(t)];
+    }
+    if (want_loss)
+        return total_loss / batches;
+    return n > 0 ? static_cast<double>(total_correct) / n : 0.0;
+}
+
+double
+Server::evaluate(const Dataset &test)
+{
+    return evaluate_impl(test, false);
+}
+
+double
+Server::evaluate_loss(const Dataset &test)
+{
+    return evaluate_impl(test, true);
+}
+
+std::vector<float>
+Server::fedl_correction(const std::vector<float> &local_grad) const
+{
+    if (global_grad_.empty())
+        return {};
+    assert(local_grad.size() == global_grad_.size());
+    std::vector<float> out(local_grad.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<float>(hyper_.fedl_eta) * global_grad_[i] -
+            local_grad[i];
+    return out;
+}
+
+void
+Server::update_global_gradient(
+    const std::vector<std::vector<float>> &client_grads)
+{
+    if (client_grads.empty())
+        return;
+    global_grad_.assign(weights_.size(), 0.0f);
+    for (const auto &g : client_grads) {
+        assert(g.size() == global_grad_.size());
+        for (size_t i = 0; i < g.size(); ++i)
+            global_grad_[i] += g[i];
+    }
+    const float inv = 1.0f / static_cast<float>(client_grads.size());
+    for (auto &v : global_grad_)
+        v *= inv;
+}
+
+} // namespace autofl

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Aggregation server: owns the global model, aggregates local updates
+ * (FedAvg / FedNova / FEDL bookkeeping), and evaluates test accuracy
+ * (Steps 1, 2, 5 of Figure 2).
+ */
+#ifndef AUTOFL_FL_SERVER_H
+#define AUTOFL_FL_SERVER_H
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/fl_types.h"
+#include "nn/models.h"
+
+namespace autofl {
+
+/** FL aggregation server. */
+class Server
+{
+  public:
+    /**
+     * @param workload Model architecture to host.
+     * @param alg Aggregation algorithm.
+     * @param hyper Hyperparameters (FEDL eta, used in aggregation).
+     * @param seed Global weight-initialization seed.
+     */
+    Server(Workload workload, Algorithm alg, TrainHyper hyper, uint64_t seed);
+
+    /** Current global weights (broadcast payload, Step 2). */
+    const std::vector<float> &global_weights() const { return weights_; }
+
+    /** Replace global weights (tests / warm starts). */
+    void set_global_weights(std::vector<float> w);
+
+    /**
+     * Aggregate the round's included local updates into the global model
+     * (Step 5). Updates from dropped stragglers must not be passed in.
+     * No-op when @p updates is empty (all participants dropped).
+     */
+    void aggregate(const std::vector<LocalUpdate> &updates);
+
+    /** Top-1 accuracy of the global model on @p test. */
+    double evaluate(const Dataset &test);
+
+    /** Mean cross-entropy of the global model on @p test. */
+    double evaluate_loss(const Dataset &test);
+
+    /**
+     * FEDL correction coefficients for a client whose full local gradient
+     * at the current weights is @p local_grad: eta * global_grad_estimate
+     * - local_grad. Empty when no global gradient estimate exists yet.
+     */
+    std::vector<float> fedl_correction(
+        const std::vector<float> &local_grad) const;
+
+    /** Whether FEDL needs clients' full gradients this round. */
+    bool wants_full_gradients() const { return alg_ == Algorithm::Fedl; }
+
+    /** Record client full gradients to refresh the FEDL estimate. */
+    void update_global_gradient(
+        const std::vector<std::vector<float>> &client_grads);
+
+    Algorithm algorithm() const { return alg_; }
+    size_t num_params() const { return weights_.size(); }
+
+  private:
+    Workload workload_;
+    Algorithm alg_;
+    TrainHyper hyper_;
+    Sequential model_;
+    std::vector<float> weights_;
+    std::vector<float> global_grad_;  ///< FEDL's \bar{grad} estimate.
+
+    double evaluate_impl(const Dataset &test, bool want_loss);
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_FL_SERVER_H

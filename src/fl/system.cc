@@ -1,0 +1,104 @@
+#include "system.h"
+
+#include <cassert>
+#include <thread>
+
+namespace autofl {
+
+FlSystem::FlSystem(const FlSystemConfig &cfg)
+    : cfg_(cfg),
+      data_(make_dataset(cfg.workload, cfg.data)),
+      partition_(partition_dataset(data_.train, cfg.partition)),
+      server_(cfg.workload, cfg.algorithm, cfg.hyper, cfg.seed),
+      profile_(model_profile(cfg.workload))
+{
+    shards_.reserve(partition_.shards.size());
+    for (const auto &indices : partition_.shards)
+        shards_.push_back(data_.train.subset(indices));
+}
+
+const Dataset &
+FlSystem::shard(int device_id) const
+{
+    assert(device_id >= 0 && device_id < num_devices());
+    return shards_[static_cast<size_t>(device_id)];
+}
+
+int
+FlSystem::classes_on_device(int device_id) const
+{
+    return partition_.classes_per_device[static_cast<size_t>(device_id)];
+}
+
+bool
+FlSystem::device_non_iid(int device_id) const
+{
+    return partition_.non_iid[static_cast<size_t>(device_id)];
+}
+
+std::vector<LocalUpdate>
+FlSystem::run_local_round(const std::vector<int> &device_ids, uint64_t round)
+{
+    const size_t n = device_ids.size();
+    std::vector<LocalUpdate> updates(n);
+
+    // FEDL phase 1: clients report full local gradients at the current
+    // global weights; the server averages them into its global-gradient
+    // estimate used by every client's correction term.
+    std::vector<std::vector<float>> fedl_grads;
+    if (server_.wants_full_gradients()) {
+        fedl_grads.resize(n);
+        LocalTrainer grad_trainer(cfg_.workload);
+        for (size_t i = 0; i < n; ++i) {
+            fedl_grads[i] = grad_trainer.full_gradient(
+                server_.global_weights(), shard(device_ids[i]));
+        }
+        server_.update_global_gradient(fedl_grads);
+    }
+
+    const int threads =
+        std::max(1, std::min<int>(cfg_.threads, static_cast<int>(n)));
+    auto worker = [&](int tid) {
+        LocalTrainer trainer(cfg_.workload);
+        for (size_t i = static_cast<size_t>(tid); i < n;
+             i += static_cast<size_t>(threads)) {
+            const int dev = device_ids[i];
+            // Deterministic per-device, per-round stream.
+            Rng rng(cfg_.seed ^ (static_cast<uint64_t>(dev) * 0x9e3779b9ULL) ^
+                    (round * 0x85ebca6bULL));
+            std::vector<float> correction;
+            if (server_.wants_full_gradients())
+                correction = server_.fedl_correction(fedl_grads[i]);
+            updates[i] = trainer.train(server_.global_weights(), shard(dev),
+                                       cfg_.params, cfg_.hyper,
+                                       cfg_.algorithm, correction, rng);
+            updates[i].device_id = dev;
+        }
+    };
+
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t);
+        for (auto &t : pool)
+            t.join();
+    }
+    return updates;
+}
+
+void
+FlSystem::aggregate(const std::vector<LocalUpdate> &updates)
+{
+    server_.aggregate(updates);
+}
+
+double
+FlSystem::evaluate()
+{
+    return server_.evaluate(data_.test);
+}
+
+} // namespace autofl

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * FlSystem: the complete training-side FL stack — per-device shards, the
+ * aggregation server, and (multithreaded) local training — independent of
+ * any scheduling policy. Policies decide *who* trains; FlSystem does the
+ * actual learning so accuracy dynamics (IID vs non-IID, straggler drops)
+ * are real, not modeled.
+ */
+#ifndef AUTOFL_FL_SYSTEM_H
+#define AUTOFL_FL_SYSTEM_H
+
+#include <memory>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/server.h"
+
+namespace autofl {
+
+/** Configuration of one FL training job. */
+struct FlSystemConfig
+{
+    Workload workload = Workload::CnnMnist;
+    FlGlobalParams params;                 ///< (B, E, K).
+    Algorithm algorithm = Algorithm::FedAvg;
+    TrainHyper hyper;
+    SyntheticConfig data;                  ///< Dataset generation.
+    PartitionConfig partition;             ///< Shard assignment.
+    uint64_t seed = 1234;                  ///< Weight init + client RNG.
+    int threads = 8;                       ///< Parallel local training.
+};
+
+/** Complete FL training stack for one job. */
+class FlSystem
+{
+  public:
+    explicit FlSystem(const FlSystemConfig &cfg);
+
+    /** Number of devices holding shards. */
+    int num_devices() const { return static_cast<int>(shards_.size()); }
+
+    /** A device's local dataset. */
+    const Dataset &shard(int device_id) const;
+
+    /** Distinct label classes on a device (the S_Data feature input). */
+    int classes_on_device(int device_id) const;
+
+    /** Whether the partitioner made the device non-IID. */
+    bool device_non_iid(int device_id) const;
+
+    /** Global held-out test set. */
+    const Dataset &test_set() const { return data_.test; }
+
+    /** The aggregation server. */
+    Server &server() { return server_; }
+    const Server &server() const { return server_; }
+
+    /**
+     * Run local training on the selected devices (parallel across a
+     * thread pool). Updates are returned in @p device_ids order. FEDL's
+     * two-phase gradient exchange happens inside when configured.
+     * @param round Round index (decorrelates per-round client RNG).
+     */
+    std::vector<LocalUpdate> run_local_round(
+        const std::vector<int> &device_ids, uint64_t round);
+
+    /** Aggregate the given (included) updates into the global model. */
+    void aggregate(const std::vector<LocalUpdate> &updates);
+
+    /** Test accuracy of the current global model. */
+    double evaluate();
+
+    /** Job configuration. */
+    const FlSystemConfig &config() const { return cfg_; }
+
+    /** Structural profile of the trained model. */
+    const NnProfile &profile() const { return profile_; }
+
+  private:
+    FlSystemConfig cfg_;
+    TrainTestSplit data_;
+    Partition partition_;
+    std::vector<Dataset> shards_;
+    Server server_;
+    NnProfile profile_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_FL_SYSTEM_H

@@ -1,0 +1,449 @@
+#include "experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/scale.h"
+
+namespace autofl {
+
+std::string
+policy_kind_name(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::FedAvgRandom:
+        return "FedAvg-Random";
+      case PolicyKind::Power:
+        return "Power";
+      case PolicyKind::Performance:
+        return "Performance";
+      case PolicyKind::StaticCluster:
+        return "StaticCluster";
+      case PolicyKind::OracleParticipant:
+        return "O_participant";
+      case PolicyKind::OracleFl:
+        return "O_FL";
+      case PolicyKind::AutoFl:
+        return "AutoFL";
+    }
+    return "unknown";
+}
+
+double
+default_target_accuracy(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        return 0.82;
+      case Workload::LstmShakespeare:
+        return 0.25;
+      case Workload::MobileNetImageNet:
+        return 0.50;
+    }
+    return 0.8;
+}
+
+double
+ExperimentResult::ppw_round() const
+{
+    return total_energy_j > 0.0 ? total_work_flops / total_energy_j : 0.0;
+}
+
+double
+ExperimentResult::ppw_local() const
+{
+    return participant_energy_j > 0.0 ?
+        total_work_flops / participant_energy_j : 0.0;
+}
+
+double
+ExperimentResult::ppw_convergence() const
+{
+    if (!converged() || energy_to_target_j <= 0.0)
+        return 0.0;
+    return 1.0 / energy_to_target_j;
+}
+
+double
+ExperimentResult::avg_round_s() const
+{
+    return rounds.empty() ? 0.0 :
+        total_time_s / static_cast<double>(rounds.size());
+}
+
+std::array<double, 3>
+ExperimentResult::tier_mix() const
+{
+    std::array<double, 3> mix{};
+    double total = 0.0;
+    for (const auto &r : rounds) {
+        mix[0] += r.selected_high;
+        mix[1] += r.selected_mid;
+        mix[2] += r.selected_low;
+        total += r.selected_high + r.selected_mid + r.selected_low;
+    }
+    if (total > 0.0)
+        for (auto &m : mix)
+            m /= total;
+    return mix;
+}
+
+std::array<double, 6>
+ExperimentResult::action_mix() const
+{
+    std::array<double, 6> mix{};
+    double total = 0.0;
+    for (const auto &r : rounds) {
+        for (size_t a = 0; a < mix.size(); ++a) {
+            mix[a] += r.action_counts[a];
+            total += r.action_counts[a];
+        }
+    }
+    if (total > 0.0)
+        for (auto &m : mix)
+            m /= total;
+    return mix;
+}
+
+namespace {
+
+/** Default dataset sizing per workload, balancing fidelity and runtime. */
+void
+default_data_sizes(Workload w, int &train, int &test)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        train = 4000;
+        test = 600;
+        break;
+      case Workload::LstmShakespeare:
+        train = 4000;
+        test = 320;
+        break;
+      case Workload::MobileNetImageNet:
+        train = 2400;
+        test = 300;
+        break;
+    }
+}
+
+/** Per-workload training hyperparameters and data-noise calibration. */
+void
+default_training_setup(Workload w, TrainHyper &hyper, double &noise)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        hyper.lr = 0.03;
+        noise = 0.95;
+        break;
+      case Workload::LstmShakespeare:
+        hyper.lr = 0.8;
+        hyper.momentum = 0.9;  // Plain SGD barely moves the gates.
+        noise = 0.0;  // Text difficulty comes from the Markov chain.
+        break;
+      case Workload::MobileNetImageNet:
+        hyper.lr = 0.06;
+        hyper.momentum = 0.5;
+        noise = 0.55;
+        break;
+    }
+}
+
+std::unique_ptr<SelectionPolicy>
+build_policy(const ExperimentConfig &cfg, const Fleet &fleet,
+             const std::vector<bool> *iid_flags)
+{
+    const uint64_t pseed = cfg.seed ^ 0xfeedULL;
+    switch (cfg.policy) {
+      case PolicyKind::FedAvgRandom:
+        return make_random_policy(fleet, pseed);
+      case PolicyKind::Power:
+        return make_power_policy(fleet, pseed);
+      case PolicyKind::Performance:
+        return make_performance_policy(fleet, pseed);
+      case PolicyKind::StaticCluster:
+        return std::make_unique<StaticClusterPolicy>(
+            fleet, cfg.static_cluster, StaticExecSettings{}, pseed);
+      case PolicyKind::OracleParticipant:
+      case PolicyKind::OracleFl: {
+        auto oracle = std::make_unique<OraclePolicy>(
+            fleet, cfg.oracle_spec,
+            policy_kind_name(cfg.policy), pseed);
+        if (cfg.oracle_prefers_iid && iid_flags)
+            oracle->set_preferred(*iid_flags);
+        return oracle;
+      }
+      case PolicyKind::AutoFl: {
+        AutoFlConfig acfg = cfg.autofl;
+        acfg.seed ^= cfg.seed;
+        return std::make_unique<AutoFlPolicy>(fleet, acfg);
+      }
+    }
+    return nullptr;
+}
+
+void
+count_selection(const Fleet &fleet, const std::vector<ParticipantPlan> &plans,
+                RoundRecord &rec)
+{
+    for (const auto &p : plans) {
+        switch (fleet.device(p.device_id).tier()) {
+          case Tier::High:
+            ++rec.selected_high;
+            break;
+          case Tier::Mid:
+            ++rec.selected_mid;
+            break;
+          case Tier::Low:
+            ++rec.selected_low;
+            break;
+        }
+        Action a;
+        a.target = p.target;
+        a.dvfs = p.dvfs;
+        ++rec.action_counts[static_cast<size_t>(encode_action(a))];
+    }
+}
+
+} // namespace
+
+ExperimentResult
+run_experiment(const ExperimentConfig &cfg)
+{
+    const FlGlobalParams params = global_params_for(cfg.setting);
+    const double target = cfg.target_accuracy > 0.0 ?
+        cfg.target_accuracy : default_target_accuracy(cfg.workload);
+
+    // FL training stack.
+    FlSystemConfig fcfg;
+    fcfg.workload = cfg.workload;
+    fcfg.params = params;
+    fcfg.algorithm = cfg.algorithm;
+    default_data_sizes(cfg.workload, fcfg.data.train_samples,
+                       fcfg.data.test_samples);
+    if (cfg.train_samples > 0)
+        fcfg.data.train_samples = cfg.train_samples;
+    if (cfg.test_samples > 0)
+        fcfg.data.test_samples = cfg.test_samples;
+    default_training_setup(cfg.workload, fcfg.hyper, fcfg.data.noise);
+    fcfg.data.seed = cfg.seed * 31 + 7;
+    fcfg.partition.num_devices = cfg.fleet_mix.total();
+    fcfg.partition.distribution = cfg.distribution;
+    fcfg.partition.seed = cfg.seed * 17 + 3;
+    fcfg.seed = cfg.seed;
+    fcfg.threads = cfg.threads;
+    FlSystem fl(fcfg);
+
+    // Device population.
+    Fleet fleet(cfg.fleet_mix, cfg.variance, cfg.seed * 13 + 5);
+
+    // Policy (oracles may be told which devices hold IID shards).
+    std::vector<bool> iid_flags(static_cast<size_t>(fleet.size()), false);
+    for (int d = 0; d < fleet.size(); ++d)
+        iid_flags[static_cast<size_t>(d)] = !fl.device_non_iid(d);
+    auto policy = build_policy(cfg, fleet, &iid_flags);
+
+    GlobalObservation gobs;
+    gobs.profile = fl.profile();
+    gobs.params = params;
+
+    const double mem_frac = gobs.profile.mem_bound_frac;
+    const int total_classes = model_num_classes(cfg.workload);
+
+    ExperimentResult res;
+    res.policy_name = policy->name();
+
+    // Energy-driven RL warmup: scheduling + simulation only (no NN
+    // training), with a slowly improving synthetic accuracy so the
+    // reward stays on its success branch and ranks actions by energy.
+    if (cfg.policy == PolicyKind::AutoFl && cfg.autofl_warmup_rounds > 0) {
+        // Wider exploration while pre-training the tables, then the
+        // paper's epsilon for the measured run.
+        auto *afl = dynamic_cast<AutoFlPolicy *>(policy.get());
+        afl->scheduler().set_epsilon(0.3);
+        double synth_acc = 20.0;
+        const int quota =
+            std::max(1, static_cast<int>(fl.shard(0).size()));
+        for (int w = 0; w < cfg.autofl_warmup_rounds; ++w) {
+            fleet.begin_round();
+            std::vector<LocalObservation> locals(
+                static_cast<size_t>(fleet.size()));
+            for (int d = 0; d < fleet.size(); ++d) {
+                auto &l = locals[static_cast<size_t>(d)];
+                l.state = fleet.device(d).state();
+                l.data_classes = fl.classes_on_device(d);
+                l.total_classes = total_classes;
+            }
+            auto plans = policy->select(gobs, locals, params.k);
+            std::vector<ComputeProfile> profiles(
+                plans.size(),
+                ComputeProfile{static_cast<double>(params.epochs) * quota *
+                                   gobs.profile.flops_per_sample *
+                                   kTrainFlopFactor,
+                               mem_frac, gobs.profile.model_bytes,
+                               params.batch_size});
+            RoundExec exec =
+                simulate_round(fleet, plans, profiles, cfg.round_sim);
+            // Keep the synthetic accuracy strictly increasing for the
+            // whole warmup so the reward stays on its success branch
+            // (the failure branch carries no energy/time signal). The
+            // per-round gain scales with the participants' label-class
+            // coverage, encoding the convergence physics of Figure 6
+            // (non-IID participants slow convergence) so the warmup also
+            // pre-trains the S_Data-conditioned preferences.
+            double coverage = 0.0;
+            for (const auto &p : plans) {
+                coverage += static_cast<double>(
+                                fl.classes_on_device(p.device_id)) /
+                    total_classes;
+            }
+            coverage /= std::max<size_t>(1, plans.size());
+            synth_acc += (60.0 / std::max(1, cfg.autofl_warmup_rounds)) *
+                (0.3 + 1.2 * coverage);
+            policy->observe_outcome(exec, synth_acc);
+        }
+        afl->scheduler().set_epsilon(0.05);
+    }
+
+    for (int round = 0; round < cfg.max_rounds; ++round) {
+        fleet.begin_round();
+
+        std::vector<LocalObservation> locals(
+            static_cast<size_t>(fleet.size()));
+        for (int d = 0; d < fleet.size(); ++d) {
+            auto &l = locals[static_cast<size_t>(d)];
+            l.state = fleet.device(d).state();
+            l.data_classes = fl.classes_on_device(d);
+            l.total_classes = total_classes;
+        }
+
+        auto plans = policy->select(gobs, locals, params.k);
+
+        std::vector<ComputeProfile> profiles;
+        profiles.reserve(plans.size());
+        for (const auto &p : plans) {
+            ComputeProfile prof;
+            prof.train_flops = static_cast<double>(params.epochs) *
+                static_cast<double>(fl.shard(p.device_id).size()) *
+                gobs.profile.flops_per_sample * kTrainFlopFactor;
+            prof.mem_bound_frac = mem_frac;
+            prof.payload_bytes = gobs.profile.model_bytes;
+            prof.batch_size = params.batch_size;
+            profiles.push_back(prof);
+        }
+
+        RoundExec exec = simulate_round(fleet, plans, profiles,
+                                        cfg.round_sim);
+
+        // Train only the participants whose gradients survive the
+        // deadline; dropped stragglers burn energy but contribute
+        // nothing (which is what hurts baseline accuracy).
+        std::vector<int> included_ids;
+        for (const auto &e : exec.participants)
+            if (e.included)
+                included_ids.push_back(e.device_id);
+        auto updates = fl.run_local_round(included_ids,
+                                          static_cast<uint64_t>(round));
+        fl.aggregate(updates);
+        const double acc = fl.evaluate();
+
+        policy->observe_outcome(exec, acc * 100.0);
+
+        RoundRecord rec;
+        rec.round = round;
+        rec.accuracy = acc;
+        rec.round_s = exec.round_s;
+        rec.energy_global_j = exec.energy_global_j();
+        rec.energy_participants_j = exec.energy_participants_j;
+        rec.work_flops = exec.work_flops;
+        rec.included = exec.included_count();
+        count_selection(fleet, plans, rec);
+        if (auto *afl = dynamic_cast<AutoFlPolicy *>(policy.get()))
+            rec.mean_reward = afl->scheduler().last_mean_reward();
+        res.rounds.push_back(rec);
+
+        res.total_time_s += exec.round_s;
+        res.total_energy_j += exec.energy_global_j();
+        res.total_work_flops += exec.work_flops;
+        res.participant_energy_j += exec.energy_participants_j;
+        res.final_accuracy = acc;
+
+        if (res.rounds_to_target < 0 && acc >= target) {
+            res.rounds_to_target = round + 1;
+            res.time_to_target_s = res.total_time_s;
+            res.energy_to_target_j = res.total_energy_j;
+            break;  // Converged: the job is done.
+        }
+    }
+    return res;
+}
+
+ExperimentResult
+run_characterization(const ExperimentConfig &cfg, int rounds)
+{
+    const FlGlobalParams params = global_params_for(cfg.setting);
+    Fleet fleet(cfg.fleet_mix, cfg.variance, cfg.seed * 13 + 5);
+    auto policy = build_policy(cfg, fleet, nullptr);
+
+    GlobalObservation gobs;
+    gobs.profile = model_profile(cfg.workload);
+    gobs.params = params;
+
+    int train_samples = 0, test_samples = 0;
+    default_data_sizes(cfg.workload, train_samples, test_samples);
+    if (cfg.train_samples > 0)
+        train_samples = cfg.train_samples;
+    const int quota = std::max(1, train_samples / fleet.size());
+
+    const double mem_frac = gobs.profile.mem_bound_frac;
+    const int total_classes = model_num_classes(cfg.workload);
+
+    ExperimentResult res;
+    res.policy_name = policy->name();
+
+    for (int round = 0; round < rounds; ++round) {
+        fleet.begin_round();
+        std::vector<LocalObservation> locals(
+            static_cast<size_t>(fleet.size()));
+        for (int d = 0; d < fleet.size(); ++d) {
+            auto &l = locals[static_cast<size_t>(d)];
+            l.state = fleet.device(d).state();
+            l.data_classes = total_classes;
+            l.total_classes = total_classes;
+        }
+        auto plans = policy->select(gobs, locals, params.k);
+
+        std::vector<ComputeProfile> profiles;
+        profiles.reserve(plans.size());
+        for (size_t i = 0; i < plans.size(); ++i) {
+            ComputeProfile prof;
+            prof.train_flops = static_cast<double>(params.epochs) * quota *
+                gobs.profile.flops_per_sample * kTrainFlopFactor;
+            prof.mem_bound_frac = mem_frac;
+            prof.payload_bytes = gobs.profile.model_bytes;
+            prof.batch_size = params.batch_size;
+            profiles.push_back(prof);
+        }
+        RoundExec exec = simulate_round(fleet, plans, profiles,
+                                        cfg.round_sim);
+
+        RoundRecord rec;
+        rec.round = round;
+        rec.round_s = exec.round_s;
+        rec.energy_global_j = exec.energy_global_j();
+        rec.energy_participants_j = exec.energy_participants_j;
+        rec.work_flops = exec.work_flops;
+        rec.included = exec.included_count();
+        count_selection(fleet, plans, rec);
+        res.rounds.push_back(rec);
+
+        res.total_time_s += exec.round_s;
+        res.total_energy_j += exec.energy_global_j();
+        res.total_work_flops += exec.work_flops;
+        res.participant_energy_j += exec.energy_participants_j;
+    }
+    return res;
+}
+
+} // namespace autofl

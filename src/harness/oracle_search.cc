@@ -1,0 +1,98 @@
+#include "oracle_search.h"
+
+namespace autofl {
+
+std::vector<std::pair<ClusterTemplate, ExperimentResult>>
+characterize_clusters(const ExperimentConfig &base, int rounds)
+{
+    std::vector<std::pair<ClusterTemplate, ExperimentResult>> out;
+    for (const auto &tmpl : table4_clusters()) {
+        ExperimentConfig cfg = base;
+        cfg.policy = PolicyKind::StaticCluster;
+        cfg.static_cluster = tmpl;
+        out.emplace_back(tmpl, run_characterization(cfg, rounds));
+    }
+    return out;
+}
+
+OracleSearchResult
+search_oracle_participant(const ExperimentConfig &base, int rounds)
+{
+    OracleSearchResult best;
+    for (const auto &tmpl : table4_clusters()) {
+        if (tmpl.random)
+            continue;  // C0 is the baseline, not a composition.
+        ExperimentConfig cfg = base;
+        cfg.policy = PolicyKind::StaticCluster;
+        cfg.static_cluster = tmpl;
+        const ExperimentResult res = run_characterization(cfg, rounds);
+        if (res.ppw_round() > best.ppw) {
+            best.ppw = res.ppw_round();
+            best.avg_round_s = res.avg_round_s();
+            best.spec.cluster = tmpl;
+            best.spec.exec = TierExecSettings{};
+        }
+    }
+    return best;
+}
+
+OracleSearchResult
+search_oracle_fl(const ExperimentConfig &base, const OracleSpec &participant,
+                 int rounds, double round_slack)
+{
+    auto evaluate = [&](const OracleSpec &spec) {
+        ExperimentConfig cfg = base;
+        cfg.policy = PolicyKind::OracleFl;
+        cfg.oracle_spec = spec;
+        return run_characterization(cfg, rounds);
+    };
+
+    OracleSearchResult best;
+    best.spec = participant;
+    {
+        const ExperimentResult r = evaluate(best.spec);
+        best.ppw = r.ppw_round();
+        best.avg_round_s = r.avg_round_s();
+    }
+    const double round_budget = best.avg_round_s * round_slack;
+
+    // Greedy per-tier sweep: for each tier in turn, try every
+    // (target, DVFS) pair keeping the other tiers fixed; keep the best
+    // PPW that respects the round-time budget.
+    const ExecTarget targets[] = {ExecTarget::Cpu, ExecTarget::Gpu};
+    for (Tier tier : {Tier::High, Tier::Mid, Tier::Low}) {
+        OracleSpec tier_best = best.spec;
+        double tier_best_ppw = best.ppw;
+        double tier_best_round = best.avg_round_s;
+        for (ExecTarget target : targets) {
+            for (DvfsLevel level : all_dvfs_levels()) {
+                OracleSpec candidate = best.spec;
+                StaticExecSettings exec{target, level};
+                switch (tier) {
+                  case Tier::High:
+                    candidate.exec.high = exec;
+                    break;
+                  case Tier::Mid:
+                    candidate.exec.mid = exec;
+                    break;
+                  case Tier::Low:
+                    candidate.exec.low = exec;
+                    break;
+                }
+                const ExperimentResult r = evaluate(candidate);
+                if (r.avg_round_s() <= round_budget &&
+                    r.ppw_round() > tier_best_ppw) {
+                    tier_best = candidate;
+                    tier_best_ppw = r.ppw_round();
+                    tier_best_round = r.avg_round_s();
+                }
+            }
+        }
+        best.spec = tier_best;
+        best.ppw = tier_best_ppw;
+        best.avg_round_s = tier_best_round;
+    }
+    return best;
+}
+
+} // namespace autofl

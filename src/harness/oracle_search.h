@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Offline exhaustive search producing the O_participant and O_FL oracle
+ * configurations (Section 5.1's comparison points).
+ *
+ * The search runs the scheduling/energy simulation only (no NN training:
+ * a static policy's round-level energy efficiency is independent of the
+ * weights), so it completes in milliseconds. O_participant maximizes
+ * round-level global PPW over the Table 4 tier compositions;
+ * O_FL additionally searches per-tier execution targets and DVFS levels
+ * subject to not stretching the round more than a small tolerance (the
+ * paper notes O_FL trades slight computation-time increases for energy).
+ */
+#ifndef AUTOFL_HARNESS_ORACLE_SEARCH_H
+#define AUTOFL_HARNESS_ORACLE_SEARCH_H
+
+#include "harness/experiment.h"
+
+namespace autofl {
+
+/** Search result with the score it achieved. */
+struct OracleSearchResult
+{
+    OracleSpec spec;
+    double ppw = 0.0;          ///< Round-level global PPW of the winner.
+    double avg_round_s = 0.0;  ///< Mean round latency of the winner.
+};
+
+/**
+ * Find the best tier composition for the scenario in @p base
+ * (workload, setting, variance). Policy fields of @p base are ignored.
+ * @param rounds Simulated rounds per candidate.
+ */
+OracleSearchResult search_oracle_participant(const ExperimentConfig &base,
+                                             int rounds = 24);
+
+/**
+ * Find the best per-tier execution settings on top of a participant
+ * composition (greedy per-tier sweep over target x DVFS).
+ * @param participant Composition to start from (e.g. the
+ *        search_oracle_participant winner).
+ * @param round_slack Allowed round-time stretch vs. the starting point.
+ */
+OracleSearchResult search_oracle_fl(const ExperimentConfig &base,
+                                    const OracleSpec &participant,
+                                    int rounds = 24,
+                                    double round_slack = 1.20);
+
+/** PPW of every Table 4 cluster under the scenario (Figure 4/5 rows). */
+std::vector<std::pair<ClusterTemplate, ExperimentResult>>
+characterize_clusters(const ExperimentConfig &base, int rounds = 24);
+
+} // namespace autofl
+
+#endif // AUTOFL_HARNESS_ORACLE_SEARCH_H

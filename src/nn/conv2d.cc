@@ -1,0 +1,143 @@
+#include "conv2d.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace autofl {
+
+Conv2D::Conv2D(int in_ch, int out_ch, int kernel, int stride, int pad,
+               int groups)
+    : in_ch_(in_ch), out_ch_(out_ch), k_(kernel), stride_(stride), pad_(pad),
+      groups_(groups),
+      w_({out_ch, in_ch / groups, kernel, kernel}),
+      b_({out_ch}),
+      dw_({out_ch, in_ch / groups, kernel, kernel}),
+      db_({out_ch})
+{
+    assert(in_ch_ % groups_ == 0 && out_ch_ % groups_ == 0);
+}
+
+void
+Conv2D::init_weights(Rng &rng)
+{
+    // He-normal: suits the ReLU activations that follow every conv.
+    const int fan_in = (in_ch_ / groups_) * k_ * k_;
+    const float std = std::sqrt(2.0f / static_cast<float>(fan_in));
+    for (size_t i = 0; i < w_.size(); ++i)
+        w_[i] = static_cast<float>(rng.normal(0.0, std));
+    b_.fill(0.0f);
+}
+
+Tensor
+Conv2D::forward(const Tensor &x)
+{
+    assert(x.rank() == 4 && x.dim(1) == in_ch_);
+    x_cache_ = x;
+    const int batch = x.dim(0), ih = x.dim(2), iw = x.dim(3);
+    const int oh = out_size(ih), ow = out_size(iw);
+    const int icg = in_ch_ / groups_, ocg = out_ch_ / groups_;
+    Tensor y({batch, out_ch_, oh, ow});
+
+    for (int n = 0; n < batch; ++n) {
+        for (int g = 0; g < groups_; ++g) {
+            for (int ocl = 0; ocl < ocg; ++ocl) {
+                const int oc = g * ocg + ocl;
+                for (int oy = 0; oy < oh; ++oy) {
+                    for (int ox = 0; ox < ow; ++ox) {
+                        float acc = b_[static_cast<size_t>(oc)];
+                        for (int icl = 0; icl < icg; ++icl) {
+                            const int ic = g * icg + icl;
+                            for (int ky = 0; ky < k_; ++ky) {
+                                const int y_in = oy * stride_ + ky - pad_;
+                                if (y_in < 0 || y_in >= ih)
+                                    continue;
+                                for (int kx = 0; kx < k_; ++kx) {
+                                    const int x_in = ox * stride_ + kx - pad_;
+                                    if (x_in < 0 || x_in >= iw)
+                                        continue;
+                                    acc += x.at4(n, ic, y_in, x_in) *
+                                        w_.at4(oc, icl, ky, kx);
+                                }
+                            }
+                        }
+                        y.at4(n, oc, oy, ox) = acc;
+                    }
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+Conv2D::backward(const Tensor &grad_out)
+{
+    const Tensor &x = x_cache_;
+    const int batch = x.dim(0), ih = x.dim(2), iw = x.dim(3);
+    const int oh = out_size(ih), ow = out_size(iw);
+    const int icg = in_ch_ / groups_, ocg = out_ch_ / groups_;
+    assert(grad_out.dim(1) == out_ch_ && grad_out.dim(2) == oh &&
+           grad_out.dim(3) == ow);
+    Tensor dx({batch, in_ch_, ih, iw});
+
+    for (int n = 0; n < batch; ++n) {
+        for (int g = 0; g < groups_; ++g) {
+            for (int ocl = 0; ocl < ocg; ++ocl) {
+                const int oc = g * ocg + ocl;
+                for (int oy = 0; oy < oh; ++oy) {
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const float go = grad_out.at4(n, oc, oy, ox);
+                        if (go == 0.0f)
+                            continue;
+                        db_[static_cast<size_t>(oc)] += go;
+                        for (int icl = 0; icl < icg; ++icl) {
+                            const int ic = g * icg + icl;
+                            for (int ky = 0; ky < k_; ++ky) {
+                                const int y_in = oy * stride_ + ky - pad_;
+                                if (y_in < 0 || y_in >= ih)
+                                    continue;
+                                for (int kx = 0; kx < k_; ++kx) {
+                                    const int x_in = ox * stride_ + kx - pad_;
+                                    if (x_in < 0 || x_in >= iw)
+                                        continue;
+                                    dw_.at4(oc, icl, ky, kx) +=
+                                        go * x.at4(n, ic, y_in, x_in);
+                                    dx.at4(n, ic, y_in, x_in) +=
+                                        go * w_.at4(oc, icl, ky, kx);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+std::vector<int>
+Conv2D::output_shape(const std::vector<int> &in) const
+{
+    assert(in.size() == 4 && in[1] == in_ch_);
+    return {in[0], out_ch_, out_size(in[2]), out_size(in[3])};
+}
+
+double
+Conv2D::flops_per_sample(const std::vector<int> &in) const
+{
+    const int oh = out_size(in[2]), ow = out_size(in[3]);
+    const double macs = static_cast<double>(out_ch_) * oh * ow *
+        (in_ch_ / groups_) * k_ * k_;
+    return 2.0 * macs;
+}
+
+std::string
+Conv2D::name() const
+{
+    std::ostringstream os;
+    os << "Conv2D(" << in_ch_ << "->" << out_ch_ << ", k=" << k_
+       << ", s=" << stride_ << ", p=" << pad_ << ", g=" << groups_ << ")";
+    return os.str();
+}
+
+} // namespace autofl

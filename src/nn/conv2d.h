@@ -1,0 +1,54 @@
+/**
+ * @file
+ * 2-D convolution with stride, zero padding and channel groups.
+ *
+ * Groups support both regular convolution (groups = 1) and the depthwise
+ * convolutions used by the MobileNet-style model (groups = in_channels).
+ */
+#ifndef AUTOFL_NN_CONV2D_H
+#define AUTOFL_NN_CONV2D_H
+
+#include "nn/layer.h"
+
+namespace autofl {
+
+/** Grouped 2-D convolution over {batch, channels, h, w} tensors. */
+class Conv2D : public Layer
+{
+  public:
+    /**
+     * @param in_ch Input channels.
+     * @param out_ch Output channels (must be divisible by @p groups).
+     * @param kernel Square kernel size.
+     * @param stride Stride in both dimensions.
+     * @param pad Zero padding in both dimensions.
+     * @param groups Channel groups; in_ch and out_ch must divide evenly.
+     */
+    Conv2D(int in_ch, int out_ch, int kernel, int stride = 1, int pad = 0,
+           int groups = 1);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Tensor *> params() override { return {&w_, &b_}; }
+    std::vector<Tensor *> grads() override { return {&dw_, &db_}; }
+    void init_weights(Rng &rng) override;
+    std::vector<int> output_shape(const std::vector<int> &in) const override;
+    double flops_per_sample(const std::vector<int> &in) const override;
+    LayerKind kind() const override { return LayerKind::Conv; }
+    std::string name() const override;
+
+  private:
+    int in_ch_, out_ch_, k_, stride_, pad_, groups_;
+    Tensor w_;  ///< {out_ch, in_ch/groups, k, k}
+    Tensor b_;  ///< {out_ch}
+    Tensor dw_;
+    Tensor db_;
+    Tensor x_cache_;
+
+    /** Output spatial size for input spatial size @p s. */
+    int out_size(int s) const { return (s + 2 * pad_ - k_) / stride_ + 1; }
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_NN_CONV2D_H

@@ -1,0 +1,73 @@
+#include "dense.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace autofl {
+
+Dense::Dense(int in, int out)
+    : in_(in), out_(out),
+      w_({in, out}), b_({out}), dw_({in, out}), db_({out})
+{
+}
+
+void
+Dense::init_weights(Rng &rng)
+{
+    // Glorot-uniform keeps both CNN heads and LSTM projections stable.
+    const float limit = std::sqrt(6.0f / static_cast<float>(in_ + out_));
+    for (size_t i = 0; i < w_.size(); ++i)
+        w_[i] = static_cast<float>(rng.uniform(-limit, limit));
+    b_.fill(0.0f);
+}
+
+Tensor
+Dense::forward(const Tensor &x)
+{
+    assert(x.rank() == 2 && x.dim(1) == in_);
+    x_cache_ = x;
+    Tensor y = matmul(x, w_);
+    const int batch = x.dim(0);
+    for (int i = 0; i < batch; ++i)
+        for (int j = 0; j < out_; ++j)
+            y.at2(i, j) += b_[static_cast<size_t>(j)];
+    return y;
+}
+
+Tensor
+Dense::backward(const Tensor &grad_out)
+{
+    assert(grad_out.rank() == 2 && grad_out.dim(1) == out_);
+    // dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
+    Tensor dw = matmul_tn(x_cache_, grad_out);
+    dw_ += dw;
+    const int batch = grad_out.dim(0);
+    for (int i = 0; i < batch; ++i)
+        for (int j = 0; j < out_; ++j)
+            db_[static_cast<size_t>(j)] += grad_out.at2(i, j);
+    return matmul_nt(grad_out, w_);
+}
+
+std::vector<int>
+Dense::output_shape(const std::vector<int> &in) const
+{
+    assert(in.size() == 2 && in[1] == in_);
+    return {in[0], out_};
+}
+
+double
+Dense::flops_per_sample(const std::vector<int> &in) const
+{
+    (void)in;
+    return 2.0 * in_ * out_;
+}
+
+std::string
+Dense::name() const
+{
+    std::ostringstream os;
+    os << "Dense(" << in_ << "->" << out_ << ")";
+    return os.str();
+}
+
+} // namespace autofl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fully-connected layer: y = x W + b, for x of shape {batch, in}.
+ */
+#ifndef AUTOFL_NN_DENSE_H
+#define AUTOFL_NN_DENSE_H
+
+#include "nn/layer.h"
+
+namespace autofl {
+
+/** Fully-connected (affine) layer. */
+class Dense : public Layer
+{
+  public:
+    /**
+     * @param in Input feature width.
+     * @param out Output feature width.
+     */
+    Dense(int in, int out);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Tensor *> params() override { return {&w_, &b_}; }
+    std::vector<Tensor *> grads() override { return {&dw_, &db_}; }
+    void init_weights(Rng &rng) override;
+    std::vector<int> output_shape(const std::vector<int> &in) const override;
+    double flops_per_sample(const std::vector<int> &in) const override;
+    LayerKind kind() const override { return LayerKind::Fc; }
+    std::string name() const override;
+
+    int in_features() const { return in_; }
+    int out_features() const { return out_; }
+
+  private:
+    int in_;
+    int out_;
+    Tensor w_;  ///< {in, out}
+    Tensor b_;  ///< {out}
+    Tensor dw_;
+    Tensor db_;
+    Tensor x_cache_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_NN_DENSE_H

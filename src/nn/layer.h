@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Layer interface for the from-scratch NN library.
+ *
+ * Layers are stateful: forward() caches whatever backward() needs, so a
+ * backward() call must follow the matching forward() (standard training
+ * loop usage). Parameters and their gradients are exposed as flat lists
+ * of Tensor pointers for the optimizer and for FL weight serialization.
+ */
+#ifndef AUTOFL_NN_LAYER_H
+#define AUTOFL_NN_LAYER_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace autofl {
+
+/** Coarse layer kind used to build the paper's NN-feature state (Table 1). */
+enum class LayerKind {
+    Conv,      ///< Convolution layer (counts toward S_CONV).
+    Fc,        ///< Fully-connected layer (counts toward S_FC).
+    Recurrent, ///< Recurrent layer (counts toward S_RC).
+    Other,     ///< Activation / pooling / reshape (not counted).
+};
+
+/** Abstract differentiable layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Run the layer on a batch; caches activations for backward(). */
+    virtual Tensor forward(const Tensor &x) = 0;
+
+    /**
+     * Back-propagate.
+     * @param grad_out Gradient of the loss w.r.t. this layer's output.
+     * @return Gradient of the loss w.r.t. this layer's input.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Trainable parameter tensors (possibly empty). */
+    virtual std::vector<Tensor *> params() { return {}; }
+
+    /** Gradient tensors, parallel to params(). */
+    virtual std::vector<Tensor *> grads() { return {}; }
+
+    /** Randomize parameters (He/Glorot-style per layer). */
+    virtual void init_weights(Rng &rng) { (void)rng; }
+
+    /** Zero all gradient tensors. */
+    void
+    zero_grad()
+    {
+        for (Tensor *g : grads())
+            g->fill(0.0f);
+    }
+
+    /** Output shape for a given input shape (batch dim included). */
+    virtual std::vector<int> output_shape(const std::vector<int> &in) const = 0;
+
+    /**
+     * Forward FLOPs for one sample of the given input shape. The simulator
+     * multiplies by ~3x for forward+backward training cost.
+     */
+    virtual double flops_per_sample(const std::vector<int> &in) const = 0;
+
+    /** Coarse kind for NN-feature extraction. */
+    virtual LayerKind kind() const { return LayerKind::Other; }
+
+    /** Human-readable name for debugging. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_NN_LAYER_H

@@ -1,0 +1,207 @@
+#include "layers_basic.h"
+
+#include <limits>
+#include <sstream>
+
+namespace autofl {
+
+Tensor
+ReLU::forward(const Tensor &x)
+{
+    Tensor y = x;
+    mask_.assign(x.size(), 0);
+    for (size_t i = 0; i < y.size(); ++i) {
+        if (y[i] > 0.0f) {
+            mask_[i] = 1;
+        } else {
+            y[i] = 0.0f;
+        }
+    }
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    assert(grad_out.size() == mask_.size());
+    Tensor dx = grad_out;
+    for (size_t i = 0; i < dx.size(); ++i)
+        if (!mask_[i])
+            dx[i] = 0.0f;
+    return dx;
+}
+
+std::vector<int>
+ReLU::output_shape(const std::vector<int> &in) const
+{
+    return in;
+}
+
+double
+ReLU::flops_per_sample(const std::vector<int> &in) const
+{
+    double n = 1.0;
+    for (size_t i = 1; i < in.size(); ++i)
+        n *= in[i];
+    return n;
+}
+
+MaxPool2D::MaxPool2D(int k, int stride)
+    : k_(k), stride_(stride > 0 ? stride : k)
+{
+}
+
+Tensor
+MaxPool2D::forward(const Tensor &x)
+{
+    assert(x.rank() == 4);
+    in_shape_ = x.shape();
+    const int batch = x.dim(0), ch = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+    const int oh = out_size(ih), ow = out_size(iw);
+    Tensor y({batch, ch, oh, ow});
+    argmax_.assign(y.size(), 0);
+    size_t out_idx = 0;
+    for (int n = 0; n < batch; ++n) {
+        for (int c = 0; c < ch; ++c) {
+            for (int oy = 0; oy < oh; ++oy) {
+                for (int ox = 0; ox < ow; ++ox, ++out_idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    size_t best_idx = 0;
+                    for (int ky = 0; ky < k_; ++ky) {
+                        for (int kx = 0; kx < k_; ++kx) {
+                            const int yy = oy * stride_ + ky;
+                            const int xx = ox * stride_ + kx;
+                            const size_t idx =
+                                ((static_cast<size_t>(n) * ch + c) * ih + yy) *
+                                    iw + xx;
+                            if (x[idx] > best) {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    y[out_idx] = best;
+                    argmax_[out_idx] = best_idx;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+MaxPool2D::backward(const Tensor &grad_out)
+{
+    Tensor dx(in_shape_);
+    assert(grad_out.size() == argmax_.size());
+    for (size_t i = 0; i < grad_out.size(); ++i)
+        dx[argmax_[i]] += grad_out[i];
+    return dx;
+}
+
+std::vector<int>
+MaxPool2D::output_shape(const std::vector<int> &in) const
+{
+    assert(in.size() == 4);
+    return {in[0], in[1], out_size(in[2]), out_size(in[3])};
+}
+
+double
+MaxPool2D::flops_per_sample(const std::vector<int> &in) const
+{
+    const int oh = out_size(in[2]), ow = out_size(in[3]);
+    return static_cast<double>(in[1]) * oh * ow * k_ * k_;
+}
+
+std::string
+MaxPool2D::name() const
+{
+    std::ostringstream os;
+    os << "MaxPool2D(k=" << k_ << ", s=" << stride_ << ")";
+    return os.str();
+}
+
+Tensor
+GlobalAvgPool::forward(const Tensor &x)
+{
+    assert(x.rank() == 4);
+    in_shape_ = x.shape();
+    const int batch = x.dim(0), ch = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+    const float inv = 1.0f / static_cast<float>(ih * iw);
+    Tensor y({batch, ch});
+    for (int n = 0; n < batch; ++n) {
+        for (int c = 0; c < ch; ++c) {
+            float acc = 0.0f;
+            for (int yy = 0; yy < ih; ++yy)
+                for (int xx = 0; xx < iw; ++xx)
+                    acc += x.at4(n, c, yy, xx);
+            y.at2(n, c) = acc * inv;
+        }
+    }
+    return y;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &grad_out)
+{
+    Tensor dx(in_shape_);
+    const int batch = in_shape_[0], ch = in_shape_[1];
+    const int ih = in_shape_[2], iw = in_shape_[3];
+    const float inv = 1.0f / static_cast<float>(ih * iw);
+    for (int n = 0; n < batch; ++n) {
+        for (int c = 0; c < ch; ++c) {
+            const float g = grad_out.at2(n, c) * inv;
+            for (int yy = 0; yy < ih; ++yy)
+                for (int xx = 0; xx < iw; ++xx)
+                    dx.at4(n, c, yy, xx) = g;
+        }
+    }
+    return dx;
+}
+
+std::vector<int>
+GlobalAvgPool::output_shape(const std::vector<int> &in) const
+{
+    assert(in.size() == 4);
+    return {in[0], in[1]};
+}
+
+double
+GlobalAvgPool::flops_per_sample(const std::vector<int> &in) const
+{
+    return static_cast<double>(in[1]) * in[2] * in[3];
+}
+
+Tensor
+Flatten::forward(const Tensor &x)
+{
+    in_shape_ = x.shape();
+    int feat = 1;
+    for (int d = 1; d < x.rank(); ++d)
+        feat *= x.dim(d);
+    return x.reshaped({x.dim(0), feat});
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_out)
+{
+    return grad_out.reshaped(in_shape_);
+}
+
+std::vector<int>
+Flatten::output_shape(const std::vector<int> &in) const
+{
+    int feat = 1;
+    for (size_t d = 1; d < in.size(); ++d)
+        feat *= in[d];
+    return {in[0], feat};
+}
+
+double
+Flatten::flops_per_sample(const std::vector<int> &in) const
+{
+    (void)in;
+    return 0.0;
+}
+
+} // namespace autofl

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parameter-free layers: ReLU, MaxPool2D, GlobalAvgPool and Flatten.
+ */
+#ifndef AUTOFL_NN_LAYERS_BASIC_H
+#define AUTOFL_NN_LAYERS_BASIC_H
+
+#include "nn/layer.h"
+
+namespace autofl {
+
+/** Elementwise rectified linear unit. */
+class ReLU : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<int> output_shape(const std::vector<int> &in) const override;
+    double flops_per_sample(const std::vector<int> &in) const override;
+    std::string name() const override { return "ReLU"; }
+
+  private:
+    std::vector<uint8_t> mask_;
+};
+
+/** Max pooling over {batch, channels, h, w} with square window. */
+class MaxPool2D : public Layer
+{
+  public:
+    /** @param k Window size. @param stride Stride (defaults to k). */
+    explicit MaxPool2D(int k, int stride = 0);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<int> output_shape(const std::vector<int> &in) const override;
+    double flops_per_sample(const std::vector<int> &in) const override;
+    std::string name() const override;
+
+  private:
+    int k_, stride_;
+    std::vector<int> in_shape_;
+    std::vector<size_t> argmax_;
+
+    int out_size(int s) const { return (s - k_) / stride_ + 1; }
+};
+
+/** Global average pool: {b, c, h, w} -> {b, c}. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<int> output_shape(const std::vector<int> &in) const override;
+    double flops_per_sample(const std::vector<int> &in) const override;
+    std::string name() const override { return "GlobalAvgPool"; }
+
+  private:
+    std::vector<int> in_shape_;
+};
+
+/** Flatten all dims after the batch dim: {b, ...} -> {b, prod(...)}. */
+class Flatten : public Layer
+{
+  public:
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<int> output_shape(const std::vector<int> &in) const override;
+    double flops_per_sample(const std::vector<int> &in) const override;
+    std::string name() const override { return "Flatten"; }
+
+  private:
+    std::vector<int> in_shape_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_NN_LAYERS_BASIC_H

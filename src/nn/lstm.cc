@@ -1,0 +1,199 @@
+#include "lstm.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace autofl {
+
+namespace {
+
+inline float
+sigmoidf(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+Lstm::Lstm(int in, int hidden, bool return_sequences)
+    : in_(in), hidden_(hidden), return_sequences_(return_sequences),
+      wx_({in, 4 * hidden}), wh_({hidden, 4 * hidden}), b_({4 * hidden}),
+      dwx_({in, 4 * hidden}), dwh_({hidden, 4 * hidden}), db_({4 * hidden})
+{
+}
+
+void
+Lstm::init_weights(Rng &rng)
+{
+    const float lim_x = std::sqrt(6.0f / static_cast<float>(in_ + 4 * hidden_));
+    for (size_t i = 0; i < wx_.size(); ++i)
+        wx_[i] = static_cast<float>(rng.uniform(-lim_x, lim_x));
+    const float lim_h =
+        std::sqrt(6.0f / static_cast<float>(hidden_ + 4 * hidden_));
+    for (size_t i = 0; i < wh_.size(); ++i)
+        wh_[i] = static_cast<float>(rng.uniform(-lim_h, lim_h));
+    b_.fill(0.0f);
+    // Forget-gate bias of 1 is the standard trick for gradient flow.
+    for (int j = hidden_; j < 2 * hidden_; ++j)
+        b_[static_cast<size_t>(j)] = 1.0f;
+}
+
+Tensor
+Lstm::forward(const Tensor &x)
+{
+    assert(x.rank() == 3 && x.dim(2) == in_);
+    const int time = x.dim(0), batch = x.dim(1);
+    const int h4 = 4 * hidden_;
+
+    xs_.assign(static_cast<size_t>(time), Tensor());
+    gates_.assign(static_cast<size_t>(time), Tensor());
+    hs_.assign(static_cast<size_t>(time) + 1, Tensor({batch, hidden_}));
+    cs_.assign(static_cast<size_t>(time) + 1, Tensor({batch, hidden_}));
+
+    Tensor out_seq;
+    if (return_sequences_)
+        out_seq = Tensor({time, batch, hidden_});
+
+    for (int t = 0; t < time; ++t) {
+        // Slice x_t {batch, in} out of the {time, batch, in} tensor.
+        Tensor xt({batch, in_});
+        const size_t base = static_cast<size_t>(t) * batch * in_;
+        std::copy(x.data() + base, x.data() + base + xt.size(), xt.data());
+        xs_[static_cast<size_t>(t)] = xt;
+
+        Tensor z = matmul(xt, wx_);
+        Tensor zh = matmul(hs_[static_cast<size_t>(t)], wh_);
+        z += zh;
+        for (int n = 0; n < batch; ++n)
+            for (int j = 0; j < h4; ++j)
+                z.at2(n, j) += b_[static_cast<size_t>(j)];
+
+        // Activate gates in-place: [i | f | g | o].
+        Tensor &ht = hs_[static_cast<size_t>(t) + 1];
+        Tensor &ct = cs_[static_cast<size_t>(t) + 1];
+        const Tensor &cprev = cs_[static_cast<size_t>(t)];
+        for (int n = 0; n < batch; ++n) {
+            for (int j = 0; j < hidden_; ++j) {
+                float &zi = z.at2(n, j);
+                float &zf = z.at2(n, hidden_ + j);
+                float &zg = z.at2(n, 2 * hidden_ + j);
+                float &zo = z.at2(n, 3 * hidden_ + j);
+                zi = sigmoidf(zi);
+                zf = sigmoidf(zf);
+                zg = std::tanh(zg);
+                zo = sigmoidf(zo);
+                const float c = zf * cprev.at2(n, j) + zi * zg;
+                ct.at2(n, j) = c;
+                ht.at2(n, j) = zo * std::tanh(c);
+            }
+        }
+        gates_[static_cast<size_t>(t)] = z;
+
+        if (return_sequences_) {
+            const size_t obase = static_cast<size_t>(t) * batch * hidden_;
+            std::copy(ht.data(), ht.data() + ht.size(),
+                      out_seq.data() + obase);
+        }
+    }
+    if (return_sequences_)
+        return out_seq;
+    return hs_.back();
+}
+
+Tensor
+Lstm::backward(const Tensor &grad_out)
+{
+    const int time = static_cast<int>(xs_.size());
+    assert(time > 0);
+    const int batch = xs_[0].dim(0);
+
+    Tensor dx({time, batch, in_});
+    Tensor dh({batch, hidden_});
+    Tensor dc({batch, hidden_});
+
+    if (!return_sequences_) {
+        assert(grad_out.rank() == 2 && grad_out.dim(1) == hidden_);
+        dh = grad_out;
+    }
+
+    for (int t = time - 1; t >= 0; --t) {
+        if (return_sequences_) {
+            // Add the per-timestep gradient slice to the recurrent flow.
+            const size_t gbase = static_cast<size_t>(t) * batch * hidden_;
+            for (size_t i = 0; i < dh.size(); ++i)
+                dh[i] += grad_out[gbase + i];
+        }
+        const Tensor &z = gates_[static_cast<size_t>(t)];
+        const Tensor &cprev = cs_[static_cast<size_t>(t)];
+        const Tensor &ct = cs_[static_cast<size_t>(t) + 1];
+
+        Tensor dz({batch, 4 * hidden_});
+        Tensor dc_prev({batch, hidden_});
+        for (int n = 0; n < batch; ++n) {
+            for (int j = 0; j < hidden_; ++j) {
+                const float i_g = z.at2(n, j);
+                const float f_g = z.at2(n, hidden_ + j);
+                const float g_g = z.at2(n, 2 * hidden_ + j);
+                const float o_g = z.at2(n, 3 * hidden_ + j);
+                const float tc = std::tanh(ct.at2(n, j));
+                const float dht = dh.at2(n, j);
+
+                const float dct = dht * o_g * (1.0f - tc * tc) + dc.at2(n, j);
+                const float d_o = dht * tc;
+                const float d_i = dct * g_g;
+                const float d_g = dct * i_g;
+                const float d_f = dct * cprev.at2(n, j);
+                dc_prev.at2(n, j) = dct * f_g;
+
+                dz.at2(n, j) = d_i * i_g * (1.0f - i_g);
+                dz.at2(n, hidden_ + j) = d_f * f_g * (1.0f - f_g);
+                dz.at2(n, 2 * hidden_ + j) = d_g * (1.0f - g_g * g_g);
+                dz.at2(n, 3 * hidden_ + j) = d_o * o_g * (1.0f - o_g);
+            }
+        }
+
+        // Parameter gradients accumulate across timesteps.
+        dwx_ += matmul_tn(xs_[static_cast<size_t>(t)], dz);
+        dwh_ += matmul_tn(hs_[static_cast<size_t>(t)], dz);
+        for (int n = 0; n < batch; ++n)
+            for (int j = 0; j < 4 * hidden_; ++j)
+                db_[static_cast<size_t>(j)] += dz.at2(n, j);
+
+        // Input and recurrent gradients.
+        Tensor dxt = matmul_nt(dz, wx_);
+        const size_t base = static_cast<size_t>(t) * batch * in_;
+        std::copy(dxt.data(), dxt.data() + dxt.size(), dx.data() + base);
+        dh = matmul_nt(dz, wh_);
+        dc = dc_prev;
+    }
+    return dx;
+}
+
+std::vector<int>
+Lstm::output_shape(const std::vector<int> &in) const
+{
+    assert(in.size() == 3 && in[2] == in_);
+    if (return_sequences_)
+        return {in[0], in[1], hidden_};
+    return {in[1], hidden_};
+}
+
+double
+Lstm::flops_per_sample(const std::vector<int> &in) const
+{
+    // Per timestep: two GEMVs into the 4H gate block plus pointwise work.
+    const double per_step = 2.0 * (in_ + hidden_) * 4.0 * hidden_ +
+        10.0 * hidden_;
+    return per_step * in[0];
+}
+
+std::string
+Lstm::name() const
+{
+    std::ostringstream os;
+    os << "Lstm(" << in_ << "->" << hidden_
+       << (return_sequences_ ? ", seq" : "") << ")";
+    return os.str();
+}
+
+} // namespace autofl

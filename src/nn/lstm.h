@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Single-layer LSTM with manual backpropagation through time.
+ *
+ * Input shape is {time, batch, in}; the layer emits the final hidden state
+ * {batch, hidden} (the next-character model reads only the last step, and
+ * stacked LSTMs use return_sequences to pass the full {time, batch, hidden}
+ * activation tensor to the next recurrent layer).
+ */
+#ifndef AUTOFL_NN_LSTM_H
+#define AUTOFL_NN_LSTM_H
+
+#include "nn/layer.h"
+
+namespace autofl {
+
+/** LSTM layer (gate order: input, forget, cell, output). */
+class Lstm : public Layer
+{
+  public:
+    /**
+     * @param in Input feature width.
+     * @param hidden Hidden state width.
+     * @param return_sequences When true, output is {time, batch, hidden};
+     *        otherwise the final hidden state {batch, hidden}.
+     */
+    Lstm(int in, int hidden, bool return_sequences = false);
+
+    Tensor forward(const Tensor &x) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Tensor *> params() override { return {&wx_, &wh_, &b_}; }
+    std::vector<Tensor *> grads() override { return {&dwx_, &dwh_, &db_}; }
+    void init_weights(Rng &rng) override;
+    std::vector<int> output_shape(const std::vector<int> &in) const override;
+    double flops_per_sample(const std::vector<int> &in) const override;
+    LayerKind kind() const override { return LayerKind::Recurrent; }
+    std::string name() const override;
+
+  private:
+    int in_, hidden_;
+    bool return_sequences_;
+    Tensor wx_;  ///< {in, 4*hidden}
+    Tensor wh_;  ///< {hidden, 4*hidden}
+    Tensor b_;   ///< {4*hidden}
+    Tensor dwx_, dwh_, db_;
+
+    // Forward caches for BPTT (one entry per timestep).
+    std::vector<Tensor> xs_;     ///< inputs {batch, in}
+    std::vector<Tensor> hs_;     ///< hidden states; hs_[0] is h_{-1} (zeros)
+    std::vector<Tensor> cs_;     ///< cell states; cs_[0] is c_{-1} (zeros)
+    std::vector<Tensor> gates_;  ///< post-activation gates {batch, 4*hidden}
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_NN_LSTM_H

@@ -1,0 +1,149 @@
+#include "models.h"
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/layers_basic.h"
+#include "nn/lstm.h"
+
+namespace autofl {
+
+std::string
+workload_name(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        return "CNN-MNIST";
+      case Workload::LstmShakespeare:
+        return "LSTM-Shakespeare";
+      case Workload::MobileNetImageNet:
+        return "MobileNet-ImageNet";
+    }
+    return "unknown";
+}
+
+const std::vector<Workload> &
+all_workloads()
+{
+    static const std::vector<Workload> kAll = {
+        Workload::CnnMnist,
+        Workload::LstmShakespeare,
+        Workload::MobileNetImageNet,
+    };
+    return kAll;
+}
+
+namespace {
+
+Sequential
+make_cnn_mnist()
+{
+    Sequential m;
+    m.emplace<Conv2D>(1, 8, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2D>(2);
+    m.emplace<Conv2D>(8, 16, 3, 1, 1);
+    m.emplace<ReLU>();
+    m.emplace<MaxPool2D>(2);
+    m.emplace<Flatten>();
+    m.emplace<Dense>(16 * (kMnistSide / 4) * (kMnistSide / 4), 32);
+    m.emplace<ReLU>();
+    m.emplace<Dense>(32, kMnistClasses);
+    return m;
+}
+
+Sequential
+make_lstm_shakespeare()
+{
+    Sequential m;
+    m.emplace<Lstm>(kTextVocab, 48, /*return_sequences=*/true);
+    m.emplace<Lstm>(48, 48, /*return_sequences=*/false);
+    m.emplace<Dense>(48, kTextVocab);
+    return m;
+}
+
+/** Depthwise-separable block: dw 3x3 + pw 1x1, each followed by ReLU. */
+void
+add_separable_block(Sequential &m, int in_ch, int out_ch)
+{
+    m.emplace<Conv2D>(in_ch, in_ch, 3, 1, 1, /*groups=*/in_ch);
+    m.emplace<ReLU>();
+    m.emplace<Conv2D>(in_ch, out_ch, 1);
+    m.emplace<ReLU>();
+}
+
+Sequential
+make_mobilenet_imagenet()
+{
+    Sequential m;
+    m.emplace<Conv2D>(kImageNetChannels, 8, 3, 1, 1);
+    m.emplace<ReLU>();
+    add_separable_block(m, 8, 16);
+    m.emplace<MaxPool2D>(2);
+    add_separable_block(m, 16, 24);
+    add_separable_block(m, 24, 32);
+    m.emplace<MaxPool2D>(2);
+    add_separable_block(m, 32, 32);
+    add_separable_block(m, 32, 48);
+    m.emplace<GlobalAvgPool>();
+    m.emplace<Dense>(48, kImageNetClasses);
+    return m;
+}
+
+} // namespace
+
+Sequential
+make_model(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        return make_cnn_mnist();
+      case Workload::LstmShakespeare:
+        return make_lstm_shakespeare();
+      case Workload::MobileNetImageNet:
+        return make_mobilenet_imagenet();
+    }
+    return Sequential();
+}
+
+std::vector<int>
+model_input_shape(Workload w)
+{
+    return model_batch_shape(w, 1);
+}
+
+std::vector<int>
+model_batch_shape(Workload w, int batch)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        return {batch, 1, kMnistSide, kMnistSide};
+      case Workload::LstmShakespeare:
+        return {kTextSeqLen, batch, kTextVocab};
+      case Workload::MobileNetImageNet:
+        return {batch, kImageNetChannels, kImageNetSide, kImageNetSide};
+    }
+    return {};
+}
+
+int
+model_num_classes(Workload w)
+{
+    switch (w) {
+      case Workload::CnnMnist:
+        return kMnistClasses;
+      case Workload::LstmShakespeare:
+        return kTextVocab;
+      case Workload::MobileNetImageNet:
+        return kImageNetClasses;
+    }
+    return 0;
+}
+
+NnProfile
+model_profile(Workload w)
+{
+    Sequential m = make_model(w);
+    return m.profile(workload_name(w), model_input_shape(w));
+}
+
+} // namespace autofl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model zoo: the three FL workloads evaluated in the paper.
+ *
+ *  - CNN-MNIST: small conv net for 10-class image classification.
+ *  - LSTM-Shakespeare: stacked LSTM for next-character prediction.
+ *  - MobileNet-ImageNet: depthwise-separable conv net for 10-class
+ *    image classification on the synthetic ImageNet stand-in.
+ *
+ * Input images are synthetic stand-ins with reduced resolution so the
+ * whole 200-device FL simulation trains in seconds (see DESIGN.md for
+ * the substitution rationale); the layer-type mix per workload matches
+ * the paper's characterization (CONV/FC-dominant vs RC-dominant).
+ */
+#ifndef AUTOFL_NN_MODELS_H
+#define AUTOFL_NN_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace autofl {
+
+/** The three FL use cases from the paper's evaluation. */
+enum class Workload {
+    CnnMnist,
+    LstmShakespeare,
+    MobileNetImageNet,
+};
+
+/** Human-readable workload name as printed in the paper. */
+std::string workload_name(Workload w);
+
+/** All workloads, for sweeps. */
+const std::vector<Workload> &all_workloads();
+
+// Dataset geometry shared by the model builders and the data generators.
+constexpr int kMnistSide = 12;      ///< Synthetic MNIST image side.
+constexpr int kMnistClasses = 10;
+constexpr int kImageNetSide = 12;   ///< Synthetic ImageNet image side.
+constexpr int kImageNetChannels = 3;
+constexpr int kImageNetClasses = 10;
+constexpr int kTextVocab = 26;      ///< Synthetic Shakespeare vocabulary.
+constexpr int kTextSeqLen = 8;      ///< Characters of context per sample.
+
+/** Build the model for a workload (weights uninitialized). */
+Sequential make_model(Workload w);
+
+/**
+ * Single-sample input shape for a workload with batch/time dims included
+ * and batch set to 1 (e.g. {1, 1, 12, 12} for CNN-MNIST,
+ * {seq, 1, vocab} for the LSTM).
+ */
+std::vector<int> model_input_shape(Workload w);
+
+/** Input shape for a batch of @p batch samples. */
+std::vector<int> model_batch_shape(Workload w, int batch);
+
+/** Number of output classes. */
+int model_num_classes(Workload w);
+
+/** Structural profile of the workload's model. */
+NnProfile model_profile(Workload w);
+
+} // namespace autofl
+
+#endif // AUTOFL_NN_MODELS_H

@@ -1,0 +1,86 @@
+#include "sgd.h"
+
+#include <cassert>
+
+namespace autofl {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay)
+{
+}
+
+void
+Sgd::ensure_velocity(Sequential &model)
+{
+    if (momentum_ == 0.0)
+        return;
+    auto params = model.params();
+    if (velocity_.size() == params.size())
+        return;
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (Tensor *p : params)
+        velocity_.emplace_back(p->size(), 0.0f);
+}
+
+void
+Sgd::step(Sequential &model)
+{
+    ensure_velocity(model);
+    auto params = model.params();
+    auto grads = model.grads();
+    assert(params.size() == grads.size());
+    for (size_t pi = 0; pi < params.size(); ++pi) {
+        Tensor &w = *params[pi];
+        const Tensor &g = *grads[pi];
+        assert(w.size() == g.size());
+        for (size_t i = 0; i < w.size(); ++i) {
+            float grad = g[i] + static_cast<float>(weight_decay_) * w[i];
+            if (momentum_ != 0.0) {
+                float &v = velocity_[pi][i];
+                v = static_cast<float>(momentum_) * v + grad;
+                grad = v;
+            }
+            w[i] -= static_cast<float>(lr_) * grad;
+        }
+    }
+}
+
+void
+Sgd::step_prox(Sequential &model, const std::vector<float> &anchor, double mu)
+{
+    if (mu == 0.0) {
+        step(model);
+        return;
+    }
+    ensure_velocity(model);
+    auto params = model.params();
+    auto grads = model.grads();
+    assert(params.size() == grads.size());
+    size_t off = 0;
+    for (size_t pi = 0; pi < params.size(); ++pi) {
+        Tensor &w = *params[pi];
+        const Tensor &g = *grads[pi];
+        for (size_t i = 0; i < w.size(); ++i) {
+            assert(off < anchor.size());
+            float grad = g[i] + static_cast<float>(weight_decay_) * w[i] +
+                static_cast<float>(mu) * (w[i] - anchor[off]);
+            if (momentum_ != 0.0) {
+                float &v = velocity_[pi][i];
+                v = static_cast<float>(momentum_) * v + grad;
+                grad = v;
+            }
+            w[i] -= static_cast<float>(lr_) * grad;
+            ++off;
+        }
+    }
+    assert(off == anchor.size());
+}
+
+void
+Sgd::reset()
+{
+    velocity_.clear();
+}
+
+} // namespace autofl

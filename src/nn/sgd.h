@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Stochastic gradient descent with optional momentum, weight decay and a
+ * FedProx-style proximal term toward an anchor weight vector.
+ */
+#ifndef AUTOFL_NN_SGD_H
+#define AUTOFL_NN_SGD_H
+
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace autofl {
+
+/** SGD optimizer bound to one model's parameter list. */
+class Sgd
+{
+  public:
+    /**
+     * @param lr Learning rate.
+     * @param momentum Momentum coefficient (0 disables).
+     * @param weight_decay L2 coefficient (0 disables).
+     */
+    explicit Sgd(double lr, double momentum = 0.0, double weight_decay = 0.0);
+
+    double lr() const { return lr_; }
+    void set_lr(double lr) { lr_ = lr; }
+
+    /**
+     * Apply one update step to the model from its accumulated gradients.
+     * Velocity buffers are lazily sized on first use.
+     */
+    void step(Sequential &model);
+
+    /**
+     * FedProx variant: adds mu * (w - anchor) to each gradient before the
+     * update, pulling local weights toward the global model.
+     * @param anchor Flat global weights (same layout as flat_weights()).
+     * @param mu Proximal strength; 0 reduces to plain step().
+     */
+    void step_prox(Sequential &model, const std::vector<float> &anchor,
+                   double mu);
+
+    /** Drop velocity state (e.g. when a new round reloads weights). */
+    void reset();
+
+  private:
+    double lr_;
+    double momentum_;
+    double weight_decay_;
+    std::vector<std::vector<float>> velocity_;
+
+    void ensure_velocity(Sequential &model);
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_NN_SGD_H

@@ -1,0 +1,70 @@
+#include "oracle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autofl {
+
+OraclePolicy::OraclePolicy(const Fleet &fleet, OracleSpec spec,
+                           std::string display_name, uint64_t seed)
+    : fleet_(fleet), spec_(std::move(spec)),
+      display_name_(std::move(display_name)), rng_(seed),
+      high_ids_(fleet.ids_of(Tier::High)),
+      mid_ids_(fleet.ids_of(Tier::Mid)),
+      low_ids_(fleet.ids_of(Tier::Low))
+{
+}
+
+void
+OraclePolicy::set_preferred(std::vector<bool> preferred)
+{
+    preferred_ = std::move(preferred);
+}
+
+std::vector<ParticipantPlan>
+OraclePolicy::select(const GlobalObservation &global,
+                     const std::vector<LocalObservation> &locals, int k)
+{
+    (void)global;
+    (void)locals;
+    const ClusterTemplate &tmpl = spec_.cluster;
+    const int basis = std::max(1, tmpl.high + tmpl.mid + tmpl.low);
+    int want_h = tmpl.high * k / basis;
+    int want_m = tmpl.mid * k / basis;
+    int want_l = tmpl.low * k / basis;
+    while (want_h + want_m + want_l < k) {
+        if (tmpl.high > 0 && want_h < static_cast<int>(high_ids_.size()))
+            ++want_h;
+        else if (tmpl.mid > 0 && want_m < static_cast<int>(mid_ids_.size()))
+            ++want_m;
+        else
+            ++want_l;
+    }
+
+    std::vector<ParticipantPlan> plans;
+    plans.reserve(static_cast<size_t>(k));
+    auto pick = [&](std::vector<int> ids, int count, Tier tier) {
+        rng_.shuffle(ids);
+        if (!preferred_.empty()) {
+            // Preferred (IID) devices first, shuffled within each group.
+            std::stable_partition(ids.begin(), ids.end(), [&](int d) {
+                return preferred_[static_cast<size_t>(d)];
+            });
+        }
+        count = std::min<int>(count, static_cast<int>(ids.size()));
+        const StaticExecSettings &exec = spec_.exec.for_tier(tier);
+        for (int i = 0; i < count; ++i) {
+            ParticipantPlan p;
+            p.device_id = ids[static_cast<size_t>(i)];
+            p.target = exec.target;
+            p.dvfs = exec.dvfs;
+            plans.push_back(p);
+        }
+    };
+    pick(high_ids_, want_h, Tier::High);
+    pick(mid_ids_, want_m, Tier::Mid);
+    pick(low_ids_, want_l, Tier::Low);
+    return plans;
+}
+
+} // namespace autofl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Oracle policies O_participant and O_FL (Section 5.1).
+ *
+ * Both are fixed configurations found by offline exhaustive search (the
+ * search driver lives in the harness): O_participant fixes the best tier
+ * composition under heterogeneity/variance; O_FL additionally fixes the
+ * best per-tier execution target and DVFS level. They upper-bound what
+ * AutoFL can learn.
+ */
+#ifndef AUTOFL_POLICIES_ORACLE_H
+#define AUTOFL_POLICIES_ORACLE_H
+
+#include "policies/policy.h"
+
+namespace autofl {
+
+/** Per-tier execution settings for O_FL. */
+struct TierExecSettings
+{
+    StaticExecSettings high;
+    StaticExecSettings mid;
+    StaticExecSettings low;
+
+    const StaticExecSettings &
+    for_tier(Tier t) const
+    {
+        switch (t) {
+          case Tier::High:
+            return high;
+          case Tier::Mid:
+            return mid;
+          case Tier::Low:
+            return low;
+        }
+        return high;
+    }
+};
+
+/** Fixed oracle configuration. */
+struct OracleSpec
+{
+    ClusterTemplate cluster;
+    TierExecSettings exec;
+};
+
+/** Policy executing a fixed oracle configuration. */
+class OraclePolicy : public SelectionPolicy
+{
+  public:
+    /**
+     * @param display_name "O_participant" or "O_FL".
+     */
+    OraclePolicy(const Fleet &fleet, OracleSpec spec,
+                 std::string display_name, uint64_t seed);
+
+    std::string name() const override { return display_name_; }
+    std::vector<ParticipantPlan> select(
+        const GlobalObservation &global,
+        const std::vector<LocalObservation> &locals, int k) override;
+
+    const OracleSpec &spec() const { return spec_; }
+
+    /**
+     * Mark devices the oracle should prefer within each tier (the oracle
+     * knows which devices hold IID shards and avoids non-IID ones, which
+     * is what makes it an upper bound under data heterogeneity).
+     */
+    void set_preferred(std::vector<bool> preferred);
+
+  private:
+    std::vector<bool> preferred_;
+    const Fleet &fleet_;
+    OracleSpec spec_;
+    std::string display_name_;
+    Rng rng_;
+    std::vector<int> high_ids_, mid_ids_, low_ids_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_POLICIES_ORACLE_H

@@ -1,0 +1,146 @@
+#include "policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autofl {
+
+const std::vector<ClusterTemplate> &
+table4_clusters()
+{
+    static const std::vector<ClusterTemplate> kClusters = {
+        {"C0", 0, 0, 0, true},     // FedAvg-Random baseline.
+        {"C1", 20, 0, 0, false},   // Performance.
+        {"C2", 15, 5, 0, false},
+        {"C3", 10, 5, 5, false},
+        {"C4", 5, 10, 5, false},
+        {"C5", 5, 5, 10, false},
+        {"C6", 0, 5, 15, false},
+        {"C7", 0, 0, 20, false},   // Power.
+    };
+    return kClusters;
+}
+
+StaticClusterPolicy::StaticClusterPolicy(const Fleet &fleet,
+                                         ClusterTemplate tmpl,
+                                         StaticExecSettings exec,
+                                         uint64_t seed)
+    : fleet_(fleet), tmpl_(std::move(tmpl)), exec_(exec), rng_(seed),
+      high_ids_(fleet.ids_of(Tier::High)),
+      mid_ids_(fleet.ids_of(Tier::Mid)),
+      low_ids_(fleet.ids_of(Tier::Low))
+{
+}
+
+std::vector<ParticipantPlan>
+StaticClusterPolicy::select(const GlobalObservation &global,
+                            const std::vector<LocalObservation> &locals,
+                            int k)
+{
+    (void)global;
+    (void)locals;
+    std::vector<int> chosen;
+    chosen.reserve(static_cast<size_t>(k));
+
+    if (tmpl_.random) {
+        std::vector<int> ids(static_cast<size_t>(fleet_.size()));
+        for (int i = 0; i < fleet_.size(); ++i)
+            ids[static_cast<size_t>(i)] = i;
+        rng_.shuffle(ids);
+        chosen.assign(ids.begin(), ids.begin() + k);
+    } else {
+        // Scale the template's tier counts from its K=20 basis to k.
+        const int basis = tmpl_.high + tmpl_.mid + tmpl_.low;
+        assert(basis > 0);
+        int want_h = tmpl_.high * k / basis;
+        int want_m = tmpl_.mid * k / basis;
+        int want_l = tmpl_.low * k / basis;
+        // Distribute rounding remainder in tier-count order.
+        while (want_h + want_m + want_l < k) {
+            if (tmpl_.high > 0 && want_h < static_cast<int>(high_ids_.size()))
+                ++want_h;
+            else if (tmpl_.mid > 0 &&
+                     want_m < static_cast<int>(mid_ids_.size()))
+                ++want_m;
+            else
+                ++want_l;
+        }
+        auto pick = [&](std::vector<int> ids, int count) {
+            rng_.shuffle(ids);
+            count = std::min<int>(count, static_cast<int>(ids.size()));
+            chosen.insert(chosen.end(), ids.begin(), ids.begin() + count);
+        };
+        pick(high_ids_, want_h);
+        pick(mid_ids_, want_m);
+        pick(low_ids_, want_l);
+    }
+
+    std::vector<ParticipantPlan> plans;
+    plans.reserve(chosen.size());
+    for (int d : chosen) {
+        ParticipantPlan p;
+        p.device_id = d;
+        p.target = exec_.target;
+        p.dvfs = exec_.dvfs;
+        plans.push_back(p);
+    }
+    return plans;
+}
+
+namespace {
+
+std::unique_ptr<SelectionPolicy>
+make_template_policy(const Fleet &fleet, const std::string &label,
+                     const std::string &name, uint64_t seed)
+{
+    for (const auto &tmpl : table4_clusters()) {
+        if (tmpl.label == label) {
+            ClusterTemplate named = tmpl;
+            named.label = name;
+            return std::make_unique<StaticClusterPolicy>(
+                fleet, named, StaticExecSettings{}, seed);
+        }
+    }
+    assert(false);
+    return nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<SelectionPolicy>
+make_random_policy(const Fleet &fleet, uint64_t seed)
+{
+    return make_template_policy(fleet, "C0", "FedAvg-Random", seed);
+}
+
+std::unique_ptr<SelectionPolicy>
+make_power_policy(const Fleet &fleet, uint64_t seed)
+{
+    return make_template_policy(fleet, "C7", "Power", seed);
+}
+
+std::unique_ptr<SelectionPolicy>
+make_performance_policy(const Fleet &fleet, uint64_t seed)
+{
+    return make_template_policy(fleet, "C1", "Performance", seed);
+}
+
+AutoFlPolicy::AutoFlPolicy(const Fleet &fleet, const AutoFlConfig &cfg)
+    : scheduler_(fleet, cfg)
+{
+}
+
+std::vector<ParticipantPlan>
+AutoFlPolicy::select(const GlobalObservation &global,
+                     const std::vector<LocalObservation> &locals, int k)
+{
+    return scheduler_.select(global, locals, k);
+}
+
+void
+AutoFlPolicy::observe_outcome(const RoundExec &exec, double accuracy_percent)
+{
+    scheduler_.observe_outcome(exec, accuracy_percent);
+}
+
+} // namespace autofl

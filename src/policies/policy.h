@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Participant-selection policy interface and the static baselines the
+ * paper compares against (Section 5.1): FedAvg-Random, Power (C7),
+ * Performance (C1) and the Table 4 cluster templates C0-C7.
+ */
+#ifndef AUTOFL_POLICIES_POLICY_H
+#define AUTOFL_POLICIES_POLICY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/autofl.h"
+#include "sim/round.h"
+
+namespace autofl {
+
+/** Round-level participant selection + execution-target policy. */
+class SelectionPolicy
+{
+  public:
+    virtual ~SelectionPolicy() = default;
+
+    /** Display name used in bench tables. */
+    virtual std::string name() const = 0;
+
+    /** Choose the round's participants and their execution settings. */
+    virtual std::vector<ParticipantPlan> select(
+        const GlobalObservation &global,
+        const std::vector<LocalObservation> &locals, int k) = 0;
+
+    /** Feed back the measured outcome (only learning policies care). */
+    virtual void
+    observe_outcome(const RoundExec &exec, double accuracy_percent)
+    {
+        (void)exec;
+        (void)accuracy_percent;
+    }
+};
+
+/** Tier composition template (Table 4). Counts are for K = 20. */
+struct ClusterTemplate
+{
+    std::string label;  ///< "C0".."C7".
+    int high = 0;
+    int mid = 0;
+    int low = 0;
+    bool random = false;  ///< C0: uniform random selection.
+};
+
+/** The Table 4 templates C0..C7. */
+const std::vector<ClusterTemplate> &table4_clusters();
+
+/** Execution settings applied uniformly by a static policy. */
+struct StaticExecSettings
+{
+    ExecTarget target = ExecTarget::Cpu;
+    DvfsLevel dvfs = DvfsLevel::High;
+};
+
+/**
+ * Fixed tier-composition policy: each round draws the template's tier
+ * counts (scaled proportionally when k differs from 20) uniformly at
+ * random within each tier.
+ */
+class StaticClusterPolicy : public SelectionPolicy
+{
+  public:
+    StaticClusterPolicy(const Fleet &fleet, ClusterTemplate tmpl,
+                        StaticExecSettings exec, uint64_t seed);
+
+    std::string name() const override { return tmpl_.label; }
+    std::vector<ParticipantPlan> select(
+        const GlobalObservation &global,
+        const std::vector<LocalObservation> &locals, int k) override;
+
+    const ClusterTemplate &cluster() const { return tmpl_; }
+
+    /** Change the uniform execution settings (used by the O_FL search). */
+    void set_exec(StaticExecSettings exec) { exec_ = exec; }
+
+  private:
+    const Fleet &fleet_;
+    ClusterTemplate tmpl_;
+    StaticExecSettings exec_;
+    Rng rng_;
+    std::vector<int> high_ids_, mid_ids_, low_ids_;
+};
+
+/** FedAvg-Random baseline: uniform random K, CPU at max frequency. */
+std::unique_ptr<SelectionPolicy> make_random_policy(const Fleet &fleet,
+                                                    uint64_t seed);
+
+/** Power baseline: minimize power draw — the all-low-end C7 cluster. */
+std::unique_ptr<SelectionPolicy> make_power_policy(const Fleet &fleet,
+                                                   uint64_t seed);
+
+/** Performance baseline: minimize round time — the all-high-end C1. */
+std::unique_ptr<SelectionPolicy> make_performance_policy(const Fleet &fleet,
+                                                         uint64_t seed);
+
+/** AutoFL adapter: owns an AutoFlScheduler and forwards both calls. */
+class AutoFlPolicy : public SelectionPolicy
+{
+  public:
+    AutoFlPolicy(const Fleet &fleet, const AutoFlConfig &cfg);
+
+    std::string name() const override { return "AutoFL"; }
+    std::vector<ParticipantPlan> select(
+        const GlobalObservation &global,
+        const std::vector<LocalObservation> &locals, int k) override;
+    void observe_outcome(const RoundExec &exec,
+                         double accuracy_percent) override;
+
+    AutoFlScheduler &scheduler() { return scheduler_; }
+
+  private:
+    AutoFlScheduler scheduler_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_POLICIES_POLICY_H

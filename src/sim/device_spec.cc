@@ -1,0 +1,138 @@
+#include "device_spec.h"
+
+#include <cassert>
+
+namespace autofl {
+
+std::string
+tier_label(Tier t)
+{
+    switch (t) {
+      case Tier::High:
+        return "H";
+      case Tier::Mid:
+        return "M";
+      case Tier::Low:
+        return "L";
+    }
+    return "?";
+}
+
+std::string
+target_label(ExecTarget t)
+{
+    return t == ExecTarget::Cpu ? "CPU" : "GPU";
+}
+
+namespace {
+
+DeviceSpec
+make_high()
+{
+    DeviceSpec s;
+    s.tier = Tier::High;
+    s.phone_model = "Mi8Pro";
+    s.ec2_instance = "m4.large";
+    s.cpu_gflops = 153.6;
+    // Training utilizes the mobile GPU poorly (limited programmability);
+    // ~35% of CPU throughput keeps CPU the better PPW target absent
+    // interference, as characterized in Section 6.2.
+    s.gpu_gflops = 0.35 * s.cpu_gflops;
+    s.mem_gflops = 50.0;
+    s.ram_gb = 8;
+    s.cpu_peak_w = 5.5;
+    s.gpu_peak_w = 2.8;
+    s.cpu_train_w = 5.5;
+    s.gpu_train_w = 2.8;
+    s.idle_w = 0.030;
+    s.session_w = 0.40;
+    s.thermal_budget_s = 1.2;
+    s.throttle_factor = 0.85;
+    s.interference_sens = 0.50;
+    s.batch_half = 18.0;
+    s.cpu_vf_steps = 23;
+    s.gpu_vf_steps = 7;
+    s.cpu_fmax_ghz = 2.8;
+    s.gpu_fmax_ghz = 0.7;
+    return s;
+}
+
+DeviceSpec
+make_mid()
+{
+    DeviceSpec s;
+    s.tier = Tier::Mid;
+    s.phone_model = "Galaxy S10e";
+    s.ec2_instance = "t3a.medium";
+    s.cpu_gflops = 80.0;
+    s.gpu_gflops = 0.35 * s.cpu_gflops;
+    s.mem_gflops = 42.0;
+    s.ram_gb = 4;
+    s.cpu_peak_w = 5.6;
+    s.gpu_peak_w = 2.4;
+    // 35.7% below high-end average training draw (Section 3.1).
+    s.cpu_train_w = 3.54;
+    s.gpu_train_w = 1.80;
+    s.idle_w = 0.025;
+    s.session_w = 0.35;
+    s.thermal_budget_s = 0.8;
+    s.throttle_factor = 0.70;
+    s.interference_sens = 0.75;
+    s.batch_half = 6.0;
+    s.cpu_vf_steps = 21;
+    s.gpu_vf_steps = 9;
+    s.cpu_fmax_ghz = 2.7;
+    s.gpu_fmax_ghz = 0.7;
+    return s;
+}
+
+DeviceSpec
+make_low()
+{
+    DeviceSpec s;
+    s.tier = Tier::Low;
+    s.phone_model = "Moto X Force";
+    s.ec2_instance = "t2.small";
+    s.cpu_gflops = 52.8;
+    s.gpu_gflops = 0.35 * s.cpu_gflops;
+    s.mem_gflops = 34.0;
+    s.ram_gb = 2;
+    s.cpu_peak_w = 3.6;
+    s.gpu_peak_w = 2.0;
+    // 46.4% below high-end average training draw (Section 3.1).
+    s.cpu_train_w = 2.95;
+    s.gpu_train_w = 1.50;
+    s.idle_w = 0.020;
+    s.session_w = 0.30;
+    s.thermal_budget_s = 0.55;
+    s.throttle_factor = 0.55;
+    s.interference_sens = 0.90;
+    s.batch_half = 3.0;
+    s.cpu_vf_steps = 15;
+    s.gpu_vf_steps = 6;
+    s.cpu_fmax_ghz = 1.9;
+    s.gpu_fmax_ghz = 0.6;
+    return s;
+}
+
+} // namespace
+
+const DeviceSpec &
+spec_for_tier(Tier t)
+{
+    static const DeviceSpec kHigh = make_high();
+    static const DeviceSpec kMid = make_mid();
+    static const DeviceSpec kLow = make_low();
+    switch (t) {
+      case Tier::High:
+        return kHigh;
+      case Tier::Mid:
+        return kMid;
+      case Tier::Low:
+        return kLow;
+    }
+    assert(false);
+    return kHigh;
+}
+
+} // namespace autofl

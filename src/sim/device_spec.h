@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Static per-tier device specifications (Tables 2 and 3 of the paper).
+ *
+ * Three representative smartphone performance tiers are modeled:
+ *   H — high-end  (Mi8Pro-class,      m4.large-equivalent, 153.6 GFLOPS)
+ *   M — mid-end   (Galaxy S10e-class, t3a.medium-equivalent,  80 GFLOPS)
+ *   L — low-end   (Moto X Force-class, t2.small-equivalent, 52.8 GFLOPS)
+ */
+#ifndef AUTOFL_SIM_DEVICE_SPEC_H
+#define AUTOFL_SIM_DEVICE_SPEC_H
+
+#include <string>
+
+namespace autofl {
+
+/** Smartphone performance tier. */
+enum class Tier { High, Mid, Low };
+
+/** Short tier label ("H", "M", "L"). */
+std::string tier_label(Tier t);
+
+/** Execution target for on-device training (second-level action). */
+enum class ExecTarget { Cpu, Gpu };
+
+/** Short target label ("CPU", "GPU"). */
+std::string target_label(ExecTarget t);
+
+/**
+ * Static capability and power profile of one device tier.
+ *
+ * Compute throughputs follow Table 2; peak power and V-F step counts
+ * follow Table 3. GPU *training* throughput is derated relative to the
+ * CPU (mobile training has limited GPU programmability/utilization; the
+ * paper observes CPU is the more energy-efficient training target absent
+ * interference, which these numbers reproduce). Memory throughput gaps
+ * across tiers are narrower than compute gaps, which shrinks the tier
+ * performance gap for memory-bound (RC-heavy) models as in Section 3.1.
+ */
+struct DeviceSpec
+{
+    Tier tier = Tier::High;
+    std::string phone_model;  ///< Measured handset (Table 3).
+    std::string ec2_instance; ///< Emulation instance (Table 2).
+
+    double cpu_gflops = 0;    ///< Nominal CPU compute throughput.
+    double gpu_gflops = 0;    ///< Nominal GPU training throughput.
+    double mem_gflops = 0;    ///< Memory-bound effective throughput.
+    double ram_gb = 0;
+
+    double cpu_peak_w = 0;    ///< CPU package power at max V-F, fully busy.
+    double gpu_peak_w = 0;    ///< GPU power at max V-F, fully busy.
+
+    /**
+     * Average platform power while training at max V-F. Table 3 lists
+     * per-step peak powers; the measured average training draw is lower
+     * on mid/low tiers (Section 3.1 reports 35.7% / 46.4% lower than
+     * high-end), because narrower cores spend more cycles stalled on
+     * memory and run at lower sustained operating points.
+     */
+    double cpu_train_w = 0;
+    double gpu_train_w = 0;
+    double idle_w = 0;        ///< Device idle (screen-off, connected) power.
+
+    /**
+     * Extra base power a device draws for the whole duration of a round
+     * it participates in (wakelock, radio session, awake SoC rails), on
+     * top of busy/idle power. This is what makes straggler-stretched
+     * rounds costly for every participant, not just the straggler.
+     */
+    double session_w = 0;
+
+    /**
+     * Thermal model: a tier can run at full rate for thermal_budget_s of
+     * busy time per round before the governor throttles the remainder to
+     * throttle_factor of the nominal rate. Small passive devices (low
+     * tier) throttle soonest and hardest; this is what keeps high-end
+     * devices mandatory for compute-heavy settings (S1) while letting
+     * cheaper tiers win when per-round work is small (S3/S4).
+     */
+    double thermal_budget_s = 0;
+    double throttle_factor = 1.0;
+
+    /**
+     * Minibatch half-saturation point: effective compute rate scales as
+     * B / (B + batch_half). Wide high-end SoCs need larger minibatches
+     * to keep their SIMD/core resources fed, so small-B settings (S3,
+     * S4) compress the tier performance gap, which is what shifts the
+     * optimal cluster toward mid/low tiers in Figure 4.
+     */
+    double batch_half = 0;
+
+    /**
+     * CPU interference sensitivity: fraction of throughput a saturating
+     * co-runner can steal. High-end SoCs with more cores/cache absorb
+     * co-running load much better (Section 3.2).
+     */
+    double interference_sens = 0;
+
+    int cpu_vf_steps = 0;     ///< Number of CPU DVFS steps (Table 3).
+    int gpu_vf_steps = 0;     ///< Number of GPU DVFS steps (Table 3).
+
+    double cpu_fmax_ghz = 0;  ///< Max CPU frequency (Table 3).
+    double gpu_fmax_ghz = 0;  ///< Max GPU frequency (Table 3).
+};
+
+/** Canonical spec for a tier. */
+const DeviceSpec &spec_for_tier(Tier t);
+
+/** Fleet mix from Section 5.1: 30 high / 70 mid / 100 low of N=200. */
+struct FleetMix
+{
+    int high = 30;
+    int mid = 70;
+    int low = 100;
+
+    int total() const { return high + mid + low; }
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_DEVICE_SPEC_H

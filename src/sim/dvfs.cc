@@ -1,0 +1,95 @@
+#include "dvfs.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace autofl {
+
+std::string
+dvfs_label(DvfsLevel l)
+{
+    switch (l) {
+      case DvfsLevel::Low:
+        return "lo";
+      case DvfsLevel::Mid:
+        return "mid";
+      case DvfsLevel::High:
+        return "hi";
+    }
+    return "?";
+}
+
+const std::vector<DvfsLevel> &
+all_dvfs_levels()
+{
+    static const std::vector<DvfsLevel> kAll = {
+        DvfsLevel::Low, DvfsLevel::Mid, DvfsLevel::High};
+    return kAll;
+}
+
+DvfsLadder::DvfsLadder(int steps, double fmax_ghz, double fmin_frac)
+    : fmax_ghz_(fmax_ghz)
+{
+    assert(steps >= 2 && fmin_frac > 0.0 && fmin_frac < 1.0);
+    freq_frac_.reserve(static_cast<size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+        const double t = static_cast<double>(i) / (steps - 1);
+        freq_frac_.push_back(fmin_frac + t * (1.0 - fmin_frac));
+    }
+}
+
+double
+DvfsLadder::freq_frac(int i) const
+{
+    assert(i >= 0 && i < steps());
+    return freq_frac_[static_cast<size_t>(i)];
+}
+
+double
+DvfsLadder::freq_ghz(int i) const
+{
+    return freq_frac(i) * fmax_ghz_;
+}
+
+double
+DvfsLadder::power_frac(int i) const
+{
+    const double f = freq_frac(i);
+    return f * f * f;
+}
+
+int
+DvfsLadder::step_for_level(DvfsLevel level) const
+{
+    switch (level) {
+      case DvfsLevel::Low:
+        return 0;
+      case DvfsLevel::Mid:
+        return steps() / 2;
+      case DvfsLevel::High:
+        return steps() - 1;
+    }
+    return steps() - 1;
+}
+
+double
+DvfsLadder::freq_frac_for_level(DvfsLevel level) const
+{
+    return freq_frac(step_for_level(level));
+}
+
+double
+DvfsLadder::power_frac_for_level(DvfsLevel level) const
+{
+    return power_frac(step_for_level(level));
+}
+
+DvfsLadder
+ladder_for(const DeviceSpec &spec, ExecTarget target)
+{
+    if (target == ExecTarget::Cpu)
+        return DvfsLadder(spec.cpu_vf_steps, spec.cpu_fmax_ghz);
+    return DvfsLadder(spec.gpu_vf_steps, spec.gpu_fmax_ghz);
+}
+
+} // namespace autofl

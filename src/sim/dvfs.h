@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DVFS ladder: discrete voltage-frequency steps per execution target.
+ *
+ * AutoFL's second-level action is augmented with DVFS settings so fast
+ * participants can ride the straggler slack down to a lower V-F point
+ * (Section 4.1 "Action"). The ladder exposes the per-tier step counts of
+ * Table 3 and maps them onto the three coarse action buckets the RL agent
+ * uses (low / mid / high frequency).
+ */
+#ifndef AUTOFL_SIM_DVFS_H
+#define AUTOFL_SIM_DVFS_H
+
+#include <vector>
+
+#include "sim/device_spec.h"
+
+namespace autofl {
+
+/** Coarse DVFS action bucket used in the RL action space. */
+enum class DvfsLevel { Low, Mid, High };
+
+/** Short label ("lo", "mid", "hi"). */
+std::string dvfs_label(DvfsLevel l);
+
+/** All DVFS levels, for sweeps. */
+const std::vector<DvfsLevel> &all_dvfs_levels();
+
+/** Discrete V-F ladder for one execution target of one device tier. */
+class DvfsLadder
+{
+  public:
+    /**
+     * @param steps Number of V-F steps (from Table 3).
+     * @param fmax_ghz Maximum frequency.
+     * @param fmin_frac Lowest step as a fraction of fmax (default 0.4).
+     */
+    DvfsLadder(int steps, double fmax_ghz, double fmin_frac = 0.4);
+
+    /** Number of discrete steps. */
+    int steps() const { return static_cast<int>(freq_frac_.size()); }
+
+    /** Frequency fraction (f/fmax) of step @p i, ascending. */
+    double freq_frac(int i) const;
+
+    /** Absolute frequency of step @p i in GHz. */
+    double freq_ghz(int i) const;
+
+    /**
+     * Relative dynamic power of step @p i: (f/fmax)^3 from the classic
+     * f*V^2 scaling with V roughly linear in f.
+     */
+    double power_frac(int i) const;
+
+    /** Ladder step index for a coarse action bucket. */
+    int step_for_level(DvfsLevel level) const;
+
+    /** Frequency fraction for a coarse action bucket. */
+    double freq_frac_for_level(DvfsLevel level) const;
+
+    /** Relative dynamic power for a coarse action bucket. */
+    double power_frac_for_level(DvfsLevel level) const;
+
+  private:
+    std::vector<double> freq_frac_;
+    double fmax_ghz_;
+};
+
+/** Ladder for a tier's CPU or GPU, built from the tier spec. */
+DvfsLadder ladder_for(const DeviceSpec &spec, ExecTarget target);
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_DVFS_H

@@ -1,0 +1,85 @@
+#include "fleet.h"
+
+namespace autofl {
+
+Device::Device(int id, Tier tier, Rng rng)
+    : id_(id), tier_(tier), rng_(rng)
+{
+    // Default: quiet device on a good link.
+    state_.bandwidth_mbps = 80.0;
+}
+
+void
+Device::sample_state(const InterferenceGenerator &interference,
+                     const NetworkModel &network)
+{
+    interference.sample(rng_, state_.co_cpu_util, state_.co_mem_util);
+    state_.bandwidth_mbps = network.sample_bandwidth(rng_);
+}
+
+namespace {
+
+bool
+scenario_has_interference(VarianceScenario v)
+{
+    return v == VarianceScenario::Interference ||
+        v == VarianceScenario::Combined;
+}
+
+bool
+scenario_has_weak_network(VarianceScenario v)
+{
+    return v == VarianceScenario::WeakNetwork ||
+        v == VarianceScenario::Combined;
+}
+
+} // namespace
+
+Fleet::Fleet(const FleetMix &mix, VarianceScenario scenario, uint64_t seed)
+    : scenario_(scenario),
+      interference_(scenario_has_interference(scenario)),
+      network_(scenario_has_weak_network(scenario))
+{
+    Rng root(seed);
+    devices_.reserve(static_cast<size_t>(mix.total()));
+    int id = 0;
+    auto add_tier = [&](Tier t, int count) {
+        for (int i = 0; i < count; ++i, ++id)
+            devices_.emplace_back(id, t,
+                                  root.fork(static_cast<uint64_t>(id)));
+    };
+    add_tier(Tier::High, mix.high);
+    add_tier(Tier::Mid, mix.mid);
+    add_tier(Tier::Low, mix.low);
+}
+
+std::vector<int>
+Fleet::ids_of(Tier t) const
+{
+    std::vector<int> out;
+    for (const auto &d : devices_)
+        if (d.tier() == t)
+            out.push_back(d.id());
+    return out;
+}
+
+int
+Fleet::count_of(Tier t) const
+{
+    int n = 0;
+    for (const auto &d : devices_)
+        if (d.tier() == t)
+            ++n;
+    return n;
+}
+
+void
+Fleet::begin_round()
+{
+    for (auto &d : devices_) {
+        d.cool_down();
+        d.sample_state(interference_, network_);
+    }
+}
+
+} // namespace autofl

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Device and Fleet: the population of N edge devices participating in FL.
+ *
+ * The default fleet reproduces Section 5.1: 200 devices, 30 high-end,
+ * 70 mid-end, 100 low-end. Each device owns an independent RNG stream
+ * so its interference/network draws are reproducible and uncorrelated.
+ */
+#ifndef AUTOFL_SIM_FLEET_H
+#define AUTOFL_SIM_FLEET_H
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/device_spec.h"
+#include "sim/variance.h"
+#include "util/rng.h"
+
+namespace autofl {
+
+/** One simulated edge device. */
+class Device
+{
+  public:
+    Device(int id, Tier tier, Rng rng);
+
+    int id() const { return id_; }
+    Tier tier() const { return tier_; }
+    const DeviceSpec &spec() const { return spec_for_tier(tier_); }
+
+    /** Sample this round's interference and bandwidth state. */
+    void sample_state(const InterferenceGenerator &interference,
+                      const NetworkModel &network);
+
+    /** Observable execution state for the current round. */
+    const DeviceRoundState &state() const { return state_; }
+
+    /** Override the state (tests and directed scenarios). */
+    void set_state(const DeviceRoundState &s) { state_ = s; }
+
+    /**
+     * Cross-round thermal fatigue in [0, 1]: rises when the device
+     * participates, decays geometrically between rounds. Hidden from the
+     * scheduler's observable state — policies only feel it through the
+     * resulting time/energy (the paper's S4 observation that letting
+     * high-end devices "stay idle during the round" pays off).
+     */
+    double heat() const { return heat_; }
+
+    /** Geometric cool-down at the start of every round. */
+    void cool_down() { heat_ *= 0.6; }
+
+    /** Heat added by participating in a round. */
+    void add_heat() { heat_ = std::min(1.0, heat_ + 0.4); }
+
+  private:
+    int id_;
+    Tier tier_;
+    Rng rng_;
+    DeviceRoundState state_;
+    double heat_ = 0.0;
+};
+
+/** The population of devices plus the variance environment. */
+class Fleet
+{
+  public:
+    /**
+     * @param mix Tier mix (defaults to the paper's 30/70/100).
+     * @param scenario Runtime-variance scenario for state sampling.
+     * @param seed Fleet-level RNG seed.
+     */
+    Fleet(const FleetMix &mix, VarianceScenario scenario, uint64_t seed);
+
+    int size() const { return static_cast<int>(devices_.size()); }
+    Device &device(int i) { return devices_[static_cast<size_t>(i)]; }
+    const Device &device(int i) const
+    {
+        return devices_[static_cast<size_t>(i)];
+    }
+
+    /** Device ids of one tier, in id order. */
+    std::vector<int> ids_of(Tier t) const;
+
+    /** Count of devices of one tier. */
+    int count_of(Tier t) const;
+
+    /** Sample every device's round state from the scenario. */
+    void begin_round();
+
+    /** Scenario this fleet runs under. */
+    VarianceScenario scenario() const { return scenario_; }
+
+  private:
+    std::vector<Device> devices_;
+    VarianceScenario scenario_;
+    InterferenceGenerator interference_;
+    NetworkModel network_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_FLEET_H

@@ -1,0 +1,94 @@
+#include "perf.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/scale.h"
+
+namespace autofl {
+
+double
+mem_bound_fraction(double arithmetic_intensity)
+{
+    // Small-AI models (RC layers stream weight matrices per timestep)
+    // spend most cycles waiting on memory; CONV-heavy models reuse
+    // weights heavily. The constants map our model zoo onto the paper's
+    // observation that the H/L tier gap shrinks from ~2.1x (CNN) to
+    // ~1.5x (LSTM).
+    if (arithmetic_intensity <= 0.0)
+        return 0.5;
+    const double f = 1.8 / (1.8 + arithmetic_intensity);
+    return std::clamp(f, 0.05, 0.9);
+}
+
+double
+compute_time_s(const DeviceSpec &spec, ExecTarget target, double freq_frac,
+               const ComputeProfile &prof, const DeviceRoundState &state,
+               double heat)
+{
+    assert(freq_frac > 0.0 && freq_frac <= 1.0);
+    assert(heat >= 0.0 && heat <= 1.0);
+
+    const double base_gflops =
+        target == ExecTarget::Cpu ? spec.cpu_gflops : spec.gpu_gflops;
+
+    // Interference: a CPU co-runner competes for cores/cache with a CPU
+    // training run (big SoCs absorb it better, Section 3.2); a GPU run
+    // only contends on memory bandwidth.
+    double compute_slowdown = 1.0;
+    double mem_slowdown = 1.0 + 0.5 * state.co_mem_util;
+    if (target == ExecTarget::Cpu) {
+        compute_slowdown = 1.0 /
+            std::max(0.10, 1.0 - spec.interference_sens * state.co_cpu_util);
+        // Thermal throttling: sustained full-clock training plus a heavy
+        // co-runner trips the thermal governor.
+        if (state.co_cpu_util > 0.5 && freq_frac > 0.85)
+            compute_slowdown *= 1.25;
+    } else {
+        compute_slowdown = 1.0 + 0.15 * state.co_cpu_util;
+    }
+
+    // Minibatch utilization: wide machines need large batches to stay
+    // fed; B below the tier's half-saturation point wastes throughput.
+    const double batch_eff = static_cast<double>(prof.batch_size) /
+        (prof.batch_size + spec.batch_half);
+
+    const double eff_compute = base_gflops * 1e9 * kComputeScale *
+        freq_frac * batch_eff / compute_slowdown;
+    const double eff_mem = spec.mem_gflops * 1e9 * kComputeScale /
+        mem_slowdown;
+
+    const double cf = 1.0 - prof.mem_bound_frac;
+    double t = prof.train_flops *
+        (cf / eff_compute + prof.mem_bound_frac / eff_mem);
+
+    // Cross-round thermal fatigue: a device selected in recent rounds
+    // starts warm and loses headroom.
+    t /= std::max(0.3, 1.0 - 0.40 * heat);
+
+    // In-round sustained-load throttling: beyond the tier's thermal
+    // budget the remainder of the work runs at the throttled rate.
+    if (prof.include_overhead && t > spec.thermal_budget_s &&
+        spec.throttle_factor < 1.0) {
+        t = spec.thermal_budget_s +
+            (t - spec.thermal_budget_s) / spec.throttle_factor;
+    }
+
+    // Fixed per-round on-device overhead: runtime init, model
+    // (de)serialization, data pipeline setup. Largely tier- and
+    // frequency-independent, which is what compresses the tier gap
+    // when per-round work is small (Section 3.1's S3/S4 behavior).
+    if (prof.include_overhead)
+        t += kRoundOverheadS;
+    return t;
+}
+
+double
+comm_time_s(double payload_bytes, double bandwidth_mbps)
+{
+    assert(bandwidth_mbps > 0.0);
+    const double bits = 2.0 * payload_bytes * 8.0;  // download + upload
+    return bits / (bandwidth_mbps * 1e6 * kCommScale);
+}
+
+} // namespace autofl

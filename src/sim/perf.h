@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Performance model: training FLOPs -> simulated seconds on a device,
+ * as a function of execution target, DVFS point, the model's memory
+ * intensity, and co-running interference.
+ */
+#ifndef AUTOFL_SIM_PERF_H
+#define AUTOFL_SIM_PERF_H
+
+#include "sim/device_spec.h"
+#include "sim/dvfs.h"
+#include "sim/variance.h"
+
+namespace autofl {
+
+/** Workload compute profile the performance model needs. */
+struct ComputeProfile
+{
+    double train_flops = 0;      ///< Total training FLOPs this round.
+    double mem_bound_frac = 0;   ///< Fraction of time that is memory-bound.
+    double payload_bytes = 0;    ///< Gradient payload size (up or down).
+    int batch_size = 32;         ///< Local minibatch size B (utilization).
+
+    /**
+     * Include the fixed per-round overhead and sustained-load throttling
+     * (disabled by micro-level tests that isolate the rate model).
+     */
+    bool include_overhead = true;
+};
+
+/** Fixed per-round on-device setup/teardown time (simulated seconds). */
+constexpr double kRoundOverheadS = 0.35;
+
+/** Derive the memory-bound fraction from a model's arithmetic intensity. */
+double mem_bound_fraction(double arithmetic_intensity);
+
+/**
+ * Simulated training time for one device-round.
+ *
+ * Effective throughput combines the compute-bound and memory-bound parts
+ * harmonically; DVFS scales only the compute-bound part's clock; CPU
+ * interference steals cycles from a CPU-target run and memory pressure
+ * mildly degrades both targets (the GPU contends only for bandwidth).
+ * Heavy interference at a high V-F point adds a thermal-throttling
+ * penalty on the CPU (Section 6.2).
+ *
+ * @param heat Cross-round thermal fatigue in [0, 1] (see Device::heat()):
+ *        devices selected in consecutive rounds start warm and run slower.
+ */
+double compute_time_s(const DeviceSpec &spec, ExecTarget target,
+                      double freq_frac, const ComputeProfile &prof,
+                      const DeviceRoundState &state, double heat = 0.0);
+
+/** Simulated up+down gradient transfer time over the current link. */
+double comm_time_s(double payload_bytes, double bandwidth_mbps);
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_PERF_H

@@ -1,0 +1,53 @@
+#include "power.h"
+
+#include <cassert>
+
+#include "sim/variance.h"
+
+namespace autofl {
+
+double
+busy_power_w(const DeviceSpec &spec, ExecTarget target, double freq_frac)
+{
+    assert(freq_frac > 0.0 && freq_frac <= 1.0);
+    const double peak =
+        target == ExecTarget::Cpu ? spec.cpu_train_w : spec.gpu_train_w;
+    // Active power = static part + dynamic part. The dynamic part scales
+    // ~f^3 (f * V^2 with V roughly linear in f); the static part (leakage,
+    // uncore, rails that stay up while training) does not scale down,
+    // which is why riding DVFS to the floor is not a free 4x energy win
+    // on real phones — the sweet spot sits at mid frequencies.
+    const double f3 = freq_frac * freq_frac * freq_frac;
+    const double active = (peak - spec.idle_w) * (0.35 + 0.65 * f3);
+    return spec.idle_w + active;
+}
+
+double
+overhead_power_w(const DeviceSpec &spec)
+{
+    return 0.45 * spec.cpu_train_w + spec.idle_w;
+}
+
+ComputeEnergy
+compute_energy(const DeviceSpec &spec, ExecTarget target, double freq_frac,
+               double busy_s, double wait_s)
+{
+    ComputeEnergy e;
+    e.busy_j = busy_power_w(spec, target, freq_frac) * busy_s;
+    e.idle_j = spec.idle_w * wait_s;
+    return e;
+}
+
+double
+comm_energy(double bandwidth_mbps, double comm_s)
+{
+    return NetworkModel::tx_power_w(bandwidth_mbps) * comm_s;
+}
+
+double
+idle_energy(const DeviceSpec &spec, double round_s)
+{
+    return spec.idle_w * round_s;
+}
+
+} // namespace autofl

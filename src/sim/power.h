@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Energy models — direct implementations of Equations 1-4 of the paper.
+ *
+ *  Eq. 1  CPU computation energy: sum over busy/idle residency, with the
+ *         busy power taken at the operating V-F point.
+ *  Eq. 2  GPU computation energy: same structure on the GPU rail.
+ *  Eq. 3  Communication energy: TX power at the current signal strength
+ *         times the transmission latency.
+ *  Eq. 4  Idle energy of non-selected devices over the round.
+ */
+#ifndef AUTOFL_SIM_POWER_H
+#define AUTOFL_SIM_POWER_H
+
+#include "sim/device_spec.h"
+#include "sim/dvfs.h"
+
+namespace autofl {
+
+/** Computation-energy breakdown for one device over one round. */
+struct ComputeEnergy
+{
+    double busy_j = 0.0;  ///< Energy while training.
+    double idle_j = 0.0;  ///< Energy while waiting for the round to end.
+
+    double total() const { return busy_j + idle_j; }
+};
+
+/**
+ * Utilization-based computation energy (Eqs. 1-2). The busy power is the
+ * target's peak power scaled by the DVFS power fraction at the chosen
+ * frequency plus the always-on idle floor.
+ *
+ * @param spec Device tier spec (peak/idle powers).
+ * @param target Training execution target (selects the power rail).
+ * @param freq_frac Operating frequency as a fraction of fmax.
+ * @param busy_s Seconds spent training.
+ * @param wait_s Seconds spent idle inside the round after finishing.
+ */
+ComputeEnergy compute_energy(const DeviceSpec &spec, ExecTarget target,
+                             double freq_frac, double busy_s, double wait_s);
+
+/**
+ * Communication energy (Eq. 3): radio TX power at the current signal
+ * strength times the gradient up/down transfer latency.
+ */
+double comm_energy(double bandwidth_mbps, double comm_s);
+
+/** Idle energy of a non-participant over the round (Eq. 4). */
+double idle_energy(const DeviceSpec &spec, double round_s);
+
+/** Busy power draw (W) at an operating point, for tests/inspection. */
+double busy_power_w(const DeviceSpec &spec, ExecTarget target,
+                    double freq_frac);
+
+/**
+ * Power drawn during the fixed per-round setup/teardown overhead: the
+ * data pipeline and model (de)serialization run on the CPU at a moderate
+ * operating point regardless of the training target.
+ */
+double overhead_power_w(const DeviceSpec &spec);
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_POWER_H

@@ -1,0 +1,136 @@
+#include "round.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace autofl {
+
+int
+RoundExec::included_count() const
+{
+    int n = 0;
+    for (const auto &p : participants)
+        if (p.included)
+            ++n;
+    return n;
+}
+
+RoundExec
+simulate_round(Fleet &fleet, const std::vector<ParticipantPlan> &plans,
+               const std::vector<ComputeProfile> &profiles,
+               const RoundSimConfig &cfg)
+{
+    assert(plans.size() == profiles.size());
+    RoundExec out;
+    out.participants.reserve(plans.size());
+
+    // Pass 1: raw completion time of every participant.
+    std::vector<double> completions;
+    completions.reserve(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+        const ParticipantPlan &plan = plans[i];
+        const Device &dev = fleet.device(plan.device_id);
+        const DvfsLadder ladder = ladder_for(dev.spec(), plan.target);
+        const double freq = ladder.freq_frac_for_level(plan.dvfs);
+
+        DeviceExec e;
+        e.device_id = plan.device_id;
+        e.comp_s = compute_time_s(dev.spec(), plan.target, freq, profiles[i],
+                                  dev.state(), dev.heat());
+        e.comm_s = comm_time_s(profiles[i].payload_bytes,
+                               dev.state().bandwidth_mbps);
+        out.participants.push_back(e);
+        completions.push_back(e.completion_s());
+    }
+
+    // Deadline from the median completion (FedAvg straggler handling).
+    double deadline = std::numeric_limits<double>::infinity();
+    if (cfg.deadline_multiple > 0.0 && !completions.empty()) {
+        std::vector<double> sorted = completions;
+        std::nth_element(sorted.begin(),
+                         sorted.begin() +
+                             static_cast<ptrdiff_t>(sorted.size() / 2),
+                         sorted.end());
+        deadline = cfg.deadline_multiple * sorted[sorted.size() / 2];
+    }
+    out.deadline_s = deadline;
+
+    // Round time: slowest included participant (capped at the deadline
+    // when anyone was dropped, since the server stops waiting there).
+    double slowest_included = 0.0;
+    bool any_dropped = false;
+    for (size_t i = 0; i < out.participants.size(); ++i) {
+        DeviceExec &e = out.participants[i];
+        if (e.completion_s() > deadline) {
+            e.included = false;
+            any_dropped = true;
+        } else {
+            slowest_included = std::max(slowest_included, e.completion_s());
+        }
+    }
+    out.round_s = any_dropped ? deadline : slowest_included;
+    if (out.participants.empty())
+        out.round_s = 0.0;
+
+    // Pass 2: energies against the final round duration.
+    for (size_t i = 0; i < out.participants.size(); ++i) {
+        DeviceExec &e = out.participants[i];
+        const ParticipantPlan &plan = plans[i];
+        const Device &dev = fleet.device(plan.device_id);
+        const DvfsLadder ladder = ladder_for(dev.spec(), plan.target);
+        const double freq = ladder.freq_frac_for_level(plan.dvfs);
+
+        double busy_s = e.comp_s;
+        double comm_s = e.comm_s;
+        if (!e.included) {
+            // Dropped device worked until the deadline, then aborted; it
+            // had finished the download but never uploaded.
+            const double budget = std::max(0.0, deadline - comm_s * 0.5);
+            busy_s = std::min(busy_s, budget);
+            comm_s = comm_s * 0.5;
+            e.wait_s = 0.0;
+        } else {
+            e.wait_s = std::max(0.0, out.round_s - e.completion_s());
+        }
+        // The fixed setup overhead runs on the CPU pipeline regardless
+        // of the training target; the remaining busy time bills at the
+        // training target's rail.
+        const double overhead_s =
+            std::min(busy_s, profiles[i].include_overhead ?
+                                 kRoundOverheadS : 0.0);
+        const ComputeEnergy ce = compute_energy(
+            dev.spec(), plan.target, freq, busy_s - overhead_s, 0.0);
+        e.comp_j = ce.total() +
+            overhead_power_w(dev.spec()) * overhead_s;
+        e.comm_j = comm_energy(dev.state().bandwidth_mbps, comm_s);
+        // Session power runs for as long as the device is checked into
+        // the round (until the deadline for dropped stragglers); the
+        // wait after finishing additionally costs the idle floor.
+        const double session_s = e.included ? out.round_s : deadline;
+        e.wait_j = dev.spec().session_w * session_s +
+            dev.spec().idle_w * e.wait_s;
+        out.energy_participants_j += e.energy_j();
+        if (e.included)
+            out.work_flops += profiles[i].train_flops;
+    }
+
+    // Participants warm up for subsequent rounds.
+    for (const auto &plan : plans)
+        fleet.device(plan.device_id).add_heat();
+
+    // Idle energy of the rest of the fleet (Eq. 4).
+    std::vector<bool> is_participant(static_cast<size_t>(fleet.size()), false);
+    for (const auto &plan : plans)
+        is_participant[static_cast<size_t>(plan.device_id)] = true;
+    for (int d = 0; d < fleet.size(); ++d) {
+        if (!is_participant[static_cast<size_t>(d)]) {
+            out.energy_idle_fleet_j +=
+                idle_energy(fleet.device(d).spec(), out.round_s);
+        }
+    }
+    return out;
+}
+
+} // namespace autofl

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Round-level execution simulation: given a participant plan (who trains,
+ * on which target, at which DVFS point), compute the round's timing and
+ * the per-device / fleet energy breakdown (Eqs. 1-6).
+ *
+ * Rounds are straggler-gated: the round lasts until the slowest included
+ * participant uploads its gradients. Following the FedAvg deployment the
+ * paper baselines against, participants that run past a deadline are
+ * dropped from aggregation (their gradients are excluded and their energy
+ * is wasted), which is what degrades baseline accuracy under variance.
+ */
+#ifndef AUTOFL_SIM_ROUND_H
+#define AUTOFL_SIM_ROUND_H
+
+#include <vector>
+
+#include "sim/fleet.h"
+#include "sim/perf.h"
+#include "sim/power.h"
+
+namespace autofl {
+
+/** Scheduled work for one participant. */
+struct ParticipantPlan
+{
+    int device_id = -1;
+    ExecTarget target = ExecTarget::Cpu;
+    DvfsLevel dvfs = DvfsLevel::High;
+};
+
+/** Simulated execution record of one participant. */
+struct DeviceExec
+{
+    int device_id = -1;
+    bool included = true;   ///< False when dropped at the round deadline.
+    double comp_s = 0.0;    ///< Local training time.
+    double comm_s = 0.0;    ///< Gradient down+up transfer time.
+    double wait_s = 0.0;    ///< Idle wait after finishing, inside the round.
+    double comp_j = 0.0;    ///< Computation energy (Eqs. 1-2).
+    double comm_j = 0.0;    ///< Communication energy (Eq. 3).
+    double wait_j = 0.0;    ///< Idle-wait energy inside the round.
+
+    /** Total completion latency (transfer + training). */
+    double completion_s() const { return comp_s + comm_s; }
+
+    /** Total energy this participant drew during the round. */
+    double energy_j() const { return comp_j + comm_j + wait_j; }
+};
+
+/** Simulated result of one aggregation round. */
+struct RoundExec
+{
+    double round_s = 0.0;             ///< Wall time of the round.
+    double deadline_s = 0.0;          ///< Straggler-drop deadline used.
+    std::vector<DeviceExec> participants;
+    double energy_participants_j = 0.0;
+    double energy_idle_fleet_j = 0.0; ///< Non-participants' idle energy.
+    double work_flops = 0.0;          ///< Useful FLOPs from included devices.
+
+    /** Fleet-wide energy (Eq. 6 summed over all N devices). */
+    double energy_global_j() const
+    {
+        return energy_participants_j + energy_idle_fleet_j;
+    }
+
+    /** Number of participants whose gradients made it into aggregation. */
+    int included_count() const;
+};
+
+/** Round simulation knobs. */
+struct RoundSimConfig
+{
+    /**
+     * Deadline as a multiple of the median participant completion time;
+     * participants above it are dropped (FedAvg straggler handling).
+     * <= 0 disables dropping.
+     */
+    double deadline_multiple = 2.5;
+};
+
+/**
+ * Simulate one round.
+ * @param fleet The device population with per-round states sampled;
+ *        participants' thermal-fatigue state is updated at round end.
+ * @param plans One entry per selected participant.
+ * @param profiles Per-participant compute profile, parallel to @p plans.
+ */
+RoundExec simulate_round(Fleet &fleet,
+                         const std::vector<ParticipantPlan> &plans,
+                         const std::vector<ComputeProfile> &profiles,
+                         const RoundSimConfig &cfg = {});
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_ROUND_H

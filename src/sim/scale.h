@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Simulation scale constants.
+ *
+ * The paper trains MB-sized models for minutes per round on real devices.
+ * This repo trains deliberately miniaturized models (KB-sized, tens of
+ * milliseconds of real CPU work) so the whole 200-device evaluation runs
+ * in seconds. To keep the *simulated* time/energy ratios paper-shaped
+ * (compute-dominated rounds, communication ~10-20% of round time on a
+ * good network and several times larger on a weak one), device throughput
+ * and network bandwidth are scaled down by the constants below. Only
+ * ratios between policies matter; absolute units are simulator units.
+ */
+#ifndef AUTOFL_SIM_SCALE_H
+#define AUTOFL_SIM_SCALE_H
+
+namespace autofl {
+
+/**
+ * Fraction of a device's nominal FLOPS available to the miniature models:
+ * a 153.6 GFLOPS high-end device becomes a 153.6 MFLOPS simulated engine,
+ * stretching the tiny models' round times to ~1 simulated second.
+ */
+constexpr double kComputeScale = 1e-3;
+
+/**
+ * Fraction of nominal radio bandwidth available to the miniature payloads,
+ * chosen so a ~25 KB model at 80 Mbps nominal takes ~0.1 simulated second.
+ */
+constexpr double kCommScale = 0.04;
+
+/**
+ * Training FLOPs per sample as a multiple of forward FLOPs
+ * (forward + backward + weight update).
+ */
+constexpr double kTrainFlopFactor = 3.0;
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_SCALE_H

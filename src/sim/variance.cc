@@ -1,0 +1,76 @@
+#include "variance.h"
+
+#include <algorithm>
+
+namespace autofl {
+
+std::string
+variance_scenario_name(VarianceScenario v)
+{
+    switch (v) {
+      case VarianceScenario::None:
+        return "no-variance";
+      case VarianceScenario::Interference:
+        return "interference";
+      case VarianceScenario::WeakNetwork:
+        return "weak-network";
+      case VarianceScenario::Combined:
+        return "combined";
+    }
+    return "unknown";
+}
+
+InterferenceGenerator::InterferenceGenerator(bool active,
+                                             double affected_fraction)
+    : active_(active), affected_fraction_(affected_fraction)
+{
+}
+
+void
+InterferenceGenerator::sample(Rng &device_rng, double &cpu_out,
+                              double &mem_out) const
+{
+    cpu_out = 0.0;
+    mem_out = 0.0;
+    if (!active_)
+        return;
+    if (!device_rng.bernoulli(affected_fraction_))
+        return;
+    // Browsing is bursty: mostly moderate load with occasional heavy
+    // bursts (page loads, JS-heavy tabs).
+    if (device_rng.bernoulli(0.3)) {
+        cpu_out = std::clamp(device_rng.normal(0.75, 0.12), 0.0, 1.0);
+        mem_out = std::clamp(device_rng.normal(0.55, 0.15), 0.0, 1.0);
+    } else {
+        cpu_out = std::clamp(device_rng.normal(0.35, 0.12), 0.0, 1.0);
+        mem_out = std::clamp(device_rng.normal(0.25, 0.10), 0.0, 1.0);
+    }
+}
+
+NetworkModel::NetworkModel(bool weak) : weak_(weak)
+{
+}
+
+double
+NetworkModel::sample_bandwidth(Rng &device_rng) const
+{
+    const double mean = weak_ ? 18.0 : 80.0;
+    const double std = weak_ ? 8.0 : 15.0;
+    return std::max(1.0, device_rng.normal(mean, std));
+}
+
+double
+NetworkModel::tx_power_w(double bandwidth_mbps)
+{
+    // Signal-strength buckets: strong / medium / weak. Radio TX power
+    // rises steeply at the cell edge (paper's Eq. 3 inputs).
+    if (bandwidth_mbps > 60.0)
+        return 0.7;
+    if (bandwidth_mbps > kBadBandwidthMbps)
+        return 1.2;
+    if (bandwidth_mbps > 15.0)
+        return 1.8;
+    return 2.5;
+}
+
+} // namespace autofl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Stochastic runtime variance sources: co-running application interference
+ * and wireless network instability (Sections 2.2, 3.2, 5.2).
+ */
+#ifndef AUTOFL_SIM_VARIANCE_H
+#define AUTOFL_SIM_VARIANCE_H
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace autofl {
+
+/** Runtime-variance scenario evaluated in the paper (Figs. 5 and 10). */
+enum class VarianceScenario {
+    None,          ///< Ideal: no interference, stable strong network.
+    Interference,  ///< Web-browsing-like co-running apps on random devices.
+    WeakNetwork,   ///< Degraded, unstable wireless bandwidth.
+    Combined,      ///< Both interference and weak network (field mix).
+};
+
+/** Human-readable scenario name. */
+std::string variance_scenario_name(VarianceScenario v);
+
+/** Per-round observable execution state of one device. */
+struct DeviceRoundState
+{
+    double co_cpu_util = 0.0;   ///< CPU utilization of co-running apps [0,1].
+    double co_mem_util = 0.0;   ///< Memory pressure of co-running apps [0,1].
+    double bandwidth_mbps = 0;  ///< Current wireless bandwidth.
+};
+
+/**
+ * Generates bursty web-browsing-shaped co-running load (Section 5.2).
+ * Each device independently alternates between idle and browsing phases;
+ * while browsing, CPU/memory utilization follow the bursty distribution
+ * of interactive web workloads.
+ */
+class InterferenceGenerator
+{
+  public:
+    /**
+     * @param active Whether any interference exists in the scenario.
+     * @param affected_fraction Fraction of devices with a co-runner.
+     */
+    InterferenceGenerator(bool active, double affected_fraction = 0.5);
+
+    /**
+     * Sample the co-running load a device experiences this round.
+     * @param device_rng Per-device RNG stream.
+     * @param cpu_out CPU utilization of the co-runner [0, 1].
+     * @param mem_out Memory pressure of the co-runner [0, 1].
+     */
+    void sample(Rng &device_rng, double &cpu_out, double &mem_out) const;
+
+  private:
+    bool active_;
+    double affected_fraction_;
+};
+
+/**
+ * Gaussian-bandwidth wireless network model (the paper models real-world
+ * network variability as Gaussian). Signal strength classes derive from
+ * the sampled bandwidth and set the radio TX power (Eq. 3).
+ */
+class NetworkModel
+{
+  public:
+    /**
+     * @param weak Whether the scenario degrades the network.
+     */
+    explicit NetworkModel(bool weak);
+
+    /** Sample this round's bandwidth for one device (Mbps, >= 1). */
+    double sample_bandwidth(Rng &device_rng) const;
+
+    /**
+     * Radio TX power at a given bandwidth (signal-strength proxy):
+     * weaker signal -> higher TX power, per the measurement-driven model
+     * the paper cites.
+     */
+    static double tx_power_w(double bandwidth_mbps);
+
+    /** Paper's S_Network threshold: "bad" when bandwidth <= 40 Mbps. */
+    static constexpr double kBadBandwidthMbps = 40.0;
+
+  private:
+    bool weak_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SIM_VARIANCE_H

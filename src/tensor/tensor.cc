@@ -1,0 +1,263 @@
+#include "tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace autofl {
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f)
+{
+}
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill)
+{
+}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    assert(data_.size() == shape_size(shape_));
+}
+
+int
+Tensor::dim(int d) const
+{
+    if (d < 0)
+        d += rank();
+    assert(d >= 0 && d < rank());
+    return shape_[static_cast<size_t>(d)];
+}
+
+float &
+Tensor::at2(int r, int c)
+{
+    assert(rank() == 2);
+    return data_[static_cast<size_t>(r) * static_cast<size_t>(shape_[1]) +
+                 static_cast<size_t>(c)];
+}
+
+float
+Tensor::at2(int r, int c) const
+{
+    return const_cast<Tensor *>(this)->at2(r, c);
+}
+
+float &
+Tensor::at3(int a, int b, int c)
+{
+    assert(rank() == 3);
+    return data_[(static_cast<size_t>(a) * static_cast<size_t>(shape_[1]) +
+                  static_cast<size_t>(b)) * static_cast<size_t>(shape_[2]) +
+                 static_cast<size_t>(c)];
+}
+
+float
+Tensor::at3(int a, int b, int c) const
+{
+    return const_cast<Tensor *>(this)->at3(a, b, c);
+}
+
+float &
+Tensor::at4(int n, int c, int h, int w)
+{
+    assert(rank() == 4);
+    size_t idx = static_cast<size_t>(n);
+    idx = idx * static_cast<size_t>(shape_[1]) + static_cast<size_t>(c);
+    idx = idx * static_cast<size_t>(shape_[2]) + static_cast<size_t>(h);
+    idx = idx * static_cast<size_t>(shape_[3]) + static_cast<size_t>(w);
+    return data_[idx];
+}
+
+float
+Tensor::at4(int n, int c, int h, int w) const
+{
+    return const_cast<Tensor *>(this)->at4(n, c, h, w);
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+Tensor
+Tensor::reshaped(std::vector<int> new_shape) const
+{
+    assert(shape_size(new_shape) == data_.size());
+    return Tensor(std::move(new_shape), data_);
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &other)
+{
+    assert(data_.size() == other.data_.size());
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator-=(const Tensor &other)
+{
+    assert(data_.size() == other.data_.size());
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+    return *this;
+}
+
+Tensor
+Tensor::operator+(const Tensor &other) const
+{
+    Tensor out = *this;
+    out += other;
+    return out;
+}
+
+Tensor
+Tensor::operator-(const Tensor &other) const
+{
+    Tensor out = *this;
+    out -= other;
+    return out;
+}
+
+Tensor
+Tensor::operator*(float s) const
+{
+    Tensor out = *this;
+    out *= s;
+    return out;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += v;
+    return s;
+}
+
+double
+Tensor::squared_norm() const
+{
+    double s = 0.0;
+    for (float v : data_)
+        s += static_cast<double>(v) * static_cast<double>(v);
+    return s;
+}
+
+std::string
+Tensor::shape_str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape_.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << shape_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+size_t
+Tensor::shape_size(const std::vector<int> &shape)
+{
+    size_t n = 1;
+    for (int d : shape) {
+        assert(d >= 0);
+        n *= static_cast<size_t>(d);
+    }
+    return shape.empty() ? 0 : n;
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    Tensor out({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            const float av = pa[static_cast<size_t>(i) * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + static_cast<size_t>(kk) * n;
+            float *orow = po + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+matmul_tn(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    assert(b.dim(0) == k);
+    Tensor out({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int kk = 0; kk < k; ++kk) {
+        const float *arow = pa + static_cast<size_t>(kk) * m;
+        const float *brow = pb + static_cast<size_t>(kk) * n;
+        for (int i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *orow = po + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+    return out;
+}
+
+Tensor
+matmul_nt(const Tensor &a, const Tensor &b)
+{
+    assert(a.rank() == 2 && b.rank() == 2);
+    const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    assert(b.dim(1) == k);
+    Tensor out({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *po = out.data();
+    for (int i = 0; i < m; ++i) {
+        const float *arow = pa + static_cast<size_t>(i) * k;
+        for (int j = 0; j < n; ++j) {
+            const float *brow = pb + static_cast<size_t>(j) * k;
+            float acc = 0.0f;
+            for (int kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            po[static_cast<size_t>(i) * n + j] = acc;
+        }
+    }
+    return out;
+}
+
+bool
+same_shape(const Tensor &a, const Tensor &b)
+{
+    return a.shape() == b.shape();
+}
+
+} // namespace autofl

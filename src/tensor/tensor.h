@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal dense float32 tensor used by the from-scratch NN library.
+ *
+ * The tensor is a contiguous row-major buffer plus a shape. It is
+ * intentionally small: the FL training stack needs batched 2-D and 4-D
+ * arrays, elementwise arithmetic, and matrix multiplication — nothing
+ * more. All layers implement their own forward/backward loops on top.
+ */
+#ifndef AUTOFL_TENSOR_TENSOR_H
+#define AUTOFL_TENSOR_TENSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autofl {
+
+/** Dense row-major float tensor with up to 4 dimensions in practice. */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no elements). */
+    Tensor() = default;
+
+    /** Zero-initialized tensor with the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Tensor with the given shape and fill value. */
+    Tensor(std::vector<int> shape, float fill);
+
+    /** Tensor wrapping the given flat data (size must match shape). */
+    Tensor(std::vector<int> shape, std::vector<float> data);
+
+    /** Shape vector, e.g. {batch, channels, h, w}. */
+    const std::vector<int> &shape() const { return shape_; }
+
+    /** Rank (number of dimensions). */
+    int rank() const { return static_cast<int>(shape_.size()); }
+
+    /** Size of dimension @p d (supports negative indices from the back). */
+    int dim(int d) const;
+
+    /** Total element count. */
+    size_t size() const { return data_.size(); }
+
+    /** True when the tensor holds no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** Flat element access. */
+    float &operator[](size_t i) { return data_[i]; }
+    float operator[](size_t i) const { return data_[i]; }
+
+    /** 2-D access for {rows, cols} tensors. */
+    float &at2(int r, int c);
+    float at2(int r, int c) const;
+
+    /** 3-D access for {d0, d1, d2} tensors. */
+    float &at3(int a, int b, int c);
+    float at3(int a, int b, int c) const;
+
+    /** 4-D access for {n, c, h, w} tensors. */
+    float &at4(int n, int c, int h, int w);
+    float at4(int n, int c, int h, int w) const;
+
+    /** Raw data access. */
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &vec() { return data_; }
+    const std::vector<float> &vec() const { return data_; }
+
+    /** Set every element to @p v. */
+    void fill(float v);
+
+    /** Reinterpret with a new shape of identical element count. */
+    Tensor reshaped(std::vector<int> new_shape) const;
+
+    /** Elementwise in-place operations. */
+    Tensor &operator+=(const Tensor &other);
+    Tensor &operator-=(const Tensor &other);
+    Tensor &operator*=(float s);
+
+    /** Elementwise binary operators (shapes must match). */
+    Tensor operator+(const Tensor &other) const;
+    Tensor operator-(const Tensor &other) const;
+    Tensor operator*(float s) const;
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Squared L2 norm of all elements. */
+    double squared_norm() const;
+
+    /** Human-readable shape string like "[2, 3, 4]". */
+    std::string shape_str() const;
+
+    /** Number of elements implied by a shape. */
+    static size_t shape_size(const std::vector<int> &shape);
+
+  private:
+    std::vector<int> shape_;
+    std::vector<float> data_;
+};
+
+/**
+ * Matrix multiply: a {m, k} x b {k, n} -> {m, n}.
+ * Plain triple loop with k-innermost accumulation; fast enough for the
+ * small models trained in the simulator.
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Matrix multiply with a transposed: a {k, m} -> aT b where b {k, n}. */
+Tensor matmul_tn(const Tensor &a, const Tensor &b);
+
+/** Matrix multiply with b transposed: a {m, k} x b {n, k} -> {m, n}. */
+Tensor matmul_nt(const Tensor &a, const Tensor &b);
+
+/** True when the two shapes are identical. */
+bool same_shape(const Tensor &a, const Tensor &b);
+
+} // namespace autofl
+
+#endif // AUTOFL_TENSOR_TENSOR_H

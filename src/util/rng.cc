@@ -1,0 +1,177 @@
+#include "rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace autofl {
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
+Rng::splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+Rng
+Rng::fork(uint64_t stream_id)
+{
+    // Mix the stream id into a fresh seed drawn from this stream so that
+    // child streams are decorrelated from each other and from the parent.
+    uint64_t mixed = (*this)() ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+    return Rng(mixed);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa of a uniform double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::randint(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = (~0ULL) - ((~0ULL) % span);
+    uint64_t r;
+    do {
+        r = (*this)();
+    } while (span != 0 && r >= limit && limit != 0);
+    return lo + static_cast<int64_t>(span == 0 ? r : r % span);
+}
+
+double
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_normal_ = mag * std::sin(2.0 * M_PI * u2);
+    have_cached_normal_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gamma(double shape)
+{
+    assert(shape > 0.0);
+    if (shape < 1.0) {
+        // Boost to shape >= 1 then apply the standard correction.
+        double u = 0.0;
+        while (u <= 1e-300)
+            u = uniform();
+        return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x = normal();
+        double v = 1.0 + c * x;
+        if (v <= 0.0)
+            continue;
+        v = v * v * v;
+        double u = uniform();
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (u > 1e-300 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return d * v;
+    }
+}
+
+std::vector<double>
+Rng::dirichlet(double alpha, int k)
+{
+    assert(k > 0);
+    std::vector<double> out(static_cast<size_t>(k));
+    double sum = 0.0;
+    for (auto &v : out) {
+        v = gamma(alpha);
+        sum += v;
+    }
+    if (sum <= 0.0) {
+        // Degenerate draw (all gammas underflowed); fall back to one-hot.
+        out.assign(out.size(), 0.0);
+        out[static_cast<size_t>(randint(0, k - 1))] = 1.0;
+        return out;
+    }
+    for (auto &v : out)
+        v /= sum;
+    return out;
+}
+
+int
+Rng::categorical(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+}
+
+} // namespace autofl

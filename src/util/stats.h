@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the experiment harness and
+ * the bench reporters.
+ */
+#ifndef AUTOFL_UTIL_STATS_H
+#define AUTOFL_UTIL_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace autofl {
+
+/**
+ * Welford-style running mean/variance accumulator with min/max tracking.
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Number of observations. */
+    size_t count() const { return n_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Maximum observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Exponentially weighted moving average, used for reward smoothing in the
+ * RL convergence bench (Fig. 15).
+ */
+class Ewma
+{
+  public:
+    /** @param alpha Smoothing factor in (0, 1]; larger tracks faster. */
+    explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+    /** Feed one observation; returns the updated average. */
+    double add(double x);
+
+    /** Current average (0 before any observation). */
+    double value() const { return value_; }
+
+    /** Whether any observation has been fed. */
+    bool initialized() const { return initialized_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+/** Linear-interpolation percentile of a sample (p in [0, 100]). */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean of a sample (0 when empty). */
+double mean_of(const std::vector<double> &values);
+
+/** Geometric mean of strictly positive values (0 when empty). */
+double geomean_of(const std::vector<double> &values);
+
+} // namespace autofl
+
+#endif // AUTOFL_UTIL_STATS_H

@@ -1,0 +1,84 @@
+#include "table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace autofl {
+
+void
+TextTable::set_header(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::add_row(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < cols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2) << cell;
+        }
+        os << "\n";
+    };
+    emit(header_);
+    size_t rule = 0;
+    for (size_t c = 0; c < cols; ++c)
+        rule += width[c] + 2;
+    os << std::string(rule, '-') << "\n";
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+TextTable::to_csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+print_banner(std::ostream &os, const std::string &title)
+{
+    os << "\n== " << title << " ==\n";
+}
+
+} // namespace autofl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the bench binaries to print
+ * the paper-shaped result rows/series.
+ */
+#ifndef AUTOFL_UTIL_TABLE_H
+#define AUTOFL_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autofl {
+
+/**
+ * Column-aligned text table. Cells are strings; numeric helpers format
+ * with a fixed precision. Rendering pads every column to its widest cell.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void set_header(std::vector<std::string> header);
+
+    /** Append a row of pre-formatted cells. */
+    void add_row(std::vector<std::string> row);
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render to a stream with column alignment and a separator rule. */
+    void render(std::ostream &os) const;
+
+    /** Render to a CSV string (no padding, comma separated). */
+    std::string to_csv() const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("== title ==") to the stream. */
+void print_banner(std::ostream &os, const std::string &title);
+
+} // namespace autofl
+
+#endif // AUTOFL_UTIL_TABLE_H

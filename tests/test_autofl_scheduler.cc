@@ -1,0 +1,181 @@
+/** @file AutoFlScheduler behavioral tests (Algorithm 1). */
+#include <gtest/gtest.h>
+
+#include "core/autofl.h"
+#include "nn/models.h"
+#include "sim/round.h"
+
+namespace autofl {
+namespace {
+
+GlobalObservation
+cnn_observation()
+{
+    GlobalObservation g;
+    g.profile = model_profile(Workload::CnnMnist);
+    g.params = {16, 5, 20};
+    return g;
+}
+
+std::vector<LocalObservation>
+quiet_locals(const Fleet &fleet)
+{
+    std::vector<LocalObservation> locals(static_cast<size_t>(fleet.size()));
+    for (auto &l : locals) {
+        l.state.bandwidth_mbps = 80.0;
+        l.data_classes = 10;
+        l.total_classes = 10;
+    }
+    return locals;
+}
+
+TEST(AutoFlScheduler, SelectsExactlyK)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 21);
+    AutoFlScheduler sched(fleet, AutoFlConfig{});
+    auto plans = sched.select(cnn_observation(), quiet_locals(fleet), 20);
+    EXPECT_EQ(plans.size(), 20u);
+    // No duplicate devices.
+    std::set<int> ids;
+    for (const auto &p : plans)
+        ids.insert(p.device_id);
+    EXPECT_EQ(ids.size(), 20u);
+}
+
+TEST(AutoFlScheduler, ZeroEpsilonIsDeterministicGreedy)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 22);
+    AutoFlConfig cfg;
+    cfg.epsilon = 0.0;
+    AutoFlScheduler a(fleet, cfg), b(fleet, cfg);
+    auto pa = a.select(cnn_observation(), quiet_locals(fleet), 10);
+    auto pb = b.select(cnn_observation(), quiet_locals(fleet), 10);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].device_id, pb[i].device_id);
+        EXPECT_EQ(pa[i].target, pb[i].target);
+    }
+}
+
+/**
+ * Reward-shaping learning test: devices with high co-running load are
+ * made expensive (their selection yields low reward); the scheduler must
+ * learn to avoid them.
+ */
+TEST(AutoFlScheduler, LearnsToAvoidPenalizedDevices)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 23);
+    AutoFlConfig cfg;
+    cfg.epsilon = 0.15;
+    cfg.seed = 7;
+    AutoFlScheduler sched(fleet, cfg);
+    GlobalObservation gobs = cnn_observation();
+
+    // Devices 0..99 are "bad" (high interference state).
+    auto locals = quiet_locals(fleet);
+    for (int d = 0; d < 100; ++d) {
+        locals[static_cast<size_t>(d)].state.co_cpu_util = 0.9;
+        locals[static_cast<size_t>(d)].state.co_mem_util = 0.9;
+    }
+
+    double acc = 50.0;
+    for (int round = 0; round < 120; ++round) {
+        auto plans = sched.select(gobs, locals, 20);
+        // Build a synthetic outcome: picking bad devices costs energy.
+        RoundExec exec;
+        exec.round_s = 1.0;
+        int bad = 0;
+        for (const auto &p : plans) {
+            DeviceExec e;
+            e.device_id = p.device_id;
+            e.comp_s = 1.0;
+            const bool is_bad = p.device_id < 100;
+            if (is_bad)
+                ++bad;
+            e.comp_j = is_bad ? 20.0 : 1.0;
+            exec.participants.push_back(e);
+            exec.energy_participants_j += e.energy_j();
+        }
+        exec.energy_idle_fleet_j = 10.0;
+        exec.work_flops = 1.0;
+        acc += 0.2;  // Accuracy keeps improving slightly.
+        sched.observe_outcome(exec, acc);
+    }
+
+    // After learning, a greedy selection should avoid the bad devices.
+    sched.set_epsilon(0.0);
+    auto plans = sched.select(gobs, locals, 20);
+    int bad = 0;
+    for (const auto &p : plans)
+        if (p.device_id < 100)
+            ++bad;
+    EXPECT_LE(bad, 5) << "scheduler still selects penalized devices";
+}
+
+TEST(AutoFlScheduler, SharedTablesUseThreeTables)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 24);
+    AutoFlConfig cfg;
+    cfg.shared_tables = true;
+    AutoFlScheduler sched(fleet, cfg);
+    // Devices of the same tier share a table object.
+    EXPECT_EQ(&sched.table_for(0), &sched.table_for(1));       // H with H
+    EXPECT_EQ(&sched.table_for(30), &sched.table_for(31));     // M with M
+    EXPECT_NE(&sched.table_for(0), &sched.table_for(30));      // H vs M
+    EXPECT_NE(&sched.table_for(30), &sched.table_for(150));    // M vs L
+}
+
+TEST(AutoFlScheduler, PerDeviceTablesAreIndependent)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 25);
+    AutoFlScheduler sched(fleet, AutoFlConfig{});
+    EXPECT_NE(&sched.table_for(0), &sched.table_for(1));
+}
+
+TEST(AutoFlScheduler, MemoryFootprintIsBounded)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::Combined, 26);
+    AutoFlScheduler sched(fleet, AutoFlConfig{});
+    GlobalObservation gobs = cnn_observation();
+    for (int round = 0; round < 30; ++round) {
+        fleet.begin_round();
+        auto locals = quiet_locals(fleet);
+        for (int d = 0; d < fleet.size(); ++d)
+            locals[static_cast<size_t>(d)].state = fleet.device(d).state();
+        auto plans = sched.select(gobs, locals, 20);
+        RoundExec exec;
+        exec.round_s = 1.0;
+        for (const auto &p : plans) {
+            DeviceExec e;
+            e.device_id = p.device_id;
+            e.comp_j = 1.0;
+            exec.participants.push_back(e);
+        }
+        sched.observe_outcome(exec, 50.0 + round);
+    }
+    EXPECT_GT(sched.total_entries(), 0u);
+    // Paper: ~80 MB for 200 devices; we must stay well under that.
+    EXPECT_LT(sched.total_bytes(), 80ull * 1024 * 1024);
+}
+
+TEST(AutoFlScheduler, RewardTrackingRuns)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 27);
+    AutoFlScheduler sched(fleet, AutoFlConfig{});
+    auto plans = sched.select(cnn_observation(), quiet_locals(fleet), 5);
+    RoundExec exec;
+    exec.round_s = 1.0;
+    for (const auto &p : plans) {
+        DeviceExec e;
+        e.device_id = p.device_id;
+        e.comp_j = 1.0;
+        exec.participants.push_back(e);
+    }
+    sched.observe_outcome(exec, 10.0);
+    EXPECT_EQ(sched.rounds_seen(), 1);
+    // First round: acc improved from 0 -> success branch for everyone.
+    EXPECT_GT(sched.last_mean_reward(), 0.0);
+}
+
+} // namespace
+} // namespace autofl

@@ -1,0 +1,214 @@
+/** @file Synthetic dataset generators and partitioner tests. */
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+
+namespace autofl {
+namespace {
+
+SyntheticConfig
+small_cfg()
+{
+    SyntheticConfig cfg;
+    cfg.train_samples = 600;
+    cfg.test_samples = 200;
+    cfg.seed = 5;
+    return cfg;
+}
+
+class GeneratorTest : public ::testing::TestWithParam<Workload>
+{
+};
+
+TEST_P(GeneratorTest, ShapesAndLabels)
+{
+    const Workload w = GetParam();
+    auto split = make_dataset(w, small_cfg());
+    EXPECT_EQ(split.train.size(), 600u);
+    EXPECT_EQ(split.test.size(), 200u);
+    EXPECT_EQ(split.train.num_classes, model_num_classes(w));
+    EXPECT_EQ(split.train.x.dim(0), 600);
+    for (int y : split.train.y) {
+        ASSERT_GE(y, 0);
+        ASSERT_LT(y, split.train.num_classes);
+    }
+}
+
+TEST_P(GeneratorTest, DeterministicForSeed)
+{
+    const Workload w = GetParam();
+    auto a = make_dataset(w, small_cfg());
+    auto b = make_dataset(w, small_cfg());
+    ASSERT_EQ(a.train.size(), b.train.size());
+    EXPECT_EQ(a.train.y, b.train.y);
+    for (size_t i = 0; i < a.train.x.size(); i += 97)
+        EXPECT_EQ(a.train.x[i], b.train.x[i]);
+}
+
+TEST_P(GeneratorTest, SeedsChangeData)
+{
+    const Workload w = GetParam();
+    auto a = make_dataset(w, small_cfg());
+    SyntheticConfig cfg2 = small_cfg();
+    cfg2.seed = 6;
+    auto b = make_dataset(w, cfg2);
+    EXPECT_NE(a.train.y, b.train.y);
+}
+
+TEST_P(GeneratorTest, AllClassesPresent)
+{
+    const Workload w = GetParam();
+    auto split = make_dataset(w, small_cfg());
+    std::set<int> classes(split.train.y.begin(), split.train.y.end());
+    EXPECT_EQ(static_cast<int>(classes.size()), split.train.num_classes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, GeneratorTest,
+                         ::testing::ValuesIn(all_workloads()));
+
+TEST(Dataset, SubsetCopiesRows)
+{
+    auto split = make_synthetic_mnist(small_cfg());
+    Dataset sub = split.train.subset({3, 10, 42});
+    EXPECT_EQ(sub.size(), 3u);
+    EXPECT_EQ(sub.y[0], split.train.y[3]);
+    EXPECT_EQ(sub.y[2], split.train.y[42]);
+    // Compare one pixel of the middle sample.
+    EXPECT_EQ(sub.x.at4(1, 0, 5, 5), split.train.x.at4(10, 0, 5, 5));
+}
+
+TEST(Dataset, BatchImagesLayout)
+{
+    auto split = make_synthetic_mnist(small_cfg());
+    Tensor b = split.train.batch_x({0, 1});
+    EXPECT_EQ(b.shape(),
+              (std::vector<int>{2, 1, kMnistSide, kMnistSide}));
+    EXPECT_EQ(b.at4(1, 0, 3, 4), split.train.x.at4(1, 0, 3, 4));
+}
+
+TEST(Dataset, BatchTextTransposesToTimeMajor)
+{
+    auto split = make_synthetic_text(small_cfg());
+    Tensor b = split.train.batch_x({2, 7, 9});
+    EXPECT_EQ(b.shape(), (std::vector<int>{kTextSeqLen, 3, kTextVocab}));
+    // Sample 7's timestep 4 should land at [4, 1, :].
+    for (int v = 0; v < kTextVocab; ++v)
+        EXPECT_EQ(b.at3(4, 1, v), split.train.x.at3(7, 4, v));
+}
+
+TEST(Dataset, TextSamplesAreOneHot)
+{
+    auto split = make_synthetic_text(small_cfg());
+    for (int s = 0; s < 10; ++s) {
+        for (int t = 0; t < kTextSeqLen; ++t) {
+            float sum = 0.0f;
+            for (int v = 0; v < kTextVocab; ++v)
+                sum += split.train.x.at3(s, t, v);
+            EXPECT_FLOAT_EQ(sum, 1.0f);
+        }
+    }
+}
+
+TEST(Dataset, HistogramCountsLabels)
+{
+    Dataset d;
+    d.num_classes = 3;
+    d.x = Tensor({4, 1});
+    d.y = {0, 2, 2, 1};
+    auto h = d.class_histogram();
+    EXPECT_EQ(h, (std::vector<int>{1, 1, 2}));
+    EXPECT_EQ(d.distinct_classes(), 3);
+}
+
+TEST(Partition, NamesAndFractions)
+{
+    EXPECT_EQ(data_distribution_name(DataDistribution::IdealIid),
+              "Ideal IID");
+    EXPECT_DOUBLE_EQ(non_iid_fraction(DataDistribution::IdealIid), 0.0);
+    EXPECT_DOUBLE_EQ(non_iid_fraction(DataDistribution::NonIid50), 0.5);
+    EXPECT_DOUBLE_EQ(non_iid_fraction(DataDistribution::NonIid75), 0.75);
+    EXPECT_DOUBLE_EQ(non_iid_fraction(DataDistribution::NonIid100), 1.0);
+}
+
+class PartitionTest : public ::testing::TestWithParam<DataDistribution>
+{
+};
+
+TEST_P(PartitionTest, ShardsCoverAllDevicesAtQuota)
+{
+    auto split = make_synthetic_mnist(small_cfg());
+    PartitionConfig cfg;
+    cfg.num_devices = 30;
+    cfg.distribution = GetParam();
+    auto part = partition_dataset(split.train, cfg);
+    ASSERT_EQ(part.shards.size(), 30u);
+    const int quota = 600 / 30;
+    for (const auto &shard : part.shards)
+        EXPECT_EQ(static_cast<int>(shard.size()), quota);
+}
+
+TEST_P(PartitionTest, NonIidCountMatchesScenario)
+{
+    auto split = make_synthetic_mnist(small_cfg());
+    PartitionConfig cfg;
+    cfg.num_devices = 40;
+    cfg.distribution = GetParam();
+    auto part = partition_dataset(split.train, cfg);
+    int non_iid = 0;
+    for (bool b : part.non_iid)
+        if (b)
+            ++non_iid;
+    EXPECT_EQ(non_iid,
+              static_cast<int>(non_iid_fraction(GetParam()) * 40 + 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, PartitionTest,
+    ::testing::Values(DataDistribution::IdealIid, DataDistribution::NonIid50,
+                      DataDistribution::NonIid75,
+                      DataDistribution::NonIid100));
+
+TEST(Partition, IidDevicesSeeAllClasses)
+{
+    auto split = make_synthetic_mnist(small_cfg());
+    PartitionConfig cfg;
+    cfg.num_devices = 20;  // Quota 30 >> 10 classes.
+    cfg.distribution = DataDistribution::IdealIid;
+    auto part = partition_dataset(split.train, cfg);
+    for (int d = 0; d < 20; ++d)
+        EXPECT_EQ(part.classes_per_device[static_cast<size_t>(d)], 10);
+}
+
+TEST(Partition, DirichletDevicesAreConcentrated)
+{
+    auto split = make_synthetic_mnist(small_cfg());
+    PartitionConfig cfg;
+    cfg.num_devices = 20;
+    cfg.distribution = DataDistribution::NonIid100;
+    cfg.dirichlet_alpha = 0.1;
+    auto part = partition_dataset(split.train, cfg);
+    // With alpha = 0.1 most shards hold only a few classes.
+    double mean_classes = 0.0;
+    for (int c : part.classes_per_device)
+        mean_classes += c;
+    mean_classes /= 20.0;
+    EXPECT_LT(mean_classes, 6.0);
+}
+
+TEST(Partition, DeterministicForSeed)
+{
+    auto split = make_synthetic_mnist(small_cfg());
+    PartitionConfig cfg;
+    cfg.num_devices = 10;
+    cfg.distribution = DataDistribution::NonIid50;
+    auto a = partition_dataset(split.train, cfg);
+    auto b = partition_dataset(split.train, cfg);
+    EXPECT_EQ(a.shards, b.shards);
+    EXPECT_EQ(a.non_iid, b.non_iid);
+}
+
+} // namespace
+} // namespace autofl

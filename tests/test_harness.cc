@@ -1,0 +1,178 @@
+/** @file Experiment harness and oracle-search integration tests. */
+#include <gtest/gtest.h>
+
+#include "harness/oracle_search.h"
+
+namespace autofl {
+namespace {
+
+ExperimentConfig
+fast_cfg()
+{
+    ExperimentConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.setting = ParamSetting::S3;
+    cfg.variance = VarianceScenario::None;
+    cfg.max_rounds = 10;
+    cfg.target_accuracy = 2.0;  // Never reached: run all rounds.
+    cfg.train_samples = 800;
+    cfg.test_samples = 200;
+    cfg.seed = 9;
+    cfg.threads = 8;
+    cfg.autofl_warmup_rounds = 5;
+    return cfg;
+}
+
+TEST(Characterization, ProducesEnergyAndTimeWithoutTraining)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::FedAvgRandom;
+    auto res = run_characterization(cfg, 12);
+    EXPECT_EQ(res.rounds.size(), 12u);
+    EXPECT_GT(res.total_energy_j, 0.0);
+    EXPECT_GT(res.total_time_s, 0.0);
+    EXPECT_GT(res.ppw_round(), 0.0);
+    EXPECT_GT(res.ppw_local(), res.ppw_round());  // local excludes fleet idle
+    // No training happened.
+    EXPECT_EQ(res.final_accuracy, 0.0);
+}
+
+TEST(Characterization, DeterministicForSeed)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::Power;
+    auto a = run_characterization(cfg, 8);
+    auto b = run_characterization(cfg, 8);
+    EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+    EXPECT_DOUBLE_EQ(a.total_time_s, b.total_time_s);
+}
+
+TEST(Characterization, PerformanceBeatsRandomOnRoundTime)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::FedAvgRandom;
+    auto random = run_characterization(cfg, 16);
+    cfg.policy = PolicyKind::Performance;
+    auto perf = run_characterization(cfg, 16);
+    EXPECT_LT(perf.avg_round_s(), random.avg_round_s());
+}
+
+TEST(RunExperiment, TrainsAndRecordsRounds)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::FedAvgRandom;
+    auto res = run_experiment(cfg);
+    EXPECT_EQ(res.rounds.size(), 10u);
+    EXPECT_GT(res.final_accuracy, 0.12);  // Better than random guessing.
+    // Accuracy is broadly increasing early in training.
+    EXPECT_GT(res.rounds.back().accuracy, res.rounds.front().accuracy);
+    EXPECT_GT(res.total_energy_j, 0.0);
+}
+
+TEST(RunExperiment, StopsAtTarget)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::FedAvgRandom;
+    cfg.max_rounds = 40;
+    cfg.target_accuracy = 0.30;
+    auto res = run_experiment(cfg);
+    ASSERT_TRUE(res.converged());
+    EXPECT_LT(res.rounds_to_target, 40);
+    EXPECT_EQ(res.rounds.size(), static_cast<size_t>(res.rounds_to_target));
+    EXPECT_GT(res.energy_to_target_j, 0.0);
+    EXPECT_GT(res.ppw_convergence(), 0.0);
+}
+
+TEST(RunExperiment, UnreachedTargetHasZeroConvergencePpw)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::FedAvgRandom;
+    auto res = run_experiment(cfg);
+    EXPECT_FALSE(res.converged());
+    EXPECT_EQ(res.ppw_convergence(), 0.0);
+}
+
+TEST(RunExperiment, TierMixMatchesPolicy)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::Performance;
+    auto res = run_experiment(cfg);
+    auto mix = res.tier_mix();
+    EXPECT_NEAR(mix[0], 1.0, 1e-9);  // All high-end.
+    cfg.policy = PolicyKind::Power;
+    res = run_experiment(cfg);
+    mix = res.tier_mix();
+    EXPECT_NEAR(mix[2], 1.0, 1e-9);  // All low-end.
+}
+
+TEST(RunExperiment, AutoFlRunsWithWarmup)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::AutoFl;
+    auto res = run_experiment(cfg);
+    EXPECT_EQ(res.policy_name, "AutoFL");
+    EXPECT_EQ(res.rounds.size(), 10u);
+    // The warmup must not contaminate measured metrics.
+    EXPECT_GT(res.rounds.front().accuracy, 0.0);
+    auto mix = res.action_mix();
+    double total = 0.0;
+    for (double m : mix)
+        total += m;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(OracleSearch, ParticipantSearchPicksNonExtremeUnderNoVariance)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.train_samples = 0;  // Characterization uses realistic shard sizes.
+    auto result = search_oracle_participant(cfg, 16);
+    EXPECT_GT(result.ppw, 0.0);
+    // Under no variance at S3, an interior (mixed or high-leaning)
+    // composition wins; the Power extreme never does.
+    EXPECT_NE(result.spec.cluster.label, "C7");
+}
+
+TEST(OracleSearch, FlSearchImprovesOnParticipant)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.train_samples = 0;
+    auto part = search_oracle_participant(cfg, 16);
+    auto fl = search_oracle_fl(cfg, part.spec, 16);
+    EXPECT_GE(fl.ppw, part.ppw);
+}
+
+TEST(OracleSearch, InterferencePrefersHighEnd)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.train_samples = 0;
+    cfg.variance = VarianceScenario::Interference;
+    auto result = search_oracle_participant(cfg, 16);
+    // Section 3.2: under interference the optimum swings to high-end.
+    EXPECT_GE(result.spec.cluster.high, 15) << result.spec.cluster.label;
+}
+
+TEST(MixSimilarity, BoundsAndIdentity)
+{
+    std::array<double, 3> a{0.5, 0.3, 0.2};
+    EXPECT_NEAR(mix_similarity(a, a), 1.0, 1e-12);
+    std::array<double, 3> b{0.0, 0.0, 1.0};
+    std::array<double, 3> c{1.0, 0.0, 0.0};
+    EXPECT_NEAR(mix_similarity(b, c), 0.0, 1e-12);
+}
+
+TEST(Harness, PolicyKindNames)
+{
+    EXPECT_EQ(policy_kind_name(PolicyKind::OracleFl), "O_FL");
+    EXPECT_EQ(policy_kind_name(PolicyKind::AutoFl), "AutoFL");
+}
+
+TEST(Harness, DefaultTargetsAreAttainable)
+{
+    for (Workload w : all_workloads()) {
+        EXPECT_GT(default_target_accuracy(w), 0.0);
+        EXPECT_LT(default_target_accuracy(w), 1.0);
+    }
+}
+
+} // namespace
+} // namespace autofl

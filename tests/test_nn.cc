@@ -1,0 +1,340 @@
+/** @file NN layer semantics, loss, SGD, Sequential and model-zoo tests. */
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/layers_basic.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/models.h"
+#include "nn/sgd.h"
+
+namespace autofl {
+namespace {
+
+TEST(Dense, ForwardComputesAffine)
+{
+    Dense d(2, 2);
+    // w = [[1, 2], [3, 4]], b = [10, 20].
+    d.params()[0]->vec() = {1, 2, 3, 4};
+    d.params()[1]->vec() = {10, 20};
+    Tensor x({1, 2}, std::vector<float>{1, 1});
+    Tensor y = d.forward(x);
+    EXPECT_FLOAT_EQ(y.at2(0, 0), 14.0f);
+    EXPECT_FLOAT_EQ(y.at2(0, 1), 26.0f);
+}
+
+TEST(Dense, OutputShapeAndFlops)
+{
+    Dense d(8, 3);
+    EXPECT_EQ(d.output_shape({4, 8}), (std::vector<int>{4, 3}));
+    EXPECT_DOUBLE_EQ(d.flops_per_sample({1, 8}), 2.0 * 8 * 3);
+    EXPECT_EQ(d.kind(), LayerKind::Fc);
+}
+
+TEST(Conv2D, IdentityKernelPassesThrough)
+{
+    Conv2D c(1, 1, 1);
+    c.params()[0]->vec() = {1.0f};
+    c.params()[1]->vec() = {0.0f};
+    Tensor x({1, 1, 3, 3});
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(i);
+    Tensor y = c.forward(x);
+    ASSERT_EQ(y.shape(), x.shape());
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2D, OutputShapeWithStridePad)
+{
+    Conv2D c(3, 8, 3, 2, 1);
+    auto out = c.output_shape({2, 3, 8, 8});
+    EXPECT_EQ(out, (std::vector<int>{2, 8, 4, 4}));
+    EXPECT_EQ(c.kind(), LayerKind::Conv);
+}
+
+TEST(Conv2D, DepthwiseKeepsChannelsSeparate)
+{
+    Conv2D c(2, 2, 1, 1, 0, 2);
+    c.params()[0]->vec() = {2.0f, 3.0f};  // per-channel scale
+    c.params()[1]->vec() = {0.0f, 0.0f};
+    Tensor x({1, 2, 1, 1}, std::vector<float>{5.0f, 7.0f});
+    Tensor y = c.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 10.0f);
+    EXPECT_FLOAT_EQ(y[1], 21.0f);
+}
+
+TEST(ReLU, ClampsNegatives)
+{
+    ReLU r;
+    Tensor x({1, 4}, std::vector<float>{-1, 0, 2, -3});
+    Tensor y = r.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 2.0f);
+    EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(MaxPool2D, SelectsWindowMax)
+{
+    MaxPool2D p(2);
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+    Tensor y = p.forward(x);
+    ASSERT_EQ(y.size(), 1u);
+    EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmax)
+{
+    MaxPool2D p(2);
+    Tensor x({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+    p.forward(x);
+    Tensor g({1, 1, 1, 1}, std::vector<float>{2.0f});
+    Tensor dx = p.backward(g);
+    EXPECT_FLOAT_EQ(dx[0], 0.0f);
+    EXPECT_FLOAT_EQ(dx[1], 2.0f);
+    EXPECT_FLOAT_EQ(dx[2], 0.0f);
+}
+
+TEST(GlobalAvgPool, Averages)
+{
+    GlobalAvgPool p;
+    Tensor x({1, 2, 2, 2});
+    for (int i = 0; i < 4; ++i)
+        x[static_cast<size_t>(i)] = static_cast<float>(i + 1);  // ch 0
+    for (int i = 4; i < 8; ++i)
+        x[static_cast<size_t>(i)] = 10.0f;  // ch 1
+    Tensor y = p.forward(x);
+    EXPECT_FLOAT_EQ(y.at2(0, 0), 2.5f);
+    EXPECT_FLOAT_EQ(y.at2(0, 1), 10.0f);
+}
+
+TEST(Flatten, CollapsesTrailingDims)
+{
+    Flatten f;
+    Tensor x({2, 3, 2, 2});
+    Tensor y = f.forward(x);
+    EXPECT_EQ(y.shape(), (std::vector<int>{2, 12}));
+    Tensor dx = f.backward(y);
+    EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Lstm, ShapesLastAndSequence)
+{
+    Lstm last(4, 6, false);
+    EXPECT_EQ(last.output_shape({5, 3, 4}), (std::vector<int>{3, 6}));
+    Lstm seq(4, 6, true);
+    EXPECT_EQ(seq.output_shape({5, 3, 4}), (std::vector<int>{5, 3, 6}));
+    EXPECT_EQ(last.kind(), LayerKind::Recurrent);
+}
+
+TEST(Lstm, ForgetBiasInitialized)
+{
+    Lstm l(3, 4);
+    Rng rng(1);
+    l.init_weights(rng);
+    const Tensor &b = *l.params()[2];
+    for (int j = 4; j < 8; ++j)
+        EXPECT_FLOAT_EQ(b[static_cast<size_t>(j)], 1.0f);
+    for (int j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(b[static_cast<size_t>(j)], 0.0f);
+}
+
+TEST(Lstm, ZeroInputGivesBoundedOutput)
+{
+    Lstm l(2, 3);
+    Rng rng(2);
+    l.init_weights(rng);
+    Tensor x({4, 2, 2});
+    Tensor h = l.forward(x);
+    for (size_t i = 0; i < h.size(); ++i) {
+        EXPECT_GT(h[i], -1.0f);
+        EXPECT_LT(h[i], 1.0f);
+    }
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC)
+{
+    SoftmaxCrossEntropy l;
+    Tensor logits({2, 4});
+    const double loss = l.forward(logits, {1, 3});
+    EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ProbsSumToOne)
+{
+    SoftmaxCrossEntropy l;
+    Tensor logits({1, 3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+    l.forward(logits, {2});
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c)
+        sum += l.probs().at2(0, c);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, CorrectCountsArgmaxHits)
+{
+    SoftmaxCrossEntropy l;
+    Tensor logits({2, 2}, std::vector<float>{5.0f, 0.0f, 0.0f, 5.0f});
+    l.forward(logits, {0, 0});
+    EXPECT_EQ(l.correct(), 1);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow)
+{
+    SoftmaxCrossEntropy l;
+    Tensor logits({1, 5}, std::vector<float>{0.2f, -1.0f, 2.0f, 0.0f, 1.0f});
+    l.forward(logits, {3});
+    Tensor g = l.backward();
+    double sum = 0.0;
+    for (size_t i = 0; i < g.size(); ++i)
+        sum += g[i];
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(ArgmaxRows, PicksLargest)
+{
+    Tensor logits({2, 3}, std::vector<float>{1, 9, 2, 7, 1, 3});
+    auto a = argmax_rows(logits);
+    EXPECT_EQ(a, (std::vector<int>{1, 0}));
+}
+
+TEST(Sgd, PlainStepDescends)
+{
+    Sequential m;
+    m.emplace<Dense>(1, 1);
+    m.params()[0]->vec() = {2.0f};
+    m.params()[1]->vec() = {0.0f};
+    // grad(w) = 1 -> w decreases by lr.
+    m.grads()[0]->vec() = {1.0f};
+    m.grads()[1]->vec() = {0.0f};
+    Sgd opt(0.1);
+    opt.step(m);
+    EXPECT_NEAR((*m.params()[0])[0], 1.9f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    Sequential m;
+    m.emplace<Dense>(1, 1);
+    m.params()[0]->vec() = {0.0f};
+    Sgd opt(0.1, 0.9);
+    for (int i = 0; i < 2; ++i) {
+        m.grads()[0]->vec() = {1.0f};
+        m.grads()[1]->vec() = {0.0f};
+        opt.step(m);
+    }
+    // Step 1: v=1 -> w=-0.1; step 2: v=1.9 -> w=-0.29.
+    EXPECT_NEAR((*m.params()[0])[0], -0.29f, 1e-5f);
+}
+
+TEST(Sgd, ProxPullsTowardAnchor)
+{
+    Sequential m;
+    m.emplace<Dense>(1, 1);
+    m.params()[0]->vec() = {1.0f};
+    m.params()[1]->vec() = {0.0f};
+    m.zero_grad();
+    Sgd opt(0.1);
+    // Zero gradient, anchor at 0, mu = 1: w moves toward 0.
+    opt.step_prox(m, std::vector<float>{0.0f, 0.0f}, 1.0);
+    EXPECT_NEAR((*m.params()[0])[0], 0.9f, 1e-6f);
+}
+
+TEST(Sequential, FlatWeightsRoundTrip)
+{
+    Sequential m = make_model(Workload::CnnMnist);
+    Rng rng(3);
+    m.init_weights(rng);
+    auto w = m.flat_weights();
+    EXPECT_EQ(w.size(), m.num_params());
+    // Perturb, restore, compare.
+    Sequential m2 = make_model(Workload::CnnMnist);
+    m2.set_flat_weights(w);
+    EXPECT_EQ(m2.flat_weights(), w);
+}
+
+TEST(Sequential, ZeroGradClearsAll)
+{
+    Sequential m = make_model(Workload::CnnMnist);
+    for (Tensor *g : m.grads())
+        g->fill(1.0f);
+    m.zero_grad();
+    for (Tensor *g : m.grads())
+        for (size_t i = 0; i < g->size(); ++i)
+            ASSERT_EQ((*g)[i], 0.0f);
+}
+
+class ModelZooTest : public ::testing::TestWithParam<Workload>
+{
+};
+
+TEST_P(ModelZooTest, ForwardShapeMatchesClassCount)
+{
+    const Workload w = GetParam();
+    Sequential m = make_model(w);
+    Rng rng(4);
+    m.init_weights(rng);
+    const int batch = 3;
+    Tensor x(model_batch_shape(w, batch));
+    Tensor y = m.forward(x);
+    EXPECT_EQ(y.shape(), (std::vector<int>{batch, model_num_classes(w)}));
+}
+
+TEST_P(ModelZooTest, ProfileMatchesArchitecture)
+{
+    const Workload w = GetParam();
+    const NnProfile p = model_profile(w);
+    EXPECT_GT(p.flops_per_sample, 0.0);
+    EXPECT_GT(p.model_bytes, 0.0);
+    switch (w) {
+      case Workload::CnnMnist:
+        EXPECT_EQ(p.conv_layers, 2);
+        EXPECT_EQ(p.fc_layers, 2);
+        EXPECT_EQ(p.rc_layers, 0);
+        break;
+      case Workload::LstmShakespeare:
+        EXPECT_EQ(p.conv_layers, 0);
+        EXPECT_EQ(p.fc_layers, 1);
+        EXPECT_EQ(p.rc_layers, 2);
+        break;
+      case Workload::MobileNetImageNet:
+        EXPECT_EQ(p.conv_layers, 11);
+        EXPECT_EQ(p.fc_layers, 1);
+        EXPECT_EQ(p.rc_layers, 0);
+        break;
+    }
+}
+
+TEST_P(ModelZooTest, LstmIsMostMemoryBound)
+{
+    // The per-layer-kind memory-boundness orders the workloads as the
+    // paper's characterization requires: RC-heavy most memory-bound.
+    const double mb_lstm =
+        model_profile(Workload::LstmShakespeare).mem_bound_frac;
+    const double mb_cnn = model_profile(Workload::CnnMnist).mem_bound_frac;
+    const double mb_mob =
+        model_profile(Workload::MobileNetImageNet).mem_bound_frac;
+    EXPECT_GT(mb_lstm, 0.6);
+    EXPECT_LT(mb_cnn, 0.35);
+    EXPECT_LT(mb_mob, 0.35);
+    EXPECT_GT(mb_lstm, mb_cnn);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ModelZooTest,
+                         ::testing::ValuesIn(all_workloads()));
+
+TEST(ModelZoo, NamesAreDistinct)
+{
+    EXPECT_EQ(workload_name(Workload::CnnMnist), "CNN-MNIST");
+    EXPECT_EQ(workload_name(Workload::LstmShakespeare), "LSTM-Shakespeare");
+    EXPECT_EQ(workload_name(Workload::MobileNetImageNet),
+              "MobileNet-ImageNet");
+}
+
+} // namespace
+} // namespace autofl

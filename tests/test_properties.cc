@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across whole parameter
+ * sweeps (monotonicity, conservation, scaling), exercised with
+ * parameterized gtest over tiers, targets, DVFS levels and sizes.
+ */
+#include <gtest/gtest.h>
+
+#include "core/reward.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "sim/perf.h"
+#include "sim/power.h"
+#include "sim/round.h"
+
+namespace autofl {
+namespace {
+
+// ---------------------------------------------------------------- sim --
+
+struct TierTarget
+{
+    Tier tier;
+    ExecTarget target;
+};
+
+class TierTargetTest : public ::testing::TestWithParam<TierTarget>
+{
+};
+
+TEST_P(TierTargetTest, ComputeTimeMonotoneInWork)
+{
+    const auto [tier, target] = GetParam();
+    const DeviceSpec &spec = spec_for_tier(tier);
+    DeviceRoundState quiet;
+    quiet.bandwidth_mbps = 80.0;
+    double prev = 0.0;
+    for (double flops = 1e6; flops <= 1e9; flops *= 4.0) {
+        ComputeProfile prof{flops, 0.3, 1e4};
+        const double t = compute_time_s(spec, target, 1.0, prof, quiet);
+        EXPECT_GT(t, prev) << "flops " << flops;
+        prev = t;
+    }
+}
+
+TEST_P(TierTargetTest, ComputeTimeMonotoneInFrequency)
+{
+    const auto [tier, target] = GetParam();
+    const DeviceSpec &spec = spec_for_tier(tier);
+    DeviceRoundState quiet;
+    quiet.bandwidth_mbps = 80.0;
+    ComputeProfile prof{5e7, 0.3, 1e4};
+    double prev = 1e9;
+    for (double f : {0.4, 0.55, 0.7, 0.85, 1.0}) {
+        const double t = compute_time_s(spec, target, f, prof, quiet);
+        EXPECT_LT(t, prev) << "freq " << f;
+        prev = t;
+    }
+}
+
+TEST_P(TierTargetTest, HeatNeverSpeedsUp)
+{
+    const auto [tier, target] = GetParam();
+    const DeviceSpec &spec = spec_for_tier(tier);
+    DeviceRoundState quiet;
+    quiet.bandwidth_mbps = 80.0;
+    ComputeProfile prof{5e7, 0.3, 1e4};
+    double prev = 0.0;
+    for (double heat : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        const double t =
+            compute_time_s(spec, target, 1.0, prof, quiet, heat);
+        EXPECT_GE(t, prev) << "heat " << heat;
+        prev = t;
+    }
+}
+
+TEST_P(TierTargetTest, BusyPowerMonotoneInFrequency)
+{
+    const auto [tier, target] = GetParam();
+    const DeviceSpec &spec = spec_for_tier(tier);
+    double prev = 0.0;
+    for (double f : {0.4, 0.55, 0.7, 0.85, 1.0}) {
+        const double p = busy_power_w(spec, target, f);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTierTargets, TierTargetTest,
+    ::testing::Values(TierTarget{Tier::High, ExecTarget::Cpu},
+                      TierTarget{Tier::High, ExecTarget::Gpu},
+                      TierTarget{Tier::Mid, ExecTarget::Cpu},
+                      TierTarget{Tier::Mid, ExecTarget::Gpu},
+                      TierTarget{Tier::Low, ExecTarget::Cpu},
+                      TierTarget{Tier::Low, ExecTarget::Gpu}));
+
+class BatchSizeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchSizeTest, LargerBatchesNeverSlower)
+{
+    const int batch = GetParam();
+    DeviceRoundState quiet;
+    quiet.bandwidth_mbps = 80.0;
+    for (Tier tier : {Tier::High, Tier::Mid, Tier::Low}) {
+        ComputeProfile small{5e7, 0.3, 1e4, batch};
+        ComputeProfile big{5e7, 0.3, 1e4, batch * 2};
+        EXPECT_GE(compute_time_s(spec_for_tier(tier), ExecTarget::Cpu, 1.0,
+                                 small, quiet),
+                  compute_time_s(spec_for_tier(tier), ExecTarget::Cpu, 1.0,
+                                 big, quiet));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeTest,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(RoundProperties, EnergyConservationAcrossK)
+{
+    // Fleet energy always equals participants + idle remainder, for any
+    // participant count.
+    for (int k : {1, 5, 20, 50}) {
+        Fleet fleet(FleetMix{}, VarianceScenario::Combined,
+                    static_cast<uint64_t>(k));
+        fleet.begin_round();
+        std::vector<ParticipantPlan> plans;
+        std::vector<ComputeProfile> profiles;
+        for (int i = 0; i < k; ++i) {
+            plans.push_back({i * (200 / k), ExecTarget::Cpu,
+                             DvfsLevel::High});
+            profiles.push_back({5e7, 0.25, 25000});
+        }
+        RoundExec exec = simulate_round(fleet, plans, profiles);
+        double psum = 0.0;
+        for (const auto &p : exec.participants)
+            psum += p.energy_j();
+        EXPECT_NEAR(psum, exec.energy_participants_j, 1e-6);
+        EXPECT_NEAR(exec.energy_global_j(),
+                    exec.energy_participants_j + exec.energy_idle_fleet_j,
+                    1e-6);
+        EXPECT_EQ(exec.participants.size(), static_cast<size_t>(k));
+    }
+}
+
+TEST(RoundProperties, MoreParticipantsMoreWork)
+{
+    double prev_work = 0.0;
+    for (int k : {5, 10, 20, 40}) {
+        Fleet fleet(FleetMix{}, VarianceScenario::None, 77);
+        fleet.begin_round();
+        std::vector<ParticipantPlan> plans;
+        std::vector<ComputeProfile> profiles;
+        for (int i = 0; i < k; ++i) {
+            plans.push_back({i, ExecTarget::Cpu, DvfsLevel::High});
+            profiles.push_back({5e7, 0.25, 25000});
+        }
+        RoundExec exec = simulate_round(fleet, plans, profiles, {0.0});
+        EXPECT_GT(exec.work_flops, prev_work);
+        prev_work = exec.work_flops;
+    }
+}
+
+TEST(RoundProperties, RepeatedSelectionAccumulatesHeat)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 78);
+    std::vector<ParticipantPlan> plans = {
+        {0, ExecTarget::Cpu, DvfsLevel::High}};
+    std::vector<ComputeProfile> profiles = {{5e7, 0.25, 25000}};
+    double prev_comp = 0.0;
+    for (int round = 0; round < 4; ++round) {
+        fleet.begin_round();
+        RoundExec exec = simulate_round(fleet, plans, profiles);
+        // Times are non-decreasing as the device heats up round over
+        // round (cool-down is slower than the heat added).
+        EXPECT_GE(exec.participants[0].comp_s, prev_comp);
+        prev_comp = exec.participants[0].comp_s;
+    }
+    EXPECT_GT(fleet.device(0).heat(), 0.3);
+    EXPECT_NEAR(fleet.device(1).heat(), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------- reward --
+
+TEST(RewardProperties, MonotoneInEachArgument)
+{
+    RewardConfig cfg;
+    const double base = compute_reward(cfg, 100, 4, 80, 79, 1.0);
+    // Lower global energy -> higher reward.
+    EXPECT_GT(compute_reward(cfg, 50, 4, 80, 79, 1.0), base);
+    // Lower local energy -> higher reward.
+    EXPECT_GT(compute_reward(cfg, 100, 2, 80, 79, 1.0), base);
+    // Higher accuracy -> higher reward.
+    EXPECT_GT(compute_reward(cfg, 100, 4, 85, 79, 1.0), base);
+    // Faster completion -> higher reward.
+    EXPECT_GT(compute_reward(cfg, 100, 4, 80, 79, 0.5), base);
+    // Data weight scales only the improvement credit.
+    EXPECT_GT(compute_reward(cfg, 100, 4, 80, 79, 1.0, 1.25), base);
+}
+
+TEST(RewardProperties, FailureBranchIgnoresEnergy)
+{
+    RewardConfig cfg;
+    EXPECT_EQ(compute_reward(cfg, 10, 1, 70, 75),
+              compute_reward(cfg, 1000, 50, 70, 75));
+}
+
+// --------------------------------------------------------------- data --
+
+class PartitionSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PartitionSweepTest, QuotaInvariantAcrossFleetSizes)
+{
+    const int devices = GetParam();
+    SyntheticConfig scfg;
+    scfg.train_samples = 1200;
+    scfg.test_samples = 100;
+    auto split = make_synthetic_mnist(scfg);
+    PartitionConfig pcfg;
+    pcfg.num_devices = devices;
+    pcfg.distribution = DataDistribution::NonIid50;
+    auto part = partition_dataset(split.train, pcfg);
+    ASSERT_EQ(part.shards.size(), static_cast<size_t>(devices));
+    const int quota = 1200 / devices;
+    for (const auto &shard : part.shards) {
+        EXPECT_EQ(static_cast<int>(shard.size()), quota);
+        for (int idx : shard) {
+            ASSERT_GE(idx, 0);
+            ASSERT_LT(idx, 1200);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetSizes, PartitionSweepTest,
+                         ::testing::Values(10, 40, 100, 200));
+
+TEST(DataProperties, NonIidDevicesHaveFewerClassesOnAverage)
+{
+    SyntheticConfig scfg;
+    scfg.train_samples = 2000;
+    auto split = make_synthetic_mnist(scfg);
+    PartitionConfig pcfg;
+    pcfg.num_devices = 100;
+    pcfg.distribution = DataDistribution::NonIid50;
+    auto part = partition_dataset(split.train, pcfg);
+    double iid_mean = 0.0, non_mean = 0.0;
+    int iid_n = 0, non_n = 0;
+    for (int d = 0; d < 100; ++d) {
+        if (part.non_iid[static_cast<size_t>(d)]) {
+            non_mean += part.classes_per_device[static_cast<size_t>(d)];
+            ++non_n;
+        } else {
+            iid_mean += part.classes_per_device[static_cast<size_t>(d)];
+            ++iid_n;
+        }
+    }
+    ASSERT_GT(iid_n, 0);
+    ASSERT_GT(non_n, 0);
+    EXPECT_GT(iid_mean / iid_n, non_mean / non_n + 2.0);
+}
+
+// ---------------------------------------------------------------- fl ---
+
+TEST(EnergyProperties, WeakerNetworkNeverCheapensComm)
+{
+    const double payload = 25000;
+    double prev_energy = 0.0;
+    for (double bw : {90.0, 60.0, 35.0, 12.0}) {
+        const double e = comm_energy(bw, comm_time_s(payload, bw));
+        EXPECT_GT(e, prev_energy) << "bandwidth " << bw;
+        prev_energy = e;
+    }
+}
+
+TEST(EnergyProperties, OverheadPowerBetweenIdleAndPeak)
+{
+    for (Tier tier : {Tier::High, Tier::Mid, Tier::Low}) {
+        const DeviceSpec &s = spec_for_tier(tier);
+        EXPECT_GT(overhead_power_w(s), s.idle_w);
+        EXPECT_LT(overhead_power_w(s), s.cpu_train_w);
+    }
+}
+
+} // namespace
+} // namespace autofl

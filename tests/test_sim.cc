@@ -1,0 +1,351 @@
+/** @file Device simulator tests: specs, DVFS, power, perf, fleet, round. */
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "sim/round.h"
+#include "sim/scale.h"
+
+namespace autofl {
+namespace {
+
+TEST(DeviceSpec, TierOrderingMatchesTables)
+{
+    const auto &h = spec_for_tier(Tier::High);
+    const auto &m = spec_for_tier(Tier::Mid);
+    const auto &l = spec_for_tier(Tier::Low);
+    // Table 2 GFLOPS.
+    EXPECT_DOUBLE_EQ(h.cpu_gflops, 153.6);
+    EXPECT_DOUBLE_EQ(m.cpu_gflops, 80.0);
+    EXPECT_DOUBLE_EQ(l.cpu_gflops, 52.8);
+    // Table 3 power and V-F step counts.
+    EXPECT_DOUBLE_EQ(h.cpu_peak_w, 5.5);
+    EXPECT_DOUBLE_EQ(l.gpu_peak_w, 2.0);
+    EXPECT_EQ(h.cpu_vf_steps, 23);
+    EXPECT_EQ(m.gpu_vf_steps, 9);
+    EXPECT_EQ(l.cpu_vf_steps, 15);
+    // GPU training throughput is derated below the CPU's.
+    EXPECT_LT(h.gpu_gflops, h.cpu_gflops);
+}
+
+TEST(DeviceSpec, Labels)
+{
+    EXPECT_EQ(tier_label(Tier::High), "H");
+    EXPECT_EQ(tier_label(Tier::Low), "L");
+    EXPECT_EQ(target_label(ExecTarget::Cpu), "CPU");
+    EXPECT_EQ(target_label(ExecTarget::Gpu), "GPU");
+}
+
+TEST(Dvfs, LadderMonotoneAndBounded)
+{
+    DvfsLadder ladder(10, 2.0);
+    EXPECT_EQ(ladder.steps(), 10);
+    for (int i = 1; i < ladder.steps(); ++i)
+        EXPECT_GT(ladder.freq_frac(i), ladder.freq_frac(i - 1));
+    EXPECT_DOUBLE_EQ(ladder.freq_frac(9), 1.0);
+    EXPECT_DOUBLE_EQ(ladder.freq_frac(0), 0.4);
+    EXPECT_DOUBLE_EQ(ladder.freq_ghz(9), 2.0);
+}
+
+TEST(Dvfs, PowerIsCubicInFrequency)
+{
+    DvfsLadder ladder(5, 1.0);
+    for (int i = 0; i < 5; ++i) {
+        const double f = ladder.freq_frac(i);
+        EXPECT_NEAR(ladder.power_frac(i), f * f * f, 1e-12);
+    }
+}
+
+TEST(Dvfs, LevelMapping)
+{
+    DvfsLadder ladder(23, 2.8);
+    EXPECT_EQ(ladder.step_for_level(DvfsLevel::Low), 0);
+    EXPECT_EQ(ladder.step_for_level(DvfsLevel::High), 22);
+    EXPECT_EQ(ladder.step_for_level(DvfsLevel::Mid), 11);
+    EXPECT_LT(ladder.freq_frac_for_level(DvfsLevel::Low),
+              ladder.freq_frac_for_level(DvfsLevel::Mid));
+}
+
+TEST(Dvfs, LadderForTargetUsesSpecSteps)
+{
+    const auto &h = spec_for_tier(Tier::High);
+    EXPECT_EQ(ladder_for(h, ExecTarget::Cpu).steps(), 23);
+    EXPECT_EQ(ladder_for(h, ExecTarget::Gpu).steps(), 7);
+}
+
+TEST(Power, BusyPowerRisesWithFrequency)
+{
+    const auto &spec = spec_for_tier(Tier::High);
+    const double lo = busy_power_w(spec, ExecTarget::Cpu, 0.4);
+    const double mid = busy_power_w(spec, ExecTarget::Cpu, 0.7);
+    const double hi = busy_power_w(spec, ExecTarget::Cpu, 1.0);
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+    EXPECT_NEAR(hi, spec.cpu_train_w, 1e-9);
+    EXPECT_GT(lo, spec.idle_w);
+}
+
+TEST(Power, GpuRailCheaperThanCpu)
+{
+    const auto &spec = spec_for_tier(Tier::High);
+    EXPECT_LT(busy_power_w(spec, ExecTarget::Gpu, 1.0),
+              busy_power_w(spec, ExecTarget::Cpu, 1.0));
+}
+
+TEST(Power, ComputeEnergySplitsBusyIdle)
+{
+    const auto &spec = spec_for_tier(Tier::Mid);
+    const ComputeEnergy e =
+        compute_energy(spec, ExecTarget::Cpu, 1.0, 2.0, 3.0);
+    EXPECT_NEAR(e.busy_j, spec.cpu_train_w * 2.0, 1e-9);
+    EXPECT_NEAR(e.idle_j, spec.idle_w * 3.0, 1e-9);
+    EXPECT_NEAR(e.total(), e.busy_j + e.idle_j, 1e-12);
+}
+
+TEST(Power, CommEnergyGrowsAsSignalWeakens)
+{
+    // Same transfer time, weaker link -> more TX energy (Eq. 3).
+    EXPECT_LT(comm_energy(80.0, 1.0), comm_energy(30.0, 1.0));
+    EXPECT_LT(comm_energy(30.0, 1.0), comm_energy(5.0, 1.0));
+}
+
+TEST(Power, IdleEnergyScalesWithTime)
+{
+    const auto &spec = spec_for_tier(Tier::Low);
+    EXPECT_NEAR(idle_energy(spec, 10.0), spec.idle_w * 10.0, 1e-12);
+}
+
+TEST(Perf, MemBoundFractionDecreasesWithIntensity)
+{
+    EXPECT_GT(mem_bound_fraction(0.5), mem_bound_fraction(5.0));
+    EXPECT_GE(mem_bound_fraction(1000.0), 0.05);
+    EXPECT_LE(mem_bound_fraction(0.0001), 0.9);
+}
+
+TEST(Perf, TierGapShrinksForMemoryBoundModels)
+{
+    // Section 3.1: H/L perf gap ~2.1x for CNN-like, ~1.5x for LSTM-like.
+    DeviceRoundState quiet;
+    quiet.bandwidth_mbps = 80;
+    // Overhead/throttle off: this isolates the rate model.
+    ComputeProfile compute_heavy{1e9, 0.2, 1e4, 32, false};
+    ComputeProfile mem_heavy{1e9, 0.65, 1e4, 32, false};
+
+    const auto &h = spec_for_tier(Tier::High);
+    const auto &l = spec_for_tier(Tier::Low);
+    const double gap_compute =
+        compute_time_s(l, ExecTarget::Cpu, 1.0, compute_heavy, quiet) /
+        compute_time_s(h, ExecTarget::Cpu, 1.0, compute_heavy, quiet);
+    const double gap_mem =
+        compute_time_s(l, ExecTarget::Cpu, 1.0, mem_heavy, quiet) /
+        compute_time_s(h, ExecTarget::Cpu, 1.0, mem_heavy, quiet);
+    EXPECT_GT(gap_compute, gap_mem);
+    EXPECT_GT(gap_compute, 1.8);
+    EXPECT_LT(gap_mem, 1.8);
+}
+
+TEST(Perf, InterferenceHurtsCpuMoreThanGpu)
+{
+    DeviceRoundState loaded;
+    loaded.co_cpu_util = 0.7;
+    loaded.co_mem_util = 0.4;
+    loaded.bandwidth_mbps = 80;
+    DeviceRoundState quiet;
+    quiet.bandwidth_mbps = 80;
+    ComputeProfile prof{1e9, 0.3, 1e4, 32, false};
+    const auto &spec = spec_for_tier(Tier::High);
+
+    const double cpu_slow =
+        compute_time_s(spec, ExecTarget::Cpu, 1.0, prof, loaded) /
+        compute_time_s(spec, ExecTarget::Cpu, 1.0, prof, quiet);
+    const double gpu_slow =
+        compute_time_s(spec, ExecTarget::Gpu, 1.0, prof, loaded) /
+        compute_time_s(spec, ExecTarget::Gpu, 1.0, prof, quiet);
+    EXPECT_GT(cpu_slow, 1.5);
+    EXPECT_LT(gpu_slow, 1.4);
+}
+
+TEST(Perf, DvfsSlowsCompute)
+{
+    DeviceRoundState quiet;
+    quiet.bandwidth_mbps = 80;
+    ComputeProfile prof{1e9, 0.2, 1e4, 32, false};
+    const auto &spec = spec_for_tier(Tier::Mid);
+    EXPECT_GT(compute_time_s(spec, ExecTarget::Cpu, 0.4, prof, quiet),
+              compute_time_s(spec, ExecTarget::Cpu, 1.0, prof, quiet));
+}
+
+TEST(Perf, CommTimeInverselyProportionalToBandwidth)
+{
+    const double t80 = comm_time_s(25000, 80.0);
+    const double t20 = comm_time_s(25000, 20.0);
+    EXPECT_NEAR(t20 / t80, 4.0, 1e-9);
+}
+
+TEST(Fleet, DefaultMixIs30_70_100)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 1);
+    EXPECT_EQ(fleet.size(), 200);
+    EXPECT_EQ(fleet.count_of(Tier::High), 30);
+    EXPECT_EQ(fleet.count_of(Tier::Mid), 70);
+    EXPECT_EQ(fleet.count_of(Tier::Low), 100);
+    EXPECT_EQ(fleet.ids_of(Tier::High).size(), 30u);
+}
+
+TEST(Fleet, NoVarianceScenarioIsQuiet)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 2);
+    fleet.begin_round();
+    for (int d = 0; d < fleet.size(); ++d) {
+        EXPECT_EQ(fleet.device(d).state().co_cpu_util, 0.0);
+        EXPECT_GT(fleet.device(d).state().bandwidth_mbps, 40.0);
+    }
+}
+
+TEST(Fleet, InterferenceScenarioLoadsSomeDevices)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::Interference, 3);
+    fleet.begin_round();
+    int loaded = 0;
+    for (int d = 0; d < fleet.size(); ++d)
+        if (fleet.device(d).state().co_cpu_util > 0.0)
+            ++loaded;
+    EXPECT_GT(loaded, 50);
+    EXPECT_LT(loaded, 150);
+}
+
+TEST(Fleet, WeakNetworkScenarioDegradesBandwidth)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::WeakNetwork, 4);
+    fleet.begin_round();
+    double mean_bw = 0.0;
+    for (int d = 0; d < fleet.size(); ++d)
+        mean_bw += fleet.device(d).state().bandwidth_mbps;
+    mean_bw /= fleet.size();
+    EXPECT_LT(mean_bw, 30.0);
+}
+
+RoundExec
+run_simple_round(const std::vector<ParticipantPlan> &plans,
+                 Fleet &fleet, double deadline_multiple = 2.5)
+{
+    std::vector<ComputeProfile> profiles(plans.size(),
+                                         ComputeProfile{5e7, 0.25, 25000});
+    RoundSimConfig cfg;
+    cfg.deadline_multiple = deadline_multiple;
+    return simulate_round(fleet, plans, profiles, cfg);
+}
+
+TEST(Round, StragglerGatesRoundTime)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 5);
+    fleet.begin_round();
+    // One high-end and one low-end participant, CPU at max.
+    std::vector<ParticipantPlan> plans = {
+        {fleet.ids_of(Tier::High)[0], ExecTarget::Cpu, DvfsLevel::High},
+        {fleet.ids_of(Tier::Low)[0], ExecTarget::Cpu, DvfsLevel::High},
+    };
+    RoundExec exec = run_simple_round(plans, fleet, 0.0);
+    ASSERT_EQ(exec.participants.size(), 2u);
+    const auto &h = exec.participants[0];
+    const auto &l = exec.participants[1];
+    EXPECT_LT(h.comp_s, l.comp_s);
+    EXPECT_NEAR(exec.round_s, l.completion_s(), 1e-9);
+    // The fast device waits for the straggler.
+    EXPECT_GT(h.wait_s, 0.0);
+    EXPECT_NEAR(h.wait_s, exec.round_s - h.completion_s(), 1e-9);
+}
+
+TEST(Round, DeadlineDropsSevereStragglers)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 6);
+    fleet.begin_round();
+    // Nineteen high-end devices and one low-end straggler with a tight
+    // deadline: the straggler must be dropped.
+    std::vector<ParticipantPlan> plans;
+    auto high = fleet.ids_of(Tier::High);
+    for (int i = 0; i < 19; ++i)
+        plans.push_back({high[static_cast<size_t>(i)], ExecTarget::Cpu,
+                         DvfsLevel::High});
+    plans.push_back({fleet.ids_of(Tier::Low)[0], ExecTarget::Cpu,
+                     DvfsLevel::High});
+    RoundExec exec = run_simple_round(plans, fleet, 1.2);
+    EXPECT_EQ(exec.included_count(), 19);
+    EXPECT_FALSE(exec.participants.back().included);
+    // Round time is capped at the deadline.
+    EXPECT_NEAR(exec.round_s, exec.deadline_s, 1e-9);
+    // Work excludes the dropped device.
+    EXPECT_NEAR(exec.work_flops, 19 * 5e7, 1.0);
+}
+
+TEST(Round, EnergyAccountingIsConsistent)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 7);
+    fleet.begin_round();
+    std::vector<ParticipantPlan> plans = {
+        {0, ExecTarget::Cpu, DvfsLevel::High},
+        {100, ExecTarget::Cpu, DvfsLevel::High},
+    };
+    RoundExec exec = run_simple_round(plans, fleet);
+    double sum = 0.0;
+    for (const auto &p : exec.participants) {
+        EXPECT_GT(p.comp_j, 0.0);
+        EXPECT_GT(p.comm_j, 0.0);
+        sum += p.energy_j();
+    }
+    EXPECT_NEAR(sum, exec.energy_participants_j, 1e-9);
+    EXPECT_GT(exec.energy_idle_fleet_j, 0.0);
+    EXPECT_NEAR(exec.energy_global_j(),
+                exec.energy_participants_j + exec.energy_idle_fleet_j,
+                1e-9);
+}
+
+TEST(Round, LowerDvfsSavesEnergyWhenSlackExists)
+{
+    // A fast device sharing a round with a straggler: running the fast
+    // device at Low frequency must reduce its energy (it still finishes
+    // before the straggler).
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 8);
+    fleet.begin_round();
+    const int fast = fleet.ids_of(Tier::High)[0];
+    const int slow = fleet.ids_of(Tier::Low)[0];
+
+    auto energy_at = [&](DvfsLevel level) {
+        std::vector<ParticipantPlan> plans = {
+            {fast, ExecTarget::Cpu, level},
+            {slow, ExecTarget::Cpu, DvfsLevel::High},
+        };
+        RoundExec exec = run_simple_round(plans, fleet, 0.0);
+        return exec.participants[0].energy_j();
+    };
+    // With a static power fraction, Mid frequency is the energy sweet
+    // spot; Low is roughly break-even with High.
+    EXPECT_LT(energy_at(DvfsLevel::Mid), energy_at(DvfsLevel::High));
+}
+
+TEST(Round, EmptyPlanYieldsZeroRound)
+{
+    Fleet fleet(FleetMix{}, VarianceScenario::None, 9);
+    fleet.begin_round();
+    RoundExec exec = simulate_round(fleet, {}, {}, {});
+    EXPECT_EQ(exec.round_s, 0.0);
+    EXPECT_EQ(exec.energy_global_j(), 0.0);
+}
+
+TEST(Variance, ScenarioNames)
+{
+    EXPECT_EQ(variance_scenario_name(VarianceScenario::None),
+              "no-variance");
+    EXPECT_EQ(variance_scenario_name(VarianceScenario::Combined),
+              "combined");
+}
+
+TEST(Variance, TxPowerBuckets)
+{
+    EXPECT_DOUBLE_EQ(NetworkModel::tx_power_w(80.0), 0.7);
+    EXPECT_DOUBLE_EQ(NetworkModel::tx_power_w(50.0), 1.2);
+    EXPECT_DOUBLE_EQ(NetworkModel::tx_power_w(30.0), 1.8);
+    EXPECT_DOUBLE_EQ(NetworkModel::tx_power_w(5.0), 2.5);
+}
+
+} // namespace
+} // namespace autofl

@@ -1,0 +1,129 @@
+/** @file Statistics accumulator and table emitter tests. */
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace autofl {
+namespace {
+
+TEST(RunningStat, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsBulk)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.37 - 5.0;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Ewma, TracksConstant)
+{
+    Ewma e(0.3);
+    EXPECT_FALSE(e.initialized());
+    for (int i = 0; i < 50; ++i)
+        e.add(4.2);
+    EXPECT_TRUE(e.initialized());
+    EXPECT_NEAR(e.value(), 4.2, 1e-9);
+}
+
+TEST(Ewma, FirstValueSeeds)
+{
+    Ewma e(0.1);
+    EXPECT_DOUBLE_EQ(e.add(10.0), 10.0);
+    EXPECT_NEAR(e.add(0.0), 9.0, 1e-12);
+}
+
+TEST(Percentile, EdgesAndMedian)
+{
+    std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(MeanGeomean, Basics)
+{
+    EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+    EXPECT_NEAR(geomean_of({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean_of({}), 0.0);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.set_header({"name", "value"});
+    t.add_row({"alpha", TextTable::num(1.5)});
+    t.add_row({"b", "x"});
+    std::ostringstream os;
+    t.render(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.50"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t;
+    t.set_header({"a", "b"});
+    t.add_row({"1", "2"});
+    EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 3), "3.142");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace autofl

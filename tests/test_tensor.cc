@@ -1,0 +1,174 @@
+/** @file Tensor container and matmul kernel tests. */
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace autofl {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_EQ(t.rank(), 0);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.size(), 6u);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t({4}, 2.5f);
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, DataConstructorChecksSize)
+{
+    Tensor t({2, 2}, std::vector<float>{1, 2, 3, 4});
+    EXPECT_EQ(t.at2(0, 0), 1.0f);
+    EXPECT_EQ(t.at2(0, 1), 2.0f);
+    EXPECT_EQ(t.at2(1, 0), 3.0f);
+    EXPECT_EQ(t.at2(1, 1), 4.0f);
+}
+
+TEST(Tensor, DimSupportsNegativeIndex)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.dim(-1), 4);
+    EXPECT_EQ(t.dim(-2), 3);
+}
+
+TEST(Tensor, At3At4RowMajorLayout)
+{
+    Tensor t3({2, 3, 4});
+    t3.at3(1, 2, 3) = 9.0f;
+    EXPECT_EQ(t3[1 * 12 + 2 * 4 + 3], 9.0f);
+
+    Tensor t4({2, 3, 4, 5});
+    t4.at4(1, 2, 3, 4) = 7.0f;
+    EXPECT_EQ(t4[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped({3, 2});
+    EXPECT_EQ(r.dim(0), 3);
+    EXPECT_EQ(r.at2(2, 1), 6.0f);
+}
+
+TEST(Tensor, ElementwiseOps)
+{
+    Tensor a({3}, std::vector<float>{1, 2, 3});
+    Tensor b({3}, std::vector<float>{10, 20, 30});
+    Tensor c = a + b;
+    EXPECT_EQ(c[1], 22.0f);
+    c -= a;
+    EXPECT_EQ(c[2], 30.0f);
+    c *= 0.5f;
+    EXPECT_EQ(c[0], 5.0f);
+    Tensor d = a - b;
+    EXPECT_EQ(d[0], -9.0f);
+    Tensor e = a * 3.0f;
+    EXPECT_EQ(e[2], 9.0f);
+}
+
+TEST(Tensor, SumAndNorm)
+{
+    Tensor t({2, 2}, std::vector<float>{1, -2, 3, -4});
+    EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+    EXPECT_DOUBLE_EQ(t.squared_norm(), 1 + 4 + 9 + 16);
+}
+
+TEST(Tensor, ShapeStr)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+}
+
+TEST(Matmul, SmallKnownProduct)
+{
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.dim(0), 2);
+    EXPECT_EQ(c.dim(1), 2);
+    EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Matmul, IdentityIsNoOp)
+{
+    Tensor eye({3, 3});
+    for (int i = 0; i < 3; ++i)
+        eye.at2(i, i) = 1.0f;
+    Tensor a({3, 3}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Tensor c = matmul(a, eye);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+/** Transposed variants agree with explicitly transposing the operand. */
+class MatmulVariantTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MatmulVariantTest, TnNtAgreeWithExplicitTranspose)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(5);
+    Tensor a({m, k});
+    Tensor b({k, n});
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<float>(rng.uniform(-1, 1));
+    for (size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<float>(rng.uniform(-1, 1));
+
+    Tensor at({k, m});
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < k; ++j)
+            at.at2(j, i) = a.at2(i, j);
+    Tensor bt({n, k});
+    for (int i = 0; i < k; ++i)
+        for (int j = 0; j < n; ++j)
+            bt.at2(j, i) = b.at2(i, j);
+
+    Tensor ref = matmul(a, b);
+    Tensor via_tn = matmul_tn(at, b);
+    Tensor via_nt = matmul_nt(a, bt);
+    ASSERT_EQ(via_tn.shape(), ref.shape());
+    ASSERT_EQ(via_nt.shape(), ref.shape());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_NEAR(via_tn[i], ref[i], 1e-4f);
+        EXPECT_NEAR(via_nt[i], ref[i], 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulVariantTest,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{2, 3, 4},
+                                           std::tuple{5, 7, 3},
+                                           std::tuple{8, 2, 8},
+                                           std::tuple{3, 16, 5}));
+
+TEST(Tensor, SameShape)
+{
+    Tensor a({2, 3}), b({2, 3}), c({3, 2});
+    EXPECT_TRUE(same_shape(a, b));
+    EXPECT_FALSE(same_shape(a, c));
+}
+
+} // namespace
+} // namespace autofl

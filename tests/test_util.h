@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared helpers for the gtest suite: numerical gradient checking of
+ * layers and models against the analytic backward passes.
+ */
+#ifndef AUTOFL_TESTS_TEST_UTIL_H
+#define AUTOFL_TESTS_TEST_UTIL_H
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace autofl::testing {
+
+/** Fill a tensor with small random values. */
+inline void
+randomize(Tensor &t, Rng &rng, double scale = 0.5)
+{
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.uniform(-scale, scale));
+}
+
+/**
+ * Scalar objective used by the gradient checks: a fixed random linear
+ * functional of the layer output (differentiable, exercises all outputs).
+ */
+struct LinearObjective
+{
+    Tensor weights;
+
+    explicit
+    LinearObjective(const std::vector<int> &out_shape, Rng &rng)
+        : weights(out_shape)
+    {
+        randomize(weights, rng, 1.0);
+    }
+
+    double
+    value(const Tensor &out) const
+    {
+        double s = 0.0;
+        for (size_t i = 0; i < out.size(); ++i)
+            s += static_cast<double>(out[i]) * weights[i];
+        return s;
+    }
+
+    Tensor
+    grad() const
+    {
+        return weights;
+    }
+};
+
+/**
+ * Check the layer's input gradient and parameter gradients against
+ * central finite differences of the linear objective.
+ *
+ * @param layer Layer under test (weights already initialized).
+ * @param in_shape Input shape including batch/time dims.
+ * @param tol Relative-ish tolerance for the comparison.
+ */
+inline void
+check_layer_gradients(Layer &layer, const std::vector<int> &in_shape,
+                      double tol = 2e-2, uint64_t seed = 1234)
+{
+    Rng rng(seed);
+    Tensor x(in_shape);
+    randomize(x, rng);
+
+    Tensor out = layer.forward(x);
+    LinearObjective obj(out.shape(), rng);
+
+    layer.zero_grad();
+    layer.forward(x);
+    Tensor dx = layer.backward(obj.grad());
+    ASSERT_EQ(dx.shape(), x.shape());
+
+    const float eps = 1e-3f;
+    auto fd_check = [&](float &slot, double analytic, const char *what,
+                        size_t idx) {
+        const float saved = slot;
+        slot = saved + eps;
+        const double up = obj.value(layer.forward(x));
+        slot = saved - eps;
+        const double down = obj.value(layer.forward(x));
+        slot = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        const double denom =
+            std::max({1.0, std::abs(numeric), std::abs(analytic)});
+        EXPECT_NEAR(analytic / denom, numeric / denom, tol)
+            << what << " index " << idx;
+    };
+
+    // Input gradient: spot-check a spread of elements.
+    const size_t stride = std::max<size_t>(1, x.size() / 17);
+    for (size_t i = 0; i < x.size(); i += stride)
+        fd_check(x[i], dx[i], "input", i);
+
+    // Parameter gradients.
+    auto params = layer.params();
+    auto grads = layer.grads();
+    ASSERT_EQ(params.size(), grads.size());
+    for (size_t p = 0; p < params.size(); ++p) {
+        Tensor &w = *params[p];
+        const Tensor &g = *grads[p];
+        const size_t pstride = std::max<size_t>(1, w.size() / 13);
+        for (size_t i = 0; i < w.size(); i += pstride)
+            fd_check(w[i], g[i], "param", p * 100000 + i);
+    }
+}
+
+} // namespace autofl::testing
+
+#endif // AUTOFL_TESTS_TEST_UTIL_H
