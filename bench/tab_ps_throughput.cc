@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Parameter-server runtime throughput: rounds/sec for Sync vs SemiAsync
+ * aggregation at 1/2/4/8 executor threads on the CnnMnist workload,
+ * written to BENCH_ps_throughput.json.
+ *
+ * Each client job carries a deterministic simulated device latency
+ * (0.5x-2x across devices, cf. the fleet's tier spread) on top of its
+ * real local SGD, so the measurement captures what the executor exists
+ * for: overlapping device latency across concurrent client jobs. The
+ * headline check is the scaling ratio — 8-thread SemiAsync must clear
+ * 2x the 1-thread rounds/sec.
+ */
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+constexpr int kDevices = 12;
+constexpr int kRounds = 6;
+constexpr double kDeviceLatencyS = 0.02;
+
+FlSystemConfig
+ps_config(SyncMode mode, int threads)
+{
+    FlSystemConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.params = {16, 1, kDevices};
+    cfg.hyper.lr = 0.05;
+    cfg.data.train_samples = 360;
+    cfg.data.test_samples = 60;
+    cfg.data.noise = 0.6;
+    cfg.partition.num_devices = kDevices;
+    cfg.seed = kBenchSeed;
+    cfg.threads = threads;
+    cfg.ps.mode = mode;
+    cfg.ps.staleness_bound = 1;
+    cfg.ps.sim_device_latency_s = kDeviceLatencyS;
+    return cfg;
+}
+
+struct Measurement
+{
+    SyncMode mode;
+    int threads = 0;
+    double rounds_per_sec = 0.0;
+    double mean_staleness = 0.0;
+    int evicted = 0;
+};
+
+Measurement
+measure(SyncMode mode, int threads)
+{
+    FlSystem fl(ps_config(mode, threads));
+    std::vector<int> ids(kDevices);
+    for (int d = 0; d < kDevices; ++d)
+        ids[static_cast<size_t>(d)] = d;
+
+    fl.run_round(ids, 0);  // Warm caches outside the timed region.
+
+    Measurement m;
+    m.mode = mode;
+    m.threads = threads;
+    double staleness = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int round = 1; round <= kRounds; ++round) {
+        const PsRoundStats st =
+            fl.run_round(ids, static_cast<uint64_t>(round));
+        staleness += st.mean_staleness;
+        m.evicted += st.evicted;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    m.rounds_per_sec = kRounds / elapsed.count();
+    m.mean_staleness = staleness / kRounds;
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    print_banner(std::cout,
+                 "PS runtime throughput: CnnMnist, " +
+                     std::to_string(kDevices) + " clients/round, " +
+                     TextTable::num(kDeviceLatencyS * 1e3, 0) +
+                     " ms base device latency");
+
+    const std::vector<int> thread_counts = {1, 2, 4, 8};
+    std::vector<Measurement> results;
+    for (SyncMode mode : {SyncMode::Sync, SyncMode::SemiAsync})
+        for (int threads : thread_counts)
+            results.push_back(measure(mode, threads));
+
+    TextTable t;
+    t.set_header({"mode", "threads", "rounds/s", "vs 1-thread",
+                  "mean-staleness", "evicted"});
+    double base_sync = 0.0, base_semi = 0.0;
+    for (const auto &m : results) {
+        double &base = m.mode == SyncMode::Sync ? base_sync : base_semi;
+        if (m.threads == 1)
+            base = m.rounds_per_sec;
+        t.add_row({sync_mode_name(m.mode), std::to_string(m.threads),
+                   TextTable::num(m.rounds_per_sec, 2),
+                   ratio(m.rounds_per_sec, base),
+                   TextTable::num(m.mean_staleness, 2),
+                   std::to_string(m.evicted)});
+    }
+    t.render(std::cout);
+
+    double semi1 = 0.0, semi8 = 0.0;
+    for (const auto &m : results) {
+        if (m.mode != SyncMode::SemiAsync)
+            continue;
+        if (m.threads == 1)
+            semi1 = m.rounds_per_sec;
+        if (m.threads == 8)
+            semi8 = m.rounds_per_sec;
+    }
+    const double speedup = semi1 > 0.0 ? semi8 / semi1 : 0.0;
+    std::cout << "SemiAsync 8-thread vs 1-thread: "
+              << TextTable::num(speedup, 2) << "x ("
+              << (speedup >= 2.0 ? "PASS" : "FAIL") << " >= 2x)\n";
+
+    std::ofstream json("BENCH_ps_throughput.json");
+    json << "{\n  \"workload\": \"CnnMnist\",\n"
+         << "  \"clients_per_round\": " << kDevices << ",\n"
+         << "  \"timed_rounds\": " << kRounds << ",\n"
+         << "  \"base_device_latency_s\": " << kDeviceLatencyS << ",\n"
+         << "  \"semiasync_speedup_8v1\": " << speedup << ",\n"
+         << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const auto &m = results[i];
+        json << "    {\"mode\": \"" << sync_mode_name(m.mode)
+             << "\", \"threads\": " << m.threads
+             << ", \"rounds_per_sec\": " << m.rounds_per_sec
+             << ", \"mean_staleness\": " << m.mean_staleness
+             << ", \"evicted\": " << m.evicted << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote BENCH_ps_throughput.json\n";
+    return speedup >= 2.0 ? 0 : 1;
+}

@@ -71,7 +71,8 @@ AutoFlScheduler::select(const GlobalObservation &global,
     assert(static_cast<int>(locals.size()) == fleet_.size());
     assert(k > 0 && k <= fleet_.size());
 
-    const GlobalState gs = make_global_state(global.profile, global.params);
+    const GlobalState gs = make_global_state(global.profile, global.params,
+                                             global.observed_staleness);
     const int gidx = encode_global(gs);
 
     std::vector<int> lidx(locals.size());

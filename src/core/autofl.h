@@ -45,6 +45,13 @@ struct GlobalObservation
 {
     NnProfile profile;
     FlGlobalParams params;
+
+    /**
+     * Mean update staleness the ps runtime observed over recent rounds
+     * (0 under the synchronous runtime); feeds the S_Stale global-state
+     * feature so the scheduler can adapt to semi-async aggregation.
+     */
+    double observed_staleness = 0.0;
 };
 
 /** Per-round observation of one device. */

@@ -13,6 +13,7 @@ encode_global(const GlobalState &s)
     idx = idx * kBatchBuckets + s.s_b;
     idx = idx * kEpochBuckets + s.s_e;
     idx = idx * kKBuckets + s.s_k;
+    idx = idx * kStaleBuckets + s.s_stale;
     assert(idx >= 0 && idx < kGlobalStates);
     return idx;
 }
@@ -110,6 +111,17 @@ bucket_util(double u)
 }
 
 int
+bucket_staleness(double mean)
+{
+    // fresh (sync / bound 0), mild (mean < 1 commit), heavy.
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 1.0)
+        return 1;
+    return 2;
+}
+
+int
 bucket_data(double fraction)
 {
     // small (<25%), medium (<100%), large (=100%).
@@ -123,7 +135,8 @@ bucket_data(double fraction)
 } // namespace
 
 GlobalState
-make_global_state(const NnProfile &profile, const FlGlobalParams &params)
+make_global_state(const NnProfile &profile, const FlGlobalParams &params,
+                  double observed_staleness)
 {
     GlobalState s;
     s.s_conv = bucket_conv(profile.conv_layers);
@@ -132,6 +145,7 @@ make_global_state(const NnProfile &profile, const FlGlobalParams &params)
     s.s_b = bucket_batch(params.batch_size);
     s.s_e = bucket_epochs(params.epochs);
     s.s_k = bucket_k(params.k);
+    s.s_stale = bucket_staleness(observed_staleness);
     return s;
 }
 

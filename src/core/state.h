@@ -27,6 +27,7 @@ struct GlobalState
     int s_b = 0;     ///< Batch-size bucket (3 levels).
     int s_e = 0;     ///< Local-epochs bucket (3 levels).
     int s_k = 0;     ///< Participant-count bucket (3 levels).
+    int s_stale = 0; ///< Observed-staleness bucket (3 levels); 0 = sync.
 
     bool operator==(const GlobalState &) const = default;
 };
@@ -54,6 +55,7 @@ constexpr int kRcBuckets = 4;
 constexpr int kBatchBuckets = 3;
 constexpr int kEpochBuckets = 3;
 constexpr int kKBuckets = 3;
+constexpr int kStaleBuckets = 3;
 constexpr int kCoCpuBuckets = 4;
 constexpr int kCoMemBuckets = 4;
 constexpr int kNetworkBuckets = 2;
@@ -61,7 +63,7 @@ constexpr int kDataBuckets = 3;
 
 /** Number of distinct global state encodings. */
 constexpr int kGlobalStates = kConvBuckets * kFcBuckets * kRcBuckets *
-    kBatchBuckets * kEpochBuckets * kKBuckets;
+    kBatchBuckets * kEpochBuckets * kKBuckets * kStaleBuckets;
 
 /** Number of distinct local state encodings. */
 constexpr int kLocalStates = kCoCpuBuckets * kCoMemBuckets *
@@ -73,9 +75,15 @@ int encode_global(const GlobalState &s);
 /** Encode the local state to a dense index in [0, kLocalStates). */
 int encode_local(const LocalState &s);
 
-/** Discretize the NN profile + global parameters per Table 1. */
+/**
+ * Discretize the NN profile + global parameters per Table 1, plus the
+ * ps-runtime extension: the job's observed mean update staleness
+ * (0 under the synchronous runtime), so the scheduler can condition on
+ * how asynchronously the server is consuming updates.
+ */
 GlobalState make_global_state(const NnProfile &profile,
-                              const FlGlobalParams &params);
+                              const FlGlobalParams &params,
+                              double observed_staleness = 0.0);
 
 /**
  * Discretize one device's observable round state per Table 1.

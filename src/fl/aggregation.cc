@@ -1,0 +1,83 @@
+#include "aggregation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autofl {
+
+namespace {
+
+/** Per-update mass e_j; exactly num_samples when factors is null. */
+inline double
+mass(const std::vector<LocalUpdate> &updates,
+     const std::vector<double> *factors, size_t j)
+{
+    const double n = updates[j].num_samples;
+    return factors ? (*factors)[j] * n : n;
+}
+
+} // namespace
+
+std::vector<float>
+fedavg_combine(const std::vector<LocalUpdate> &updates,
+               const std::vector<double> *factors, double *lambda_out)
+{
+    assert(!updates.empty());
+    assert(!factors || factors->size() == updates.size());
+    const size_t dim = updates.front().weights.size();
+
+    double total_mass = 0.0;
+    double total_samples = 0.0;
+    for (size_t j = 0; j < updates.size(); ++j) {
+        total_mass += mass(updates, factors, j);
+        total_samples += updates[j].num_samples;
+    }
+
+    std::vector<double> acc(dim, 0.0);
+    for (size_t j = 0; j < updates.size(); ++j) {
+        const LocalUpdate &u = updates[j];
+        assert(u.weights.size() == dim);
+        const double p = mass(updates, factors, j) / total_mass;
+        for (size_t i = 0; i < dim; ++i)
+            acc[i] += p * u.weights[i];
+    }
+
+    std::vector<float> out(dim);
+    for (size_t i = 0; i < dim; ++i)
+        out[i] = static_cast<float>(acc[i]);
+    if (lambda_out)
+        *lambda_out = total_samples > 0.0 ? total_mass / total_samples : 0.0;
+    return out;
+}
+
+void
+fednova_apply(std::vector<float> &weights,
+              const std::vector<LocalUpdate> &updates,
+              const std::vector<double> *factors)
+{
+    assert(!updates.empty());
+    assert(!factors || factors->size() == updates.size());
+    const size_t dim = weights.size();
+
+    double total_mass = 0.0;
+    for (size_t j = 0; j < updates.size(); ++j)
+        total_mass += mass(updates, factors, j);
+
+    std::vector<double> avg_dir(dim, 0.0);
+    double tau_eff = 0.0;
+    for (size_t j = 0; j < updates.size(); ++j) {
+        const LocalUpdate &u = updates[j];
+        assert(u.weights.size() == dim);
+        const double p = mass(updates, factors, j) / total_mass;
+        const double tau = std::max(1, u.num_steps);
+        tau_eff += p * tau;
+        const double scale = p / tau;
+        for (size_t i = 0; i < dim; ++i)
+            avg_dir[i] += scale * (static_cast<double>(weights[i]) -
+                                   u.weights[i]);
+    }
+    for (size_t i = 0; i < dim; ++i)
+        weights[i] = static_cast<float>(weights[i] - tau_eff * avg_dir[i]);
+}
+
+} // namespace autofl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Aggregation arithmetic shared by the synchronous Server and the
+ * parameter-server runtime's AsyncAggregator. Keeping both paths on one
+ * implementation is what makes SemiAsync with staleness bound 0
+ * reproduce synchronous FedAvg bit-for-bit: identical accumulation
+ * order, identical double-precision intermediates, identical rounding.
+ */
+#ifndef AUTOFL_FL_AGGREGATION_H
+#define AUTOFL_FL_AGGREGATION_H
+
+#include <vector>
+
+#include "fl/fl_types.h"
+
+namespace autofl {
+
+/**
+ * Sample-weighted FedAvg combine (also used by FedProx and FEDL): the
+ * weighted average of the updates' weight vectors with per-update mass
+ * e_j = factor_j * num_samples_j (factor_j = 1 when @p factors is null).
+ *
+ * @param updates Non-empty update set, all of one dimension.
+ * @param factors Optional per-update staleness factors, parallel to
+ *        @p updates. All-1.0 factors reproduce plain FedAvg exactly.
+ * @param lambda_out Optional: receives sum(e_j) / sum(num_samples_j),
+ *        the fraction of the batch's mass surviving staleness damping
+ *        (exactly 1.0 when every factor is 1.0). Used as the blend rate
+ *        for semi-async commits.
+ */
+std::vector<float> fedavg_combine(const std::vector<LocalUpdate> &updates,
+                                  const std::vector<double> *factors,
+                                  double *lambda_out);
+
+/**
+ * FedNova normalized-averaging step applied in place to @p weights:
+ * average the normalized directions d_j = (w - u_j) / tau_j with mass
+ * e_j, then step by tau_eff = sum(p_j * tau_j). Null @p factors means
+ * all-1.0 (the synchronous path).
+ */
+void fednova_apply(std::vector<float> &weights,
+                   const std::vector<LocalUpdate> &updates,
+                   const std::vector<double> *factors);
+
+} // namespace autofl
+
+#endif // AUTOFL_FL_AGGREGATION_H

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <thread>
 
+#include "fl/aggregation.h"
 #include "nn/loss.h"
 
 namespace autofl {
@@ -30,48 +31,19 @@ Server::aggregate(const std::vector<LocalUpdate> &updates)
 {
     if (updates.empty())
         return;
-    const size_t dim = weights_.size();
 
     if (alg_ == Algorithm::FedNova) {
         // FedNova: average the *normalized* directions d_i =
         // (w_global - w_i) / tau_i, then apply with the effective step
         // count tau_eff = sum(p_i * tau_i). Removes the objective
         // inconsistency caused by heterogeneous local step counts.
-        double total_samples = 0.0;
-        for (const auto &u : updates)
-            total_samples += u.num_samples;
-        std::vector<double> avg_dir(dim, 0.0);
-        double tau_eff = 0.0;
-        for (const auto &u : updates) {
-            assert(u.weights.size() == dim);
-            const double p = u.num_samples / total_samples;
-            const double tau = std::max(1, u.num_steps);
-            tau_eff += p * tau;
-            const double scale = p / tau;
-            for (size_t i = 0; i < dim; ++i)
-                avg_dir[i] += scale * (static_cast<double>(weights_[i]) -
-                                       u.weights[i]);
-        }
-        for (size_t i = 0; i < dim; ++i)
-            weights_[i] = static_cast<float>(weights_[i] -
-                                             tau_eff * avg_dir[i]);
+        fednova_apply(weights_, updates, nullptr);
         return;
     }
 
     // FedAvg-style sample-weighted averaging (also used by FedProx and
     // FEDL, whose differences live in the client objective).
-    double total_samples = 0.0;
-    for (const auto &u : updates)
-        total_samples += u.num_samples;
-    std::vector<double> acc(dim, 0.0);
-    for (const auto &u : updates) {
-        assert(u.weights.size() == dim);
-        const double p = u.num_samples / total_samples;
-        for (size_t i = 0; i < dim; ++i)
-            acc[i] += p * u.weights[i];
-    }
-    for (size_t i = 0; i < dim; ++i)
-        weights_[i] = static_cast<float>(acc[i]);
+    weights_ = fedavg_combine(updates, nullptr, nullptr);
 }
 
 double

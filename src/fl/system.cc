@@ -1,7 +1,11 @@
 #include "system.h"
 
 #include <cassert>
+#include <chrono>
 #include <thread>
+
+#include "ps/ps_server.h"
+#include "util/rng.h"
 
 namespace autofl {
 
@@ -15,7 +19,17 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
     shards_.reserve(partition_.shards.size());
     for (const auto &indices : partition_.shards)
         shards_.push_back(data_.train.subset(indices));
+
+    if (cfg_.ps.mode != SyncMode::Sync &&
+        cfg_.algorithm != Algorithm::Fedl) {
+        ps_ = std::make_unique<PsServer>(server_, cfg_.workload,
+                                         cfg_.params, cfg_.hyper,
+                                         cfg_.algorithm, cfg_.seed, cfg_.ps,
+                                         cfg_.threads);
+    }
 }
+
+FlSystem::~FlSystem() = default;
 
 const Dataset &
 FlSystem::shard(int device_id) const
@@ -63,9 +77,14 @@ FlSystem::run_local_round(const std::vector<int> &device_ids, uint64_t round)
         for (size_t i = static_cast<size_t>(tid); i < n;
              i += static_cast<size_t>(threads)) {
             const int dev = device_ids[i];
-            // Deterministic per-device, per-round stream.
-            Rng rng(cfg_.seed ^ (static_cast<uint64_t>(dev) * 0x9e3779b9ULL) ^
-                    (round * 0x85ebca6bULL));
+            if (cfg_.ps.sim_device_latency_s > 0.0) {
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    cfg_.ps.sim_latency_for(dev)));
+            }
+            // Deterministic per-(seed, device, round) stream; never a
+            // function of the worker thread, so thread counts and the
+            // sync/ps split cannot change the trained weights.
+            Rng rng = client_rng(cfg_.seed, dev, round);
             std::vector<float> correction;
             if (server_.wants_full_gradients())
                 correction = server_.fedl_correction(fedl_grads[i]);
@@ -93,6 +112,25 @@ void
 FlSystem::aggregate(const std::vector<LocalUpdate> &updates)
 {
     server_.aggregate(updates);
+}
+
+PsRoundStats
+FlSystem::run_round(const std::vector<int> &device_ids, uint64_t round)
+{
+    if (!ps_) {
+        auto updates = run_local_round(device_ids, round);
+        aggregate(updates);
+        PsRoundStats stats;
+        stats.pushed = static_cast<int>(updates.size());
+        stats.applied = stats.pushed;
+        stats.commits = updates.empty() ? 0 : 1;
+        return stats;
+    }
+    std::vector<PsRoundJob> jobs;
+    jobs.reserve(device_ids.size());
+    for (int dev : device_ids)
+        jobs.push_back(PsRoundJob{dev, &shard(dev)});
+    return ps_->run_round(jobs, round);
 }
 
 double

@@ -16,8 +16,11 @@
 #include "data/synthetic.h"
 #include "fl/client.h"
 #include "fl/server.h"
+#include "ps/ps_config.h"
 
 namespace autofl {
+
+class PsServer;
 
 /** Configuration of one FL training job. */
 struct FlSystemConfig
@@ -30,6 +33,7 @@ struct FlSystemConfig
     PartitionConfig partition;             ///< Shard assignment.
     uint64_t seed = 1234;                  ///< Weight init + client RNG.
     int threads = 8;                       ///< Parallel local training.
+    PsConfig ps;                           ///< Parameter-server runtime.
 };
 
 /** Complete FL training stack for one job. */
@@ -37,6 +41,7 @@ class FlSystem
 {
   public:
     explicit FlSystem(const FlSystemConfig &cfg);
+    ~FlSystem();
 
     /** Number of devices holding shards. */
     int num_devices() const { return static_cast<int>(shards_.size()); }
@@ -69,6 +74,19 @@ class FlSystem
     /** Aggregate the given (included) updates into the global model. */
     void aggregate(const std::vector<LocalUpdate> &updates);
 
+    /**
+     * Unified round entry dispatching on cfg.ps.mode: the synchronous
+     * barrier (run_local_round + aggregate) or the parameter-server
+     * runtime (concurrent jobs, bounded-staleness aggregation). FEDL
+     * always takes the synchronous path — its gradient exchange is a
+     * barrier by construction.
+     */
+    PsRoundStats run_round(const std::vector<int> &device_ids,
+                           uint64_t round);
+
+    /** The ps runtime, or null when running synchronously. */
+    PsServer *ps() { return ps_.get(); }
+
     /** Test accuracy of the current global model. */
     double evaluate();
 
@@ -85,6 +103,7 @@ class FlSystem
     std::vector<Dataset> shards_;
     Server server_;
     NnProfile profile_;
+    std::unique_ptr<PsServer> ps_;  ///< Non-null when cfg.ps.mode != Sync.
 };
 
 } // namespace autofl

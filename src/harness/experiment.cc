@@ -233,7 +233,17 @@ run_experiment(const ExperimentConfig &cfg)
     fcfg.partition.seed = cfg.seed * 17 + 3;
     fcfg.seed = cfg.seed;
     fcfg.threads = cfg.threads;
+    fcfg.ps.mode = cfg.sync_mode;
+    fcfg.ps.staleness_bound = cfg.staleness_bound;
+    fcfg.ps.shards = cfg.ps_shards;
     FlSystem fl(fcfg);
+    const bool ps_mode = fl.ps() != nullptr;
+
+    // Under the ps runtime stragglers are evicted by the staleness
+    // bound at aggregation time, not dropped at a simulated deadline.
+    RoundSimConfig round_sim = cfg.round_sim;
+    if (ps_mode)
+        round_sim.deadline_multiple = 0.0;
 
     // Device population.
     Fleet fleet(cfg.fleet_mix, cfg.variance, cfg.seed * 13 + 5);
@@ -284,7 +294,7 @@ run_experiment(const ExperimentConfig &cfg)
                                mem_frac, gobs.profile.model_bytes,
                                params.batch_size});
             RoundExec exec =
-                simulate_round(fleet, plans, profiles, cfg.round_sim);
+                simulate_round(fleet, plans, profiles, round_sim);
             // Keep the synthetic accuracy strictly increasing for the
             // whole warmup so the reward stays on its success branch
             // (the failure branch carries no energy/time signal). The
@@ -333,22 +343,37 @@ run_experiment(const ExperimentConfig &cfg)
             profiles.push_back(prof);
         }
 
-        RoundExec exec = simulate_round(fleet, plans, profiles,
-                                        cfg.round_sim);
+        RoundExec exec = simulate_round(fleet, plans, profiles, round_sim);
 
-        // Train only the participants whose gradients survive the
-        // deadline; dropped stragglers burn energy but contribute
-        // nothing (which is what hurts baseline accuracy).
-        std::vector<int> included_ids;
-        for (const auto &e : exec.participants)
-            if (e.included)
-                included_ids.push_back(e.device_id);
-        auto updates = fl.run_local_round(included_ids,
-                                          static_cast<uint64_t>(round));
-        fl.aggregate(updates);
+        // Synchronous runtime: train only the participants whose
+        // gradients survive the deadline; dropped stragglers burn
+        // energy but contribute nothing (which is what hurts baseline
+        // accuracy). Ps runtime: every participant trains, submitted in
+        // simulated completion order so simulated stragglers arrive
+        // last and are the ones the staleness bound evicts.
+        std::vector<int> round_ids;
+        if (ps_mode) {
+            std::vector<DeviceExec> ordered = exec.participants;
+            std::stable_sort(ordered.begin(), ordered.end(),
+                             [](const DeviceExec &a, const DeviceExec &b) {
+                                 return a.completion_s() < b.completion_s();
+                             });
+            for (const auto &e : ordered)
+                round_ids.push_back(e.device_id);
+        } else {
+            for (const auto &e : exec.participants)
+                if (e.included)
+                    round_ids.push_back(e.device_id);
+        }
+        const PsRoundStats ps_stats =
+            fl.run_round(round_ids, static_cast<uint64_t>(round));
         const double acc = fl.evaluate();
 
         policy->observe_outcome(exec, acc * 100.0);
+        // Expose the runtime's staleness to the scheduler state
+        // (smoothed so one odd round does not flip the bucket).
+        gobs.observed_staleness = 0.7 * gobs.observed_staleness +
+            0.3 * ps_stats.mean_staleness;
 
         RoundRecord rec;
         rec.round = round;
@@ -357,7 +382,9 @@ run_experiment(const ExperimentConfig &cfg)
         rec.energy_global_j = exec.energy_global_j();
         rec.energy_participants_j = exec.energy_participants_j;
         rec.work_flops = exec.work_flops;
-        rec.included = exec.included_count();
+        rec.included = ps_mode ? ps_stats.applied : exec.included_count();
+        rec.evicted = ps_stats.evicted;
+        rec.mean_staleness = ps_stats.mean_staleness;
         count_selection(fleet, plans, rec);
         if (auto *afl = dynamic_cast<AutoFlPolicy *>(policy.get()))
             rec.mean_reward = afl->scheduler().last_mean_reward();
@@ -377,6 +404,25 @@ run_experiment(const ExperimentConfig &cfg)
         }
     }
     return res;
+}
+
+std::vector<ExperimentResult>
+run_sync_mode_sweep(const ExperimentConfig &cfg,
+                    const std::vector<SyncModeScenario> &scenarios)
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(scenarios.size());
+    for (const auto &sc : scenarios) {
+        ExperimentConfig run_cfg = cfg;
+        run_cfg.sync_mode = sc.mode;
+        run_cfg.staleness_bound = sc.staleness_bound;
+        ExperimentResult res = run_experiment(run_cfg);
+        res.policy_name += "/" + sync_mode_name(sc.mode);
+        if (sc.mode == SyncMode::SemiAsync)
+            res.policy_name += "-" + std::to_string(sc.staleness_bound);
+        results.push_back(std::move(res));
+    }
+    return results;
 }
 
 ExperimentResult

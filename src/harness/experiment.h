@@ -43,6 +43,16 @@ struct ExperimentConfig
     DataDistribution distribution = DataDistribution::IdealIid;
     Algorithm algorithm = Algorithm::FedAvg;
 
+    /**
+     * Server runtime: synchronous rounds, or the ps runtime's
+     * semi-async / async aggregation. Under the ps runtime the
+     * deadline-based straggler drop is disabled — slow participants are
+     * instead evicted by the staleness bound at aggregation time.
+     */
+    SyncMode sync_mode = SyncMode::Sync;
+    int staleness_bound = 1;  ///< S for SemiAsync (0 == Sync exactly).
+    int ps_shards = 8;        ///< Model-store lock stripes.
+
     PolicyKind policy = PolicyKind::FedAvgRandom;
     ClusterTemplate static_cluster;   ///< When policy == StaticCluster.
     OracleSpec oracle_spec;           ///< When policy == Oracle*.
@@ -85,7 +95,9 @@ struct RoundRecord
     double energy_global_j = 0.0;
     double energy_participants_j = 0.0;
     double work_flops = 0.0;
-    int included = 0;             ///< Participants surviving the deadline.
+    int included = 0;             ///< Updates that reached aggregation.
+    int evicted = 0;              ///< Dropped for staleness (ps runtime).
+    double mean_staleness = 0.0;  ///< Mean applied staleness (ps runtime).
     int selected_high = 0, selected_mid = 0, selected_low = 0;
     std::array<int, 6> action_counts{};  ///< Selected action histogram.
     double mean_reward = 0.0;     ///< AutoFL only.
@@ -133,6 +145,24 @@ struct ExperimentResult
 
 /** Run a full experiment (real training + simulation). */
 ExperimentResult run_experiment(const ExperimentConfig &cfg);
+
+/** One server-runtime variant in a sync-mode scenario sweep. */
+struct SyncModeScenario
+{
+    SyncMode mode = SyncMode::Sync;
+    int staleness_bound = 0;  ///< Used by SemiAsync only.
+};
+
+/**
+ * Scenario sweep over server runtimes: run the same job under each
+ * variant (e.g. Sync, SemiAsync at several staleness bounds, Async) so
+ * the semi-async FL scenario family is comparable against the paper's
+ * synchronous baseline on one config. Results are returned in scenario
+ * order with policy_name suffixed by the runtime ("AutoFL/SemiAsync-2").
+ */
+std::vector<ExperimentResult> run_sync_mode_sweep(
+    const ExperimentConfig &cfg,
+    const std::vector<SyncModeScenario> &scenarios);
 
 /**
  * Characterization mode: identical scheduling/energy simulation but no

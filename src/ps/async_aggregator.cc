@@ -1,0 +1,133 @@
+#include "async_aggregator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "fl/aggregation.h"
+
+namespace autofl {
+
+AsyncAggregator::AsyncAggregator(ShardedStore &store, Algorithm alg,
+                                 const PsConfig &cfg)
+    : store_(store), alg_(alg), cfg_(cfg)
+{
+    assert(alg_ != Algorithm::Fedl);  // FEDL needs a synchronous phase.
+}
+
+void
+AsyncAggregator::begin_round(int expected_updates)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(buffer_.empty());
+    stats_ = PsRoundStats{};
+    staleness_sum_ = 0.0;
+    if (cfg_.mode == SyncMode::Async) {
+        threshold_ = 1;
+    } else {
+        // SemiAsync: ceil(K / (S+1)) so a round spans at most S+1
+        // commits; S=0 makes the threshold the whole round (one commit
+        // of all-fresh updates == synchronous FedAvg).
+        const int s = std::max(0, cfg_.staleness_bound);
+        threshold_ = static_cast<size_t>(
+            std::max(1, (expected_updates + s) / (s + 1)));
+    }
+}
+
+void
+AsyncAggregator::push(PsPush p)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.pushed;
+    buffer_.push_back(std::move(p));
+    if (buffer_.size() >= threshold_)
+        commit_locked();
+}
+
+PsRoundStats
+AsyncAggregator::flush()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    commit_locked();
+    if (stats_.applied > 0)
+        stats_.mean_staleness = staleness_sum_ / stats_.applied;
+    return stats_;
+}
+
+uint64_t
+AsyncAggregator::clock() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return clock_;
+}
+
+int
+AsyncAggregator::lifetime_max_applied_staleness() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return lifetime_max_staleness_;
+}
+
+void
+AsyncAggregator::commit_locked()
+{
+    if (buffer_.empty())
+        return;
+
+    // Deterministic composition: commit in submission order regardless
+    // of which worker thread finished first.
+    std::sort(buffer_.begin(), buffer_.end(),
+              [](const PsPush &a, const PsPush &b) { return a.seq < b.seq; });
+
+    std::vector<LocalUpdate> applied;
+    std::vector<double> factors;
+    applied.reserve(buffer_.size());
+    factors.reserve(buffer_.size());
+    for (auto &p : buffer_) {
+        // pull_clock was read before the snapshot, so this staleness is
+        // an upper bound on what the job actually saw — the bound is
+        // enforced conservatively.
+        const int s = static_cast<int>(clock_ - p.pull_clock);
+        if (cfg_.mode == SyncMode::SemiAsync && s > cfg_.staleness_bound) {
+            ++stats_.evicted;
+            continue;
+        }
+        factors.push_back(std::pow(1.0 + s, -cfg_.staleness_alpha));
+        staleness_sum_ += s;
+        stats_.max_staleness = std::max(stats_.max_staleness, s);
+        lifetime_max_staleness_ = std::max(lifetime_max_staleness_, s);
+        applied.push_back(std::move(p.update));
+    }
+    buffer_.clear();
+    if (applied.empty())
+        return;  // Everything evicted: no commit, clock unchanged.
+
+    if (alg_ == Algorithm::FedNova) {
+        std::vector<float> w = store_.read();
+        fednova_apply(w, applied, &factors);
+        store_.write(w);
+    } else {
+        double lambda = 0.0;
+        std::vector<float> avg = fedavg_combine(applied, &factors, &lambda);
+        if (cfg_.mode == SyncMode::Async)
+            lambda *= cfg_.async_mix;
+        if (lambda >= 1.0) {
+            // All-fresh batch: lambda is exactly 1.0 and the blend
+            // degenerates to the average itself. Writing it unblended
+            // keeps bit-parity with the synchronous Server.
+            store_.write(avg);
+        } else {
+            std::vector<float> w = store_.read();
+            for (size_t i = 0; i < w.size(); ++i)
+                w[i] = static_cast<float>((1.0 - lambda) * w[i] +
+                                          lambda * avg[i]);
+            store_.write(w);
+        }
+    }
+
+    stats_.applied += static_cast<int>(applied.size());
+    ++stats_.commits;
+    ++clock_;
+}
+
+} // namespace autofl

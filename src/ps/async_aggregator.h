@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bounded-staleness semi-async aggregation over a ShardedStore.
+ *
+ * Client jobs pull the global weights at logical clock t and push their
+ * trained update tagged with t. The aggregator buffers pushes and
+ * commits a batch when the buffer reaches the round's commit threshold
+ * (ceil(K / (S+1)) in SemiAsync mode, 1 in Async mode); each commit
+ * advances the clock. At commit time an update's staleness is the
+ * number of commits since its pull; updates staler than the bound S are
+ * evicted (SemiAsync) — the parameter-server re-expression of the
+ * synchronous path's straggler drop.
+ *
+ * Commit rule (FedAvg family): with staleness factors f_j = (1+s_j)^-a
+ * and masses e_j = f_j * n_j,
+ *
+ *     w <- (1 - lambda) * w + lambda * sum_j (e_j / E) u_j,
+ *     lambda = E / N,  E = sum e_j,  N = sum n_j.
+ *
+ * When every update in the batch is fresh (s_j = 0, exact under
+ * SemiAsync S=0, where the threshold equals the round size), f_j = 1.0
+ * and lambda = 1.0 *exactly*, so the blend reduces to the identical
+ * fedavg_combine arithmetic the synchronous Server runs — which is why
+ * SemiAsync(S=0) reproduces synchronous FedAvg bit-for-bit.
+ */
+#ifndef AUTOFL_PS_ASYNC_AGGREGATOR_H
+#define AUTOFL_PS_ASYNC_AGGREGATOR_H
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "fl/fl_types.h"
+#include "ps/ps_config.h"
+#include "ps/sharded_store.h"
+
+namespace autofl {
+
+/** One client push: the update plus its provenance. */
+struct PsPush
+{
+    LocalUpdate update;
+    uint64_t seq = 0;         ///< Submission order within the round.
+    uint64_t pull_clock = 0;  ///< Aggregator clock when weights were pulled.
+};
+
+/** Staleness-weighted, bounded-staleness update sink. */
+class AsyncAggregator
+{
+  public:
+    /**
+     * @param store Global model store commits are applied to.
+     * @param alg Aggregation algorithm (FEDL is rejected upstream).
+     * @param cfg Mode, staleness bound, damping exponents.
+     */
+    AsyncAggregator(ShardedStore &store, Algorithm alg, const PsConfig &cfg);
+
+    /**
+     * Start a round of @p expected_updates pushes: resets round stats
+     * and sets the commit threshold (the clock is *not* reset — it is
+     * the staleness reference across the job's lifetime).
+     */
+    void begin_round(int expected_updates);
+
+    /** Thread-safe push; may trigger a commit when the threshold fills. */
+    void push(PsPush p);
+
+    /** Commit any buffered remainder and return the round's stats. */
+    PsRoundStats flush();
+
+    /** Logical commit clock (total commits so far). */
+    uint64_t clock() const;
+
+    /** Largest staleness ever applied (property-test hook). */
+    int lifetime_max_applied_staleness() const;
+
+  private:
+    ShardedStore &store_;
+    Algorithm alg_;
+    PsConfig cfg_;
+
+    mutable std::mutex mu_;
+    std::vector<PsPush> buffer_;
+    uint64_t clock_ = 0;
+    size_t threshold_ = 1;
+    PsRoundStats stats_;
+    double staleness_sum_ = 0.0;
+    int lifetime_max_staleness_ = 0;
+
+    void commit_locked();
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_PS_ASYNC_AGGREGATOR_H

@@ -1,0 +1,75 @@
+#include "executor.h"
+
+#include <algorithm>
+
+namespace autofl {
+
+PsExecutor::PsExecutor(int threads)
+{
+    const int n = std::max(1, threads);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t)
+        workers_.emplace_back(&PsExecutor::run, this, t);
+}
+
+PsExecutor::~PsExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+PsExecutor::submit(Job job)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+}
+
+void
+PsExecutor::wait_idle()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t
+PsExecutor::completed() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return completed_;
+}
+
+void
+PsExecutor::run(int worker)
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and nothing left to drain.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        job(worker);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --active_;
+            ++completed_;
+            if (queue_.empty() && active_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace autofl

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed thread pool with a FIFO task queue, used by the parameter-server
+ * runtime to run client local-training jobs concurrently. Jobs receive
+ * their worker index so callers can keep per-worker scratch state (one
+ * LocalTrainer per worker) without locking.
+ */
+#ifndef AUTOFL_PS_EXECUTOR_H
+#define AUTOFL_PS_EXECUTOR_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autofl {
+
+/** Thread pool executing submitted jobs on a fixed set of workers. */
+class PsExecutor
+{
+  public:
+    /** A job; the argument is the executing worker's index. */
+    using Job = std::function<void(int worker)>;
+
+    /** @param threads Pool size; clamped to at least 1. */
+    explicit PsExecutor(int threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~PsExecutor();
+
+    PsExecutor(const PsExecutor &) = delete;
+    PsExecutor &operator=(const PsExecutor &) = delete;
+
+    /** Pool size. */
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a job; runs on the first free worker, FIFO order. */
+    void submit(Job job);
+
+    /** Block until the queue is empty and no job is running. */
+    void wait_idle();
+
+    /** Jobs finished since construction. */
+    size_t completed() const;
+
+  private:
+    std::vector<std::thread> workers_;
+    std::deque<Job> queue_;
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;   ///< Queue non-empty or stopping.
+    std::condition_variable idle_cv_;   ///< Queue empty and none active.
+    size_t active_ = 0;
+    size_t completed_ = 0;
+    bool stop_ = false;
+
+    void run(int worker);
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_PS_EXECUTOR_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Configuration knobs and round statistics for the parameter-server
+ * runtime (src/ps/). Kept free of other fl/ includes so fl/system.h can
+ * embed a PsConfig without an include cycle.
+ */
+#ifndef AUTOFL_PS_PS_CONFIG_H
+#define AUTOFL_PS_PS_CONFIG_H
+
+#include <string>
+
+namespace autofl {
+
+/**
+ * How the server consumes client updates.
+ *
+ * - Sync: the classic round barrier — every included participant trains
+ *   on the same broadcast weights and one aggregation commits them all.
+ * - SemiAsync: bounded-staleness pipeline. The aggregator commits a
+ *   partial batch as soon as ceil(K / (S+1)) updates are buffered;
+ *   updates observed staler than the bound S are evicted (the
+ *   parameter-server re-expression of FedAvg's straggler drop). S = 0
+ *   degenerates to Sync bit-for-bit under a fixed seed.
+ * - Async: every update commits on arrival with no staleness bound,
+ *   damped by the staleness factor and the async mixing rate.
+ */
+enum class SyncMode { Sync, SemiAsync, Async };
+
+/** Display name: "Sync", "SemiAsync" or "Async". */
+std::string sync_mode_name(SyncMode m);
+
+/** Parameter-server runtime configuration. */
+struct PsConfig
+{
+    SyncMode mode = SyncMode::Sync;
+
+    /** Lock stripes in the sharded model store. */
+    int shards = 8;
+
+    /**
+     * Staleness bound S (SemiAsync only): an update pulled at clock t is
+     * evicted when committed at clock > t + S. 0 reproduces synchronous
+     * FedAvg exactly.
+     */
+    int staleness_bound = 1;
+
+    /** Staleness damping exponent: updates weigh 1/(1+s)^alpha. */
+    double staleness_alpha = 0.5;
+
+    /** Extra damping of each single-update commit in Async mode. */
+    double async_mix = 0.25;
+
+    /** Executor thread-pool size; 0 inherits FlSystemConfig::threads. */
+    int executor_threads = 0;
+
+    /**
+     * Simulated per-device latency (seconds) injected into each local
+     * training job, scaled 0.5x-2x by device id. 0 disables. Used by the
+     * throughput bench so rounds/sec measures the runtime's ability to
+     * overlap device latency rather than raw single-core arithmetic.
+     */
+    double sim_device_latency_s = 0.0;
+
+    /**
+     * The job's simulated latency: base scaled by a deterministic
+     * 0.5x-2x per-device heterogeneity. One definition shared by the
+     * Sync and ps paths so bench rows compare runtimes, not sleep
+     * schedules.
+     */
+    double sim_latency_for(int device_id) const
+    {
+        return sim_device_latency_s * (0.5 + 0.5 * (device_id % 4));
+    }
+};
+
+/** Outcome statistics of one training round under the ps runtime. */
+struct PsRoundStats
+{
+    int pushed = 0;    ///< Updates handed to the aggregator.
+    int applied = 0;   ///< Updates folded into the global model.
+    int evicted = 0;   ///< Updates dropped for exceeding the bound.
+    int commits = 0;   ///< Aggregation commits this round.
+    double mean_staleness = 0.0;  ///< Mean staleness of applied updates.
+    int max_staleness = 0;        ///< Max staleness of applied updates.
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_PS_PS_CONFIG_H

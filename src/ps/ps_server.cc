@@ -1,0 +1,72 @@
+#include "ps_server.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace autofl {
+
+std::string
+sync_mode_name(SyncMode m)
+{
+    switch (m) {
+      case SyncMode::Sync:
+        return "Sync";
+      case SyncMode::SemiAsync:
+        return "SemiAsync";
+      case SyncMode::Async:
+        return "Async";
+    }
+    return "unknown";
+}
+
+PsServer::PsServer(Server &server, Workload workload,
+                   const FlGlobalParams &params, const TrainHyper &hyper,
+                   Algorithm alg, uint64_t seed, const PsConfig &cfg,
+                   int default_threads)
+    : server_(server), params_(params), hyper_(hyper), alg_(alg),
+      seed_(seed), cfg_(cfg),
+      store_(server.global_weights(), cfg.shards),
+      exec_(cfg.executor_threads > 0 ? cfg.executor_threads :
+                                       default_threads),
+      agg_(store_, alg, cfg)
+{
+    assert(alg != Algorithm::Fedl);
+    trainers_.reserve(static_cast<size_t>(exec_.threads()));
+    for (int t = 0; t < exec_.threads(); ++t)
+        trainers_.push_back(std::make_unique<LocalTrainer>(workload));
+}
+
+PsRoundStats
+PsServer::run_round(const std::vector<PsRoundJob> &jobs, uint64_t round)
+{
+    agg_.begin_round(static_cast<int>(jobs.size()));
+    for (size_t seq = 0; seq < jobs.size(); ++seq) {
+        const PsRoundJob job = jobs[seq];
+        exec_.submit([this, job, seq, round](int worker) {
+            // Clock first, snapshot second: a commit landing in between
+            // makes the recorded staleness an upper bound, never an
+            // undercount, so the bound stays honest.
+            const uint64_t pull_clock = agg_.clock();
+            const std::vector<float> weights = store_.read();
+            if (cfg_.sim_device_latency_s > 0.0) {
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    cfg_.sim_latency_for(job.device_id)));
+            }
+            Rng rng = client_rng(seed_, job.device_id, round);
+            LocalUpdate u = trainers_[static_cast<size_t>(worker)]->train(
+                weights, *job.shard, params_, hyper_, alg_, {}, rng);
+            u.device_id = job.device_id;
+            agg_.push(PsPush{std::move(u), static_cast<uint64_t>(seq),
+                             pull_clock});
+        });
+    }
+    exec_.wait_idle();
+    PsRoundStats stats = agg_.flush();
+    server_.set_global_weights(store_.read());
+    return stats;
+}
+
+} // namespace autofl

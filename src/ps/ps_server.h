@@ -1,0 +1,80 @@
+/**
+ * @file
+ * PsServer: the parameter-server runtime facade. Owns the sharded model
+ * store, the executor pool and the bounded-staleness aggregator, and
+ * runs one training round as a stream of concurrent client jobs that
+ * pull weights, train locally and push their updates as they finish.
+ * The wrapped synchronous Server keeps model init and evaluation; its
+ * global weights are re-synced from the store after every round.
+ */
+#ifndef AUTOFL_PS_PS_SERVER_H
+#define AUTOFL_PS_PS_SERVER_H
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/client.h"
+#include "fl/server.h"
+#include "ps/async_aggregator.h"
+#include "ps/executor.h"
+#include "ps/ps_config.h"
+#include "ps/sharded_store.h"
+
+namespace autofl {
+
+/** One client job: a device and its local shard. */
+struct PsRoundJob
+{
+    int device_id = -1;
+    const Dataset *shard = nullptr;
+};
+
+/** Parameter-server runtime wrapping a synchronous Server. */
+class PsServer
+{
+  public:
+    /**
+     * @param server Aggregation server holding the initialized model;
+     *        must outlive this object. Its weights seed the store.
+     * @param params,hyper,alg,seed The FL job settings (alg must not be
+     *        FEDL, whose gradient exchange is inherently synchronous).
+     * @param cfg Runtime knobs; cfg.executor_threads of 0 falls back to
+     *        @p default_threads.
+     */
+    PsServer(Server &server, Workload workload, const FlGlobalParams &params,
+             const TrainHyper &hyper, Algorithm alg, uint64_t seed,
+             const PsConfig &cfg, int default_threads);
+
+    /**
+     * Run one round: submit every job (in order — submission order is
+     * the deterministic aggregation order), wait for the stream to
+     * drain, flush the aggregator and write the store back into the
+     * wrapped Server. Jobs pull the freshest per-shard-consistent
+     * weights when they *start*, so with more jobs than executor
+     * threads later jobs train on mid-round commits — the semi-async
+     * pipeline.
+     */
+    PsRoundStats run_round(const std::vector<PsRoundJob> &jobs,
+                           uint64_t round);
+
+    const ShardedStore &store() const { return store_; }
+    AsyncAggregator &aggregator() { return agg_; }
+    PsExecutor &executor() { return exec_; }
+
+  private:
+    Server &server_;
+    FlGlobalParams params_;
+    TrainHyper hyper_;
+    Algorithm alg_;
+    uint64_t seed_;
+    PsConfig cfg_;
+    ShardedStore store_;
+    PsExecutor exec_;
+    AsyncAggregator agg_;
+    std::vector<std::unique_ptr<LocalTrainer>> trainers_;  ///< Per worker.
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_PS_PS_SERVER_H

@@ -1,0 +1,102 @@
+#include "sharded_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace autofl {
+
+ShardedStore::ShardedStore(std::vector<float> init, int num_shards)
+    : data_(std::move(init)),
+      num_shards_(std::clamp<int>(num_shards, 1,
+                                  std::max<int>(1, static_cast<int>(
+                                                       data_.size())))),
+      base_(data_.size() / static_cast<size_t>(num_shards_)),
+      rem_(data_.size() % static_cast<size_t>(num_shards_)),
+      shards_(std::make_unique<Shard[]>(static_cast<size_t>(num_shards_)))
+{
+}
+
+size_t
+ShardedStore::shard_begin(int s) const
+{
+    assert(s >= 0 && s < num_shards_);
+    const size_t u = static_cast<size_t>(s);
+    return u * base_ + std::min(u, rem_);
+}
+
+size_t
+ShardedStore::shard_end(int s) const
+{
+    const size_t u = static_cast<size_t>(s);
+    return shard_begin(s) + base_ + (u < rem_ ? 1 : 0);
+}
+
+int
+ShardedStore::shard_of(size_t index) const
+{
+    assert(index < dim());
+    // The first rem_ shards hold base_+1 entries each.
+    const size_t fat = rem_ * (base_ + 1);
+    if (index < fat)
+        return static_cast<int>(index / (base_ + 1));
+    return static_cast<int>(rem_ + (index - fat) / base_);
+}
+
+uint64_t
+ShardedStore::shard_version(int s) const
+{
+    assert(s >= 0 && s < num_shards_);
+    return shards_[static_cast<size_t>(s)].version.load(
+        std::memory_order_acquire);
+}
+
+std::vector<uint64_t>
+ShardedStore::versions() const
+{
+    std::vector<uint64_t> out(static_cast<size_t>(num_shards_));
+    for (int s = 0; s < num_shards_; ++s)
+        out[static_cast<size_t>(s)] = shard_version(s);
+    return out;
+}
+
+std::vector<float>
+ShardedStore::read() const
+{
+    std::vector<float> out(data_.size());
+    for (int s = 0; s < num_shards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[static_cast<size_t>(s)].mu);
+        std::copy(data_.begin() + static_cast<ptrdiff_t>(shard_begin(s)),
+                  data_.begin() + static_cast<ptrdiff_t>(shard_end(s)),
+                  out.begin() + static_cast<ptrdiff_t>(shard_begin(s)));
+    }
+    return out;
+}
+
+void
+ShardedStore::write(const std::vector<float> &w)
+{
+    assert(w.size() == data_.size());
+    for (int s = 0; s < num_shards_; ++s) {
+        Shard &sh = shards_[static_cast<size_t>(s)];
+        std::lock_guard<std::mutex> lk(sh.mu);
+        std::copy(w.begin() + static_cast<ptrdiff_t>(shard_begin(s)),
+                  w.begin() + static_cast<ptrdiff_t>(shard_end(s)),
+                  data_.begin() + static_cast<ptrdiff_t>(shard_begin(s)));
+        sh.version.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+void
+ShardedStore::apply_delta(const std::vector<float> &delta, double scale)
+{
+    assert(delta.size() == data_.size());
+    for (int s = 0; s < num_shards_; ++s) {
+        Shard &sh = shards_[static_cast<size_t>(s)];
+        std::lock_guard<std::mutex> lk(sh.mu);
+        for (size_t i = shard_begin(s); i < shard_end(s); ++i)
+            data_[i] = static_cast<float>(data_[i] + scale * delta[i]);
+        sh.version.fetch_add(1, std::memory_order_acq_rel);
+    }
+}
+
+} // namespace autofl

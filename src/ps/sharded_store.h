@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lock-striped global model store. The flat weight vector is partitioned
+ * into contiguous shards, each guarded by its own mutex and carrying its
+ * own version counter (number of writes it has absorbed). Readers take
+ * one shard lock at a time, so snapshots are per-shard consistent and
+ * concurrent commits never serialize behind a single global lock.
+ */
+#ifndef AUTOFL_PS_SHARDED_STORE_H
+#define AUTOFL_PS_SHARDED_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace autofl {
+
+/** Sharded, versioned storage for the flat global weight vector. */
+class ShardedStore
+{
+  public:
+    /**
+     * @param init Initial weights; fixes dim() for the store's lifetime.
+     * @param num_shards Lock stripes; clamped to [1, dim()] (at least 1
+     *        even for an empty vector).
+     */
+    ShardedStore(std::vector<float> init, int num_shards);
+
+    /** Weight-vector length. */
+    size_t dim() const { return data_.size(); }
+
+    /** Number of lock stripes. */
+    int num_shards() const { return num_shards_; }
+
+    /** First flat index of shard @p s. */
+    size_t shard_begin(int s) const;
+
+    /** One past the last flat index of shard @p s. */
+    size_t shard_end(int s) const;
+
+    /** Shard holding flat index @p index. */
+    int shard_of(size_t index) const;
+
+    /** Writes shard @p s has absorbed. */
+    uint64_t shard_version(int s) const;
+
+    /** All shard versions (one atomic read each). */
+    std::vector<uint64_t> versions() const;
+
+    /**
+     * Copy out the full vector, locking shards one at a time. Concurrent
+     * writers make the copy per-shard (not globally) consistent — the
+     * tolerated inconsistency that bounded-staleness aggregation absorbs.
+     */
+    std::vector<float> read() const;
+
+    /** Replace the full vector; bumps every shard version. */
+    void write(const std::vector<float> &w);
+
+    /** data[i] += scale * delta[i], shard by shard; bumps versions. */
+    void apply_delta(const std::vector<float> &delta, double scale);
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::atomic<uint64_t> version{0};
+    };
+
+    std::vector<float> data_;
+    int num_shards_;
+    size_t base_;  ///< Minimum shard size; the first rem_ shards get +1.
+    size_t rem_;
+    std::unique_ptr<Shard[]> shards_;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_PS_SHARDED_STORE_H

@@ -158,6 +158,21 @@ Rng::dirichlet(double alpha, int k)
     return out;
 }
 
+uint64_t
+client_seed(uint64_t global_seed, int device_id, uint64_t round)
+{
+    // Chain each identity component through a SplitMix64 stage; the
+    // stages are bijective, so distinct (seed, device, round) triples
+    // cannot collide by construction of the chain inputs alone.
+    uint64_t x = global_seed;
+    uint64_t h = Rng::splitmix64(x);
+    x = h ^ (static_cast<uint64_t>(static_cast<uint32_t>(device_id)) *
+             0x9e3779b97f4a7c15ULL);
+    h = Rng::splitmix64(x);
+    x = h ^ (round * 0xbf58476d1ce4e5b9ULL);
+    return Rng::splitmix64(x);
+}
+
 int
 Rng::categorical(const std::vector<double> &weights)
 {

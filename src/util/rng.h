@@ -70,6 +70,9 @@ class Rng
     /** Sample an index in [0, weights.size()) proportionally to weights. */
     int categorical(const std::vector<double> &weights);
 
+    /** One SplitMix64 step: advances @p x and returns the mixed output. */
+    static uint64_t splitmix64(uint64_t &x);
+
     /** Fisher-Yates shuffle. */
     template <typename T>
     void
@@ -85,9 +88,24 @@ class Rng
     uint64_t s_[4];
     bool have_cached_normal_ = false;
     double cached_normal_ = 0.0;
-
-    static uint64_t splitmix64(uint64_t &x);
 };
+
+/**
+ * Seed for one client's local-training stream, derived only from the
+ * job identity (global seed, device id, round) — never from the worker
+ * thread that happens to run the job — so serial, parallel and
+ * parameter-server executions of the same round produce identical
+ * weights. Each component passes through a SplitMix64 stage, so streams
+ * across devices and rounds are decorrelated.
+ */
+uint64_t client_seed(uint64_t global_seed, int device_id, uint64_t round);
+
+/** Rng seeded with client_seed(). */
+inline Rng
+client_rng(uint64_t global_seed, int device_id, uint64_t round)
+{
+    return Rng(client_seed(global_seed, device_id, round));
+}
 
 } // namespace autofl
 

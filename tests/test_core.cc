@@ -79,12 +79,14 @@ TEST(State, GlobalEncodingIsInjective)
             for (int r = 0; r < kRcBuckets; ++r)
                 for (int b = 0; b < kBatchBuckets; ++b)
                     for (int e = 0; e < kEpochBuckets; ++e)
-                        for (int k = 0; k < kKBuckets; ++k) {
-                            GlobalState s{c, f, r, b, e, k};
-                            const int idx = encode_global(s);
-                            ASSERT_FALSE(seen[static_cast<size_t>(idx)]);
-                            seen[static_cast<size_t>(idx)] = true;
-                        }
+                        for (int k = 0; k < kKBuckets; ++k)
+                            for (int st = 0; st < kStaleBuckets; ++st) {
+                                GlobalState s{c, f, r, b, e, k, st};
+                                const int idx = encode_global(s);
+                                ASSERT_FALSE(
+                                    seen[static_cast<size_t>(idx)]);
+                                seen[static_cast<size_t>(idx)] = true;
+                            }
     for (bool b : seen)
         EXPECT_TRUE(b);
 }
@@ -131,6 +133,16 @@ TEST(State, Table1GlobalThresholds)
     EXPECT_EQ(s.s_b, 2);     // large (>=32)
     EXPECT_EQ(s.s_e, 2);     // large (>=10)
     EXPECT_EQ(s.s_k, 2);     // large (>=50)
+}
+
+TEST(State, StalenessBucketThresholds)
+{
+    NnProfile p;
+    FlGlobalParams params{16, 5, 20};
+    // Default (synchronous runtime) lands in the fresh bucket.
+    EXPECT_EQ(make_global_state(p, params).s_stale, 0);
+    EXPECT_EQ(make_global_state(p, params, 0.5).s_stale, 1);   // mild
+    EXPECT_EQ(make_global_state(p, params, 2.0).s_stale, 2);   // heavy
 }
 
 TEST(State, Table1LocalThresholds)

@@ -166,6 +166,41 @@ TEST(Harness, PolicyKindNames)
     EXPECT_EQ(policy_kind_name(PolicyKind::AutoFl), "AutoFL");
 }
 
+TEST(RunExperiment, SemiAsyncRuntimeTrainsAndReportsStaleness)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::FedAvgRandom;
+    cfg.max_rounds = 6;
+    cfg.sync_mode = SyncMode::SemiAsync;
+    cfg.staleness_bound = 1;
+    auto res = run_experiment(cfg);
+    EXPECT_EQ(res.rounds.size(), 6u);
+    EXPECT_GT(res.final_accuracy, 0.12);
+    for (const auto &r : res.rounds) {
+        EXPECT_GT(r.included, 0);
+        EXPECT_LE(r.mean_staleness, cfg.staleness_bound);
+    }
+}
+
+TEST(Harness, SyncModeSweepCoversEveryScenario)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.policy = PolicyKind::FedAvgRandom;
+    cfg.max_rounds = 4;
+    auto runs = run_sync_mode_sweep(
+        cfg, {SyncModeScenario{SyncMode::Sync, 0},
+              SyncModeScenario{SyncMode::SemiAsync, 1},
+              SyncModeScenario{SyncMode::Async, 0}});
+    ASSERT_EQ(runs.size(), 3u);
+    EXPECT_EQ(runs[0].policy_name, "FedAvg-Random/Sync");
+    EXPECT_EQ(runs[1].policy_name, "FedAvg-Random/SemiAsync-1");
+    EXPECT_EQ(runs[2].policy_name, "FedAvg-Random/Async");
+    for (const auto &r : runs) {
+        EXPECT_EQ(r.rounds.size(), 4u);
+        EXPECT_GT(r.final_accuracy, 0.0);
+    }
+}
+
 TEST(Harness, DefaultTargetsAreAttainable)
 {
     for (Workload w : all_workloads()) {

@@ -9,6 +9,8 @@
 #include "core/reward.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fl/system.h"
+#include "ps/ps_server.h"
 #include "sim/perf.h"
 #include "sim/power.h"
 #include "sim/round.h"
@@ -283,6 +285,52 @@ TEST(EnergyProperties, OverheadPowerBetweenIdleAndPeak)
         EXPECT_LT(overhead_power_w(s), s.cpu_train_w);
     }
 }
+
+// ---------------------------------------------------------------- ps ---
+
+/**
+ * Bounded-staleness invariant, swept over the bound: whatever the
+ * thread interleaving, no update the aggregator ever applies may exceed
+ * the configured staleness bound S, and every push is either applied or
+ * evicted — none silently lost.
+ */
+class StalenessBoundTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StalenessBoundTest, NoAppliedUpdateExceedsTheBound)
+{
+    const int bound = GetParam();
+    FlSystemConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.params = {16, 1, 8};
+    cfg.hyper.lr = 0.05;
+    cfg.data.train_samples = 160;
+    cfg.data.test_samples = 40;
+    cfg.data.noise = 0.6;
+    cfg.partition.num_devices = 8;
+    cfg.seed = 7 + static_cast<uint64_t>(bound);
+    cfg.threads = 4;
+    cfg.ps.mode = SyncMode::SemiAsync;
+    cfg.ps.staleness_bound = bound;
+    cfg.ps.shards = 4;
+    FlSystem fl(cfg);
+    ASSERT_NE(fl.ps(), nullptr);
+
+    const std::vector<int> ids = {0, 1, 2, 3, 4, 5, 6, 7};
+    for (uint64_t round = 0; round < 4; ++round) {
+        const PsRoundStats st = fl.run_round(ids, round);
+        EXPECT_EQ(st.pushed, static_cast<int>(ids.size()));
+        EXPECT_EQ(st.applied + st.evicted, st.pushed);
+        EXPECT_LE(st.max_staleness, bound) << "round " << round;
+        EXPECT_LE(st.mean_staleness, bound);
+    }
+    EXPECT_LE(fl.ps()->aggregator().lifetime_max_applied_staleness(),
+              bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, StalenessBoundTest,
+                         ::testing::Values(0, 1, 2, 3));
 
 } // namespace
 } // namespace autofl

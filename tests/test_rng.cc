@@ -187,5 +187,33 @@ TEST(Rng, ShuffleIsPermutation)
     EXPECT_EQ(v, sorted);
 }
 
+TEST(ClientSeed, DeterministicInJobIdentity)
+{
+    EXPECT_EQ(client_seed(1, 5, 3), client_seed(1, 5, 3));
+    Rng a = client_rng(1, 5, 3);
+    Rng b = client_rng(1, 5, 3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(ClientSeed, EveryIdentityComponentMatters)
+{
+    const uint64_t base = client_seed(1, 5, 3);
+    EXPECT_NE(base, client_seed(2, 5, 3));  // global seed
+    EXPECT_NE(base, client_seed(1, 6, 3));  // device
+    EXPECT_NE(base, client_seed(1, 5, 4));  // round
+}
+
+TEST(ClientSeed, NoCollisionsAcrossDevicesAndRounds)
+{
+    // A fleet's worth of (device, round) jobs under one global seed
+    // must get distinct streams.
+    std::set<uint64_t> seen;
+    for (int dev = 0; dev < 200; ++dev)
+        for (uint64_t round = 0; round < 60; ++round)
+            seen.insert(client_seed(42, dev, round));
+    EXPECT_EQ(seen.size(), 200u * 60u);
+}
+
 } // namespace
 } // namespace autofl
