@@ -2,12 +2,15 @@
  * @file
  * Heterogeneous-fleet scenario: characterize how the optimal cluster of
  * participants shifts with runtime variance, using the scheduling/energy
- * simulator directly (no NN training — runs in milliseconds).
+ * simulator directly (no NN training — runs in milliseconds), then run
+ * one real-training server-runtime sweep (Sync vs streaming SemiAsync
+ * vs Async) on the variance scenario where stragglers bite hardest.
  *
  * This is the Section 3 characterization workflow a systems researcher
  * would run before deploying an FL job: sweep the Table 4 tier
  * compositions under each variance scenario and find the per-scenario
- * oracle, including execution targets.
+ * oracle, including execution targets — then check what the serving
+ * runtime itself buys on that fleet.
  */
 #include <iostream>
 
@@ -15,6 +18,65 @@
 #include "util/table.h"
 
 using namespace autofl;
+
+namespace {
+
+/**
+ * Real-training sweep over server runtimes on the Interference
+ * scenario: the same small job under the synchronous barrier, the
+ * streaming semi-async pipeline (depth 4), and fully async commits.
+ * Uses a trimmed fleet and dataset so it finishes in seconds.
+ */
+void
+run_runtime_sweep()
+{
+    ExperimentConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.setting = ParamSetting::S4;
+    cfg.variance = VarianceScenario::Interference;
+    cfg.policy = PolicyKind::FedAvgRandom;
+    cfg.fleet_mix = {6, 10, 14};
+    cfg.train_samples = 900;
+    cfg.test_samples = 150;
+    cfg.max_rounds = 6;
+    cfg.threads = 8;
+    cfg.pipeline_depth = 4;
+    cfg.seed = 7;
+
+    const std::vector<SyncModeScenario> scenarios = {
+        {SyncMode::Sync, 0},
+        {SyncMode::SemiAsync, 1},
+        {SyncMode::Async, 0},
+    };
+
+    print_banner(std::cout,
+                 "Server-runtime sweep (real training, Interference, "
+                 "pipeline depth " + std::to_string(cfg.pipeline_depth) +
+                     ")");
+    TextTable t;
+    t.set_header({"runtime", "final-acc(%)", "mean-staleness",
+                  "window-staleness", "evicted", "included/round"});
+    for (const auto &res : run_sync_mode_sweep(cfg, scenarios)) {
+        double staleness = 0.0, window = 0.0;
+        int evicted = 0, included = 0;
+        for (const auto &r : res.rounds) {
+            staleness += r.mean_staleness;
+            window = r.window_staleness;  // Last round's window.
+            evicted += r.evicted;
+            included += r.included;
+        }
+        const double n = static_cast<double>(res.rounds.size());
+        t.add_row({res.policy_name,
+                   TextTable::num(res.final_accuracy * 100.0, 1),
+                   TextTable::num(staleness / n, 2),
+                   TextTable::num(window, 2),
+                   std::to_string(evicted),
+                   TextTable::num(included / n, 1)});
+    }
+    t.render(std::cout);
+}
+
+} // namespace
 
 int
 main()
@@ -62,5 +124,7 @@ main()
                          (fl.ppw / part.ppw - 1.0) * 100.0, 1)
                   << "% PPW)\n";
     }
+
+    run_runtime_sweep();
     return 0;
 }

@@ -18,13 +18,12 @@ mass(const std::vector<LocalUpdate> &updates,
 
 } // namespace
 
-std::vector<float>
-fedavg_combine(const std::vector<LocalUpdate> &updates,
-               const std::vector<double> *factors, double *lambda_out)
+FedAvgPlan
+fedavg_plan(const std::vector<LocalUpdate> &updates,
+            const std::vector<double> *factors)
 {
     assert(!updates.empty());
     assert(!factors || factors->size() == updates.size());
-    const size_t dim = updates.front().weights.size();
 
     double total_mass = 0.0;
     double total_samples = 0.0;
@@ -33,21 +32,87 @@ fedavg_combine(const std::vector<LocalUpdate> &updates,
         total_samples += updates[j].num_samples;
     }
 
-    std::vector<double> acc(dim, 0.0);
+    FedAvgPlan plan;
+    plan.prob.resize(updates.size());
+    for (size_t j = 0; j < updates.size(); ++j)
+        plan.prob[j] = mass(updates, factors, j) / total_mass;
+    plan.lambda = total_samples > 0.0 ? total_mass / total_samples : 0.0;
+    return plan;
+}
+
+void
+fedavg_combine_range(const std::vector<LocalUpdate> &updates,
+                     const FedAvgPlan &plan, size_t begin, size_t end,
+                     float *out)
+{
+    assert(plan.prob.size() == updates.size());
+    const size_t len = end - begin;
+    std::vector<double> acc(len, 0.0);
     for (size_t j = 0; j < updates.size(); ++j) {
         const LocalUpdate &u = updates[j];
-        assert(u.weights.size() == dim);
-        const double p = mass(updates, factors, j) / total_mass;
-        for (size_t i = 0; i < dim; ++i)
-            acc[i] += p * u.weights[i];
+        assert(u.weights.size() >= end);
+        const double p = plan.prob[j];
+        for (size_t i = 0; i < len; ++i)
+            acc[i] += p * u.weights[begin + i];
     }
-
-    std::vector<float> out(dim);
-    for (size_t i = 0; i < dim; ++i)
+    for (size_t i = 0; i < len; ++i)
         out[i] = static_cast<float>(acc[i]);
+}
+
+std::vector<float>
+fedavg_combine(const std::vector<LocalUpdate> &updates,
+               const std::vector<double> *factors, double *lambda_out)
+{
+    assert(!updates.empty());
+    const size_t dim = updates.front().weights.size();
+    const FedAvgPlan plan = fedavg_plan(updates, factors);
+    std::vector<float> out(dim);
+    fedavg_combine_range(updates, plan, 0, dim, out.data());
     if (lambda_out)
-        *lambda_out = total_samples > 0.0 ? total_mass / total_samples : 0.0;
+        *lambda_out = plan.lambda;
     return out;
+}
+
+FedNovaPlan
+fednova_plan(const std::vector<LocalUpdate> &updates,
+             const std::vector<double> *factors)
+{
+    assert(!updates.empty());
+    assert(!factors || factors->size() == updates.size());
+
+    double total_mass = 0.0;
+    for (size_t j = 0; j < updates.size(); ++j)
+        total_mass += mass(updates, factors, j);
+
+    FedNovaPlan plan;
+    plan.prob.resize(updates.size());
+    for (size_t j = 0; j < updates.size(); ++j) {
+        const double p = mass(updates, factors, j) / total_mass;
+        plan.prob[j] = p;
+        plan.tau_eff += p * std::max(1, updates[j].num_steps);
+    }
+    return plan;
+}
+
+void
+fednova_apply_range(float *weights, const std::vector<LocalUpdate> &updates,
+                    const FedNovaPlan &plan, size_t begin, size_t end)
+{
+    assert(plan.prob.size() == updates.size());
+    const size_t len = end - begin;
+    std::vector<double> avg_dir(len, 0.0);
+    for (size_t j = 0; j < updates.size(); ++j) {
+        const LocalUpdate &u = updates[j];
+        assert(u.weights.size() >= end);
+        const double tau = std::max(1, u.num_steps);
+        const double scale = plan.prob[j] / tau;
+        for (size_t i = 0; i < len; ++i)
+            avg_dir[i] += scale * (static_cast<double>(weights[begin + i]) -
+                                   u.weights[begin + i]);
+    }
+    for (size_t i = 0; i < len; ++i)
+        weights[begin + i] = static_cast<float>(weights[begin + i] -
+                                                plan.tau_eff * avg_dir[i]);
 }
 
 void
@@ -55,29 +120,8 @@ fednova_apply(std::vector<float> &weights,
               const std::vector<LocalUpdate> &updates,
               const std::vector<double> *factors)
 {
-    assert(!updates.empty());
-    assert(!factors || factors->size() == updates.size());
-    const size_t dim = weights.size();
-
-    double total_mass = 0.0;
-    for (size_t j = 0; j < updates.size(); ++j)
-        total_mass += mass(updates, factors, j);
-
-    std::vector<double> avg_dir(dim, 0.0);
-    double tau_eff = 0.0;
-    for (size_t j = 0; j < updates.size(); ++j) {
-        const LocalUpdate &u = updates[j];
-        assert(u.weights.size() == dim);
-        const double p = mass(updates, factors, j) / total_mass;
-        const double tau = std::max(1, u.num_steps);
-        tau_eff += p * tau;
-        const double scale = p / tau;
-        for (size_t i = 0; i < dim; ++i)
-            avg_dir[i] += scale * (static_cast<double>(weights[i]) -
-                                   u.weights[i]);
-    }
-    for (size_t i = 0; i < dim; ++i)
-        weights[i] = static_cast<float>(weights[i] - tau_eff * avg_dir[i]);
+    const FedNovaPlan plan = fednova_plan(updates, factors);
+    fednova_apply_range(weights.data(), updates, plan, 0, weights.size());
 }
 
 } // namespace autofl

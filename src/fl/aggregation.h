@@ -16,6 +16,35 @@
 namespace autofl {
 
 /**
+ * Precomputed per-batch FedAvg coefficients. Splitting the combine into
+ * a plan (O(K)) plus per-range accumulation (O(range * K)) is what lets
+ * the striped aggregator commit disjoint store shards independently
+ * while keeping the arithmetic — and therefore the bit pattern — of the
+ * one-shot combine: every weight index sees the identical sequence of
+ * double-precision operations either way.
+ */
+struct FedAvgPlan
+{
+    std::vector<double> prob;  ///< p_j = e_j / sum(e), e_j = f_j * n_j.
+    double lambda = 0.0;       ///< sum(e_j) / sum(n_j); 1.0 when fresh.
+};
+
+/**
+ * Build the FedAvg plan for a batch. Null @p factors means all-1.0
+ * (plain FedAvg; lambda exactly 1.0).
+ */
+FedAvgPlan fedavg_plan(const std::vector<LocalUpdate> &updates,
+                       const std::vector<double> *factors);
+
+/**
+ * Accumulate the planned weighted average over flat indices
+ * [begin, end) into @p out (an array of end - begin floats).
+ */
+void fedavg_combine_range(const std::vector<LocalUpdate> &updates,
+                          const FedAvgPlan &plan, size_t begin, size_t end,
+                          float *out);
+
+/**
  * Sample-weighted FedAvg combine (also used by FedProx and FEDL): the
  * weighted average of the updates' weight vectors with per-update mass
  * e_j = factor_j * num_samples_j (factor_j = 1 when @p factors is null).
@@ -31,6 +60,26 @@ namespace autofl {
 std::vector<float> fedavg_combine(const std::vector<LocalUpdate> &updates,
                                   const std::vector<double> *factors,
                                   double *lambda_out);
+
+/** Precomputed per-batch FedNova coefficients (see FedAvgPlan). */
+struct FedNovaPlan
+{
+    std::vector<double> prob;  ///< p_j = e_j / sum(e).
+    double tau_eff = 0.0;      ///< sum(p_j * tau_j).
+};
+
+/** Build the FedNova plan for a batch (null factors == all-1.0). */
+FedNovaPlan fednova_plan(const std::vector<LocalUpdate> &updates,
+                         const std::vector<double> *factors);
+
+/**
+ * Apply the planned FedNova step in place to weights[begin, end):
+ * w_i <- w_i - tau_eff * sum_j (p_j / tau_j) * (w_i - u_j[i]).
+ * @p weights is the base of the full flat vector, not of the range.
+ */
+void fednova_apply_range(float *weights,
+                         const std::vector<LocalUpdate> &updates,
+                         const FedNovaPlan &plan, size_t begin, size_t end);
 
 /**
  * FedNova normalized-averaging step applied in place to @p weights:

@@ -46,10 +46,16 @@ Server::aggregate(const std::vector<LocalUpdate> &updates)
     weights_ = fedavg_combine(updates, nullptr, nullptr);
 }
 
+namespace {
+
+/**
+ * Shared inference body: mean loss (want_loss) or top-1 accuracy of
+ * @p weights on @p test using per-thread scratch models.
+ */
 double
-Server::evaluate_impl(const Dataset &test, bool want_loss)
+run_inference(Workload workload, const std::vector<float> &weights,
+              const Dataset &test, int threads_wanted, bool want_loss)
 {
-    model_.set_flat_weights(weights_);
     const int n = static_cast<int>(test.size());
     const int batch = 100;
     const int batches = (n + batch - 1) / batch;
@@ -59,12 +65,12 @@ Server::evaluate_impl(const Dataset &test, bool want_loss)
     // Inference batches are independent: fan out across worker threads,
     // each with its own scratch model (weights are shared read-only
     // through the flat vector).
-    const int threads = std::clamp(batches, 1, 8);
+    const int threads = std::clamp(batches, 1, std::max(1, threads_wanted));
     std::vector<int> correct(static_cast<size_t>(threads), 0);
     std::vector<double> loss_sum(static_cast<size_t>(threads), 0.0);
     auto worker = [&](int tid) {
-        Sequential scratch = make_model(workload_);
-        scratch.set_flat_weights(weights_);
+        Sequential scratch = make_model(workload);
+        scratch.set_flat_weights(weights);
         SoftmaxCrossEntropy loss;
         for (int b = tid; b < batches; b += threads) {
             const int start = b * batch;
@@ -99,6 +105,22 @@ Server::evaluate_impl(const Dataset &test, bool want_loss)
     if (want_loss)
         return total_loss / batches;
     return n > 0 ? static_cast<double>(total_correct) / n : 0.0;
+}
+
+} // namespace
+
+double
+evaluate_model_weights(Workload workload, const std::vector<float> &weights,
+                       const Dataset &test, int threads)
+{
+    return run_inference(workload, weights, test, threads, false);
+}
+
+double
+Server::evaluate_impl(const Dataset &test, bool want_loss)
+{
+    model_.set_flat_weights(weights_);
+    return run_inference(workload_, weights_, test, 8, want_loss);
 }
 
 double

@@ -15,6 +15,19 @@
 
 namespace autofl {
 
+/**
+ * Top-1 accuracy of @p weights on @p test, evaluated with a scratch
+ * model. Free-standing and state-free so concurrent eval workers can
+ * score different store snapshots in parallel; the returned accuracy is
+ * a deterministic integer count over @p test regardless of @p threads.
+ *
+ * @param threads Inference fan-out within this call (the concurrent
+ *        eval pool usually passes 1 and parallelizes across snapshots).
+ */
+double evaluate_model_weights(Workload workload,
+                              const std::vector<float> &weights,
+                              const Dataset &test, int threads);
+
 /** FL aggregation server. */
 class Server
 {

@@ -26,6 +26,17 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
                                          cfg_.params, cfg_.hyper,
                                          cfg_.algorithm, cfg_.seed, cfg_.ps,
                                          cfg_.threads);
+        // Eval workers score store snapshots with a scratch model per
+        // call; the integer-count accuracy is deterministic whatever
+        // the parallelism. Pipelined mode parallelizes across
+        // snapshots (1 thread per call); classic mode runs the fn
+        // inline once per round, so it fans out like Server::evaluate.
+        const int eval_threads = ps_->pipelined() ? 1 : 8;
+        ps_->set_eval_fn([this, eval_threads](
+                             const std::vector<float> &weights) {
+            return evaluate_model_weights(cfg_.workload, weights,
+                                          data_.test, eval_threads);
+        });
     }
 }
 
@@ -131,6 +142,41 @@ FlSystem::run_round(const std::vector<int> &device_ids, uint64_t round)
     for (int dev : device_ids)
         jobs.push_back(PsRoundJob{dev, &shard(dev)});
     return ps_->run_round(jobs, round);
+}
+
+void
+FlSystem::submit_round(const std::vector<int> &device_ids, uint64_t round,
+                       PsRoundCallback cb)
+{
+    if (!ps_) {
+        // Synchronous runtime: the round and its evaluation run inline;
+        // the callback fires before we return.
+        PsRoundResult res;
+        res.round = round;
+        res.stats = run_round(device_ids, round);
+        res.accuracy = evaluate();
+        if (cb)
+            cb(res);
+        return;
+    }
+    std::vector<PsRoundJob> jobs;
+    jobs.reserve(device_ids.size());
+    for (int dev : device_ids)
+        jobs.push_back(PsRoundJob{dev, &shard(dev)});
+    ps_->submit_round(jobs, round, std::move(cb));
+}
+
+void
+FlSystem::drain()
+{
+    if (ps_)
+        ps_->drain();
+}
+
+bool
+FlSystem::pipelined() const
+{
+    return ps_ && ps_->pipelined();
 }
 
 double

@@ -84,6 +84,25 @@ class FlSystem
     PsRoundStats run_round(const std::vector<int> &device_ids,
                            uint64_t round);
 
+    /**
+     * Streaming round entry: enqueue the round and return. Under the
+     * pipelined ps runtime (cfg.ps.pipeline_depth > 1) up to depth
+     * rounds overlap and @p cb fires in round order — with the round's
+     * test accuracy scored by a concurrent eval worker from the round's
+     * final store snapshot — once the round retires. Under any other
+     * runtime the round (and its evaluation) runs inline and @p cb
+     * fires before this returns, so drivers can use one code path.
+     * Submit from one driver thread, in increasing round order.
+     */
+    void submit_round(const std::vector<int> &device_ids, uint64_t round,
+                      PsRoundCallback cb);
+
+    /** Wait until every submitted round's callback has returned. */
+    void drain();
+
+    /** Whether submit_round actually overlaps rounds. */
+    bool pipelined() const;
+
     /** The ps runtime, or null when running synchronously. */
     PsServer *ps() { return ps_.get(); }
 

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 
 #include "sim/scale.h"
+#include "util/stats.h"
 
 namespace autofl {
 
@@ -236,6 +240,8 @@ run_experiment(const ExperimentConfig &cfg)
     fcfg.ps.mode = cfg.sync_mode;
     fcfg.ps.staleness_bound = cfg.staleness_bound;
     fcfg.ps.shards = cfg.ps_shards;
+    fcfg.ps.pipeline_depth = cfg.pipeline_depth;
+    fcfg.ps.eval_workers = cfg.eval_workers;
     FlSystem fl(fcfg);
     const bool ps_mode = fl.ps() != nullptr;
 
@@ -316,7 +322,99 @@ run_experiment(const ExperimentConfig &cfg)
         afl->scheduler().set_epsilon(0.05);
     }
 
-    for (int round = 0; round < cfg.max_rounds; ++round) {
+    // Streaming round loop. Everything below speaks the submit/callback
+    // protocol; under the classic runtimes submit_round completes (and
+    // its callback fires) inline, so depth_limit 1 reproduces the old
+    // blocking loop exactly. Under the pipelined ps runtime up to
+    // pipeline_depth rounds stay in flight: the scheduler selects and
+    // submits round t+1 while round t is still draining, and observes
+    // each round's outcome — evaluated concurrently from the round's
+    // final store snapshot — with a lag of up to depth rounds.
+    const int depth_limit =
+        fl.pipelined() ? std::max(1, cfg.pipeline_depth) : 1;
+
+    // Scheduling context retained until the round's result arrives.
+    struct InFlight
+    {
+        int round = 0;
+        RoundExec exec;
+        std::vector<ParticipantPlan> plans;
+    };
+    std::deque<InFlight> inflight;
+
+    std::mutex res_mu;
+    std::condition_variable res_cv;
+    std::deque<PsRoundResult> arrived;
+    auto on_result = [&](const PsRoundResult &r) {
+        std::lock_guard<std::mutex> lk(res_mu);
+        arrived.push_back(r);
+        res_cv.notify_one();
+    };
+
+    // Windowed runtime statistics: S_Stale buckets from the sliding
+    // mean, so one odd round cannot flip the scheduler's state while a
+    // sustained shift shows up within a window.
+    SlidingWindow stale_window(
+        static_cast<size_t>(std::max(1, cfg.staleness_window)));
+
+    bool stop = false;
+    auto process_one = [&]() {
+        PsRoundResult r;
+        {
+            std::unique_lock<std::mutex> lk(res_mu);
+            res_cv.wait(lk, [&] { return !arrived.empty(); });
+            r = arrived.front();
+            arrived.pop_front();
+        }
+        assert(!inflight.empty());
+        InFlight ctx = std::move(inflight.front());
+        inflight.pop_front();
+        assert(static_cast<uint64_t>(ctx.round) == r.round);
+        if (stop)
+            return;  // Past the target: drain without recording.
+        // Empty rounds (no participants) deliver accuracy -1 — there
+        // is no new snapshot to score — so carry the last known value,
+        // or evaluate the untouched initial model if nothing completed
+        // yet.
+        const double acc = r.accuracy >= 0.0 ? r.accuracy :
+            res.rounds.empty() ? fl.evaluate() : res.final_accuracy;
+
+        policy->observe_outcome(ctx.exec, acc * 100.0);
+        stale_window.add(r.stats.mean_staleness);
+        gobs.observed_staleness = stale_window.mean();
+
+        RoundRecord rec;
+        rec.round = ctx.round;
+        rec.accuracy = acc;
+        rec.round_s = ctx.exec.round_s;
+        rec.energy_global_j = ctx.exec.energy_global_j();
+        rec.energy_participants_j = ctx.exec.energy_participants_j;
+        rec.work_flops = ctx.exec.work_flops;
+        rec.included =
+            ps_mode ? r.stats.applied : ctx.exec.included_count();
+        rec.evicted = r.stats.evicted;
+        rec.mean_staleness = r.stats.mean_staleness;
+        rec.window_staleness = stale_window.mean();
+        count_selection(fleet, ctx.plans, rec);
+        if (auto *afl = dynamic_cast<AutoFlPolicy *>(policy.get()))
+            rec.mean_reward = afl->scheduler().last_mean_reward();
+        res.rounds.push_back(rec);
+
+        res.total_time_s += ctx.exec.round_s;
+        res.total_energy_j += ctx.exec.energy_global_j();
+        res.total_work_flops += ctx.exec.work_flops;
+        res.participant_energy_j += ctx.exec.energy_participants_j;
+        res.final_accuracy = acc;
+
+        if (res.rounds_to_target < 0 && acc >= target) {
+            res.rounds_to_target = ctx.round + 1;
+            res.time_to_target_s = res.total_time_s;
+            res.energy_to_target_j = res.total_energy_j;
+            stop = true;  // Converged: drain the pipeline and finish.
+        }
+    };
+
+    for (int round = 0; round < cfg.max_rounds && !stop; ++round) {
         fleet.begin_round();
 
         std::vector<LocalObservation> locals(
@@ -350,7 +448,7 @@ run_experiment(const ExperimentConfig &cfg)
         // energy but contribute nothing (which is what hurts baseline
         // accuracy). Ps runtime: every participant trains, submitted in
         // simulated completion order so simulated stragglers arrive
-        // last and are the ones the staleness bound evicts.
+        // last and are the ones the staleness machinery damps.
         std::vector<int> round_ids;
         if (ps_mode) {
             std::vector<DeviceExec> ordered = exec.participants;
@@ -365,44 +463,16 @@ run_experiment(const ExperimentConfig &cfg)
                 if (e.included)
                     round_ids.push_back(e.device_id);
         }
-        const PsRoundStats ps_stats =
-            fl.run_round(round_ids, static_cast<uint64_t>(round));
-        const double acc = fl.evaluate();
 
-        policy->observe_outcome(exec, acc * 100.0);
-        // Expose the runtime's staleness to the scheduler state
-        // (smoothed so one odd round does not flip the bucket).
-        gobs.observed_staleness = 0.7 * gobs.observed_staleness +
-            0.3 * ps_stats.mean_staleness;
+        inflight.push_back(InFlight{round, exec, std::move(plans)});
+        fl.submit_round(round_ids, static_cast<uint64_t>(round), on_result);
 
-        RoundRecord rec;
-        rec.round = round;
-        rec.accuracy = acc;
-        rec.round_s = exec.round_s;
-        rec.energy_global_j = exec.energy_global_j();
-        rec.energy_participants_j = exec.energy_participants_j;
-        rec.work_flops = exec.work_flops;
-        rec.included = ps_mode ? ps_stats.applied : exec.included_count();
-        rec.evicted = ps_stats.evicted;
-        rec.mean_staleness = ps_stats.mean_staleness;
-        count_selection(fleet, plans, rec);
-        if (auto *afl = dynamic_cast<AutoFlPolicy *>(policy.get()))
-            rec.mean_reward = afl->scheduler().last_mean_reward();
-        res.rounds.push_back(rec);
-
-        res.total_time_s += exec.round_s;
-        res.total_energy_j += exec.energy_global_j();
-        res.total_work_flops += exec.work_flops;
-        res.participant_energy_j += exec.energy_participants_j;
-        res.final_accuracy = acc;
-
-        if (res.rounds_to_target < 0 && acc >= target) {
-            res.rounds_to_target = round + 1;
-            res.time_to_target_s = res.total_time_s;
-            res.energy_to_target_j = res.total_energy_j;
-            break;  // Converged: the job is done.
-        }
+        while (static_cast<int>(inflight.size()) >= depth_limit)
+            process_one();
     }
+    while (!inflight.empty())
+        process_one();
+    fl.drain();
     return res;
 }
 
@@ -420,6 +490,8 @@ run_sync_mode_sweep(const ExperimentConfig &cfg,
         res.policy_name += "/" + sync_mode_name(sc.mode);
         if (sc.mode == SyncMode::SemiAsync)
             res.policy_name += "-" + std::to_string(sc.staleness_bound);
+        if (sc.mode != SyncMode::Sync && run_cfg.pipeline_depth > 1)
+            res.policy_name += "-p" + std::to_string(run_cfg.pipeline_depth);
         results.push_back(std::move(res));
     }
     return results;

@@ -53,6 +53,24 @@ struct ExperimentConfig
     int staleness_bound = 1;  ///< S for SemiAsync (0 == Sync exactly).
     int ps_shards = 8;        ///< Model-store lock stripes.
 
+    /**
+     * Rounds the ps runtime keeps in flight (1 = classic drained
+     * rounds). Above 1 the harness round loop goes streaming: it
+     * selects and submits round t+1 while round t is still draining,
+     * and consumes results — evaluated concurrently from store
+     * snapshots — with a lag of up to pipeline_depth rounds.
+     */
+    int pipeline_depth = 1;
+    int eval_workers = 2;     ///< Concurrent snapshot-eval pool size.
+
+    /**
+     * Sliding-window length (rounds) for the runtime statistics the
+     * scheduler observes: S_Stale is bucketed from the windowed mean
+     * staleness, so one odd round cannot flip the state while a
+     * sustained shift shows up within a window.
+     */
+    int staleness_window = 8;
+
     PolicyKind policy = PolicyKind::FedAvgRandom;
     ClusterTemplate static_cluster;   ///< When policy == StaticCluster.
     OracleSpec oracle_spec;           ///< When policy == Oracle*.
@@ -98,6 +116,7 @@ struct RoundRecord
     int included = 0;             ///< Updates that reached aggregation.
     int evicted = 0;              ///< Dropped for staleness (ps runtime).
     double mean_staleness = 0.0;  ///< Mean applied staleness (ps runtime).
+    double window_staleness = 0.0;  ///< Windowed mean the scheduler saw.
     int selected_high = 0, selected_mid = 0, selected_low = 0;
     std::array<int, 6> action_counts{};  ///< Selected action histogram.
     double mean_reward = 0.0;     ///< AutoFL only.

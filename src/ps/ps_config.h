@@ -7,6 +7,8 @@
 #ifndef AUTOFL_PS_PS_CONFIG_H
 #define AUTOFL_PS_PS_CONFIG_H
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 namespace autofl {
@@ -54,6 +56,27 @@ struct PsConfig
     int executor_threads = 0;
 
     /**
+     * Streaming switch. 1 (the default) drains every round at its
+     * barrier — the classic runtime. Above 1, round t+1's jobs are
+     * launched as soon as round t's first commit publishes a store
+     * snapshot, so training structurally overlaps two rounds (the
+     * previous round's straggler tail plus the current round) while
+     * commits retire in round order, keeping the result stream
+     * deterministic (see RoundPipeline). Values above 2 do not deepen
+     * training overlap; in the experiment harness they bound how many
+     * rounds the driver may submit ahead of the results it has
+     * observed.
+     */
+    int pipeline_depth = 1;
+
+    /**
+     * Concurrent evaluation workers scoring retired-round snapshots
+     * (pipelined mode only). Evaluation overlaps later rounds' training;
+     * results are still delivered in round order.
+     */
+    int eval_workers = 2;
+
+    /**
      * Simulated per-device latency (seconds) injected into each local
      * training job, scaled 0.5x-2x by device id. 0 disables. Used by the
      * throughput bench so rounds/sec measures the runtime's ability to
@@ -83,6 +106,26 @@ struct PsRoundStats
     double mean_staleness = 0.0;  ///< Mean staleness of applied updates.
     int max_staleness = 0;        ///< Max staleness of applied updates.
 };
+
+/** One retired round's result, delivered by the streaming pipeline. */
+struct PsRoundResult
+{
+    uint64_t round = 0;
+    PsRoundStats stats;
+
+    /**
+     * Test accuracy of the store snapshot taken right after the round's
+     * last commit, scored by a concurrent eval worker; -1 when no eval
+     * function is configured.
+     */
+    double accuracy = -1.0;
+
+    /** Store epoch (commit clock) after the round's last commit. */
+    uint64_t final_epoch = 0;
+};
+
+/** Round-ordered completion callback for pipelined round submission. */
+using PsRoundCallback = std::function<void(const PsRoundResult &)>;
 
 } // namespace autofl
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <condition_variable>
 #include <thread>
 
 #include "util/rng.h"
@@ -37,11 +38,65 @@ PsServer::PsServer(Server &server, Workload workload,
     trainers_.reserve(static_cast<size_t>(exec_.threads()));
     for (int t = 0; t < exec_.threads(); ++t)
         trainers_.push_back(std::make_unique<LocalTrainer>(workload));
+
+    if (cfg_.pipeline_depth > 1) {
+        eval_exec_ = std::make_unique<PsExecutor>(
+            std::max(1, cfg_.eval_workers));
+        pipeline_ = std::make_unique<RoundPipeline>(
+            exec_, eval_exec_.get(), agg_, store_, cfg_,
+            [this](int worker, const PsRoundJob &job,
+                   const std::vector<float> &weights, uint64_t round) {
+                if (cfg_.sim_device_latency_s > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            cfg_.sim_latency_for(job.device_id)));
+                }
+                Rng rng = client_rng(seed_, job.device_id, round);
+                LocalUpdate u =
+                    trainers_[static_cast<size_t>(worker)]->train(
+                        weights, *job.shard, params_, hyper_, alg_, {},
+                        rng);
+                u.device_id = job.device_id;
+                return u;
+            });
+    }
+}
+
+PsServer::~PsServer() = default;
+
+void
+PsServer::set_eval_fn(RoundPipeline::EvalFn fn)
+{
+    eval_fn_ = fn;
+    if (pipeline_)
+        pipeline_->set_eval_fn(std::move(fn));
 }
 
 PsRoundStats
 PsServer::run_round(const std::vector<PsRoundJob> &jobs, uint64_t round)
 {
+    if (pipeline_) {
+        // Blocking wrapper over the streaming path: correct anywhere,
+        // overlapping nothing. It returns stats only, so the round is
+        // submitted unevaluated — no discarded test-set inference.
+        std::mutex mu;
+        std::condition_variable cv;
+        bool ready = false;
+        PsRoundStats stats;
+        pipeline_->submit(jobs, round,
+                          [&](const PsRoundResult &res) {
+                              std::lock_guard<std::mutex> lk(mu);
+                              stats = res.stats;
+                              ready = true;
+                              cv.notify_one();
+                          },
+                          /*evaluate=*/false);
+        std::unique_lock<std::mutex> lk(mu);
+        cv.wait(lk, [&] { return ready; });
+        server_.set_global_weights(store_.read());
+        return stats;
+    }
+
     agg_.begin_round(static_cast<int>(jobs.size()));
     for (size_t seq = 0; seq < jobs.size(); ++seq) {
         const PsRoundJob job = jobs[seq];
@@ -67,6 +122,39 @@ PsServer::run_round(const std::vector<PsRoundJob> &jobs, uint64_t round)
     PsRoundStats stats = agg_.flush();
     server_.set_global_weights(store_.read());
     return stats;
+}
+
+void
+PsServer::submit_round(const std::vector<PsRoundJob> &jobs, uint64_t round,
+                       PsRoundCallback cb)
+{
+    if (pipeline_) {
+        pipeline_->submit(jobs, round, std::move(cb));
+        return;
+    }
+    // Classic mode: run the barriered round inline and score it on the
+    // calling thread, so drivers can use one streaming code path at any
+    // depth.
+    PsRoundResult res;
+    res.round = round;
+    res.stats = run_round(jobs, round);
+    res.final_epoch = agg_.clock();
+    // Empty rounds report accuracy -1, matching the pipelined contract
+    // (no new snapshot to score).
+    if (eval_fn_ && !jobs.empty())
+        res.accuracy = eval_fn_(store_.read());
+    if (cb)
+        cb(res);
+}
+
+void
+PsServer::drain()
+{
+    if (pipeline_)
+        pipeline_->drain();
+    else
+        exec_.wait_idle();
+    server_.set_global_weights(store_.read());
 }
 
 } // namespace autofl

@@ -1,11 +1,11 @@
 /**
  * @file
  * PsServer: the parameter-server runtime facade. Owns the sharded model
- * store, the executor pool and the bounded-staleness aggregator, and
- * runs one training round as a stream of concurrent client jobs that
- * pull weights, train locally and push their updates as they finish.
- * The wrapped synchronous Server keeps model init and evaluation; its
- * global weights are re-synced from the store after every round.
+ * store, the executor pool, the bounded-staleness aggregator and — when
+ * PsConfig::pipeline_depth > 1 — the streaming RoundPipeline plus a
+ * concurrent snapshot-eval pool. The wrapped synchronous Server keeps
+ * model init; its global weights are re-synced from the store whenever
+ * the runtime drains.
  */
 #ifndef AUTOFL_PS_PS_SERVER_H
 #define AUTOFL_PS_PS_SERVER_H
@@ -19,6 +19,7 @@
 #include "ps/async_aggregator.h"
 #include "ps/executor.h"
 #include "ps/ps_config.h"
+#include "ps/round_pipeline.h"
 #include "ps/sharded_store.h"
 
 namespace autofl {
@@ -46,17 +47,49 @@ class PsServer
              const TrainHyper &hyper, Algorithm alg, uint64_t seed,
              const PsConfig &cfg, int default_threads);
 
+    ~PsServer();
+
+    /** Whether the streaming pipeline (depth > 1) is active. */
+    bool pipelined() const { return pipeline_ != nullptr; }
+
     /**
-     * Run one round: submit every job (in order — submission order is
-     * the deterministic aggregation order), wait for the stream to
-     * drain, flush the aggregator and write the store back into the
-     * wrapped Server. Jobs pull the freshest per-shard-consistent
-     * weights when they *start*, so with more jobs than executor
-     * threads later jobs train on mid-round commits — the semi-async
-     * pipeline.
+     * Install the snapshot scorer used by the concurrent eval workers
+     * (pipelined mode; ignored otherwise). Must be thread-safe.
+     */
+    void set_eval_fn(RoundPipeline::EvalFn fn);
+
+    /**
+     * Run one round to completion.
+     *
+     * Classic mode (pipeline_depth == 1): submit every job (in order —
+     * submission order is the deterministic aggregation order), wait
+     * for the stream to drain, flush the aggregator and write the store
+     * back into the wrapped Server. Jobs pull the freshest
+     * per-shard-consistent weights when they *start*, so with more jobs
+     * than executor threads later jobs train on mid-round commits — the
+     * semi-async pipeline.
+     *
+     * Pipelined mode: submit through the pipeline and block for this
+     * round's result — correct but sequential; callers wanting overlap
+     * use submit_round.
      */
     PsRoundStats run_round(const std::vector<PsRoundJob> &jobs,
                            uint64_t round);
+
+    /**
+     * Streaming entry: enqueue the round and return immediately. The
+     * callback fires in round order once the round has retired and its
+     * final snapshot is scored. In classic mode this degrades to a
+     * synchronous run_round + inline evaluation before @p cb returns.
+     */
+    void submit_round(const std::vector<PsRoundJob> &jobs, uint64_t round,
+                      PsRoundCallback cb);
+
+    /**
+     * Block until every submitted round has been delivered, then sync
+     * the wrapped Server's weights from the store.
+     */
+    void drain();
 
     const ShardedStore &store() const { return store_; }
     AsyncAggregator &aggregator() { return agg_; }
@@ -73,6 +106,13 @@ class PsServer
     PsExecutor exec_;
     AsyncAggregator agg_;
     std::vector<std::unique_ptr<LocalTrainer>> trainers_;  ///< Per worker.
+    RoundPipeline::EvalFn eval_fn_;  ///< Classic-mode inline scoring.
+
+    // Pipelined mode only. Declared after the components they use so
+    // the pipeline drains (and the eval pool joins) before any of them
+    // is torn down.
+    std::unique_ptr<PsExecutor> eval_exec_;
+    std::unique_ptr<RoundPipeline> pipeline_;
 };
 
 } // namespace autofl

@@ -14,6 +14,10 @@ ShardedStore::ShardedStore(std::vector<float> init, int num_shards)
       rem_(data_.size() % static_cast<size_t>(num_shards_)),
       shards_(std::make_unique<Shard[]>(static_cast<size_t>(num_shards_)))
 {
+    // Epoch 0: the initial weights, so pulls and eval work before any
+    // commit has been published.
+    latest_ = StoreSnapshot{
+        0, std::make_shared<const std::vector<float>>(data_)};
 }
 
 size_t
@@ -83,6 +87,7 @@ ShardedStore::write(const std::vector<float> &w)
                   w.begin() + static_cast<ptrdiff_t>(shard_end(s)),
                   data_.begin() + static_cast<ptrdiff_t>(shard_begin(s)));
         sh.version.fetch_add(1, std::memory_order_acq_rel);
+        sh.cv.notify_all();
     }
 }
 
@@ -96,7 +101,49 @@ ShardedStore::apply_delta(const std::vector<float> &delta, double scale)
         for (size_t i = shard_begin(s); i < shard_end(s); ++i)
             data_[i] = static_cast<float>(data_[i] + scale * delta[i]);
         sh.version.fetch_add(1, std::memory_order_acq_rel);
+        sh.cv.notify_all();
     }
+}
+
+void
+ShardedStore::update_shard_in_turn(int s, uint64_t turn, const RangeFn &fn,
+                                   std::vector<float> *snap_out)
+{
+    assert(s >= 0 && s < num_shards_);
+    Shard &sh = shards_[static_cast<size_t>(s)];
+    std::unique_lock<std::mutex> lk(sh.mu);
+    sh.cv.wait(lk, [&] {
+        return sh.version.load(std::memory_order_acquire) == turn;
+    });
+    const size_t begin = shard_begin(s);
+    const size_t end = shard_end(s);
+    if (fn)
+        fn(data_.data(), begin, end);
+    if (snap_out) {
+        assert(snap_out->size() == data_.size());
+        std::copy(data_.begin() + static_cast<ptrdiff_t>(begin),
+                  data_.begin() + static_cast<ptrdiff_t>(end),
+                  snap_out->begin() + static_cast<ptrdiff_t>(begin));
+    }
+    sh.version.fetch_add(1, std::memory_order_acq_rel);
+    sh.cv.notify_all();
+}
+
+StoreSnapshot
+ShardedStore::set_latest_snapshot(
+    uint64_t epoch, std::shared_ptr<const std::vector<float>> weights)
+{
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    if (epoch > latest_.epoch)
+        latest_ = StoreSnapshot{epoch, std::move(weights)};
+    return latest_;
+}
+
+StoreSnapshot
+ShardedStore::latest_snapshot() const
+{
+    std::lock_guard<std::mutex> lk(snap_mu_);
+    return latest_;
 }
 
 } // namespace autofl

@@ -10,12 +10,26 @@
 #define AUTOFL_PS_SHARDED_STORE_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 namespace autofl {
+
+/**
+ * Immutable snapshot of the full weight vector at a commit epoch.
+ * Reading one is a shared_ptr copy — no locks, no data copy — so any
+ * number of eval workers can score the same epoch concurrently while
+ * commits keep mutating the live store.
+ */
+struct StoreSnapshot
+{
+    uint64_t epoch = 0;
+    std::shared_ptr<const std::vector<float>> weights;
+};
 
 /** Sharded, versioned storage for the flat global weight vector. */
 class ShardedStore
@@ -62,10 +76,40 @@ class ShardedStore
     /** data[i] += scale * delta[i], shard by shard; bumps versions. */
     void apply_delta(const std::vector<float> &delta, double scale);
 
+    /** Mutator over [begin, end) of the flat vector (base pointer). */
+    using RangeFn = std::function<void(float *data, size_t begin,
+                                       size_t end)>;
+
+    /**
+     * Striped, turn-ordered commit primitive. Blocks until shard @p s
+     * has absorbed exactly @p turn writes, then applies @p fn to its
+     * range under the shard lock, optionally copies the result into
+     * @p snap_out, bumps the version and wakes the next commit's wave.
+     *
+     * Two commits with consecutive turns therefore pipeline through the
+     * stripes: commit turn+1 writes shard 0 while commit turn is still
+     * writing shard 1 — disjoint shards proceed in parallel, yet every
+     * shard sees commits in exactly clock order.
+     */
+    void update_shard_in_turn(int s, uint64_t turn, const RangeFn &fn,
+                              std::vector<float> *snap_out);
+
+    /**
+     * Publish @p weights as the snapshot for @p epoch. Stale epochs
+     * (<= the published one) are ignored, so late-finishing waves can
+     * never roll the snapshot back. Returns the current latest.
+     */
+    StoreSnapshot set_latest_snapshot(
+        uint64_t epoch, std::shared_ptr<const std::vector<float>> weights);
+
+    /** Latest published snapshot (epoch 0 == the initial weights). */
+    StoreSnapshot latest_snapshot() const;
+
   private:
     struct Shard
     {
         mutable std::mutex mu;
+        std::condition_variable cv;  ///< Signals a version bump.
         std::atomic<uint64_t> version{0};
     };
 
@@ -74,6 +118,9 @@ class ShardedStore
     size_t base_;  ///< Minimum shard size; the first rem_ shards get +1.
     size_t rem_;
     std::unique_ptr<Shard[]> shards_;
+
+    mutable std::mutex snap_mu_;
+    StoreSnapshot latest_;
 };
 
 } // namespace autofl

@@ -94,6 +94,30 @@ mean_of(const std::vector<double> &values)
     return s / static_cast<double>(values.size());
 }
 
+SlidingWindow::SlidingWindow(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity), 0.0)
+{
+}
+
+void
+SlidingWindow::add(double x)
+{
+    ring_[next_] = x;
+    next_ = (next_ + 1) % ring_.size();
+    count_ = std::min(count_ + 1, ring_.size());
+}
+
+double
+SlidingWindow::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < count_; ++i)
+        s += ring_[i];
+    return s / static_cast<double>(count_);
+}
+
 double
 geomean_of(const std::vector<double> &values)
 {

@@ -79,6 +79,36 @@ class Ewma
     bool initialized_ = false;
 };
 
+/**
+ * Fixed-capacity sliding-window mean. The experiment harness feeds it
+ * per-round runtime observations (mean update staleness, round time) so
+ * the scheduler's state reflects the last few rounds of a streaming
+ * pipeline rather than one noisy round or the whole run.
+ */
+class SlidingWindow
+{
+  public:
+    /** @param capacity Window length; clamped to at least 1. */
+    explicit SlidingWindow(size_t capacity = 8);
+
+    /** Add one observation, evicting the oldest beyond capacity. */
+    void add(double x);
+
+    /** Mean of the windowed observations (0 when empty). */
+    double mean() const;
+
+    /** Observations currently in the window. */
+    size_t count() const { return count_; }
+
+    /** Window length. */
+    size_t capacity() const { return ring_.size(); }
+
+  private:
+    std::vector<double> ring_;
+    size_t next_ = 0;
+    size_t count_ = 0;
+};
+
 /** Linear-interpolation percentile of a sample (p in [0, 100]). */
 double percentile(std::vector<double> values, double p);
 

@@ -9,6 +9,32 @@
 namespace autofl {
 namespace {
 
+TEST(SlidingWindow, MeanTracksOnlyTheWindow)
+{
+    SlidingWindow w(3);
+    EXPECT_EQ(w.mean(), 0.0);
+    EXPECT_EQ(w.count(), 0u);
+    w.add(6.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 6.0);
+    w.add(0.0);
+    w.add(3.0);
+    EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+    // A fourth observation evicts the first: window is {0, 3, 9}.
+    w.add(9.0);
+    EXPECT_EQ(w.count(), 3u);
+    EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+    EXPECT_EQ(w.capacity(), 3u);
+}
+
+TEST(SlidingWindow, CapacityClampedToOne)
+{
+    SlidingWindow w(0);
+    w.add(2.0);
+    w.add(8.0);
+    EXPECT_EQ(w.capacity(), 1u);
+    EXPECT_DOUBLE_EQ(w.mean(), 8.0);
+}
+
 TEST(RunningStat, EmptyDefaults)
 {
     RunningStat s;
