@@ -19,8 +19,10 @@
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <thread>
 
 #include "bench_common.h"
+#include "kernels/kernels.h"
 #include "ps/ps_server.h"
 
 using namespace autofl;
@@ -202,8 +204,18 @@ main()
               << TextTable::num(pipeline_speedup, 2) << "x ("
               << (pipeline_ok ? "PASS" : "FAIL") << " >= 1.3x)\n";
 
+    // Record the compute backend + hardware so rounds/sec trajectories
+    // from different machines (and arch variants) are comparable.
     std::ofstream json("BENCH_ps_throughput.json");
     json << "{\n  \"workload\": \"CnnMnist\",\n"
+         << "  \"kernel_arch\": \""
+         << kernels::kernel_arch_name(kernels::current_kernel_arch())
+         << "\",\n"
+         << "  \"kernel_arch_best\": \""
+         << kernels::kernel_arch_name(kernels::best_kernel_arch())
+         << "\",\n"
+         << "  \"hardware_threads\": "
+         << std::thread::hardware_concurrency() << ",\n"
          << "  \"clients_per_round\": " << kDevices << ",\n"
          << "  \"timed_rounds\": " << kRounds << ",\n"
          << "  \"base_device_latency_s\": " << kDeviceLatencyS << ",\n"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "kernels/kernels.h"
+
 namespace autofl {
 
 namespace {
@@ -51,12 +53,10 @@ fedavg_combine_range(const std::vector<LocalUpdate> &updates,
     for (size_t j = 0; j < updates.size(); ++j) {
         const LocalUpdate &u = updates[j];
         assert(u.weights.size() >= end);
-        const double p = plan.prob[j];
-        for (size_t i = 0; i < len; ++i)
-            acc[i] += p * u.weights[begin + i];
+        kernels::axpy_f64(len, plan.prob[j], u.weights.data() + begin,
+                          acc.data());
     }
-    for (size_t i = 0; i < len; ++i)
-        out[i] = static_cast<float>(acc[i]);
+    kernels::cast_f64_to_f32(len, acc.data(), out);
 }
 
 std::vector<float>
@@ -105,14 +105,11 @@ fednova_apply_range(float *weights, const std::vector<LocalUpdate> &updates,
         const LocalUpdate &u = updates[j];
         assert(u.weights.size() >= end);
         const double tau = std::max(1, u.num_steps);
-        const double scale = plan.prob[j] / tau;
-        for (size_t i = 0; i < len; ++i)
-            avg_dir[i] += scale * (static_cast<double>(weights[begin + i]) -
-                                   u.weights[begin + i]);
+        kernels::diff_axpy_f64(len, plan.prob[j] / tau, weights + begin,
+                               u.weights.data() + begin, avg_dir.data());
     }
-    for (size_t i = 0; i < len; ++i)
-        weights[begin + i] = static_cast<float>(weights[begin + i] -
-                                                plan.tau_eff * avg_dir[i]);
+    kernels::apply_step_f64(len, weights + begin, plan.tau_eff,
+                            avg_dir.data());
 }
 
 void

@@ -47,7 +47,7 @@ LocalTrainer::train(const std::vector<float> &global_weights,
             std::vector<int> y = shard.batch_y(idx);
 
             model_.zero_grad();
-            Tensor logits = model_.forward(x);
+            Tensor logits = model_.forward(std::move(x));
             last_epoch_loss += loss.forward(logits, y);
             last_epoch_correct += loss.correct();
             model_.backward(loss.backward());
@@ -93,7 +93,7 @@ LocalTrainer::full_gradient(const std::vector<float> &weights,
     Tensor x = shard.batch_x(idx);
     std::vector<int> y = shard.batch_y(idx);
     SoftmaxCrossEntropy loss;
-    Tensor logits = model_.forward(x);
+    Tensor logits = model_.forward(std::move(x));
     loss.forward(logits, y);
     model_.backward(loss.backward());
 

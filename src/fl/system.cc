@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "ps/executor.h"
 #include "ps/ps_server.h"
 #include "util/rng.h"
 
@@ -61,11 +62,26 @@ FlSystem::device_non_iid(int device_id) const
     return partition_.non_iid[static_cast<size_t>(device_id)];
 }
 
+PsExecutor &
+FlSystem::local_executor()
+{
+    if (!local_exec_) {
+        local_exec_ = std::make_unique<PsExecutor>(std::max(1, cfg_.threads));
+        local_trainers_.reserve(
+            static_cast<size_t>(local_exec_->threads()));
+        for (int t = 0; t < local_exec_->threads(); ++t)
+            local_trainers_.push_back(
+                std::make_unique<LocalTrainer>(cfg_.workload));
+    }
+    return *local_exec_;
+}
+
 std::vector<LocalUpdate>
 FlSystem::run_local_round(const std::vector<int> &device_ids, uint64_t round)
 {
     const size_t n = device_ids.size();
     std::vector<LocalUpdate> updates(n);
+    PsExecutor &exec = local_executor();
 
     // FEDL phase 1: clients report full local gradients at the current
     // global weights; the server averages them into its global-gradient
@@ -73,49 +89,42 @@ FlSystem::run_local_round(const std::vector<int> &device_ids, uint64_t round)
     std::vector<std::vector<float>> fedl_grads;
     if (server_.wants_full_gradients()) {
         fedl_grads.resize(n);
-        LocalTrainer grad_trainer(cfg_.workload);
         for (size_t i = 0; i < n; ++i) {
-            fedl_grads[i] = grad_trainer.full_gradient(
-                server_.global_weights(), shard(device_ids[i]));
+            exec.submit([this, &fedl_grads, &device_ids, i](int worker) {
+                fedl_grads[i] =
+                    local_trainers_[static_cast<size_t>(worker)]
+                        ->full_gradient(server_.global_weights(),
+                                        shard(device_ids[i]));
+            });
         }
+        exec.wait_idle();
         server_.update_global_gradient(fedl_grads);
     }
 
-    const int threads =
-        std::max(1, std::min<int>(cfg_.threads, static_cast<int>(n)));
-    auto worker = [&](int tid) {
-        LocalTrainer trainer(cfg_.workload);
-        for (size_t i = static_cast<size_t>(tid); i < n;
-             i += static_cast<size_t>(threads)) {
+    // One executor job per client. Placement is dynamic, but each
+    // update is a pure function of (seed, device, round) — never of
+    // the worker running it — so the trained weights are identical at
+    // any thread count (same contract the seed's striped loop had).
+    for (size_t i = 0; i < n; ++i) {
+        exec.submit([this, &updates, &device_ids, &fedl_grads, round,
+                     i](int worker) {
             const int dev = device_ids[i];
             if (cfg_.ps.sim_device_latency_s > 0.0) {
                 std::this_thread::sleep_for(std::chrono::duration<double>(
                     cfg_.ps.sim_latency_for(dev)));
             }
-            // Deterministic per-(seed, device, round) stream; never a
-            // function of the worker thread, so thread counts and the
-            // sync/ps split cannot change the trained weights.
             Rng rng = client_rng(cfg_.seed, dev, round);
             std::vector<float> correction;
             if (server_.wants_full_gradients())
                 correction = server_.fedl_correction(fedl_grads[i]);
-            updates[i] = trainer.train(server_.global_weights(), shard(dev),
-                                       cfg_.params, cfg_.hyper,
-                                       cfg_.algorithm, correction, rng);
+            updates[i] =
+                local_trainers_[static_cast<size_t>(worker)]->train(
+                    server_.global_weights(), shard(dev), cfg_.params,
+                    cfg_.hyper, cfg_.algorithm, correction, rng);
             updates[i].device_id = dev;
-        }
-    };
-
-    if (threads == 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<size_t>(threads));
-        for (int t = 0; t < threads; ++t)
-            pool.emplace_back(worker, t);
-        for (auto &t : pool)
-            t.join();
+        });
     }
+    exec.wait_idle();
     return updates;
 }
 

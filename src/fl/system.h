@@ -21,6 +21,7 @@
 namespace autofl {
 
 class PsServer;
+class PsExecutor;
 
 /** Configuration of one FL training job. */
 struct FlSystemConfig
@@ -63,9 +64,13 @@ class FlSystem
     const Server &server() const { return server_; }
 
     /**
-     * Run local training on the selected devices (parallel across a
-     * thread pool). Updates are returned in @p device_ids order. FEDL's
-     * two-phase gradient exchange happens inside when configured.
+     * Run local training on the selected devices, parallel across a
+     * persistent PsExecutor pool (created on first use, reused every
+     * round — client-level parallelism composes with the SIMD kernels
+     * each job runs on). Updates are returned in @p device_ids order
+     * and are a pure function of (seed, device, round), never of job
+     * placement. FEDL's two-phase gradient exchange happens inside
+     * when configured.
      * @param round Round index (decorrelates per-round client RNG).
      */
     std::vector<LocalUpdate> run_local_round(
@@ -123,6 +128,14 @@ class FlSystem
     Server server_;
     NnProfile profile_;
     std::unique_ptr<PsServer> ps_;  ///< Non-null when cfg.ps.mode != Sync.
+
+    // Synchronous-path training pool: lazily created, then reused for
+    // every round (the seed spawned fresh std::threads per round).
+    std::unique_ptr<PsExecutor> local_exec_;
+    std::vector<std::unique_ptr<LocalTrainer>> local_trainers_;
+
+    /** Ensure local_exec_/local_trainers_ exist. */
+    PsExecutor &local_executor();
 };
 
 } // namespace autofl

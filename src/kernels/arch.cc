@@ -1,0 +1,97 @@
+#include "arch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernel_table.h"
+
+namespace autofl::kernels {
+
+namespace {
+
+KernelArch
+detect_best()
+{
+    // The AVX2 table is null when the TU was built without AVX2/FMA
+    // support (non-x86 target), so "binary supports it" is part of the
+    // check, not just cpuid.
+    if (avx2_kernel_table() == nullptr)
+        return KernelArch::Scalar;
+#if defined(__x86_64__) || defined(_M_X64)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return KernelArch::Avx2;
+#endif
+    return KernelArch::Scalar;
+}
+
+KernelArch
+initial_arch()
+{
+    const KernelArch best = detect_best();
+    const char *env = std::getenv("AUTOFL_KERNEL_ARCH");
+    if (env == nullptr || std::strcmp(env, "auto") == 0 ||
+        std::strcmp(env, "best") == 0 || env[0] == '\0')
+        return best;
+    if (std::strcmp(env, "scalar") == 0)
+        return KernelArch::Scalar;
+    if (std::strcmp(env, "avx2") == 0) {
+        if (best == KernelArch::Avx2)
+            return KernelArch::Avx2;
+        std::fprintf(stderr,
+                     "AUTOFL_KERNEL_ARCH=avx2 unsupported here; "
+                     "using %s\n",
+                     kernel_arch_name(best));
+        return best;
+    }
+    std::fprintf(stderr,
+                 "unknown AUTOFL_KERNEL_ARCH=\"%s\"; using %s\n", env,
+                 kernel_arch_name(best));
+    return best;
+}
+
+std::atomic<KernelArch> &
+arch_slot()
+{
+    static std::atomic<KernelArch> arch{initial_arch()};
+    return arch;
+}
+
+} // namespace
+
+KernelArch
+best_kernel_arch()
+{
+    static const KernelArch best = detect_best();
+    return best;
+}
+
+KernelArch
+current_kernel_arch()
+{
+    return arch_slot().load(std::memory_order_relaxed);
+}
+
+KernelArch
+set_kernel_arch(KernelArch arch)
+{
+    if (arch == KernelArch::Avx2 && best_kernel_arch() != KernelArch::Avx2)
+        arch = best_kernel_arch();
+    arch_slot().store(arch, std::memory_order_relaxed);
+    return arch;
+}
+
+const char *
+kernel_arch_name(KernelArch arch)
+{
+    switch (arch) {
+      case KernelArch::Scalar:
+        return "scalar";
+      case KernelArch::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+} // namespace autofl::kernels

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Runtime CPU-architecture selection for the compute kernels.
+ *
+ * The library ships one binary containing every kernel variant; the
+ * variant actually executed is chosen once at startup from cpuid (and
+ * can be overridden). Selection order:
+ *
+ *   1. `set_kernel_arch()` — explicit programmatic override (tests and
+ *      benches flip variants in-process for parity/speedup checks).
+ *   2. `AUTOFL_KERNEL_ARCH` environment variable: "scalar", "avx2" or
+ *      "auto". Requests the hardware cannot honor fall back to the best
+ *      supported variant with a stderr note.
+ *   3. cpuid: the widest variant this CPU supports.
+ *
+ * Each variant has a fixed reduction order, so results are bitwise
+ * deterministic per (variant, input) — see src/kernels/README.md for
+ * the determinism contract.
+ */
+#ifndef AUTOFL_KERNELS_ARCH_H
+#define AUTOFL_KERNELS_ARCH_H
+
+namespace autofl::kernels {
+
+/** Kernel instruction-set variants, widest last. */
+enum class KernelArch {
+    Scalar,  ///< Portable C++; bit-identical to the seed loops.
+    Avx2,    ///< AVX2 + FMA (x86-64), 8-lane float vectors.
+};
+
+/** Widest variant this CPU (and this binary) supports. */
+KernelArch best_kernel_arch();
+
+/** The variant kernels dispatch to right now. */
+KernelArch current_kernel_arch();
+
+/**
+ * Override the dispatch variant (clamped to best_kernel_arch()).
+ * Returns the variant actually installed. Thread-safe, but callers
+ * flipping variants mid-run own the ordering with in-flight kernels.
+ */
+KernelArch set_kernel_arch(KernelArch arch);
+
+/** Lower-case variant name ("scalar", "avx2"). */
+const char *kernel_arch_name(KernelArch arch);
+
+} // namespace autofl::kernels
+
+#endif // AUTOFL_KERNELS_ARCH_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Internal dispatch table shared by the kernel variants. Each variant
+ * fills one KernelTable with function pointers; kernels.cc picks the
+ * table for the currently selected arch per call. Entries left null by
+ * a variant fall back to the scalar implementation, so adding a new
+ * arch only requires implementing the kernels that actually benefit.
+ *
+ * Not part of the public API — include "kernels/kernels.h" instead.
+ */
+#ifndef AUTOFL_KERNELS_KERNEL_TABLE_H
+#define AUTOFL_KERNELS_KERNEL_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace autofl::kernels {
+
+/** Per-arch kernel entry points (raw row-major float buffers). */
+struct KernelTable
+{
+    // C {m,n} = (or +=) A {m,k} B {k,n}.
+    void (*gemm)(int m, int n, int k, const float *a, int lda,
+                 const float *b, int ldb, float *c, int ldc,
+                 bool accumulate) = nullptr;
+    // C {m,n} = (or +=) A^T B for A {k,m}.
+    void (*gemm_tn)(int m, int n, int k, const float *a, int lda,
+                    const float *b, int ldb, float *c, int ldc,
+                    bool accumulate) = nullptr;
+    // C {m,n} = (or +=) A B^T for B {n,k}.
+    void (*gemm_nt)(int m, int n, int k, const float *a, int lda,
+                    const float *b, int ldb, float *c, int ldc,
+                    bool accumulate) = nullptr;
+
+    // Elementwise family: bit-identical across variants (no FMA).
+    void (*axpy)(size_t n, float alpha, const float *x, float *y) = nullptr;
+    void (*scale)(size_t n, float alpha, float *y) = nullptr;
+    void (*vadd)(size_t n, const float *x, float *y) = nullptr;
+    void (*vsub)(size_t n, const float *x, float *y) = nullptr;
+    void (*add_bias_rows)(int rows, int cols, const float *bias,
+                          float *y) = nullptr;
+    void (*accumulate_rows)(int rows, int cols, const float *src,
+                            float *dst) = nullptr;
+    void (*relu_forward)(size_t n, float *y, uint8_t *mask) = nullptr;
+    void (*relu_backward)(size_t n, const uint8_t *mask,
+                          float *dy) = nullptr;
+    void (*sgd_step)(size_t n, float *w, const float *g, float *v,
+                     float lr, float wd, float momentum) = nullptr;
+    void (*sgd_step_prox)(size_t n, float *w, const float *g, float *v,
+                          const float *anchor, float lr, float wd,
+                          float momentum, float mu) = nullptr;
+
+    // Double-precision accumulation used by FL aggregation.
+    void (*axpy_f64)(size_t n, double alpha, const float *x,
+                     double *acc) = nullptr;
+    void (*diff_axpy_f64)(size_t n, double alpha, const float *w,
+                          const float *u, double *acc) = nullptr;
+    void (*cast_f64_to_f32)(size_t n, const double *acc,
+                            float *out) = nullptr;
+    void (*apply_step_f64)(size_t n, float *w, double tau,
+                           const double *dir) = nullptr;
+};
+
+/** The portable table; every entry is non-null. */
+const KernelTable *scalar_kernel_table();
+
+/**
+ * The AVX2/FMA table, or null when this binary was built without AVX2
+ * support (defined in kernels_avx2.cc, which is compiled with
+ * -mavx2 -mfma on x86-64 only).
+ */
+const KernelTable *avx2_kernel_table();
+
+} // namespace autofl::kernels
+
+#endif // AUTOFL_KERNELS_KERNEL_TABLE_H

@@ -1,0 +1,546 @@
+#include "kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "kernels/kernel_table.h"
+
+namespace autofl::kernels {
+
+namespace {
+
+// ------------------------------------------------- scalar GEMM family
+// Reduction order contract: for every output element, the k terms are
+// added in ascending k order, one rounding per add — exactly the seed
+// triple loops in src/tensor/tensor.cc, including the skip of zero
+// multipliers (adds of +0.0f are rounding no-ops on finite data).
+
+void
+scalar_gemm(int m, int n, int k, const float *a, int lda, const float *b,
+            int ldb, float *c, int ldc, bool accumulate)
+{
+    for (int i = 0; i < m; ++i) {
+        float *crow = c + static_cast<size_t>(i) * ldc;
+        if (!accumulate)
+            std::memset(crow, 0, sizeof(float) * static_cast<size_t>(n));
+        const float *arow = a + static_cast<size_t>(i) * lda;
+        for (int kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + static_cast<size_t>(kk) * ldb;
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+scalar_gemm_tn(int m, int n, int k, const float *a, int lda, const float *b,
+               int ldb, float *c, int ldc, bool accumulate)
+{
+    if (!accumulate) {
+        for (int i = 0; i < m; ++i)
+            std::memset(c + static_cast<size_t>(i) * ldc, 0,
+                        sizeof(float) * static_cast<size_t>(n));
+    }
+    for (int kk = 0; kk < k; ++kk) {
+        const float *arow = a + static_cast<size_t>(kk) * lda;
+        const float *brow = b + static_cast<size_t>(kk) * ldb;
+        for (int i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + static_cast<size_t>(i) * ldc;
+            for (int j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+scalar_gemm_nt(int m, int n, int k, const float *a, int lda, const float *b,
+               int ldb, float *c, int ldc, bool accumulate)
+{
+    for (int i = 0; i < m; ++i) {
+        const float *arow = a + static_cast<size_t>(i) * lda;
+        float *crow = c + static_cast<size_t>(i) * ldc;
+        for (int j = 0; j < n; ++j) {
+            const float *brow = b + static_cast<size_t>(j) * ldb;
+            float acc = 0.0f;
+            for (int kk = 0; kk < k; ++kk)
+                acc += arow[kk] * brow[kk];
+            crow[j] = accumulate ? crow[j] + acc : acc;
+        }
+    }
+}
+
+// --------------------------------------------- scalar elementwise
+
+void
+scalar_axpy(size_t n, float alpha, const float *x, float *y)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+scalar_scale(size_t n, float alpha, float *y)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] *= alpha;
+}
+
+void
+scalar_vadd(size_t n, const float *x, float *y)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+scalar_vsub(size_t n, const float *x, float *y)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] -= x[i];
+}
+
+void
+scalar_add_bias_rows(int rows, int cols, const float *bias, float *y)
+{
+    for (int r = 0; r < rows; ++r) {
+        float *row = y + static_cast<size_t>(r) * cols;
+        for (int c = 0; c < cols; ++c)
+            row[c] += bias[c];
+    }
+}
+
+void
+scalar_accumulate_rows(int rows, int cols, const float *src, float *dst)
+{
+    for (int r = 0; r < rows; ++r) {
+        const float *row = src + static_cast<size_t>(r) * cols;
+        for (int c = 0; c < cols; ++c)
+            dst[c] += row[c];
+    }
+}
+
+void
+scalar_relu_forward(size_t n, float *y, uint8_t *mask)
+{
+    for (size_t i = 0; i < n; ++i) {
+        if (y[i] > 0.0f) {
+            mask[i] = 1;
+        } else {
+            mask[i] = 0;
+            y[i] = 0.0f;
+        }
+    }
+}
+
+void
+scalar_relu_backward(size_t n, const uint8_t *mask, float *dy)
+{
+    for (size_t i = 0; i < n; ++i)
+        if (!mask[i])
+            dy[i] = 0.0f;
+}
+
+void
+scalar_sgd_step(size_t n, float *w, const float *g, float *v, float lr,
+                float wd, float momentum)
+{
+    for (size_t i = 0; i < n; ++i) {
+        float grad = g[i] + wd * w[i];
+        if (v != nullptr && momentum != 0.0f) {
+            v[i] = momentum * v[i] + grad;
+            grad = v[i];
+        }
+        w[i] -= lr * grad;
+    }
+}
+
+void
+scalar_sgd_step_prox(size_t n, float *w, const float *g, float *v,
+                     const float *anchor, float lr, float wd, float momentum,
+                     float mu)
+{
+    for (size_t i = 0; i < n; ++i) {
+        float grad = g[i] + wd * w[i] + mu * (w[i] - anchor[i]);
+        if (v != nullptr && momentum != 0.0f) {
+            v[i] = momentum * v[i] + grad;
+            grad = v[i];
+        }
+        w[i] -= lr * grad;
+    }
+}
+
+void
+scalar_axpy_f64(size_t n, double alpha, const float *x, double *acc)
+{
+    for (size_t i = 0; i < n; ++i)
+        acc[i] += alpha * x[i];
+}
+
+void
+scalar_diff_axpy_f64(size_t n, double alpha, const float *w, const float *u,
+                     double *acc)
+{
+    for (size_t i = 0; i < n; ++i)
+        acc[i] += alpha * (static_cast<double>(w[i]) - u[i]);
+}
+
+void
+scalar_cast_f64_to_f32(size_t n, const double *acc, float *out)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(acc[i]);
+}
+
+void
+scalar_apply_step_f64(size_t n, float *w, double tau, const double *dir)
+{
+    for (size_t i = 0; i < n; ++i)
+        w[i] = static_cast<float>(w[i] - tau * dir[i]);
+}
+
+const KernelTable *
+make_scalar_table()
+{
+    static KernelTable t = [] {
+        KernelTable k;
+        k.gemm = scalar_gemm;
+        k.gemm_tn = scalar_gemm_tn;
+        k.gemm_nt = scalar_gemm_nt;
+        k.axpy = scalar_axpy;
+        k.scale = scalar_scale;
+        k.vadd = scalar_vadd;
+        k.vsub = scalar_vsub;
+        k.add_bias_rows = scalar_add_bias_rows;
+        k.accumulate_rows = scalar_accumulate_rows;
+        k.relu_forward = scalar_relu_forward;
+        k.relu_backward = scalar_relu_backward;
+        k.sgd_step = scalar_sgd_step;
+        k.sgd_step_prox = scalar_sgd_step_prox;
+        k.axpy_f64 = scalar_axpy_f64;
+        k.diff_axpy_f64 = scalar_diff_axpy_f64;
+        k.cast_f64_to_f32 = scalar_cast_f64_to_f32;
+        k.apply_step_f64 = scalar_apply_step_f64;
+        return k;
+    }();
+    return &t;
+}
+
+/**
+ * Table for the currently selected arch. Entries a variant left null
+ * fall back to scalar, resolved per member at lookup time.
+ */
+inline const KernelTable &
+active()
+{
+    switch (current_kernel_arch()) {
+      case KernelArch::Avx2:
+        if (const KernelTable *t = avx2_kernel_table())
+            return *t;
+        break;
+      case KernelArch::Scalar:
+        break;
+    }
+    return *scalar_kernel_table();
+}
+
+/** Pick the active table's entry, or the scalar one when null. */
+template <typename Fn>
+inline Fn
+pick(Fn KernelTable::*member)
+{
+    const Fn fn = active().*member;
+    return fn != nullptr ? fn : scalar_kernel_table()->*member;
+}
+
+} // namespace
+
+const KernelTable *
+scalar_kernel_table()
+{
+    return make_scalar_table();
+}
+
+// ------------------------------------------------ public dispatchers
+
+void
+gemm(int m, int n, int k, const float *a, int lda, const float *b, int ldb,
+     float *c, int ldc, bool accumulate)
+{
+    if (m <= 0 || n <= 0)
+        return;
+    pick(&KernelTable::gemm)(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void
+gemm_tn(int m, int n, int k, const float *a, int lda, const float *b,
+        int ldb, float *c, int ldc, bool accumulate)
+{
+    if (m <= 0 || n <= 0)
+        return;
+    pick(&KernelTable::gemm_tn)(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void
+gemm_nt(int m, int n, int k, const float *a, int lda, const float *b,
+        int ldb, float *c, int ldc, bool accumulate)
+{
+    if (m <= 0 || n <= 0)
+        return;
+    pick(&KernelTable::gemm_nt)(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void
+axpy(size_t n, float alpha, const float *x, float *y)
+{
+    pick(&KernelTable::axpy)(n, alpha, x, y);
+}
+
+void
+scale(size_t n, float alpha, float *y)
+{
+    pick(&KernelTable::scale)(n, alpha, y);
+}
+
+void
+vadd(size_t n, const float *x, float *y)
+{
+    pick(&KernelTable::vadd)(n, x, y);
+}
+
+void
+vsub(size_t n, const float *x, float *y)
+{
+    pick(&KernelTable::vsub)(n, x, y);
+}
+
+void
+add_bias_rows(int rows, int cols, const float *bias, float *y)
+{
+    pick(&KernelTable::add_bias_rows)(rows, cols, bias, y);
+}
+
+void
+accumulate_rows(int rows, int cols, const float *src, float *dst)
+{
+    pick(&KernelTable::accumulate_rows)(rows, cols, src, dst);
+}
+
+void
+relu_forward(size_t n, float *y, uint8_t *mask)
+{
+    pick(&KernelTable::relu_forward)(n, y, mask);
+}
+
+void
+relu_backward(size_t n, const uint8_t *mask, float *dy)
+{
+    pick(&KernelTable::relu_backward)(n, mask, dy);
+}
+
+void
+sgd_step(size_t n, float *w, const float *g, float *v, float lr, float wd,
+         float momentum)
+{
+    pick(&KernelTable::sgd_step)(n, w, g, v, lr, wd, momentum);
+}
+
+void
+sgd_step_prox(size_t n, float *w, const float *g, float *v,
+              const float *anchor, float lr, float wd, float momentum,
+              float mu)
+{
+    pick(&KernelTable::sgd_step_prox)(n, w, g, v, anchor, lr, wd, momentum,
+                                      mu);
+}
+
+void
+axpy_f64(size_t n, double alpha, const float *x, double *acc)
+{
+    pick(&KernelTable::axpy_f64)(n, alpha, x, acc);
+}
+
+void
+diff_axpy_f64(size_t n, double alpha, const float *w, const float *u,
+              double *acc)
+{
+    pick(&KernelTable::diff_axpy_f64)(n, alpha, w, u, acc);
+}
+
+void
+cast_f64_to_f32(size_t n, const double *acc, float *out)
+{
+    pick(&KernelTable::cast_f64_to_f32)(n, acc, out);
+}
+
+void
+apply_step_f64(size_t n, float *w, double tau, const double *dir)
+{
+    pick(&KernelTable::apply_step_f64)(n, w, tau, dir);
+}
+
+// --------------------------------------------- LSTM fused gate math
+
+namespace {
+
+inline float
+sigmoidf(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+void
+lstm_gate_forward(int batch, int hidden, float *z, const float *cprev,
+                  float *c, float *h, int h_stride)
+{
+    const int h4 = 4 * hidden;
+    for (int n = 0; n < batch; ++n) {
+        float *zrow = z + static_cast<size_t>(n) * h4;
+        const float *cp = cprev + static_cast<size_t>(n) * hidden;
+        float *cn = c + static_cast<size_t>(n) * hidden;
+        float *hn = h + static_cast<size_t>(n) * h_stride;
+        for (int j = 0; j < hidden; ++j) {
+            float &zi = zrow[j];
+            float &zf = zrow[hidden + j];
+            float &zg = zrow[2 * hidden + j];
+            float &zo = zrow[3 * hidden + j];
+            zi = sigmoidf(zi);
+            zf = sigmoidf(zf);
+            zg = std::tanh(zg);
+            zo = sigmoidf(zo);
+            const float cv = zf * cp[j] + zi * zg;
+            cn[j] = cv;
+            hn[j] = zo * std::tanh(cv);
+        }
+    }
+}
+
+void
+lstm_gate_backward(int batch, int hidden, const float *z, const float *cprev,
+                   const float *c, const float *dh, const float *dc,
+                   float *dz, float *dc_prev)
+{
+    const int h4 = 4 * hidden;
+    for (int n = 0; n < batch; ++n) {
+        const float *zrow = z + static_cast<size_t>(n) * h4;
+        const float *cp = cprev + static_cast<size_t>(n) * hidden;
+        const float *cn = c + static_cast<size_t>(n) * hidden;
+        const float *dhn = dh + static_cast<size_t>(n) * hidden;
+        const float *dcn = dc + static_cast<size_t>(n) * hidden;
+        float *dzrow = dz + static_cast<size_t>(n) * h4;
+        float *dcp = dc_prev + static_cast<size_t>(n) * hidden;
+        for (int j = 0; j < hidden; ++j) {
+            const float i_g = zrow[j];
+            const float f_g = zrow[hidden + j];
+            const float g_g = zrow[2 * hidden + j];
+            const float o_g = zrow[3 * hidden + j];
+            const float tc = std::tanh(cn[j]);
+            const float dht = dhn[j];
+
+            const float dct = dht * o_g * (1.0f - tc * tc) + dcn[j];
+            const float d_o = dht * tc;
+            const float d_i = dct * g_g;
+            const float d_g = dct * i_g;
+            const float d_f = dct * cp[j];
+            dcp[j] = dct * f_g;
+
+            dzrow[j] = d_i * i_g * (1.0f - i_g);
+            dzrow[hidden + j] = d_f * f_g * (1.0f - f_g);
+            dzrow[2 * hidden + j] = d_g * (1.0f - g_g * g_g);
+            dzrow[3 * hidden + j] = d_o * o_g * (1.0f - o_g);
+        }
+    }
+}
+
+// --------------------------------------------------- im2col / col2im
+
+void
+im2col(const float *x, int channels, int ih, int iw, int k, int stride,
+       int pad, float *col)
+{
+    const int oh = conv_out_size(ih, k, stride, pad);
+    const int ow = conv_out_size(iw, k, stride, pad);
+    const size_t ospatial = static_cast<size_t>(oh) * ow;
+    for (int c = 0; c < channels; ++c) {
+        const float *xc = x + static_cast<size_t>(c) * ih * iw;
+        for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+                float *crow =
+                    col + ((static_cast<size_t>(c) * k + ky) * k + kx) *
+                              ospatial;
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int y_in = oy * stride + ky - pad;
+                    float *orow = crow + static_cast<size_t>(oy) * ow;
+                    if (y_in < 0 || y_in >= ih) {
+                        std::memset(orow, 0,
+                                    sizeof(float) * static_cast<size_t>(ow));
+                        continue;
+                    }
+                    const float *xrow = xc + static_cast<size_t>(y_in) * iw;
+                    const int x0 = kx - pad;  // x_in at ox = 0.
+                    if (stride == 1) {
+                        // Contiguous tap run with zero fill at the edges.
+                        const int lo = std::max(0, -x0);
+                        const int hi = std::min(ow, iw - x0);
+                        for (int ox = 0; ox < lo; ++ox)
+                            orow[ox] = 0.0f;
+                        if (hi > lo)
+                            std::memcpy(orow + lo, xrow + x0 + lo,
+                                        sizeof(float) *
+                                            static_cast<size_t>(hi - lo));
+                        for (int ox = std::max(lo, hi); ox < ow; ++ox)
+                            orow[ox] = 0.0f;
+                    } else {
+                        for (int ox = 0; ox < ow; ++ox) {
+                            const int x_in = x0 + ox * stride;
+                            orow[ox] = (x_in < 0 || x_in >= iw)
+                                           ? 0.0f
+                                           : xrow[x_in];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im_add(const float *col, int channels, int ih, int iw, int k, int stride,
+           int pad, float *x)
+{
+    const int oh = conv_out_size(ih, k, stride, pad);
+    const int ow = conv_out_size(iw, k, stride, pad);
+    const size_t ospatial = static_cast<size_t>(oh) * ow;
+    for (int c = 0; c < channels; ++c) {
+        float *xc = x + static_cast<size_t>(c) * ih * iw;
+        for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+                const float *crow =
+                    col + ((static_cast<size_t>(c) * k + ky) * k + kx) *
+                              ospatial;
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int y_in = oy * stride + ky - pad;
+                    if (y_in < 0 || y_in >= ih)
+                        continue;
+                    float *xrow = xc + static_cast<size_t>(y_in) * iw;
+                    const float *orow = crow + static_cast<size_t>(oy) * ow;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int x_in = kx - pad + ox * stride;
+                        if (x_in >= 0 && x_in < iw)
+                            xrow[x_in] += orow[ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace autofl::kernels

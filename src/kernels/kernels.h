@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The shared compute backend: runtime-dispatched GEMM, im2col
+ * convolution helpers and fused elementwise kernels over raw row-major
+ * float buffers.
+ *
+ * Every compute inner loop in the repo — Tensor matmul, the nn layers,
+ * the SGD step and the FL aggregation range helpers — routes through
+ * these entry points, so a new arch variant (one KernelTable) speeds up
+ * the whole stack at once. See src/kernels/README.md for the dispatch
+ * design and the determinism contract; in short:
+ *
+ *  - Per variant, every kernel has a fixed reduction order: identical
+ *    inputs give bitwise-identical outputs, independent of thread
+ *    count or call site.
+ *  - The scalar GEMM variants reduce over k in ascending order exactly
+ *    like the seed triple loops (bit-compatible with pre-kernel runs).
+ *  - Elementwise kernels are bit-identical across ALL variants (no
+ *    FMA); GEMM/conv variants agree within 1e-4 relative tolerance.
+ */
+#ifndef AUTOFL_KERNELS_KERNELS_H
+#define AUTOFL_KERNELS_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/arch.h"
+
+namespace autofl::kernels {
+
+// ------------------------------------------------------------- GEMM
+// Row-major. When @p accumulate is false, C is overwritten; when true,
+// the product is added on top of the existing C (used to fuse bias
+// pre-fill and gradient accumulation into the multiply).
+
+/** C {m,n} = (or +=) A {m,k} x B {k,n}. */
+void gemm(int m, int n, int k, const float *a, int lda, const float *b,
+          int ldb, float *c, int ldc, bool accumulate = false);
+
+/** C {m,n} = (or +=) A^T x B for A stored {k,m}. */
+void gemm_tn(int m, int n, int k, const float *a, int lda, const float *b,
+             int ldb, float *c, int ldc, bool accumulate = false);
+
+/** C {m,n} = (or +=) A x B^T for B stored {n,k}. */
+void gemm_nt(int m, int n, int k, const float *a, int lda, const float *b,
+             int ldb, float *c, int ldc, bool accumulate = false);
+
+// ------------------------------------------------- fused elementwise
+
+/** y += alpha * x. */
+void axpy(size_t n, float alpha, const float *x, float *y);
+
+/** y *= alpha. */
+void scale(size_t n, float alpha, float *y);
+
+/** y += x. */
+void vadd(size_t n, const float *x, float *y);
+
+/** y -= x. */
+void vsub(size_t n, const float *x, float *y);
+
+/** y[r, c] += bias[c] for every row of the {rows, cols} matrix. */
+void add_bias_rows(int rows, int cols, const float *bias, float *y);
+
+/** dst[c] += sum_r src[r, c] (rows processed in ascending order). */
+void accumulate_rows(int rows, int cols, const float *src, float *dst);
+
+/** In-place ReLU; mask[i] = 1 where the input was positive. */
+void relu_forward(size_t n, float *y, uint8_t *mask);
+
+/** Zero dy where the forward mask was zero. */
+void relu_backward(size_t n, const uint8_t *mask, float *dy);
+
+/**
+ * Fused SGD step: grad = g + wd * w (+ momentum velocity update when
+ * @p v is non-null and momentum != 0), then w -= lr * grad.
+ */
+void sgd_step(size_t n, float *w, const float *g, float *v, float lr,
+              float wd, float momentum);
+
+/** Fused FedProx step: adds mu * (w - anchor) to the gradient. */
+void sgd_step_prox(size_t n, float *w, const float *g, float *v,
+                   const float *anchor, float lr, float wd, float momentum,
+                   float mu);
+
+// --------------------------------- f64 accumulation (FL aggregation)
+
+/** acc[i] += alpha * x[i] into double accumulators. */
+void axpy_f64(size_t n, double alpha, const float *x, double *acc);
+
+/** acc[i] += alpha * (w[i] - u[i]) into double accumulators. */
+void diff_axpy_f64(size_t n, double alpha, const float *w, const float *u,
+                   double *acc);
+
+/** out[i] = (float)acc[i]. */
+void cast_f64_to_f32(size_t n, const double *acc, float *out);
+
+/** w[i] = (float)(w[i] - tau * dir[i]). */
+void apply_step_f64(size_t n, float *w, double tau, const double *dir);
+
+// --------------------------------------------- LSTM fused gate math
+// Arch-independent (transcendental-heavy; shared scalar code), fused
+// across the four gates. z is the pre-activation {batch, 4*hidden}
+// block laid out [i | f | g | o] and is activated in place.
+
+/**
+ * Forward cell update: activate z in place, write the new cell state
+ * into c and the hidden state into h (row stride @p h_stride supports
+ * writing straight into the next timestep's packed [x|h] buffer).
+ */
+void lstm_gate_forward(int batch, int hidden, float *z, const float *cprev,
+                       float *c, float *h, int h_stride);
+
+/**
+ * Backward cell update from the post-activation gates: fills dz
+ * {batch, 4*hidden} and dc_prev {batch, hidden} from dh and dc.
+ */
+void lstm_gate_backward(int batch, int hidden, const float *z,
+                        const float *cprev, const float *c, const float *dh,
+                        const float *dc, float *dz, float *dc_prev);
+
+// --------------------------------------------------- im2col / col2im
+// Column buffer layout: col {channels * k * k, oh * ow}, row index
+// (c * k + ky) * k + kx — the ascending (c, ky, kx) order the seed's
+// direct convolution reduced in, so scalar conv-by-GEMM reproduces the
+// seed's direct-loop bits. Out-of-range taps are written as zeros.
+
+/** Spatial output size for one dimension. */
+inline int
+conv_out_size(int in, int k, int stride, int pad)
+{
+    return (in + 2 * pad - k) / stride + 1;
+}
+
+/** Unfold x {channels, ih, iw} into col (see layout above). */
+void im2col(const float *x, int channels, int ih, int iw, int k, int stride,
+            int pad, float *col);
+
+/** Fold col back, accumulating overlapping taps into x. */
+void col2im_add(const float *col, int channels, int ih, int iw, int k,
+                int stride, int pad, float *x);
+
+} // namespace autofl::kernels
+
+#endif // AUTOFL_KERNELS_KERNELS_H

@@ -1,0 +1,552 @@
+/**
+ * @file
+ * AVX2 + FMA kernel variant. This translation unit is the only one
+ * compiled with -mavx2 -mfma (see CMakeLists.txt); everything else in
+ * the library stays at the baseline ISA, and the dispatcher only
+ * selects this table after a cpuid check, so the binary runs on
+ * pre-AVX2 x86-64 too.
+ *
+ * Reduction-order contract (see README.md):
+ *  - GEMM variants reduce over k in ascending order per output element,
+ *    one FMA per term, accumulators in registers. Deterministic; agrees
+ *    with scalar within FMA-rounding (<< 1e-4 relative).
+ *  - gemm_nt reduces in 8-lane partial sums (lane l owns k = l mod 8),
+ *    combined low-to-high, then the scalar k-tail — fixed order.
+ *  - Elementwise kernels use mul/add (never FMA) in the scalar's exact
+ *    operation sequence, so they are bit-identical to the scalar table.
+ */
+#include "kernels/kernel_table.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace autofl::kernels {
+
+namespace {
+
+// ------------------------------------------------------------- GEMM
+
+/** 4 x 16 register tile: rows i..i+3, columns j..j+15, full k sweep. */
+inline void
+micro_4x16(int k, const float *a, int lda, const float *b, int ldb,
+           float *c, int ldc, bool accumulate)
+{
+    __m256 c00, c01, c10, c11, c20, c21, c30, c31;
+    if (accumulate) {
+        c00 = _mm256_loadu_ps(c + 0 * ldc);
+        c01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+        c10 = _mm256_loadu_ps(c + 1 * ldc);
+        c11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+        c20 = _mm256_loadu_ps(c + 2 * ldc);
+        c21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+        c30 = _mm256_loadu_ps(c + 3 * ldc);
+        c31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+    } else {
+        c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 =
+            _mm256_setzero_ps();
+    }
+    for (int kk = 0; kk < k; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(b + static_cast<size_t>(kk) * ldb);
+        const __m256 b1 =
+            _mm256_loadu_ps(b + static_cast<size_t>(kk) * ldb + 8);
+        __m256 av = _mm256_broadcast_ss(a + 0 * lda + kk);
+        c00 = _mm256_fmadd_ps(av, b0, c00);
+        c01 = _mm256_fmadd_ps(av, b1, c01);
+        av = _mm256_broadcast_ss(a + 1 * lda + kk);
+        c10 = _mm256_fmadd_ps(av, b0, c10);
+        c11 = _mm256_fmadd_ps(av, b1, c11);
+        av = _mm256_broadcast_ss(a + 2 * lda + kk);
+        c20 = _mm256_fmadd_ps(av, b0, c20);
+        c21 = _mm256_fmadd_ps(av, b1, c21);
+        av = _mm256_broadcast_ss(a + 3 * lda + kk);
+        c30 = _mm256_fmadd_ps(av, b0, c30);
+        c31 = _mm256_fmadd_ps(av, b1, c31);
+    }
+    _mm256_storeu_ps(c + 0 * ldc, c00);
+    _mm256_storeu_ps(c + 0 * ldc + 8, c01);
+    _mm256_storeu_ps(c + 1 * ldc, c10);
+    _mm256_storeu_ps(c + 1 * ldc + 8, c11);
+    _mm256_storeu_ps(c + 2 * ldc, c20);
+    _mm256_storeu_ps(c + 2 * ldc + 8, c21);
+    _mm256_storeu_ps(c + 3 * ldc, c30);
+    _mm256_storeu_ps(c + 3 * ldc + 8, c31);
+}
+
+/** 1 x 8 tile for row and column tails. */
+inline void
+micro_1x8(int k, const float *a, int a_stride, const float *b, int ldb,
+          float *c, bool accumulate)
+{
+    __m256 acc = accumulate ? _mm256_loadu_ps(c) : _mm256_setzero_ps();
+    for (int kk = 0; kk < k; ++kk) {
+        const __m256 bv =
+            _mm256_loadu_ps(b + static_cast<size_t>(kk) * ldb);
+        const __m256 av =
+            _mm256_broadcast_ss(a + static_cast<size_t>(kk) * a_stride);
+        acc = _mm256_fmadd_ps(av, bv, acc);
+    }
+    _mm256_storeu_ps(c, acc);
+}
+
+/** Scalar column tail (j columns < 8 wide), register accumulator. */
+inline void
+tail_cols(int m, int j0, int n, int k, const float *a, int lda,
+          int a_kstride, const float *b, int ldb, float *c, int ldc,
+          bool accumulate)
+{
+    for (int i = 0; i < m; ++i) {
+        for (int j = j0; j < n; ++j) {
+            float acc = accumulate ? c[static_cast<size_t>(i) * ldc + j]
+                                   : 0.0f;
+            for (int kk = 0; kk < k; ++kk)
+                acc += a[static_cast<size_t>(i) * lda +
+                         static_cast<size_t>(kk) * a_kstride] *
+                       b[static_cast<size_t>(kk) * ldb + j];
+            c[static_cast<size_t>(i) * ldc + j] = acc;
+        }
+    }
+}
+
+void
+avx2_gemm(int m, int n, int k, const float *a, int lda, const float *b,
+          int ldb, float *c, int ldc, bool accumulate)
+{
+    int j = 0;
+    for (; j + 16 <= n; j += 16) {
+        int i = 0;
+        for (; i + 4 <= m; i += 4)
+            micro_4x16(k, a + static_cast<size_t>(i) * lda, lda, b + j, ldb,
+                       c + static_cast<size_t>(i) * ldc + j, ldc,
+                       accumulate);
+        for (; i < m; ++i) {
+            micro_1x8(k, a + static_cast<size_t>(i) * lda, 1, b + j, ldb,
+                      c + static_cast<size_t>(i) * ldc + j, accumulate);
+            micro_1x8(k, a + static_cast<size_t>(i) * lda, 1, b + j + 8,
+                      ldb, c + static_cast<size_t>(i) * ldc + j + 8,
+                      accumulate);
+        }
+    }
+    for (; j + 8 <= n; j += 8) {
+        for (int i = 0; i < m; ++i)
+            micro_1x8(k, a + static_cast<size_t>(i) * lda, 1, b + j, ldb,
+                      c + static_cast<size_t>(i) * ldc + j, accumulate);
+    }
+    if (j < n)
+        tail_cols(m, j, n, k, a, lda, 1, b, ldb, c, ldc, accumulate);
+}
+
+/** gemm_tn: A stored {k, m}; element (i, kk) lives at a[kk * lda + i]. */
+inline void
+micro_tn_4x16(int k, const float *a, int lda, const float *b, int ldb,
+              float *c, int ldc, bool accumulate)
+{
+    __m256 c00, c01, c10, c11, c20, c21, c30, c31;
+    if (accumulate) {
+        c00 = _mm256_loadu_ps(c + 0 * ldc);
+        c01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+        c10 = _mm256_loadu_ps(c + 1 * ldc);
+        c11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+        c20 = _mm256_loadu_ps(c + 2 * ldc);
+        c21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+        c30 = _mm256_loadu_ps(c + 3 * ldc);
+        c31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+    } else {
+        c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 =
+            _mm256_setzero_ps();
+    }
+    for (int kk = 0; kk < k; ++kk) {
+        const float *arow = a + static_cast<size_t>(kk) * lda;
+        const __m256 b0 = _mm256_loadu_ps(b + static_cast<size_t>(kk) * ldb);
+        const __m256 b1 =
+            _mm256_loadu_ps(b + static_cast<size_t>(kk) * ldb + 8);
+        __m256 av = _mm256_broadcast_ss(arow + 0);
+        c00 = _mm256_fmadd_ps(av, b0, c00);
+        c01 = _mm256_fmadd_ps(av, b1, c01);
+        av = _mm256_broadcast_ss(arow + 1);
+        c10 = _mm256_fmadd_ps(av, b0, c10);
+        c11 = _mm256_fmadd_ps(av, b1, c11);
+        av = _mm256_broadcast_ss(arow + 2);
+        c20 = _mm256_fmadd_ps(av, b0, c20);
+        c21 = _mm256_fmadd_ps(av, b1, c21);
+        av = _mm256_broadcast_ss(arow + 3);
+        c30 = _mm256_fmadd_ps(av, b0, c30);
+        c31 = _mm256_fmadd_ps(av, b1, c31);
+    }
+    _mm256_storeu_ps(c + 0 * ldc, c00);
+    _mm256_storeu_ps(c + 0 * ldc + 8, c01);
+    _mm256_storeu_ps(c + 1 * ldc, c10);
+    _mm256_storeu_ps(c + 1 * ldc + 8, c11);
+    _mm256_storeu_ps(c + 2 * ldc, c20);
+    _mm256_storeu_ps(c + 2 * ldc + 8, c21);
+    _mm256_storeu_ps(c + 3 * ldc, c30);
+    _mm256_storeu_ps(c + 3 * ldc + 8, c31);
+}
+
+void
+avx2_gemm_tn(int m, int n, int k, const float *a, int lda, const float *b,
+             int ldb, float *c, int ldc, bool accumulate)
+{
+    int j = 0;
+    for (; j + 16 <= n; j += 16) {
+        int i = 0;
+        for (; i + 4 <= m; i += 4)
+            micro_tn_4x16(k, a + i, lda, b + j, ldb,
+                          c + static_cast<size_t>(i) * ldc + j, ldc,
+                          accumulate);
+        for (; i < m; ++i) {
+            micro_1x8(k, a + i, lda, b + j, ldb,
+                      c + static_cast<size_t>(i) * ldc + j, accumulate);
+            micro_1x8(k, a + i, lda, b + j + 8, ldb,
+                      c + static_cast<size_t>(i) * ldc + j + 8, accumulate);
+        }
+    }
+    for (; j + 8 <= n; j += 8) {
+        for (int i = 0; i < m; ++i)
+            micro_1x8(k, a + i, lda, b + j, ldb,
+                      c + static_cast<size_t>(i) * ldc + j, accumulate);
+    }
+    if (j < n)
+        tail_cols(m, j, n, k, a, 1, lda, b, ldb, c, ldc, accumulate);
+}
+
+/** Horizontal sum, low lane to high lane. */
+inline float
+hsum(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+}
+
+void
+avx2_gemm_nt(int m, int n, int k, const float *a, int lda, const float *b,
+             int ldb, float *c, int ldc, bool accumulate)
+{
+    const int k8 = k & ~7;
+    for (int i = 0; i < m; ++i) {
+        const float *arow = a + static_cast<size_t>(i) * lda;
+        float *crow = c + static_cast<size_t>(i) * ldc;
+        int j = 0;
+        for (; j + 4 <= n; j += 4) {
+            const float *b0 = b + static_cast<size_t>(j) * ldb;
+            const float *b1 = b + static_cast<size_t>(j + 1) * ldb;
+            const float *b2 = b + static_cast<size_t>(j + 2) * ldb;
+            const float *b3 = b + static_cast<size_t>(j + 3) * ldb;
+            __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+            __m256 s2 = _mm256_setzero_ps(), s3 = _mm256_setzero_ps();
+            for (int kk = 0; kk < k8; kk += 8) {
+                const __m256 av = _mm256_loadu_ps(arow + kk);
+                s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + kk), s0);
+                s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + kk), s1);
+                s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + kk), s2);
+                s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + kk), s3);
+            }
+            float d0 = hsum(s0), d1 = hsum(s1), d2 = hsum(s2),
+                  d3 = hsum(s3);
+            for (int kk = k8; kk < k; ++kk) {
+                const float av = arow[kk];
+                d0 += av * b0[kk];
+                d1 += av * b1[kk];
+                d2 += av * b2[kk];
+                d3 += av * b3[kk];
+            }
+            if (accumulate) {
+                crow[j] += d0;
+                crow[j + 1] += d1;
+                crow[j + 2] += d2;
+                crow[j + 3] += d3;
+            } else {
+                crow[j] = d0;
+                crow[j + 1] = d1;
+                crow[j + 2] = d2;
+                crow[j + 3] = d3;
+            }
+        }
+        for (; j < n; ++j) {
+            const float *brow = b + static_cast<size_t>(j) * ldb;
+            __m256 s = _mm256_setzero_ps();
+            for (int kk = 0; kk < k8; kk += 8)
+                s = _mm256_fmadd_ps(_mm256_loadu_ps(arow + kk),
+                                    _mm256_loadu_ps(brow + kk), s);
+            float d = hsum(s);
+            for (int kk = k8; kk < k; ++kk)
+                d += arow[kk] * brow[kk];
+            crow[j] = accumulate ? crow[j] + d : d;
+        }
+    }
+}
+
+// --------------------------------------------- elementwise (no FMA)
+
+void
+avx2_axpy(size_t n, float alpha, const float *x, float *y)
+{
+    const __m256 va = _mm256_set1_ps(alpha);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+        _mm256_storeu_ps(y + i,
+                         _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+    }
+    for (; i < n; ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+avx2_scale(size_t n, float alpha, float *y)
+{
+    const __m256 va = _mm256_set1_ps(alpha);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(y + i,
+                         _mm256_mul_ps(_mm256_loadu_ps(y + i), va));
+    for (; i < n; ++i)
+        y[i] *= alpha;
+}
+
+void
+avx2_vadd(size_t n, const float *x, float *y)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i),
+                                              _mm256_loadu_ps(x + i)));
+    for (; i < n; ++i)
+        y[i] += x[i];
+}
+
+void
+avx2_vsub(size_t n, const float *x, float *y)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(y + i, _mm256_sub_ps(_mm256_loadu_ps(y + i),
+                                              _mm256_loadu_ps(x + i)));
+    for (; i < n; ++i)
+        y[i] -= x[i];
+}
+
+void
+avx2_add_bias_rows(int rows, int cols, const float *bias, float *y)
+{
+    for (int r = 0; r < rows; ++r)
+        avx2_vadd(static_cast<size_t>(cols), bias,
+                  y + static_cast<size_t>(r) * cols);
+}
+
+void
+avx2_accumulate_rows(int rows, int cols, const float *src, float *dst)
+{
+    for (int r = 0; r < rows; ++r)
+        avx2_vadd(static_cast<size_t>(cols),
+                  src + static_cast<size_t>(r) * cols, dst);
+}
+
+void
+avx2_relu_forward(size_t n, float *y, uint8_t *mask)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v = _mm256_loadu_ps(y + i);
+        const __m256 gt = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+        _mm256_storeu_ps(y + i, _mm256_and_ps(v, gt));
+        const int bits = _mm256_movemask_ps(gt);
+        for (int l = 0; l < 8; ++l)
+            mask[i + static_cast<size_t>(l)] =
+                static_cast<uint8_t>((bits >> l) & 1);
+    }
+    for (; i < n; ++i) {
+        if (y[i] > 0.0f) {
+            mask[i] = 1;
+        } else {
+            mask[i] = 0;
+            y[i] = 0.0f;
+        }
+    }
+}
+
+void
+avx2_relu_backward(size_t n, const uint8_t *mask, float *dy)
+{
+    for (size_t i = 0; i < n; ++i)
+        if (!mask[i])
+            dy[i] = 0.0f;
+}
+
+void
+avx2_sgd_step(size_t n, float *w, const float *g, float *v, float lr,
+              float wd, float momentum)
+{
+    const __m256 vwd = _mm256_set1_ps(wd);
+    const __m256 vlr = _mm256_set1_ps(lr);
+    const bool use_momentum = v != nullptr && momentum != 0.0f;
+    const __m256 vmom = _mm256_set1_ps(momentum);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 wv = _mm256_loadu_ps(w + i);
+        __m256 grad = _mm256_add_ps(_mm256_loadu_ps(g + i),
+                                    _mm256_mul_ps(vwd, wv));
+        if (use_momentum) {
+            const __m256 vel = _mm256_add_ps(
+                _mm256_mul_ps(vmom, _mm256_loadu_ps(v + i)), grad);
+            _mm256_storeu_ps(v + i, vel);
+            grad = vel;
+        }
+        _mm256_storeu_ps(w + i,
+                         _mm256_sub_ps(wv, _mm256_mul_ps(vlr, grad)));
+    }
+    for (; i < n; ++i) {
+        float grad = g[i] + wd * w[i];
+        if (use_momentum) {
+            v[i] = momentum * v[i] + grad;
+            grad = v[i];
+        }
+        w[i] -= lr * grad;
+    }
+}
+
+void
+avx2_sgd_step_prox(size_t n, float *w, const float *g, float *v,
+                   const float *anchor, float lr, float wd, float momentum,
+                   float mu)
+{
+    const __m256 vwd = _mm256_set1_ps(wd);
+    const __m256 vlr = _mm256_set1_ps(lr);
+    const __m256 vmu = _mm256_set1_ps(mu);
+    const bool use_momentum = v != nullptr && momentum != 0.0f;
+    const __m256 vmom = _mm256_set1_ps(momentum);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 wv = _mm256_loadu_ps(w + i);
+        const __m256 base = _mm256_add_ps(_mm256_loadu_ps(g + i),
+                                          _mm256_mul_ps(vwd, wv));
+        const __m256 prox = _mm256_mul_ps(
+            vmu, _mm256_sub_ps(wv, _mm256_loadu_ps(anchor + i)));
+        __m256 grad = _mm256_add_ps(base, prox);
+        if (use_momentum) {
+            const __m256 vel = _mm256_add_ps(
+                _mm256_mul_ps(vmom, _mm256_loadu_ps(v + i)), grad);
+            _mm256_storeu_ps(v + i, vel);
+            grad = vel;
+        }
+        _mm256_storeu_ps(w + i,
+                         _mm256_sub_ps(wv, _mm256_mul_ps(vlr, grad)));
+    }
+    for (; i < n; ++i) {
+        float grad = g[i] + wd * w[i] + mu * (w[i] - anchor[i]);
+        if (use_momentum) {
+            v[i] = momentum * v[i] + grad;
+            grad = v[i];
+        }
+        w[i] -= lr * grad;
+    }
+}
+
+// ------------------------------------ f64 accumulation (aggregation)
+
+void
+avx2_axpy_f64(size_t n, double alpha, const float *x, double *acc)
+{
+    const __m256d va = _mm256_set1_pd(alpha);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d xv = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+        _mm256_storeu_pd(acc + i,
+                         _mm256_add_pd(_mm256_loadu_pd(acc + i),
+                                       _mm256_mul_pd(va, xv)));
+    }
+    for (; i < n; ++i)
+        acc[i] += alpha * x[i];
+}
+
+void
+avx2_diff_axpy_f64(size_t n, double alpha, const float *w, const float *u,
+                   double *acc)
+{
+    const __m256d va = _mm256_set1_pd(alpha);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d wv = _mm256_cvtps_pd(_mm_loadu_ps(w + i));
+        const __m256d uv = _mm256_cvtps_pd(_mm_loadu_ps(u + i));
+        const __m256d d = _mm256_sub_pd(wv, uv);
+        _mm256_storeu_pd(acc + i,
+                         _mm256_add_pd(_mm256_loadu_pd(acc + i),
+                                       _mm256_mul_pd(va, d)));
+    }
+    for (; i < n; ++i)
+        acc[i] += alpha * (static_cast<double>(w[i]) - u[i]);
+}
+
+void
+avx2_cast_f64_to_f32(size_t n, const double *acc, float *out)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm_storeu_ps(out + i, _mm256_cvtpd_ps(_mm256_loadu_pd(acc + i)));
+    for (; i < n; ++i)
+        out[i] = static_cast<float>(acc[i]);
+}
+
+void
+avx2_apply_step_f64(size_t n, float *w, double tau, const double *dir)
+{
+    const __m256d vt = _mm256_set1_pd(tau);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d wv = _mm256_cvtps_pd(_mm_loadu_ps(w + i));
+        const __m256d step = _mm256_mul_pd(vt, _mm256_loadu_pd(dir + i));
+        _mm_storeu_ps(w + i, _mm256_cvtpd_ps(_mm256_sub_pd(wv, step)));
+    }
+    for (; i < n; ++i)
+        w[i] = static_cast<float>(w[i] - tau * dir[i]);
+}
+
+} // namespace
+
+const KernelTable *
+avx2_kernel_table()
+{
+    static const KernelTable t = [] {
+        KernelTable k;
+        k.gemm = avx2_gemm;
+        k.gemm_tn = avx2_gemm_tn;
+        k.gemm_nt = avx2_gemm_nt;
+        k.axpy = avx2_axpy;
+        k.scale = avx2_scale;
+        k.vadd = avx2_vadd;
+        k.vsub = avx2_vsub;
+        k.add_bias_rows = avx2_add_bias_rows;
+        k.accumulate_rows = avx2_accumulate_rows;
+        k.relu_forward = avx2_relu_forward;
+        k.relu_backward = avx2_relu_backward;
+        k.sgd_step = avx2_sgd_step;
+        k.sgd_step_prox = avx2_sgd_step_prox;
+        k.axpy_f64 = avx2_axpy_f64;
+        k.diff_axpy_f64 = avx2_diff_axpy_f64;
+        k.cast_f64_to_f32 = avx2_cast_f64_to_f32;
+        k.apply_step_f64 = avx2_apply_step_f64;
+        return k;
+    }();
+    return &t;
+}
+
+} // namespace autofl::kernels
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace autofl::kernels {
+
+const KernelTable *
+avx2_kernel_table()
+{
+    return nullptr;
+}
+
+} // namespace autofl::kernels
+
+#endif

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "kernels/kernels.h"
+
 namespace autofl {
 
 Conv2D::Conv2D(int in_ch, int out_ch, int kernel, int stride, int pad,
@@ -29,41 +31,45 @@ Conv2D::init_weights(Rng &rng)
 }
 
 Tensor
-Conv2D::forward(const Tensor &x)
+Conv2D::forward(Tensor x)
 {
     assert(x.rank() == 4 && x.dim(1) == in_ch_);
-    x_cache_ = x;
-    const int batch = x.dim(0), ih = x.dim(2), iw = x.dim(3);
+    x_cache_ = std::move(x);  // Backward re-unfolds the input for dW.
+    const Tensor &xin = x_cache_;
+    const int batch = xin.dim(0), ih = xin.dim(2), iw = xin.dim(3);
     const int oh = out_size(ih), ow = out_size(iw);
     const int icg = in_ch_ / groups_, ocg = out_ch_ / groups_;
+    const int patch = icg * k_ * k_;
+    const int ospatial = oh * ow;
     Tensor y({batch, out_ch_, oh, ow});
+
+    if (!pointwise())
+        col_.resize(static_cast<size_t>(patch) * ospatial);
 
     for (int n = 0; n < batch; ++n) {
         for (int g = 0; g < groups_; ++g) {
-            for (int ocl = 0; ocl < ocg; ++ocl) {
-                const int oc = g * ocg + ocl;
-                for (int oy = 0; oy < oh; ++oy) {
-                    for (int ox = 0; ox < ow; ++ox) {
-                        float acc = b_[static_cast<size_t>(oc)];
-                        for (int icl = 0; icl < icg; ++icl) {
-                            const int ic = g * icg + icl;
-                            for (int ky = 0; ky < k_; ++ky) {
-                                const int y_in = oy * stride_ + ky - pad_;
-                                if (y_in < 0 || y_in >= ih)
-                                    continue;
-                                for (int kx = 0; kx < k_; ++kx) {
-                                    const int x_in = ox * stride_ + kx - pad_;
-                                    if (x_in < 0 || x_in >= iw)
-                                        continue;
-                                    acc += x.at4(n, ic, y_in, x_in) *
-                                        w_.at4(oc, icl, ky, kx);
-                                }
-                            }
-                        }
-                        y.at4(n, oc, oy, ox) = acc;
-                    }
-                }
+            const float *xg = xin.data() +
+                (static_cast<size_t>(n) * in_ch_ + g * icg) * ih * iw;
+            const float *col = xg;
+            if (!pointwise()) {
+                kernels::im2col(xg, icg, ih, iw, k_, stride_, pad_,
+                                col_.data());
+                col = col_.data();
             }
+            // Pre-fill the output rows with the bias, then let the GEMM
+            // accumulate on top: same bias-first reduction order as the
+            // original direct loops.
+            float *yg = y.data() +
+                (static_cast<size_t>(n) * out_ch_ + g * ocg) * ospatial;
+            for (int ocl = 0; ocl < ocg; ++ocl) {
+                const float bias = b_[static_cast<size_t>(g * ocg + ocl)];
+                float *yrow = yg + static_cast<size_t>(ocl) * ospatial;
+                for (int i = 0; i < ospatial; ++i)
+                    yrow[i] = bias;
+            }
+            const float *wg = w_.data() + static_cast<size_t>(g) * ocg * patch;
+            kernels::gemm(ocg, ospatial, patch, wg, patch, col, ospatial,
+                          yg, ospatial, /*accumulate=*/true);
         }
     }
     return y;
@@ -76,39 +82,55 @@ Conv2D::backward(const Tensor &grad_out)
     const int batch = x.dim(0), ih = x.dim(2), iw = x.dim(3);
     const int oh = out_size(ih), ow = out_size(iw);
     const int icg = in_ch_ / groups_, ocg = out_ch_ / groups_;
+    const int patch = icg * k_ * k_;
+    const int ospatial = oh * ow;
     assert(grad_out.dim(1) == out_ch_ && grad_out.dim(2) == oh &&
            grad_out.dim(3) == ow);
     Tensor dx({batch, in_ch_, ih, iw});
 
+    if (!pointwise()) {
+        col_.resize(static_cast<size_t>(patch) * ospatial);
+        dcol_.resize(static_cast<size_t>(patch) * ospatial);
+    }
+
     for (int n = 0; n < batch; ++n) {
         for (int g = 0; g < groups_; ++g) {
+            const float *dyg = grad_out.data() +
+                (static_cast<size_t>(n) * out_ch_ + g * ocg) * ospatial;
+            // db: per-channel sums of the output gradient, accumulated
+            // in ascending spatial order like the direct loops.
             for (int ocl = 0; ocl < ocg; ++ocl) {
-                const int oc = g * ocg + ocl;
-                for (int oy = 0; oy < oh; ++oy) {
-                    for (int ox = 0; ox < ow; ++ox) {
-                        const float go = grad_out.at4(n, oc, oy, ox);
-                        if (go == 0.0f)
-                            continue;
-                        db_[static_cast<size_t>(oc)] += go;
-                        for (int icl = 0; icl < icg; ++icl) {
-                            const int ic = g * icg + icl;
-                            for (int ky = 0; ky < k_; ++ky) {
-                                const int y_in = oy * stride_ + ky - pad_;
-                                if (y_in < 0 || y_in >= ih)
-                                    continue;
-                                for (int kx = 0; kx < k_; ++kx) {
-                                    const int x_in = ox * stride_ + kx - pad_;
-                                    if (x_in < 0 || x_in >= iw)
-                                        continue;
-                                    dw_.at4(oc, icl, ky, kx) +=
-                                        go * x.at4(n, ic, y_in, x_in);
-                                    dx.at4(n, ic, y_in, x_in) +=
-                                        go * w_.at4(oc, icl, ky, kx);
-                                }
-                            }
-                        }
-                    }
-                }
+                const float *dyrow =
+                    dyg + static_cast<size_t>(ocl) * ospatial;
+                float &db = db_[static_cast<size_t>(g * ocg + ocl)];
+                for (int i = 0; i < ospatial; ++i)
+                    db += dyrow[i];
+            }
+            const float *xg = x.data() +
+                (static_cast<size_t>(n) * in_ch_ + g * icg) * ih * iw;
+            const float *col = xg;
+            if (!pointwise()) {
+                kernels::im2col(xg, icg, ih, iw, k_, stride_, pad_,
+                                col_.data());
+                col = col_.data();
+            }
+            // dW_g += dy_g x col^T.
+            float *dwg = dw_.data() + static_cast<size_t>(g) * ocg * patch;
+            kernels::gemm_nt(ocg, patch, ospatial, dyg, ospatial, col,
+                             ospatial, dwg, patch, /*accumulate=*/true);
+            // dcol = W_g^T x dy_g, folded back into dx.
+            const float *wg =
+                w_.data() + static_cast<size_t>(g) * ocg * patch;
+            float *dxg = dx.data() +
+                (static_cast<size_t>(n) * in_ch_ + g * icg) * ih * iw;
+            if (pointwise()) {
+                kernels::gemm_tn(patch, ospatial, ocg, wg, patch, dyg,
+                                 ospatial, dxg, ospatial);
+            } else {
+                kernels::gemm_tn(patch, ospatial, ocg, wg, patch, dyg,
+                                 ospatial, dcol_.data(), ospatial);
+                kernels::col2im_add(dcol_.data(), icg, ih, iw, k_, stride_,
+                                    pad_, dxg);
             }
         }
     }

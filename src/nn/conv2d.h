@@ -1,13 +1,22 @@
 /**
  * @file
- * 2-D convolution with stride, zero padding and channel groups.
+ * 2-D convolution with stride, zero padding and channel groups,
+ * computed as im2col + GEMM through the kernel-dispatch backend.
  *
  * Groups support both regular convolution (groups = 1) and the depthwise
  * convolutions used by the MobileNet-style model (groups = in_channels).
+ * Per (sample, group) the forward pass unfolds the input into a column
+ * buffer and runs one GEMM against the {out_ch/g, in_ch/g * k * k}
+ * weight view (bias pre-filled, GEMM accumulating on top — the same
+ * reduction order as the original direct loops). 1x1/stride-1/no-pad
+ * convolutions skip the unfold and multiply the input directly.
+ * Backward recomputes the column buffer (cheaper than caching the k^2x
+ * blow-up) for dW and folds the W^T dy product back with col2im.
  */
 #ifndef AUTOFL_NN_CONV2D_H
 #define AUTOFL_NN_CONV2D_H
 
+#include "kernels/kernels.h"
 #include "nn/layer.h"
 
 namespace autofl {
@@ -27,7 +36,7 @@ class Conv2D : public Layer
     Conv2D(int in_ch, int out_ch, int kernel, int stride = 1, int pad = 0,
            int groups = 1);
 
-    Tensor forward(const Tensor &x) override;
+    Tensor forward(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Tensor *> params() override { return {&w_, &b_}; }
     std::vector<Tensor *> grads() override { return {&dw_, &db_}; }
@@ -43,10 +52,25 @@ class Conv2D : public Layer
     Tensor b_;  ///< {out_ch}
     Tensor dw_;
     Tensor db_;
-    Tensor x_cache_;
+    Tensor x_cache_;   ///< Moved-in input (backward re-unfolds it).
+    AlignedFloatVec col_;   ///< im2col scratch, reused across samples.
+    AlignedFloatVec dcol_;  ///< Backward column-gradient scratch.
 
-    /** Output spatial size for input spatial size @p s. */
-    int out_size(int s) const { return (s + 2 * pad_ - k_) / stride_ + 1; }
+    /** Whether im2col is the identity (pointwise convolution). */
+    bool pointwise() const
+    {
+        return k_ == 1 && stride_ == 1 && pad_ == 0;
+    }
+
+    /**
+     * Output spatial size for input spatial size @p s. Delegates to the
+     * kernel layer's formula so the layer and im2col/col2im can never
+     * disagree about the column-buffer geometry.
+     */
+    int out_size(int s) const
+    {
+        return kernels::conv_out_size(s, k_, stride_, pad_);
+    }
 };
 
 } // namespace autofl

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "kernels/kernels.h"
+
 namespace autofl {
 
 Dense::Dense(int in, int out)
@@ -22,15 +24,15 @@ Dense::init_weights(Rng &rng)
 }
 
 Tensor
-Dense::forward(const Tensor &x)
+Dense::forward(Tensor x)
 {
     assert(x.rank() == 2 && x.dim(1) == in_);
-    x_cache_ = x;
-    Tensor y = matmul(x, w_);
-    const int batch = x.dim(0);
-    for (int i = 0; i < batch; ++i)
-        for (int j = 0; j < out_; ++j)
-            y.at2(i, j) += b_[static_cast<size_t>(j)];
+    x_cache_ = std::move(x);  // Backward needs x for dW = x^T dy.
+    const int batch = x_cache_.dim(0);
+    Tensor y({batch, out_});
+    kernels::gemm(batch, out_, in_, x_cache_.data(), in_, w_.data(), out_,
+                  y.data(), out_);
+    kernels::add_bias_rows(batch, out_, b_.data(), y.data());
     return y;
 }
 
@@ -39,13 +41,15 @@ Dense::backward(const Tensor &grad_out)
 {
     assert(grad_out.rank() == 2 && grad_out.dim(1) == out_);
     // dW += x^T dy ; db += column sums of dy ; dx = dy W^T.
-    Tensor dw = matmul_tn(x_cache_, grad_out);
-    dw_ += dw;
     const int batch = grad_out.dim(0);
-    for (int i = 0; i < batch; ++i)
-        for (int j = 0; j < out_; ++j)
-            db_[static_cast<size_t>(j)] += grad_out.at2(i, j);
-    return matmul_nt(grad_out, w_);
+    kernels::gemm_tn(in_, out_, batch, x_cache_.data(), in_,
+                     grad_out.data(), out_, dw_.data(), out_,
+                     /*accumulate=*/true);
+    kernels::accumulate_rows(batch, out_, grad_out.data(), db_.data());
+    Tensor dx({batch, in_});
+    kernels::gemm_nt(batch, in_, out_, grad_out.data(), out_, w_.data(),
+                     out_, dx.data(), in_);
+    return dx;
 }
 
 std::vector<int>

@@ -19,7 +19,7 @@ class Dense : public Layer
      */
     Dense(int in, int out);
 
-    Tensor forward(const Tensor &x) override;
+    Tensor forward(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Tensor *> params() override { return {&w_, &b_}; }
     std::vector<Tensor *> grads() override { return {&dw_, &db_}; }

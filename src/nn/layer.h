@@ -32,8 +32,13 @@ class Layer
   public:
     virtual ~Layer() = default;
 
-    /** Run the layer on a batch; caches activations for backward(). */
-    virtual Tensor forward(const Tensor &x) = 0;
+    /**
+     * Run the layer on a batch; caches activations for backward().
+     * Takes the input by value: callers that are done with the
+     * activation move it in, and layers move it into their backward
+     * cache (or transform it in place) instead of deep-copying.
+     */
+    virtual Tensor forward(Tensor x) = 0;
 
     /**
      * Back-propagate.

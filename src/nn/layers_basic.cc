@@ -3,21 +3,16 @@
 #include <limits>
 #include <sstream>
 
+#include "kernels/kernels.h"
+
 namespace autofl {
 
 Tensor
-ReLU::forward(const Tensor &x)
+ReLU::forward(Tensor x)
 {
-    Tensor y = x;
-    mask_.assign(x.size(), 0);
-    for (size_t i = 0; i < y.size(); ++i) {
-        if (y[i] > 0.0f) {
-            mask_[i] = 1;
-        } else {
-            y[i] = 0.0f;
-        }
-    }
-    return y;
+    mask_.resize(x.size());
+    kernels::relu_forward(x.size(), x.data(), mask_.data());
+    return x;
 }
 
 Tensor
@@ -25,9 +20,7 @@ ReLU::backward(const Tensor &grad_out)
 {
     assert(grad_out.size() == mask_.size());
     Tensor dx = grad_out;
-    for (size_t i = 0; i < dx.size(); ++i)
-        if (!mask_[i])
-            dx[i] = 0.0f;
+    kernels::relu_backward(dx.size(), mask_.data(), dx.data());
     return dx;
 }
 
@@ -52,7 +45,7 @@ MaxPool2D::MaxPool2D(int k, int stride)
 }
 
 Tensor
-MaxPool2D::forward(const Tensor &x)
+MaxPool2D::forward(Tensor x)
 {
     assert(x.rank() == 4);
     in_shape_ = x.shape();
@@ -122,7 +115,7 @@ MaxPool2D::name() const
 }
 
 Tensor
-GlobalAvgPool::forward(const Tensor &x)
+GlobalAvgPool::forward(Tensor x)
 {
     assert(x.rank() == 4);
     in_shape_ = x.shape();
@@ -173,13 +166,14 @@ GlobalAvgPool::flops_per_sample(const std::vector<int> &in) const
 }
 
 Tensor
-Flatten::forward(const Tensor &x)
+Flatten::forward(Tensor x)
 {
     in_shape_ = x.shape();
     int feat = 1;
     for (int d = 1; d < x.rank(); ++d)
         feat *= x.dim(d);
-    return x.reshaped({x.dim(0), feat});
+    const int batch = x.dim(0);
+    return std::move(x).reshaped({batch, feat});
 }
 
 Tensor

@@ -9,11 +9,11 @@
 
 namespace autofl {
 
-/** Elementwise rectified linear unit. */
+/** Elementwise rectified linear unit (applied in place on the input). */
 class ReLU : public Layer
 {
   public:
-    Tensor forward(const Tensor &x) override;
+    Tensor forward(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<int> output_shape(const std::vector<int> &in) const override;
     double flops_per_sample(const std::vector<int> &in) const override;
@@ -30,7 +30,7 @@ class MaxPool2D : public Layer
     /** @param k Window size. @param stride Stride (defaults to k). */
     explicit MaxPool2D(int k, int stride = 0);
 
-    Tensor forward(const Tensor &x) override;
+    Tensor forward(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<int> output_shape(const std::vector<int> &in) const override;
     double flops_per_sample(const std::vector<int> &in) const override;
@@ -48,7 +48,7 @@ class MaxPool2D : public Layer
 class GlobalAvgPool : public Layer
 {
   public:
-    Tensor forward(const Tensor &x) override;
+    Tensor forward(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<int> output_shape(const std::vector<int> &in) const override;
     double flops_per_sample(const std::vector<int> &in) const override;
@@ -62,7 +62,7 @@ class GlobalAvgPool : public Layer
 class Flatten : public Layer
 {
   public:
-    Tensor forward(const Tensor &x) override;
+    Tensor forward(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<int> output_shape(const std::vector<int> &in) const override;
     double flops_per_sample(const std::vector<int> &in) const override;

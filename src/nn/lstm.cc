@@ -1,19 +1,12 @@
 #include "lstm.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "kernels/kernels.h"
+
 namespace autofl {
-
-namespace {
-
-inline float
-sigmoidf(float x)
-{
-    return 1.0f / (1.0f + std::exp(-x));
-}
-
-} // namespace
 
 Lstm::Lstm(int in, int hidden, bool return_sequences)
     : in_(in), hidden_(hidden), return_sequences_(return_sequences),
@@ -38,78 +31,107 @@ Lstm::init_weights(Rng &rng)
         b_[static_cast<size_t>(j)] = 1.0f;
 }
 
+void
+Lstm::pack_weights()
+{
+    const int h4 = 4 * hidden_;
+    if (wcat_.empty())
+        wcat_ = Tensor({in_ + hidden_, h4});
+    std::memcpy(wcat_.data(), wx_.data(), sizeof(float) * wx_.size());
+    std::memcpy(wcat_.data() + wx_.size(), wh_.data(),
+                sizeof(float) * wh_.size());
+}
+
 Tensor
-Lstm::forward(const Tensor &x)
+Lstm::forward(Tensor x)
 {
     assert(x.rank() == 3 && x.dim(2) == in_);
     const int time = x.dim(0), batch = x.dim(1);
     const int h4 = 4 * hidden_;
+    const int xh = in_ + hidden_;
+    pack_weights();
 
-    xs_.assign(static_cast<size_t>(time), Tensor());
+    xhs_.assign(static_cast<size_t>(time), Tensor({batch, xh}));
     gates_.assign(static_cast<size_t>(time), Tensor());
-    hs_.assign(static_cast<size_t>(time) + 1, Tensor({batch, hidden_}));
     cs_.assign(static_cast<size_t>(time) + 1, Tensor({batch, hidden_}));
 
     Tensor out_seq;
     if (return_sequences_)
         out_seq = Tensor({time, batch, hidden_});
+    else
+        h_last_ = Tensor({batch, hidden_});
 
     for (int t = 0; t < time; ++t) {
-        // Slice x_t {batch, in} out of the {time, batch, in} tensor.
-        Tensor xt({batch, in_});
-        const size_t base = static_cast<size_t>(t) * batch * in_;
-        std::copy(x.data() + base, x.data() + base + xt.size(), xt.data());
-        xs_[static_cast<size_t>(t)] = xt;
-
-        Tensor z = matmul(xt, wx_);
-        Tensor zh = matmul(hs_[static_cast<size_t>(t)], wh_);
-        z += zh;
+        // Pack [x_t | h_{t-1}]: the x slice is copied in here; the h
+        // part was written by the previous step's gate kernel (zeros
+        // from construction at t = 0).
+        Tensor &xht = xhs_[static_cast<size_t>(t)];
+        const float *xt = x.data() + static_cast<size_t>(t) * batch * in_;
         for (int n = 0; n < batch; ++n)
-            for (int j = 0; j < h4; ++j)
-                z.at2(n, j) += b_[static_cast<size_t>(j)];
+            std::memcpy(xht.data() + static_cast<size_t>(n) * xh,
+                        xt + static_cast<size_t>(n) * in_,
+                        sizeof(float) * static_cast<size_t>(in_));
 
-        // Activate gates in-place: [i | f | g | o].
-        Tensor &ht = hs_[static_cast<size_t>(t) + 1];
-        Tensor &ct = cs_[static_cast<size_t>(t) + 1];
-        const Tensor &cprev = cs_[static_cast<size_t>(t)];
-        for (int n = 0; n < batch; ++n) {
-            for (int j = 0; j < hidden_; ++j) {
-                float &zi = z.at2(n, j);
-                float &zf = z.at2(n, hidden_ + j);
-                float &zg = z.at2(n, 2 * hidden_ + j);
-                float &zo = z.at2(n, 3 * hidden_ + j);
-                zi = sigmoidf(zi);
-                zf = sigmoidf(zf);
-                zg = std::tanh(zg);
-                zo = sigmoidf(zo);
-                const float c = zf * cprev.at2(n, j) + zi * zg;
-                ct.at2(n, j) = c;
-                ht.at2(n, j) = zo * std::tanh(c);
-            }
-        }
-        gates_[static_cast<size_t>(t)] = z;
+        // One fused GEMM: all four gates, input + recurrent projections.
+        Tensor z({batch, h4});
+        kernels::gemm(batch, h4, xh, xht.data(), xh, wcat_.data(), h4,
+                      z.data(), h4);
+        kernels::add_bias_rows(batch, h4, b_.data(), z.data());
 
+        // Fused gate activation + cell update: [i | f | g | o] in
+        // place; h lands either in the next step's packed buffer, the
+        // sequence output, or the final-h tensor.
+        const bool last = t + 1 == time;
+        float *h_dst;
+        int h_stride;
         if (return_sequences_) {
-            const size_t obase = static_cast<size_t>(t) * batch * hidden_;
-            std::copy(ht.data(), ht.data() + ht.size(),
-                      out_seq.data() + obase);
+            h_dst = out_seq.data() +
+                static_cast<size_t>(t) * batch * hidden_;
+            h_stride = hidden_;
+        } else if (last) {
+            h_dst = h_last_.data();
+            h_stride = hidden_;
+        } else {
+            h_dst = xhs_[static_cast<size_t>(t) + 1].data() + in_;
+            h_stride = xh;
         }
+        kernels::lstm_gate_forward(batch, hidden_, z.data(),
+                                   cs_[static_cast<size_t>(t)].data(),
+                                   cs_[static_cast<size_t>(t) + 1].data(),
+                                   h_dst, h_stride);
+        if (return_sequences_ && !last) {
+            // Mirror h into the next step's packed buffer.
+            float *next = xhs_[static_cast<size_t>(t) + 1].data() + in_;
+            for (int n = 0; n < batch; ++n)
+                std::memcpy(next + static_cast<size_t>(n) * xh,
+                            h_dst + static_cast<size_t>(n) * hidden_,
+                            sizeof(float) * static_cast<size_t>(hidden_));
+        }
+        gates_[static_cast<size_t>(t)] = std::move(z);
     }
     if (return_sequences_)
         return out_seq;
-    return hs_.back();
+    return h_last_;
 }
 
 Tensor
 Lstm::backward(const Tensor &grad_out)
 {
-    const int time = static_cast<int>(xs_.size());
+    const int time = static_cast<int>(xhs_.size());
     assert(time > 0);
-    const int batch = xs_[0].dim(0);
+    const int batch = xhs_[0].dim(0);
+    const int h4 = 4 * hidden_;
+    const int xh = in_ + hidden_;
 
     Tensor dx({time, batch, in_});
     Tensor dh({batch, hidden_});
     Tensor dc({batch, hidden_});
+    Tensor dz({batch, h4});
+    Tensor dxh({batch, xh});
+    Tensor dc_prev({batch, hidden_});
+    // Packed [dWx; dWh] accumulated across timesteps by the GEMM
+    // itself, split back into the parameter gradients at the end.
+    Tensor dwcat({xh, h4});
 
     if (!return_sequences_) {
         assert(grad_out.rank() == 2 && grad_out.dim(1) == hidden_);
@@ -119,53 +141,42 @@ Lstm::backward(const Tensor &grad_out)
     for (int t = time - 1; t >= 0; --t) {
         if (return_sequences_) {
             // Add the per-timestep gradient slice to the recurrent flow.
-            const size_t gbase = static_cast<size_t>(t) * batch * hidden_;
-            for (size_t i = 0; i < dh.size(); ++i)
-                dh[i] += grad_out[gbase + i];
+            kernels::vadd(dh.size(),
+                          grad_out.data() +
+                              static_cast<size_t>(t) * batch * hidden_,
+                          dh.data());
         }
         const Tensor &z = gates_[static_cast<size_t>(t)];
-        const Tensor &cprev = cs_[static_cast<size_t>(t)];
-        const Tensor &ct = cs_[static_cast<size_t>(t) + 1];
+        kernels::lstm_gate_backward(
+            batch, hidden_, z.data(), cs_[static_cast<size_t>(t)].data(),
+            cs_[static_cast<size_t>(t) + 1].data(), dh.data(), dc.data(),
+            dz.data(), dc_prev.data());
 
-        Tensor dz({batch, 4 * hidden_});
-        Tensor dc_prev({batch, hidden_});
+        // Parameter gradients: one fused GEMM accumulates both dWx and
+        // dWh rows; db gets the dz column sums.
+        const Tensor &xht = xhs_[static_cast<size_t>(t)];
+        kernels::gemm_tn(xh, h4, batch, xht.data(), xh, dz.data(), h4,
+                         dwcat.data(), h4, /*accumulate=*/true);
+        kernels::accumulate_rows(batch, h4, dz.data(), db_.data());
+
+        // [dx_t | dh_{t-1}] in one fused GEMM against the packed W.
+        kernels::gemm_nt(batch, xh, h4, dz.data(), h4, wcat_.data(), h4,
+                         dxh.data(), xh);
+        float *dxt = dx.data() + static_cast<size_t>(t) * batch * in_;
         for (int n = 0; n < batch; ++n) {
-            for (int j = 0; j < hidden_; ++j) {
-                const float i_g = z.at2(n, j);
-                const float f_g = z.at2(n, hidden_ + j);
-                const float g_g = z.at2(n, 2 * hidden_ + j);
-                const float o_g = z.at2(n, 3 * hidden_ + j);
-                const float tc = std::tanh(ct.at2(n, j));
-                const float dht = dh.at2(n, j);
-
-                const float dct = dht * o_g * (1.0f - tc * tc) + dc.at2(n, j);
-                const float d_o = dht * tc;
-                const float d_i = dct * g_g;
-                const float d_g = dct * i_g;
-                const float d_f = dct * cprev.at2(n, j);
-                dc_prev.at2(n, j) = dct * f_g;
-
-                dz.at2(n, j) = d_i * i_g * (1.0f - i_g);
-                dz.at2(n, hidden_ + j) = d_f * f_g * (1.0f - f_g);
-                dz.at2(n, 2 * hidden_ + j) = d_g * (1.0f - g_g * g_g);
-                dz.at2(n, 3 * hidden_ + j) = d_o * o_g * (1.0f - o_g);
-            }
+            const float *row = dxh.data() + static_cast<size_t>(n) * xh;
+            std::memcpy(dxt + static_cast<size_t>(n) * in_, row,
+                        sizeof(float) * static_cast<size_t>(in_));
+            std::memcpy(dh.data() + static_cast<size_t>(n) * hidden_,
+                        row + in_,
+                        sizeof(float) * static_cast<size_t>(hidden_));
         }
-
-        // Parameter gradients accumulate across timesteps.
-        dwx_ += matmul_tn(xs_[static_cast<size_t>(t)], dz);
-        dwh_ += matmul_tn(hs_[static_cast<size_t>(t)], dz);
-        for (int n = 0; n < batch; ++n)
-            for (int j = 0; j < 4 * hidden_; ++j)
-                db_[static_cast<size_t>(j)] += dz.at2(n, j);
-
-        // Input and recurrent gradients.
-        Tensor dxt = matmul_nt(dz, wx_);
-        const size_t base = static_cast<size_t>(t) * batch * in_;
-        std::copy(dxt.data(), dxt.data() + dxt.size(), dx.data() + base);
-        dh = matmul_nt(dz, wh_);
-        dc = dc_prev;
+        std::swap(dc, dc_prev);
     }
+
+    // Split the packed weight gradient back into dWx / dWh.
+    kernels::vadd(dwx_.size(), dwcat.data(), dwx_.data());
+    kernels::vadd(dwh_.size(), dwcat.data() + dwx_.size(), dwh_.data());
     return dx;
 }
 

@@ -6,6 +6,14 @@
  * {batch, hidden} (the next-character model reads only the last step, and
  * stacked LSTMs use return_sequences to pass the full {time, batch, hidden}
  * activation tensor to the next recurrent layer).
+ *
+ * Each timestep packs [x_t | h_{t-1}] into one {batch, in + hidden} row
+ * block and runs a single fused GEMM against the stacked weight matrix
+ * [Wx; Wh] {in + hidden, 4 * hidden} — all four gates, both input and
+ * recurrent projections, one kernel call — followed by the fused gate
+ * activation/cell-update kernel. Backward mirrors it: one gemm_tn per
+ * step accumulates the packed weight gradient and one gemm_nt produces
+ * [dx_t | dh_{t-1}] together.
  */
 #ifndef AUTOFL_NN_LSTM_H
 #define AUTOFL_NN_LSTM_H
@@ -26,7 +34,7 @@ class Lstm : public Layer
      */
     Lstm(int in, int hidden, bool return_sequences = false);
 
-    Tensor forward(const Tensor &x) override;
+    Tensor forward(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Tensor *> params() override { return {&wx_, &wh_, &b_}; }
     std::vector<Tensor *> grads() override { return {&dwx_, &dwh_, &db_}; }
@@ -44,11 +52,18 @@ class Lstm : public Layer
     Tensor b_;   ///< {4*hidden}
     Tensor dwx_, dwh_, db_;
 
+    // Packed [Wx; Wh] {in + hidden, 4*hidden}, rebuilt per forward from
+    // the (externally updated) split parameter tensors.
+    Tensor wcat_;
+    Tensor h_last_;  ///< Final hidden state (the non-sequence output).
+
     // Forward caches for BPTT (one entry per timestep).
-    std::vector<Tensor> xs_;     ///< inputs {batch, in}
-    std::vector<Tensor> hs_;     ///< hidden states; hs_[0] is h_{-1} (zeros)
+    std::vector<Tensor> xhs_;    ///< packed [x_t | h_{t-1}] {batch, in+hidden}
     std::vector<Tensor> cs_;     ///< cell states; cs_[0] is c_{-1} (zeros)
     std::vector<Tensor> gates_;  ///< post-activation gates {batch, 4*hidden}
+
+    /** Rebuild wcat_ from wx_/wh_ (weights change between batches). */
+    void pack_weights();
 };
 
 } // namespace autofl

@@ -19,12 +19,11 @@ Sequential::init_weights(Rng &rng)
 }
 
 Tensor
-Sequential::forward(const Tensor &x)
+Sequential::forward(Tensor x)
 {
-    Tensor a = x;
     for (auto &l : layers_)
-        a = l->forward(a);
-    return a;
+        x = l->forward(std::move(x));
+    return x;
 }
 
 Tensor

@@ -60,8 +60,8 @@ class Sequential
     /** Initialize every layer's weights from the RNG. */
     void init_weights(Rng &rng);
 
-    /** Forward through all layers. */
-    Tensor forward(const Tensor &x);
+    /** Forward through all layers (activations move layer to layer). */
+    Tensor forward(Tensor x);
 
     /** Backward through all layers; returns input gradient. */
     Tensor backward(const Tensor &grad_out);

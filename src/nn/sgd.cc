@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "kernels/kernels.h"
+
 namespace autofl {
 
 Sgd::Sgd(double lr, double momentum, double weight_decay)
@@ -34,15 +36,11 @@ Sgd::step(Sequential &model)
         Tensor &w = *params[pi];
         const Tensor &g = *grads[pi];
         assert(w.size() == g.size());
-        for (size_t i = 0; i < w.size(); ++i) {
-            float grad = g[i] + static_cast<float>(weight_decay_) * w[i];
-            if (momentum_ != 0.0) {
-                float &v = velocity_[pi][i];
-                v = static_cast<float>(momentum_) * v + grad;
-                grad = v;
-            }
-            w[i] -= static_cast<float>(lr_) * grad;
-        }
+        float *v = momentum_ != 0.0 ? velocity_[pi].data() : nullptr;
+        kernels::sgd_step(w.size(), w.data(), g.data(), v,
+                          static_cast<float>(lr_),
+                          static_cast<float>(weight_decay_),
+                          static_cast<float>(momentum_));
     }
 }
 
@@ -61,18 +59,15 @@ Sgd::step_prox(Sequential &model, const std::vector<float> &anchor, double mu)
     for (size_t pi = 0; pi < params.size(); ++pi) {
         Tensor &w = *params[pi];
         const Tensor &g = *grads[pi];
-        for (size_t i = 0; i < w.size(); ++i) {
-            assert(off < anchor.size());
-            float grad = g[i] + static_cast<float>(weight_decay_) * w[i] +
-                static_cast<float>(mu) * (w[i] - anchor[off]);
-            if (momentum_ != 0.0) {
-                float &v = velocity_[pi][i];
-                v = static_cast<float>(momentum_) * v + grad;
-                grad = v;
-            }
-            w[i] -= static_cast<float>(lr_) * grad;
-            ++off;
-        }
+        assert(off + w.size() <= anchor.size());
+        float *v = momentum_ != 0.0 ? velocity_[pi].data() : nullptr;
+        kernels::sgd_step_prox(w.size(), w.data(), g.data(), v,
+                               anchor.data() + off,
+                               static_cast<float>(lr_),
+                               static_cast<float>(weight_decay_),
+                               static_cast<float>(momentum_),
+                               static_cast<float>(mu));
+        off += w.size();
     }
     assert(off == anchor.size());
 }

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "kernels/kernels.h"
+
 namespace autofl {
 
 Tensor::Tensor(std::vector<int> shape)
@@ -15,7 +17,13 @@ Tensor::Tensor(std::vector<int> shape, float fill)
 {
 }
 
-Tensor::Tensor(std::vector<int> shape, std::vector<float> data)
+Tensor::Tensor(std::vector<int> shape, const std::vector<float> &data)
+    : shape_(std::move(shape)), data_(data.begin(), data.end())
+{
+    assert(data_.size() == shape_size(shape_));
+}
+
+Tensor::Tensor(std::vector<int> shape, AlignedFloatVec data)
     : shape_(std::move(shape)), data_(std::move(data))
 {
     assert(data_.size() == shape_size(shape_));
@@ -83,18 +91,24 @@ Tensor::fill(float v)
 }
 
 Tensor
-Tensor::reshaped(std::vector<int> new_shape) const
+Tensor::reshaped(std::vector<int> new_shape) const &
 {
     assert(shape_size(new_shape) == data_.size());
     return Tensor(std::move(new_shape), data_);
+}
+
+Tensor
+Tensor::reshaped(std::vector<int> new_shape) &&
+{
+    assert(shape_size(new_shape) == data_.size());
+    return Tensor(std::move(new_shape), std::move(data_));
 }
 
 Tensor &
 Tensor::operator+=(const Tensor &other)
 {
     assert(data_.size() == other.data_.size());
-    for (size_t i = 0; i < data_.size(); ++i)
-        data_[i] += other.data_[i];
+    kernels::vadd(data_.size(), other.data(), data());
     return *this;
 }
 
@@ -102,16 +116,14 @@ Tensor &
 Tensor::operator-=(const Tensor &other)
 {
     assert(data_.size() == other.data_.size());
-    for (size_t i = 0; i < data_.size(); ++i)
-        data_[i] -= other.data_[i];
+    kernels::vsub(data_.size(), other.data(), data());
     return *this;
 }
 
 Tensor &
 Tensor::operator*=(float s)
 {
-    for (auto &v : data_)
-        v *= s;
+    kernels::scale(data_.size(), s, data());
     return *this;
 }
 
@@ -189,20 +201,7 @@ matmul(const Tensor &a, const Tensor &b)
     const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
     assert(b.dim(0) == k);
     Tensor out({m, n});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *po = out.data();
-    for (int i = 0; i < m; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-            const float av = pa[static_cast<size_t>(i) * k + kk];
-            if (av == 0.0f)
-                continue;
-            const float *brow = pb + static_cast<size_t>(kk) * n;
-            float *orow = po + static_cast<size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                orow[j] += av * brow[j];
-        }
-    }
+    kernels::gemm(m, n, k, a.data(), k, b.data(), n, out.data(), n);
     return out;
 }
 
@@ -213,21 +212,7 @@ matmul_tn(const Tensor &a, const Tensor &b)
     const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
     assert(b.dim(0) == k);
     Tensor out({m, n});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *po = out.data();
-    for (int kk = 0; kk < k; ++kk) {
-        const float *arow = pa + static_cast<size_t>(kk) * m;
-        const float *brow = pb + static_cast<size_t>(kk) * n;
-        for (int i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *orow = po + static_cast<size_t>(i) * n;
-            for (int j = 0; j < n; ++j)
-                orow[j] += av * brow[j];
-        }
-    }
+    kernels::gemm_tn(m, n, k, a.data(), m, b.data(), n, out.data(), n);
     return out;
 }
 
@@ -238,19 +223,7 @@ matmul_nt(const Tensor &a, const Tensor &b)
     const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
     assert(b.dim(1) == k);
     Tensor out({m, n});
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *po = out.data();
-    for (int i = 0; i < m; ++i) {
-        const float *arow = pa + static_cast<size_t>(i) * k;
-        for (int j = 0; j < n; ++j) {
-            const float *brow = pb + static_cast<size_t>(j) * k;
-            float acc = 0.0f;
-            for (int kk = 0; kk < k; ++kk)
-                acc += arow[kk] * brow[kk];
-            po[static_cast<size_t>(i) * n + j] = acc;
-        }
-    }
+    kernels::gemm_nt(m, n, k, a.data(), k, b.data(), k, out.data(), n);
     return out;
 }
 

@@ -5,17 +5,70 @@
  * The tensor is a contiguous row-major buffer plus a shape. It is
  * intentionally small: the FL training stack needs batched 2-D and 4-D
  * arrays, elementwise arithmetic, and matrix multiplication — nothing
- * more. All layers implement their own forward/backward loops on top.
+ * more. Storage is 64-byte aligned (cache line / full AVX-512 vector)
+ * and all compute routes through the runtime-dispatched kernels in
+ * src/kernels/, which the layers in src/nn/ call directly for their
+ * fused forward/backward passes.
  */
 #ifndef AUTOFL_TENSOR_TENSOR_H
 #define AUTOFL_TENSOR_TENSOR_H
 
 #include <cassert>
 #include <cstddef>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
 
 namespace autofl {
+
+/** Minimal C++17 allocator handing out @p Align -byte aligned blocks. */
+template <typename T, size_t Align>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        void *p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+        return static_cast<T *>(p);
+    }
+
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    friend bool
+    operator==(const AlignedAllocator &, const AlignedAllocator &)
+    {
+        return true;
+    }
+    friend bool
+    operator!=(const AlignedAllocator &, const AlignedAllocator &)
+    {
+        return false;
+    }
+};
+
+/** 64-byte-aligned float buffer backing Tensor storage. */
+using AlignedFloatVec = std::vector<float, AlignedAllocator<float, 64>>;
 
 /** Dense row-major float tensor with up to 4 dimensions in practice. */
 class Tensor
@@ -30,8 +83,11 @@ class Tensor
     /** Tensor with the given shape and fill value. */
     Tensor(std::vector<int> shape, float fill);
 
-    /** Tensor wrapping the given flat data (size must match shape). */
-    Tensor(std::vector<int> shape, std::vector<float> data);
+    /** Tensor copying the given flat data (size must match shape). */
+    Tensor(std::vector<int> shape, const std::vector<float> &data);
+
+    /** Tensor adopting an already-aligned buffer (size must match). */
+    Tensor(std::vector<int> shape, AlignedFloatVec data);
 
     /** Shape vector, e.g. {batch, channels, h, w}. */
     const std::vector<int> &shape() const { return shape_; }
@@ -67,14 +123,17 @@ class Tensor
     /** Raw data access. */
     float *data() { return data_.data(); }
     const float *data() const { return data_.data(); }
-    std::vector<float> &vec() { return data_; }
-    const std::vector<float> &vec() const { return data_; }
+    AlignedFloatVec &vec() { return data_; }
+    const AlignedFloatVec &vec() const { return data_; }
 
     /** Set every element to @p v. */
     void fill(float v);
 
     /** Reinterpret with a new shape of identical element count. */
-    Tensor reshaped(std::vector<int> new_shape) const;
+    Tensor reshaped(std::vector<int> new_shape) const &;
+
+    /** Rvalue overload: moves the buffer instead of copying it. */
+    Tensor reshaped(std::vector<int> new_shape) &&;
 
     /** Elementwise in-place operations. */
     Tensor &operator+=(const Tensor &other);
@@ -100,13 +159,13 @@ class Tensor
 
   private:
     std::vector<int> shape_;
-    std::vector<float> data_;
+    AlignedFloatVec data_;
 };
 
 /**
- * Matrix multiply: a {m, k} x b {k, n} -> {m, n}.
- * Plain triple loop with k-innermost accumulation; fast enough for the
- * small models trained in the simulator.
+ * Matrix multiply: a {m, k} x b {k, n} -> {m, n}, via the
+ * runtime-dispatched kernels::gemm (blocked SIMD where the CPU has it;
+ * the scalar variant is bit-identical to the original triple loop).
  */
 Tensor matmul(const Tensor &a, const Tensor &b);
 

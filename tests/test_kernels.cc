@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Kernel-dispatch backend tests: scalar/SIMD parity, reduction-order
+ * determinism, seed-loop bit-compatibility and im2col round trips.
+ *
+ * Contract under test (src/kernels/README.md): per variant, results are
+ * bitwise deterministic; the scalar GEMM variants are bit-identical to
+ * the seed triple loops; elementwise kernels are bit-identical across
+ * ALL variants; GEMM/conv variants agree within 1e-4 relative.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fl/aggregation.h"
+#include "kernels/kernels.h"
+#include "nn/conv2d.h"
+#include "nn/lstm.h"
+#include "util/rng.h"
+
+namespace autofl {
+namespace {
+
+using kernels::KernelArch;
+
+/** Restores the entry arch when a test is done flipping variants. */
+struct ArchGuard
+{
+    KernelArch saved = kernels::current_kernel_arch();
+    ~ArchGuard() { kernels::set_kernel_arch(saved); }
+};
+
+bool
+has_simd()
+{
+    return kernels::best_kernel_arch() != KernelArch::Scalar;
+}
+
+std::vector<float>
+random_vec(size_t n, Rng &rng)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(-1, 1));
+    return v;
+}
+
+/** The seed's matmul triple loop (pre-kernel reference). */
+void
+seed_matmul(int m, int n, int k, const float *pa, const float *pb, float *po)
+{
+    for (int i = 0; i < m; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+            const float av = pa[static_cast<size_t>(i) * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + static_cast<size_t>(kk) * n;
+            float *orow = po + static_cast<size_t>(i) * n;
+            for (int j = 0; j < n; ++j)
+                orow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+expect_rel_close(const std::vector<float> &a, const std::vector<float> &b,
+                 double rel_tol, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double denom = std::max(
+            {1.0, std::abs(static_cast<double>(a[i])),
+             std::abs(static_cast<double>(b[i]))});
+        EXPECT_NEAR(a[i] / denom, b[i] / denom, rel_tol)
+            << what << " index " << i;
+    }
+}
+
+struct GemmShape
+{
+    int m, k, n;
+};
+
+class GemmParityTest : public ::testing::TestWithParam<GemmShape>
+{
+};
+
+/** Scalar variant reproduces the seed loop bit-for-bit. */
+TEST_P(GemmParityTest, ScalarMatchesSeedLoopBitwise)
+{
+    ArchGuard guard;
+    const auto [m, k, n] = GetParam();
+    Rng rng(42);
+    const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+    const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+
+    std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
+    seed_matmul(m, n, k, a.data(), b.data(), ref.data());
+
+    kernels::set_kernel_arch(KernelArch::Scalar);
+    std::vector<float> out(static_cast<size_t>(m) * n, -1.0f);
+    kernels::gemm(m, n, k, a.data(), k, b.data(), n, out.data(), n);
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(ref[i], out[i]) << "index " << i;
+}
+
+/** Scalar and SIMD variants agree within 1e-4 relative, all 3 GEMMs. */
+TEST_P(GemmParityTest, VariantsAgreeWithinTolerance)
+{
+    ArchGuard guard;
+    const auto [m, k, n] = GetParam();
+    Rng rng(43);
+    const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+    const auto at = random_vec(static_cast<size_t>(k) * m, rng);
+    const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+    const auto bt = random_vec(static_cast<size_t>(n) * k, rng);
+
+    const size_t out_n = static_cast<size_t>(m) * n;
+    std::vector<float> s_nn(out_n), s_tn(out_n), s_nt(out_n);
+    std::vector<float> v_nn(out_n), v_tn(out_n), v_nt(out_n);
+
+    kernels::set_kernel_arch(KernelArch::Scalar);
+    kernels::gemm(m, n, k, a.data(), k, b.data(), n, s_nn.data(), n);
+    kernels::gemm_tn(m, n, k, at.data(), m, b.data(), n, s_tn.data(), n);
+    kernels::gemm_nt(m, n, k, a.data(), k, bt.data(), k, s_nt.data(), n);
+
+    kernels::set_kernel_arch(kernels::best_kernel_arch());
+    kernels::gemm(m, n, k, a.data(), k, b.data(), n, v_nn.data(), n);
+    kernels::gemm_tn(m, n, k, at.data(), m, b.data(), n, v_tn.data(), n);
+    kernels::gemm_nt(m, n, k, a.data(), k, bt.data(), k, v_nt.data(), n);
+
+    expect_rel_close(s_nn, v_nn, 1e-4, "gemm");
+    expect_rel_close(s_tn, v_tn, 1e-4, "gemm_tn");
+    expect_rel_close(s_nt, v_nt, 1e-4, "gemm_nt");
+}
+
+/** Same inputs, same variant -> bitwise identical output, twice. */
+TEST_P(GemmParityTest, DeterministicPerVariant)
+{
+    ArchGuard guard;
+    const auto [m, k, n] = GetParam();
+    Rng rng(44);
+    const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+    const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+
+    for (KernelArch arch : {KernelArch::Scalar, kernels::best_kernel_arch()}) {
+        kernels::set_kernel_arch(arch);
+        std::vector<float> o1(static_cast<size_t>(m) * n),
+            o2(static_cast<size_t>(m) * n);
+        kernels::gemm(m, n, k, a.data(), k, b.data(), n, o1.data(), n);
+        kernels::gemm(m, n, k, a.data(), k, b.data(), n, o2.data(), n);
+        for (size_t i = 0; i < o1.size(); ++i)
+            ASSERT_EQ(o1[i], o2[i])
+                << kernels::kernel_arch_name(arch) << " index " << i;
+    }
+}
+
+/** Accumulate mode adds the product on top of the existing C. */
+TEST_P(GemmParityTest, AccumulateAddsOnTop)
+{
+    ArchGuard guard;
+    const auto [m, k, n] = GetParam();
+    Rng rng(45);
+    const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+    const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+    const auto base = random_vec(static_cast<size_t>(m) * n, rng);
+
+    for (KernelArch arch : {KernelArch::Scalar, kernels::best_kernel_arch()}) {
+        kernels::set_kernel_arch(arch);
+        std::vector<float> fresh(static_cast<size_t>(m) * n);
+        kernels::gemm(m, n, k, a.data(), k, b.data(), n, fresh.data(), n);
+        std::vector<float> acc = base;
+        kernels::gemm(m, n, k, a.data(), k, b.data(), n, acc.data(), n,
+                      /*accumulate=*/true);
+        for (size_t i = 0; i < acc.size(); ++i)
+            EXPECT_NEAR(acc[i], base[i] + fresh[i], 2e-5)
+                << kernels::kernel_arch_name(arch) << " index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParityTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{2, 3, 5},
+                      GemmShape{4, 16, 16}, GemmShape{5, 7, 9},
+                      GemmShape{8, 32, 17}, GemmShape{16, 64, 33},
+                      GemmShape{3, 128, 40}, GemmShape{13, 21, 121},
+                      GemmShape{32, 48, 64}));
+
+/** Elementwise kernels are bit-identical across every variant. */
+TEST(ElementwiseParity, BitIdenticalAcrossVariants)
+{
+    if (!has_simd())
+        GTEST_SKIP() << "no SIMD variant on this CPU";
+    ArchGuard guard;
+    Rng rng(46);
+    const size_t n = 1003;  // Odd size: exercises the vector tails.
+    const auto x = random_vec(n, rng);
+    const auto y0 = random_vec(n, rng);
+    const auto anchor = random_vec(n, rng);
+
+    auto run_all = [&](KernelArch arch) {
+        kernels::set_kernel_arch(arch);
+        std::vector<float> y = y0, v(n, 0.1f), w = y0;
+        std::vector<uint8_t> mask(n);
+        std::vector<double> acc(n, 0.25);
+        kernels::axpy(n, 0.37f, x.data(), y.data());
+        kernels::scale(n, -1.21f, y.data());
+        kernels::vadd(n, x.data(), y.data());
+        kernels::vsub(n, y0.data(), y.data());
+        kernels::add_bias_rows(17, 59, x.data(), y.data());
+        kernels::accumulate_rows(17, 59, x.data(), y.data());
+        kernels::relu_forward(n, y.data(), mask.data());
+        kernels::relu_backward(n, mask.data(), y.data());
+        kernels::sgd_step(n, w.data(), x.data(), v.data(), 0.05f, 1e-4f,
+                          0.9f);
+        kernels::sgd_step_prox(n, w.data(), x.data(), v.data(),
+                               anchor.data(), 0.05f, 1e-4f, 0.9f, 0.01f);
+        kernels::axpy_f64(n, 0.125, x.data(), acc.data());
+        kernels::diff_axpy_f64(n, 0.5, w.data(), x.data(), acc.data());
+        std::vector<float> cast(n);
+        kernels::cast_f64_to_f32(n, acc.data(), cast.data());
+        kernels::apply_step_f64(n, w.data(), 0.75, acc.data());
+        return std::tuple{y, w, v, mask, acc, cast};
+    };
+
+    const auto scalar = run_all(KernelArch::Scalar);
+    const auto simd = run_all(kernels::best_kernel_arch());
+    EXPECT_EQ(std::get<0>(scalar), std::get<0>(simd));
+    EXPECT_EQ(std::get<1>(scalar), std::get<1>(simd));
+    EXPECT_EQ(std::get<2>(scalar), std::get<2>(simd));
+    EXPECT_EQ(std::get<3>(scalar), std::get<3>(simd));
+    EXPECT_EQ(std::get<4>(scalar), std::get<4>(simd));
+    EXPECT_EQ(std::get<5>(scalar), std::get<5>(simd));
+}
+
+/** fedavg / fednova combine bits cannot depend on the variant. */
+TEST(AggregationParity, FedAvgAndFedNovaBitIdentical)
+{
+    if (!has_simd())
+        GTEST_SKIP() << "no SIMD variant on this CPU";
+    ArchGuard guard;
+    Rng rng(47);
+    const size_t dim = 517;
+    std::vector<LocalUpdate> updates(3);
+    for (size_t j = 0; j < updates.size(); ++j) {
+        updates[j].weights = random_vec(dim, rng);
+        updates[j].num_samples = static_cast<int>(10 + 5 * j);
+        updates[j].num_steps = static_cast<int>(1 + j);
+    }
+
+    kernels::set_kernel_arch(KernelArch::Scalar);
+    double lambda_s = 0.0;
+    const auto avg_s = fedavg_combine(updates, nullptr, &lambda_s);
+    auto nova_s = random_vec(dim, rng);
+    const auto nova_seed = nova_s;
+    fednova_apply(nova_s, updates, nullptr);
+
+    kernels::set_kernel_arch(kernels::best_kernel_arch());
+    double lambda_v = 0.0;
+    const auto avg_v = fedavg_combine(updates, nullptr, &lambda_v);
+    auto nova_v = nova_seed;
+    fednova_apply(nova_v, updates, nullptr);
+
+    EXPECT_EQ(avg_s, avg_v);
+    EXPECT_EQ(nova_s, nova_v);
+    EXPECT_EQ(lambda_s, lambda_v);
+}
+
+struct ConvShape
+{
+    int batch, in_ch, out_ch, side, kernel, stride, pad, groups;
+};
+
+class ConvParityTest : public ::testing::TestWithParam<ConvShape>
+{
+};
+
+/** Conv forward/backward agree across variants within tolerance. */
+TEST_P(ConvParityTest, ForwardBackwardParity)
+{
+    ArchGuard guard;
+    const auto c = GetParam();
+
+    auto run = [&](KernelArch arch) {
+        kernels::set_kernel_arch(arch);
+        Conv2D layer(c.in_ch, c.out_ch, c.kernel, c.stride, c.pad,
+                     c.groups);
+        Rng rng(48);
+        layer.init_weights(rng);
+        Tensor x({c.batch, c.in_ch, c.side, c.side});
+        for (size_t i = 0; i < x.size(); ++i)
+            x[i] = static_cast<float>(rng.uniform(-1, 1));
+        Tensor y = layer.forward(x);
+        layer.zero_grad();
+        Tensor dy = y;  // Arbitrary smooth upstream gradient.
+        Tensor dx = layer.backward(dy);
+        std::vector<float> flat(y.vec().begin(), y.vec().end());
+        flat.insert(flat.end(), dx.vec().begin(), dx.vec().end());
+        for (Tensor *g : layer.grads())
+            flat.insert(flat.end(), g->vec().begin(), g->vec().end());
+        return flat;
+    };
+
+    const auto scalar = run(KernelArch::Scalar);
+    const auto simd = run(kernels::best_kernel_arch());
+    expect_rel_close(scalar, simd, 1e-4, "conv");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvParityTest,
+    ::testing::Values(ConvShape{2, 3, 4, 9, 3, 1, 1, 1},
+                      ConvShape{1, 4, 8, 8, 1, 1, 0, 1},   // pointwise
+                      ConvShape{2, 4, 4, 7, 3, 1, 1, 4},   // depthwise
+                      ConvShape{1, 6, 6, 10, 3, 2, 1, 2},  // strided group
+                      ConvShape{3, 1, 2, 12, 5, 2, 2, 1}));
+
+/** LSTM forward/backward agree across variants within tolerance. */
+TEST(LstmParity, ForwardBackwardParity)
+{
+    ArchGuard guard;
+
+    auto run = [&](KernelArch arch, bool seq) {
+        kernels::set_kernel_arch(arch);
+        Lstm layer(5, 7, seq);
+        Rng rng(49);
+        layer.init_weights(rng);
+        Tensor x({4, 3, 5});
+        for (size_t i = 0; i < x.size(); ++i)
+            x[i] = static_cast<float>(rng.uniform(-1, 1));
+        Tensor y = layer.forward(x);
+        layer.zero_grad();
+        Tensor dx = layer.backward(y);
+        std::vector<float> flat(y.vec().begin(), y.vec().end());
+        flat.insert(flat.end(), dx.vec().begin(), dx.vec().end());
+        for (Tensor *g : layer.grads())
+            flat.insert(flat.end(), g->vec().begin(), g->vec().end());
+        return flat;
+    };
+
+    for (bool seq : {false, true}) {
+        const auto scalar = run(KernelArch::Scalar, seq);
+        const auto simd = run(kernels::best_kernel_arch(), seq);
+        expect_rel_close(scalar, simd, 1e-4,
+                         seq ? "lstm-seq" : "lstm-last");
+    }
+}
+
+/** im2col of a 1x1/s1/p0 conv is the identity; col2im inverts it. */
+TEST(Im2Col, PointwiseIdentityAndRoundTrip)
+{
+    Rng rng(50);
+    const int ch = 3, ih = 5, iw = 4;
+    const auto x = random_vec(static_cast<size_t>(ch) * ih * iw, rng);
+    std::vector<float> col(x.size(), 0.0f);
+    kernels::im2col(x.data(), ch, ih, iw, 1, 1, 0, col.data());
+    EXPECT_EQ(std::vector<float>(col.begin(), col.end()), x);
+
+    // col2im_add of an im2col'ed buffer counts each input tap once per
+    // kernel window covering it; for k=1 that is exactly once.
+    std::vector<float> back(x.size(), 0.0f);
+    kernels::col2im_add(col.data(), ch, ih, iw, 1, 1, 0, back.data());
+    EXPECT_EQ(back, x);
+}
+
+/** Padded taps in the column buffer are exact zeros. */
+TEST(Im2Col, PaddingIsZero)
+{
+    Rng rng(51);
+    const int ch = 1, ih = 3, iw = 3, k = 3, pad = 1;
+    std::vector<float> x(9);
+    for (auto &v : x)
+        v = 1.0f + static_cast<float>(rng.uniform(0, 1));
+    std::vector<float> col(static_cast<size_t>(k) * k * 9, -1.0f);
+    kernels::im2col(x.data(), ch, ih, iw, k, 1, pad, col.data());
+    // Top-left output pixel, top-left kernel tap reads x[-1,-1]: zero.
+    EXPECT_EQ(col[0], 0.0f);
+    // Center tap (ky=1, kx=1) at output (0,0) is x[0,0]: no padding.
+    EXPECT_EQ(col[(1 * 3 + 1) * 9 + 0], x[0]);
+}
+
+/** The env override is visible through the arch API. */
+TEST(ArchSelection, SetArchClampsAndReports)
+{
+    ArchGuard guard;
+    EXPECT_EQ(kernels::set_kernel_arch(KernelArch::Scalar),
+              KernelArch::Scalar);
+    EXPECT_EQ(kernels::current_kernel_arch(), KernelArch::Scalar);
+    // Requesting AVX2 either installs it (supported) or clamps to best.
+    const KernelArch got = kernels::set_kernel_arch(KernelArch::Avx2);
+    EXPECT_EQ(got, kernels::best_kernel_arch());
+}
+
+} // namespace
+} // namespace autofl
