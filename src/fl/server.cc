@@ -1,22 +1,19 @@
 #include "server.h"
 
-#include <algorithm>
 #include <cassert>
-#include <thread>
 
 #include "fl/aggregation.h"
-#include "nn/loss.h"
 
 namespace autofl {
 
 Server::Server(Workload workload, Algorithm alg, TrainHyper hyper,
                uint64_t seed)
-    : workload_(workload), alg_(alg), hyper_(hyper),
-      model_(make_model(workload))
+    : alg_(alg), hyper_(hyper)
 {
+    Sequential model = make_model(workload);
     Rng rng(seed);
-    model_.init_weights(rng);
-    weights_ = model_.flat_weights();
+    model.init_weights(rng);
+    weights_ = model.flat_weights();
 }
 
 void
@@ -44,95 +41,6 @@ Server::aggregate(const std::vector<LocalUpdate> &updates)
     // FedAvg-style sample-weighted averaging (also used by FedProx and
     // FEDL, whose differences live in the client objective).
     weights_ = fedavg_combine(updates, nullptr, nullptr);
-}
-
-namespace {
-
-/**
- * Shared inference body: mean loss (want_loss) or top-1 accuracy of
- * @p weights on @p test using per-thread scratch models.
- */
-double
-run_inference(Workload workload, const std::vector<float> &weights,
-              const Dataset &test, int threads_wanted, bool want_loss)
-{
-    const int n = static_cast<int>(test.size());
-    const int batch = 100;
-    const int batches = (n + batch - 1) / batch;
-    if (batches == 0)
-        return 0.0;
-
-    // Inference batches are independent: fan out across worker threads,
-    // each with its own scratch model (weights are shared read-only
-    // through the flat vector).
-    const int threads = std::clamp(batches, 1, std::max(1, threads_wanted));
-    std::vector<int> correct(static_cast<size_t>(threads), 0);
-    std::vector<double> loss_sum(static_cast<size_t>(threads), 0.0);
-    auto worker = [&](int tid) {
-        Sequential scratch = make_model(workload);
-        scratch.set_flat_weights(weights);
-        SoftmaxCrossEntropy loss;
-        for (int b = tid; b < batches; b += threads) {
-            const int start = b * batch;
-            const int end = std::min(n, start + batch);
-            std::vector<int> idx;
-            idx.reserve(static_cast<size_t>(end - start));
-            for (int i = start; i < end; ++i)
-                idx.push_back(i);
-            Tensor logits = scratch.forward(test.batch_x(idx));
-            loss_sum[static_cast<size_t>(tid)] +=
-                loss.forward(logits, test.batch_y(idx));
-            correct[static_cast<size_t>(tid)] += loss.correct();
-        }
-    };
-    if (threads == 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<size_t>(threads));
-        for (int t = 0; t < threads; ++t)
-            pool.emplace_back(worker, t);
-        for (auto &t : pool)
-            t.join();
-    }
-
-    double total_loss = 0.0;
-    int total_correct = 0;
-    for (int t = 0; t < threads; ++t) {
-        total_loss += loss_sum[static_cast<size_t>(t)];
-        total_correct += correct[static_cast<size_t>(t)];
-    }
-    if (want_loss)
-        return total_loss / batches;
-    return n > 0 ? static_cast<double>(total_correct) / n : 0.0;
-}
-
-} // namespace
-
-double
-evaluate_model_weights(Workload workload, const std::vector<float> &weights,
-                       const Dataset &test, int threads)
-{
-    return run_inference(workload, weights, test, threads, false);
-}
-
-double
-Server::evaluate_impl(const Dataset &test, bool want_loss)
-{
-    model_.set_flat_weights(weights_);
-    return run_inference(workload_, weights_, test, 8, want_loss);
-}
-
-double
-Server::evaluate(const Dataset &test)
-{
-    return evaluate_impl(test, false);
-}
-
-double
-Server::evaluate_loss(const Dataset &test)
-{
-    return evaluate_impl(test, true);
 }
 
 std::vector<float>

@@ -1,32 +1,19 @@
 /**
  * @file
- * Aggregation server: owns the global model, aggregates local updates
- * (FedAvg / FedNova / FEDL bookkeeping), and evaluates test accuracy
- * (Steps 1, 2, 5 of Figure 2).
+ * Aggregation server: owns the global model weights, aggregates local
+ * updates (FedAvg / FedNova / FEDL bookkeeping) — Steps 1, 2 and 5 of
+ * Figure 2. Model *consumption* (test-set evaluation, online
+ * inference) lives in the serving plane: ModelService in src/serve/.
  */
 #ifndef AUTOFL_FL_SERVER_H
 #define AUTOFL_FL_SERVER_H
 
 #include <vector>
 
-#include "data/dataset.h"
 #include "fl/fl_types.h"
 #include "nn/models.h"
 
 namespace autofl {
-
-/**
- * Top-1 accuracy of @p weights on @p test, evaluated with a scratch
- * model. Free-standing and state-free so concurrent eval workers can
- * score different store snapshots in parallel; the returned accuracy is
- * a deterministic integer count over @p test regardless of @p threads.
- *
- * @param threads Inference fan-out within this call (the concurrent
- *        eval pool usually passes 1 and parallelizes across snapshots).
- */
-double evaluate_model_weights(Workload workload,
-                              const std::vector<float> &weights,
-                              const Dataset &test, int threads);
 
 /** FL aggregation server. */
 class Server
@@ -53,12 +40,6 @@ class Server
      */
     void aggregate(const std::vector<LocalUpdate> &updates);
 
-    /** Top-1 accuracy of the global model on @p test. */
-    double evaluate(const Dataset &test);
-
-    /** Mean cross-entropy of the global model on @p test. */
-    double evaluate_loss(const Dataset &test);
-
     /**
      * FEDL correction coefficients for a client whose full local gradient
      * at the current weights is @p local_grad: eta * global_grad_estimate
@@ -78,14 +59,10 @@ class Server
     size_t num_params() const { return weights_.size(); }
 
   private:
-    Workload workload_;
     Algorithm alg_;
     TrainHyper hyper_;
-    Sequential model_;
     std::vector<float> weights_;
     std::vector<float> global_grad_;  ///< FEDL's \bar{grad} estimate.
-
-    double evaluate_impl(const Dataset &test, bool want_loss);
 };
 
 } // namespace autofl

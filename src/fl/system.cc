@@ -2,20 +2,47 @@
 
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "ps/executor.h"
 #include "ps/ps_server.h"
+#include "serve/model_service.h"
 #include "util/rng.h"
 
 namespace autofl {
 
+void
+FlSystemConfig::validate() const
+{
+    if (threads < 1) {
+        throw std::invalid_argument(
+            "FlSystemConfig.threads must be >= 1 (got " +
+            std::to_string(threads) +
+            "): local training needs at least one worker");
+    }
+    ps.validate("FlSystemConfig.ps");
+    serve.validate("FlSystemConfig.serve");
+}
+
+namespace {
+
+/** Validate-then-copy so bad configs throw before any member builds. */
+FlSystemConfig
+validated(FlSystemConfig cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace
+
 FlSystem::FlSystem(const FlSystemConfig &cfg)
-    : cfg_(cfg),
-      data_(make_dataset(cfg.workload, cfg.data)),
-      partition_(partition_dataset(data_.train, cfg.partition)),
-      server_(cfg.workload, cfg.algorithm, cfg.hyper, cfg.seed),
-      profile_(model_profile(cfg.workload))
+    : cfg_(validated(cfg)),
+      data_(make_dataset(cfg_.workload, cfg_.data)),
+      partition_(partition_dataset(data_.train, cfg_.partition)),
+      server_(cfg_.workload, cfg_.algorithm, cfg_.hyper, cfg_.seed),
+      profile_(model_profile(cfg_.workload))
 {
     shards_.reserve(partition_.shards.size());
     for (const auto &indices : partition_.shards)
@@ -27,16 +54,30 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
                                          cfg_.params, cfg_.hyper,
                                          cfg_.algorithm, cfg_.seed, cfg_.ps,
                                          cfg_.threads);
-        // Eval workers score store snapshots with a scratch model per
-        // call; the integer-count accuracy is deterministic whatever
-        // the parallelism. Pipelined mode parallelizes across
-        // snapshots (1 thread per call); classic mode runs the fn
-        // inline once per round, so it fans out like Server::evaluate.
-        const int eval_threads = ps_->pipelined() ? 1 : 8;
-        ps_->set_eval_fn([this, eval_threads](
-                             const std::vector<float> &weights) {
-            return evaluate_model_weights(cfg_.workload, weights,
-                                          data_.test, eval_threads);
+    }
+
+    // The serving plane. Pipelined mode sources snapshots straight from
+    // the store (commit waves publish them); the synchronous and
+    // classic runtimes publish at their round barrier, in evaluate().
+    // Slot count covers the concurrent eval pool so its workers never
+    // serialize on a shared scratch model.
+    ServeConfig scfg = cfg_.serve;
+    if (ps_ && ps_->pipelined())
+        scfg.workers = std::max(scfg.workers, cfg_.ps.eval_workers);
+    serve_ = std::make_unique<ModelService>(cfg_.workload, scfg);
+    if (ps_ && ps_->pipelined())
+        serve_->attach_store(&ps_->store());
+
+    if (ps_) {
+        // Snapshot scorer for the runtime's eval path. Accuracy is an
+        // integer count, deterministic at any fan-out; the pipelined
+        // eval pool parallelizes across snapshots (fan-out 1 per call)
+        // while the classic barrier fans one call out across slots.
+        const int fan_out = ps_->pipelined() ? 1 : 0;
+        ps_->set_eval_fn([this, fan_out](const StoreSnapshot &snap) {
+            return serve_->evaluate(SnapshotHandle(snap), data_.test,
+                                    fan_out)
+                .accuracy;
         });
     }
 }
@@ -191,7 +232,14 @@ FlSystem::pipelined() const
 double
 FlSystem::evaluate()
 {
-    return server_.evaluate(data_.test);
+    // One consumption path for every runtime: snapshot handle in,
+    // batched engine eval out. Store-backed services (pipelined mode)
+    // already hold the latest commit snapshot; the barrier runtimes
+    // publish the current global weights as a model version first (a
+    // no-op when the weights haven't changed).
+    if (!serve_->store_backed())
+        serve_->publish(server_.global_weights());
+    return serve_->evaluate(serve_->acquire(), data_.test).accuracy;
 }
 
 } // namespace autofl

@@ -17,11 +17,13 @@
 #include "fl/client.h"
 #include "fl/server.h"
 #include "ps/ps_config.h"
+#include "serve/serve_config.h"
 
 namespace autofl {
 
 class PsServer;
 class PsExecutor;
+class ModelService;
 
 /** Configuration of one FL training job. */
 struct FlSystemConfig
@@ -35,6 +37,14 @@ struct FlSystemConfig
     uint64_t seed = 1234;                  ///< Weight init + client RNG.
     int threads = 8;                       ///< Parallel local training.
     PsConfig ps;                           ///< Parameter-server runtime.
+    ServeConfig serve;                     ///< Model-serving plane.
+
+    /**
+     * Check the runtime knobs, throwing std::invalid_argument with an
+     * actionable message on the first violation. FlSystem's
+     * constructor calls this before building anything.
+     */
+    void validate() const;
 };
 
 /** Complete FL training stack for one job. */
@@ -111,7 +121,17 @@ class FlSystem
     /** The ps runtime, or null when running synchronously. */
     PsServer *ps() { return ps_.get(); }
 
-    /** Test accuracy of the current global model. */
+    /**
+     * The serving plane: versioned snapshot handles over this job's
+     * global model plus the batched inference engine. Safe to query
+     * from any thread, concurrently with (pipelined) training.
+     */
+    ModelService &serve() { return *serve_; }
+
+    /**
+     * Test accuracy of the current global model — a thin call into the
+     * serving plane (acquire the latest snapshot, batched engine eval).
+     */
     double evaluate();
 
     /** Job configuration. */
@@ -127,6 +147,11 @@ class FlSystem
     std::vector<Dataset> shards_;
     Server server_;
     NnProfile profile_;
+
+    // Declared before ps_ so it is destroyed after it: ~PsServer drains
+    // the pipeline, whose queued eval closures call into serve_ — the
+    // serving plane must outlive that drain.
+    std::unique_ptr<ModelService> serve_;  ///< The serving plane.
     std::unique_ptr<PsServer> ps_;  ///< Non-null when cfg.ps.mode != Sync.
 
     // Synchronous-path training pool: lazily created, then reused for

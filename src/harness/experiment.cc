@@ -6,11 +6,39 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
 
 #include "sim/scale.h"
 #include "util/stats.h"
 
 namespace autofl {
+
+void
+ExperimentConfig::validate() const
+{
+    // Delegate the ps-runtime knobs that map 1:1 onto PsConfig (same
+    // field names, so the messages read "ExperimentConfig.<knob>").
+    // ps_shards is checked here because its name differs from
+    // PsConfig::shards.
+    PsConfig ps_view;
+    ps_view.pipeline_depth = pipeline_depth;
+    ps_view.staleness_bound = staleness_bound;
+    ps_view.eval_workers = eval_workers;
+    ps_view.validate("ExperimentConfig");
+    if (ps_shards < 1) {
+        throw std::invalid_argument(
+            "ExperimentConfig.ps_shards must be >= 1 (got " +
+            std::to_string(ps_shards) +
+            "): the model store needs at least one lock stripe");
+    }
+    if (threads < 1) {
+        throw std::invalid_argument(
+            "ExperimentConfig.threads must be >= 1 (got " +
+            std::to_string(threads) +
+            "): local training needs at least one worker");
+    }
+    serve.validate("ExperimentConfig.serve");
+}
 
 std::string
 policy_kind_name(PolicyKind k)
@@ -215,6 +243,7 @@ count_selection(const Fleet &fleet, const std::vector<ParticipantPlan> &plans,
 ExperimentResult
 run_experiment(const ExperimentConfig &cfg)
 {
+    cfg.validate();
     const FlGlobalParams params = global_params_for(cfg.setting);
     const double target = cfg.target_accuracy > 0.0 ?
         cfg.target_accuracy : default_target_accuracy(cfg.workload);
@@ -242,6 +271,7 @@ run_experiment(const ExperimentConfig &cfg)
     fcfg.ps.shards = cfg.ps_shards;
     fcfg.ps.pipeline_depth = cfg.pipeline_depth;
     fcfg.ps.eval_workers = cfg.eval_workers;
+    fcfg.serve = cfg.serve;
     FlSystem fl(fcfg);
     const bool ps_mode = fl.ps() != nullptr;
 

@@ -64,6 +64,13 @@ struct ExperimentConfig
     int eval_workers = 2;     ///< Concurrent snapshot-eval pool size.
 
     /**
+     * Serving plane: inference batch size, worker slots and snapshot
+     * freshness for every model read (FlSystem::evaluate, the
+     * pipeline's eval workers, online queries while training).
+     */
+    ServeConfig serve;
+
+    /**
      * Sliding-window length (rounds) for the runtime statistics the
      * scheduler observes: S_Stale is bucketed from the windowed mean
      * staleness, so one odd round cannot flip the state while a
@@ -99,6 +106,14 @@ struct ExperimentConfig
     /** Per-workload dataset sizing (0 -> defaults). */
     int train_samples = 0;
     int test_samples = 0;
+
+    /**
+     * Check the runtime knobs (pipeline depth, staleness bound, eval
+     * workers, store shards, serving plane), throwing
+     * std::invalid_argument with an actionable message on the first
+     * violation. run_experiment calls this before building anything.
+     */
+    void validate() const;
 };
 
 /** Per-workload default convergence target (fraction, not percent). */

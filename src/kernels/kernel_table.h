@@ -50,6 +50,14 @@ struct KernelTable
                           const float *anchor, float lr, float wd,
                           float momentum, float mu) = nullptr;
 
+    // Inference-only fused LSTM gate update. Unlike the training gate
+    // kernels (arch-independent by contract), variants may vectorize
+    // the transcendentals: scalar is bit-identical to
+    // lstm_gate_forward, SIMD agrees within ~1e-6 relative.
+    void (*lstm_gate_infer)(int batch, int hidden, float *z,
+                            const float *cprev, float *c, float *h,
+                            int h_stride) = nullptr;
+
     // Double-precision accumulation used by FL aggregation.
     void (*axpy_f64)(size_t n, double alpha, const float *x,
                      double *acc) = nullptr;

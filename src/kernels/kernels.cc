@@ -205,6 +205,42 @@ scalar_apply_step_f64(size_t n, float *w, double tau, const double *dir)
         w[i] = static_cast<float>(w[i] - tau * dir[i]);
 }
 
+inline float
+scalar_sigmoidf(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+/**
+ * The exact fused gate update. Shared by lstm_gate_forward (training:
+ * arch-independent by contract) and the scalar lstm_gate_infer entry.
+ */
+void
+scalar_lstm_gate(int batch, int hidden, float *z, const float *cprev,
+                 float *c, float *h, int h_stride)
+{
+    const int h4 = 4 * hidden;
+    for (int n = 0; n < batch; ++n) {
+        float *zrow = z + static_cast<size_t>(n) * h4;
+        const float *cp = cprev + static_cast<size_t>(n) * hidden;
+        float *cn = c + static_cast<size_t>(n) * hidden;
+        float *hn = h + static_cast<size_t>(n) * h_stride;
+        for (int j = 0; j < hidden; ++j) {
+            float &zi = zrow[j];
+            float &zf = zrow[hidden + j];
+            float &zg = zrow[2 * hidden + j];
+            float &zo = zrow[3 * hidden + j];
+            zi = scalar_sigmoidf(zi);
+            zf = scalar_sigmoidf(zf);
+            zg = std::tanh(zg);
+            zo = scalar_sigmoidf(zo);
+            const float cv = zf * cp[j] + zi * zg;
+            cn[j] = cv;
+            hn[j] = zo * std::tanh(cv);
+        }
+    }
+}
+
 const KernelTable *
 make_scalar_table()
 {
@@ -227,6 +263,7 @@ make_scalar_table()
         k.diff_axpy_f64 = scalar_diff_axpy_f64;
         k.cast_f64_to_f32 = scalar_cast_f64_to_f32;
         k.apply_step_f64 = scalar_apply_step_f64;
+        k.lstm_gate_infer = scalar_lstm_gate;
         return k;
     }();
     return &t;
@@ -387,40 +424,21 @@ apply_step_f64(size_t n, float *w, double tau, const double *dir)
 
 // --------------------------------------------- LSTM fused gate math
 
-namespace {
-
-inline float
-sigmoidf(float x)
-{
-    return 1.0f / (1.0f + std::exp(-x));
-}
-
-} // namespace
-
 void
 lstm_gate_forward(int batch, int hidden, float *z, const float *cprev,
                   float *c, float *h, int h_stride)
 {
-    const int h4 = 4 * hidden;
-    for (int n = 0; n < batch; ++n) {
-        float *zrow = z + static_cast<size_t>(n) * h4;
-        const float *cp = cprev + static_cast<size_t>(n) * hidden;
-        float *cn = c + static_cast<size_t>(n) * hidden;
-        float *hn = h + static_cast<size_t>(n) * h_stride;
-        for (int j = 0; j < hidden; ++j) {
-            float &zi = zrow[j];
-            float &zf = zrow[hidden + j];
-            float &zg = zrow[2 * hidden + j];
-            float &zo = zrow[3 * hidden + j];
-            zi = sigmoidf(zi);
-            zf = sigmoidf(zf);
-            zg = std::tanh(zg);
-            zo = sigmoidf(zo);
-            const float cv = zf * cp[j] + zi * zg;
-            cn[j] = cv;
-            hn[j] = zo * std::tanh(cv);
-        }
-    }
+    // Training path: arch-independent exact math (the determinism
+    // contract for pipelined-vs-sync bit parity).
+    scalar_lstm_gate(batch, hidden, z, cprev, c, h, h_stride);
+}
+
+void
+lstm_gate_infer(int batch, int hidden, float *z, const float *cprev,
+                float *c, float *h, int h_stride)
+{
+    pick(&KernelTable::lstm_gate_infer)(batch, hidden, z, cprev, c, h,
+                                        h_stride);
 }
 
 void

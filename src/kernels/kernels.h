@@ -119,6 +119,16 @@ void lstm_gate_backward(int batch, int hidden, const float *z,
                         const float *cprev, const float *c, const float *dh,
                         const float *dc, float *dz, float *dc_prev);
 
+/**
+ * Inference-only variant of lstm_gate_forward (no backward follows, so
+ * the activated z block is scratch). Arch-dispatched: the scalar
+ * variant is bit-identical to lstm_gate_forward; SIMD variants
+ * vectorize sigmoid/tanh with a polynomial exp and agree within ~1e-6
+ * relative — inside the serving plane's 1e-4 SIMD parity contract.
+ */
+void lstm_gate_infer(int batch, int hidden, float *z, const float *cprev,
+                     float *c, float *h, int h_stride);
+
 // --------------------------------------------------- im2col / col2im
 // Column buffer layout: col {channels * k * k, oh * ow}, row index
 // (c * k + ky) * k + kx — the ascending (c, ky, kx) order the seed's

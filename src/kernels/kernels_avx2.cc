@@ -506,6 +506,97 @@ avx2_apply_step_f64(size_t n, float *w, double tau, const double *dir)
         w[i] = static_cast<float>(w[i] - tau * dir[i]);
 }
 
+// ------------------------------------- LSTM inference gate update
+
+/**
+ * Vectorized exp (Cephes-style range reduction + degree-5 polynomial,
+ * ~1e-7 relative on the gate-activation range). Inference-only: the
+ * training gate kernel keeps exact libm transcendentals.
+ */
+inline __m256
+exp256(__m256 x)
+{
+    x = _mm256_min_ps(x, _mm256_set1_ps(88.3762626647949f));
+    x = _mm256_max_ps(x, _mm256_set1_ps(-88.3762626647949f));
+    __m256 fx = _mm256_fmadd_ps(x, _mm256_set1_ps(1.44269504088896341f),
+                                _mm256_set1_ps(0.5f));
+    fx = _mm256_floor_ps(fx);
+    x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(0.693359375f), x);
+    x = _mm256_fnmadd_ps(fx, _mm256_set1_ps(-2.12194440e-4f), x);
+    const __m256 x2 = _mm256_mul_ps(x, x);
+    __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+    y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+    y = _mm256_fmadd_ps(y, x2, x);
+    y = _mm256_add_ps(y, _mm256_set1_ps(1.0f));
+    __m256i pow2 = _mm256_cvttps_epi32(fx);
+    pow2 = _mm256_add_epi32(pow2, _mm256_set1_epi32(0x7f));
+    pow2 = _mm256_slli_epi32(pow2, 23);
+    return _mm256_mul_ps(y, _mm256_castsi256_ps(pow2));
+}
+
+inline __m256
+sigmoid256(__m256 x)
+{
+    const __m256 one = _mm256_set1_ps(1.0f);
+    const __m256 e = exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
+    return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+inline __m256
+tanh256(__m256 x)
+{
+    // tanh(x) = 2 sigmoid(2x) - 1.
+    const __m256 two = _mm256_set1_ps(2.0f);
+    const __m256 s = sigmoid256(_mm256_mul_ps(two, x));
+    return _mm256_fmsub_ps(two, s, _mm256_set1_ps(1.0f));
+}
+
+void
+avx2_lstm_gate_infer(int batch, int hidden, float *z, const float *cprev,
+                     float *c, float *h, int h_stride)
+{
+    const int h4 = 4 * hidden;
+    const int vec_end = hidden - hidden % 8;
+    for (int n = 0; n < batch; ++n) {
+        float *zrow = z + static_cast<size_t>(n) * h4;
+        const float *cp = cprev + static_cast<size_t>(n) * hidden;
+        float *cn = c + static_cast<size_t>(n) * hidden;
+        float *hn = h + static_cast<size_t>(n) * h_stride;
+        int j = 0;
+        for (; j < vec_end; j += 8) {
+            const __m256 zi = sigmoid256(_mm256_loadu_ps(zrow + j));
+            const __m256 zf =
+                sigmoid256(_mm256_loadu_ps(zrow + hidden + j));
+            const __m256 zg =
+                tanh256(_mm256_loadu_ps(zrow + 2 * hidden + j));
+            const __m256 zo =
+                sigmoid256(_mm256_loadu_ps(zrow + 3 * hidden + j));
+            const __m256 cv = _mm256_fmadd_ps(
+                zf, _mm256_loadu_ps(cp + j), _mm256_mul_ps(zi, zg));
+            _mm256_storeu_ps(cn + j, cv);
+            _mm256_storeu_ps(hn + j, _mm256_mul_ps(zo, tanh256(cv)));
+        }
+        for (; j < hidden; ++j) {
+            // Scalar tail with the same polynomial-free libm math the
+            // scalar variant uses; only full lanes take the fast path.
+            const float zi =
+                1.0f / (1.0f + __builtin_expf(-zrow[j]));
+            const float zf =
+                1.0f / (1.0f + __builtin_expf(-zrow[hidden + j]));
+            const float zg = __builtin_tanhf(zrow[2 * hidden + j]);
+            const float zo =
+                1.0f / (1.0f + __builtin_expf(-zrow[3 * hidden + j]));
+            const float cv = zf * cp[j] + zi * zg;
+            cn[j] = cv;
+            hn[j] = zo * __builtin_tanhf(cv);
+        }
+    }
+}
+
 } // namespace
 
 const KernelTable *
@@ -530,6 +621,7 @@ avx2_kernel_table()
         k.diff_axpy_f64 = avx2_diff_axpy_f64;
         k.cast_f64_to_f32 = avx2_cast_f64_to_f32;
         k.apply_step_f64 = avx2_apply_step_f64;
+        k.lstm_gate_infer = avx2_lstm_gate_infer;
         return k;
     }();
     return &t;

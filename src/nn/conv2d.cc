@@ -1,6 +1,7 @@
 #include "conv2d.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "kernels/kernels.h"
@@ -35,7 +36,79 @@ Conv2D::forward(Tensor x)
 {
     assert(x.rank() == 4 && x.dim(1) == in_ch_);
     x_cache_ = std::move(x);  // Backward re-unfolds the input for dW.
-    const Tensor &xin = x_cache_;
+    return convolve(x_cache_);
+}
+
+Tensor
+Conv2D::infer(Tensor x)
+{
+    assert(x.rank() == 4 && x.dim(1) == in_ch_);
+    const int batch = x.dim(0);
+    // Grouped (depthwise) convolutions stay per-sample: their GEMMs
+    // are so small (depthwise M = 1, K = k*k) that gathering a wide
+    // column buffer costs more than the GEMM saves. Pointwise convs
+    // stay per-sample too — their per-sample path multiplies the input
+    // in place with no unfold at all, so the wide gather would add the
+    // only copy in the pipeline.
+    if (batch == 1 || groups_ > 1 || pointwise())
+        return convolve(x);
+
+    // Batched inference (ungrouped, non-pointwise by the guard above):
+    // gather every sample's columns into one wide
+    // {patch, batch * ospatial} buffer and convolve the whole batch
+    // with a single GEMM — batch tiny per-sample GEMMs become one call
+    // with a wide N. Each output element is still the same ascending-k
+    // dot product on top of the pre-filled bias, so the result is
+    // bit-identical to the per-sample path on the scalar arch.
+    const int ih = x.dim(2), iw = x.dim(3);
+    const int oh = out_size(ih), ow = out_size(iw);
+    const int patch = in_ch_ * k_ * k_;
+    const int ospatial = oh * ow;
+    const size_t cols = static_cast<size_t>(batch) * ospatial;
+    const size_t row_bytes = sizeof(float) * static_cast<size_t>(ospatial);
+    Tensor y({batch, out_ch_, oh, ow});
+
+    col_.resize(static_cast<size_t>(patch) * ospatial);
+    colw_.resize(static_cast<size_t>(patch) * cols);
+    outw_.resize(static_cast<size_t>(out_ch_) * cols);
+
+    for (int n = 0; n < batch; ++n) {
+        const float *xn = x.data() +
+            static_cast<size_t>(n) * in_ch_ * ih * iw;
+        kernels::im2col(xn, in_ch_, ih, iw, k_, stride_, pad_,
+                        col_.data());
+        for (int r = 0; r < patch; ++r) {
+            std::memcpy(colw_.data() + static_cast<size_t>(r) * cols +
+                            static_cast<size_t>(n) * ospatial,
+                        col_.data() + static_cast<size_t>(r) * ospatial,
+                        row_bytes);
+        }
+    }
+    for (int oc = 0; oc < out_ch_; ++oc) {
+        const float bias = b_[static_cast<size_t>(oc)];
+        float *orow = outw_.data() + static_cast<size_t>(oc) * cols;
+        for (size_t i = 0; i < cols; ++i)
+            orow[i] = bias;
+    }
+    kernels::gemm(out_ch_, static_cast<int>(cols), patch, w_.data(), patch,
+                  colw_.data(), static_cast<int>(cols), outw_.data(),
+                  static_cast<int>(cols), /*accumulate=*/true);
+    for (int n = 0; n < batch; ++n) {
+        for (int oc = 0; oc < out_ch_; ++oc) {
+            std::memcpy(y.data() +
+                            (static_cast<size_t>(n) * out_ch_ + oc) *
+                                ospatial,
+                        outw_.data() + static_cast<size_t>(oc) * cols +
+                            static_cast<size_t>(n) * ospatial,
+                        row_bytes);
+        }
+    }
+    return y;
+}
+
+Tensor
+Conv2D::convolve(const Tensor &xin)
+{
     const int batch = xin.dim(0), ih = xin.dim(2), iw = xin.dim(3);
     const int oh = out_size(ih), ow = out_size(iw);
     const int icg = in_ch_ / groups_, ocg = out_ch_ / groups_;

@@ -37,6 +37,7 @@ class Conv2D : public Layer
            int groups = 1);
 
     Tensor forward(Tensor x) override;
+    Tensor infer(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Tensor *> params() override { return {&w_, &b_}; }
     std::vector<Tensor *> grads() override { return {&dw_, &db_}; }
@@ -55,6 +56,11 @@ class Conv2D : public Layer
     Tensor x_cache_;   ///< Moved-in input (backward re-unfolds it).
     AlignedFloatVec col_;   ///< im2col scratch, reused across samples.
     AlignedFloatVec dcol_;  ///< Backward column-gradient scratch.
+    AlignedFloatVec colw_;  ///< Batch-wide column buffer (infer only).
+    AlignedFloatVec outw_;  ///< Batch-wide output buffer (infer only).
+
+    /** Shared im2col + GEMM body of forward() and infer(batch == 1). */
+    Tensor convolve(const Tensor &xin);
 
     /** Whether im2col is the identity (pointwise convolution). */
     bool pointwise() const

@@ -28,9 +28,22 @@ Dense::forward(Tensor x)
 {
     assert(x.rank() == 2 && x.dim(1) == in_);
     x_cache_ = std::move(x);  // Backward needs x for dW = x^T dy.
-    const int batch = x_cache_.dim(0);
+    return affine(x_cache_);
+}
+
+Tensor
+Dense::infer(Tensor x)
+{
+    assert(x.rank() == 2 && x.dim(1) == in_);
+    return affine(x);
+}
+
+Tensor
+Dense::affine(const Tensor &x) const
+{
+    const int batch = x.dim(0);
     Tensor y({batch, out_});
-    kernels::gemm(batch, out_, in_, x_cache_.data(), in_, w_.data(), out_,
+    kernels::gemm(batch, out_, in_, x.data(), in_, w_.data(), out_,
                   y.data(), out_);
     kernels::add_bias_rows(batch, out_, b_.data(), y.data());
     return y;

@@ -20,6 +20,7 @@ class Dense : public Layer
     Dense(int in, int out);
 
     Tensor forward(Tensor x) override;
+    Tensor infer(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Tensor *> params() override { return {&w_, &b_}; }
     std::vector<Tensor *> grads() override { return {&dw_, &db_}; }
@@ -40,6 +41,9 @@ class Dense : public Layer
     Tensor dw_;
     Tensor db_;
     Tensor x_cache_;
+
+    /** Shared x W + b body of forward() and infer(). */
+    Tensor affine(const Tensor &x) const;
 };
 
 } // namespace autofl

@@ -41,6 +41,21 @@ class Layer
     virtual Tensor forward(Tensor x) = 0;
 
     /**
+     * Inference-only forward: numerically identical to forward() (same
+     * kernels, same reduction order — bit-identical output on any
+     * given arch variant) but skips the backward caches, so it never
+     * grows per-layer state with the batch and may not be followed by
+     * backward(). The serving plane (src/serve/) runs models through
+     * this path. The default delegates to forward(); layers with
+     * non-trivial caches override it.
+     */
+    virtual Tensor
+    infer(Tensor x)
+    {
+        return forward(std::move(x));
+    }
+
+    /**
      * Back-propagate.
      * @param grad_out Gradient of the loss w.r.t. this layer's output.
      * @return Gradient of the loss w.r.t. this layer's input.

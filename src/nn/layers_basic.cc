@@ -16,6 +16,15 @@ ReLU::forward(Tensor x)
 }
 
 Tensor
+ReLU::infer(Tensor x)
+{
+    // max(x, 0) is exact, so skipping the mask changes no bits.
+    for (size_t i = 0; i < x.size(); ++i)
+        x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    return x;
+}
+
+Tensor
 ReLU::backward(const Tensor &grad_out)
 {
     assert(grad_out.size() == mask_.size());
@@ -45,14 +54,12 @@ MaxPool2D::MaxPool2D(int k, int stride)
 }
 
 Tensor
-MaxPool2D::forward(Tensor x)
+MaxPool2D::pool(const Tensor &x, size_t *argmax) const
 {
     assert(x.rank() == 4);
-    in_shape_ = x.shape();
     const int batch = x.dim(0), ch = x.dim(1), ih = x.dim(2), iw = x.dim(3);
     const int oh = out_size(ih), ow = out_size(iw);
     Tensor y({batch, ch, oh, ow});
-    argmax_.assign(y.size(), 0);
     size_t out_idx = 0;
     for (int n = 0; n < batch; ++n) {
         for (int c = 0; c < ch; ++c) {
@@ -74,12 +81,27 @@ MaxPool2D::forward(Tensor x)
                         }
                     }
                     y[out_idx] = best;
-                    argmax_[out_idx] = best_idx;
+                    if (argmax != nullptr)
+                        argmax[out_idx] = best_idx;
                 }
             }
         }
     }
     return y;
+}
+
+Tensor
+MaxPool2D::forward(Tensor x)
+{
+    in_shape_ = x.shape();
+    argmax_.assign(Tensor::shape_size(output_shape(in_shape_)), 0);
+    return pool(x, argmax_.data());
+}
+
+Tensor
+MaxPool2D::infer(Tensor x)
+{
+    return pool(x, nullptr);
 }
 
 Tensor

@@ -14,6 +14,7 @@ class ReLU : public Layer
 {
   public:
     Tensor forward(Tensor x) override;
+    Tensor infer(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<int> output_shape(const std::vector<int> &in) const override;
     double flops_per_sample(const std::vector<int> &in) const override;
@@ -31,6 +32,7 @@ class MaxPool2D : public Layer
     explicit MaxPool2D(int k, int stride = 0);
 
     Tensor forward(Tensor x) override;
+    Tensor infer(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<int> output_shape(const std::vector<int> &in) const override;
     double flops_per_sample(const std::vector<int> &in) const override;
@@ -42,6 +44,12 @@ class MaxPool2D : public Layer
     std::vector<size_t> argmax_;
 
     int out_size(int s) const { return (s - k_) / stride_ + 1; }
+
+    /**
+     * Shared window-max body of forward() and infer(); records winner
+     * indices into @p argmax when non-null (backward needs them).
+     */
+    Tensor pool(const Tensor &x, size_t *argmax) const;
 };
 
 /** Global average pool: {b, c, h, w} -> {b, c}. */

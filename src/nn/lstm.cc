@@ -115,6 +115,72 @@ Lstm::forward(Tensor x)
 }
 
 Tensor
+Lstm::infer(Tensor x)
+{
+    assert(x.rank() == 3 && x.dim(2) == in_);
+    const int time = x.dim(0), batch = x.dim(1);
+    const int h4 = 4 * hidden_;
+    const int xh = in_ + hidden_;
+    pack_weights();
+
+    // Rolling state instead of the per-timestep BPTT caches: one packed
+    // [x_t | h_{t-1}] buffer whose h columns each step overwrites in
+    // place, and a ping-ponged cell-state pair. Same kernels in the
+    // same order as forward(), so the output is bit-identical.
+    Tensor xht({batch, xh});
+    Tensor z({batch, h4});
+    Tensor c_prev({batch, hidden_});
+    Tensor c({batch, hidden_});
+
+    Tensor out_seq;
+    Tensor h_last;
+    if (return_sequences_)
+        out_seq = Tensor({time, batch, hidden_});
+    else
+        h_last = Tensor({batch, hidden_});
+
+    for (int t = 0; t < time; ++t) {
+        const float *xt = x.data() + static_cast<size_t>(t) * batch * in_;
+        for (int n = 0; n < batch; ++n)
+            std::memcpy(xht.data() + static_cast<size_t>(n) * xh,
+                        xt + static_cast<size_t>(n) * in_,
+                        sizeof(float) * static_cast<size_t>(in_));
+
+        kernels::gemm(batch, h4, xh, xht.data(), xh, wcat_.data(), h4,
+                      z.data(), h4);
+        kernels::add_bias_rows(batch, h4, b_.data(), z.data());
+
+        const bool last = t + 1 == time;
+        float *h_dst;
+        int h_stride;
+        if (return_sequences_) {
+            h_dst = out_seq.data() +
+                static_cast<size_t>(t) * batch * hidden_;
+            h_stride = hidden_;
+        } else if (last) {
+            h_dst = h_last.data();
+            h_stride = hidden_;
+        } else {
+            h_dst = xht.data() + in_;
+            h_stride = xh;
+        }
+        kernels::lstm_gate_infer(batch, hidden_, z.data(), c_prev.data(),
+                                 c.data(), h_dst, h_stride);
+        if (return_sequences_ && !last) {
+            float *next = xht.data() + in_;
+            for (int n = 0; n < batch; ++n)
+                std::memcpy(next + static_cast<size_t>(n) * xh,
+                            h_dst + static_cast<size_t>(n) * hidden_,
+                            sizeof(float) * static_cast<size_t>(hidden_));
+        }
+        std::swap(c_prev, c);
+    }
+    if (return_sequences_)
+        return out_seq;
+    return h_last;
+}
+
+Tensor
 Lstm::backward(const Tensor &grad_out)
 {
     const int time = static_cast<int>(xhs_.size());

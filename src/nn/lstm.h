@@ -35,6 +35,7 @@ class Lstm : public Layer
     Lstm(int in, int hidden, bool return_sequences = false);
 
     Tensor forward(Tensor x) override;
+    Tensor infer(Tensor x) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Tensor *> params() override { return {&wx_, &wh_, &b_}; }
     std::vector<Tensor *> grads() override { return {&dwx_, &dwh_, &db_}; }

@@ -27,6 +27,14 @@ Sequential::forward(Tensor x)
 }
 
 Tensor
+Sequential::infer(Tensor x)
+{
+    for (auto &l : layers_)
+        x = l->infer(std::move(x));
+    return x;
+}
+
+Tensor
 Sequential::backward(const Tensor &grad_out)
 {
     Tensor g = grad_out;

@@ -63,6 +63,13 @@ class Sequential
     /** Forward through all layers (activations move layer to layer). */
     Tensor forward(Tensor x);
 
+    /**
+     * Inference-only forward: bit-identical to forward() on a given
+     * arch variant, but no layer retains backward state (the serving
+     * plane's entry point; backward() must not follow).
+     */
+    Tensor infer(Tensor x);
+
     /** Backward through all layers; returns input gradient. */
     Tensor backward(const Tensor &grad_out);
 

@@ -94,6 +94,13 @@ struct PsConfig
     {
         return sim_device_latency_s * (0.5 + 0.5 * (device_id % 4));
     }
+
+    /**
+     * Validate the knobs, throwing std::invalid_argument with an
+     * actionable message. @p who names the owning config in messages
+     * (e.g. "FlSystemConfig::ps").
+     */
+    void validate(const char *who) const;
 };
 
 /** Outcome statistics of one training round under the ps runtime. */

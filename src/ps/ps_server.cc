@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <stdexcept>
 #include <thread>
 
 #include "util/rng.h"
@@ -21,6 +22,44 @@ sync_mode_name(SyncMode m)
         return "Async";
     }
     return "unknown";
+}
+
+void
+PsConfig::validate(const char *who) const
+{
+    const std::string w(who);
+    if (pipeline_depth < 1) {
+        throw std::invalid_argument(
+            w + ".pipeline_depth must be >= 1 (got " +
+            std::to_string(pipeline_depth) +
+            "): 1 drains every round at its barrier; values above 1 "
+            "stream that many rounds in flight");
+    }
+    if (staleness_bound < 0) {
+        throw std::invalid_argument(
+            w + ".staleness_bound must be >= 0 (got " +
+            std::to_string(staleness_bound) +
+            "): 0 reproduces synchronous FedAvg exactly; larger bounds "
+            "admit staler updates");
+    }
+    if (eval_workers < 1) {
+        throw std::invalid_argument(
+            w + ".eval_workers must be >= 1 (got " +
+            std::to_string(eval_workers) +
+            "): the pipelined runtime needs at least one concurrent "
+            "snapshot-eval worker");
+    }
+    if (shards < 1) {
+        throw std::invalid_argument(
+            w + ".shards must be >= 1 (got " + std::to_string(shards) +
+            "): the model store needs at least one lock stripe");
+    }
+    if (executor_threads < 0) {
+        throw std::invalid_argument(
+            w + ".executor_threads must be >= 0 (got " +
+            std::to_string(executor_threads) +
+            "): 0 inherits the system thread count");
+    }
 }
 
 PsServer::PsServer(Server &server, Workload workload,
@@ -140,9 +179,16 @@ PsServer::submit_round(const std::vector<PsRoundJob> &jobs, uint64_t round,
     res.stats = run_round(jobs, round);
     res.final_epoch = agg_.clock();
     // Empty rounds report accuracy -1, matching the pipelined contract
-    // (no new snapshot to score).
-    if (eval_fn_ && !jobs.empty())
-        res.accuracy = eval_fn_(store_.read());
+    // (no new snapshot to score). The classic runtime never publishes
+    // commit snapshots, so the barrier builds an epoch-tagged one here
+    // (epoch = commit clock) for the shared serving-plane scorer —
+    // from the wrapped Server's weights, which run_round just synced
+    // from the store, sparing a second sharded read.
+    if (eval_fn_ && !jobs.empty()) {
+        res.accuracy = eval_fn_(StoreSnapshot{
+            agg_.clock(), std::make_shared<const std::vector<float>>(
+                              server_.global_weights())});
+    }
     if (cb)
         cb(res);
 }

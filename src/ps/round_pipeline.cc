@@ -165,8 +165,8 @@ RoundPipeline::on_retired(uint64_t round, const PsRoundStats &stats,
         // Score the retired round's snapshot concurrently; the shared
         // snapshot keeps the weights alive past any history pruning.
         EvalFn fn = eval_fn_;
-        eval_exec_->submit([this, round, fn, snap](int) {
-            finalize(round, fn(*snap));
+        eval_exec_->submit([this, round, fn, snap, final_epoch](int) {
+            finalize(round, fn(StoreSnapshot{final_epoch, snap}));
         });
         return;
     }

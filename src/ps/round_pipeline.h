@@ -67,8 +67,13 @@ class RoundPipeline
         int worker, const PsRoundJob &job,
         const std::vector<float> &weights, uint64_t round)>;
 
-    /** Scores a snapshot's weights (test accuracy). */
-    using EvalFn = std::function<double(const std::vector<float> &weights)>;
+    /**
+     * Scores an epoch-tagged snapshot (test accuracy). The serving
+     * plane wraps the snapshot in a SnapshotHandle, so concurrent eval
+     * workers ride the same versioned consumption path as online
+     * inference (see serve/ModelService).
+     */
+    using EvalFn = std::function<double(const StoreSnapshot &snap)>;
 
     /**
      * @param exec Training executor (jobs are launched onto it in round

@@ -1,0 +1,182 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "nn/loss.h"
+
+namespace autofl {
+
+void
+ServeConfig::validate(const char *who) const
+{
+    const std::string w(who);
+    if (batch_size < 1) {
+        throw std::invalid_argument(
+            w + ".batch_size must be >= 1 (got " +
+            std::to_string(batch_size) +
+            "): inference folds batch_size samples into each forward "
+            "pass; use 1 for the per-sample path");
+    }
+    if (workers < 1) {
+        throw std::invalid_argument(
+            w + ".workers must be >= 1 (got " + std::to_string(workers) +
+            "): the inference engine needs at least one worker slot");
+    }
+    if (max_snapshot_lag < 0) {
+        throw std::invalid_argument(
+            w + ".max_snapshot_lag must be >= 0 (got " +
+            std::to_string(max_snapshot_lag) +
+            "): 0 always serves the freshest snapshot; a positive lag "
+            "lets cached handles trail that many epochs");
+    }
+}
+
+InferenceEngine::InferenceEngine(Workload workload, const ServeConfig &cfg)
+    : workload_(workload), cfg_(cfg)
+{
+    cfg_.validate("ServeConfig");
+    slots_.reserve(static_cast<size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i) {
+        auto slot = std::make_unique<Slot>();
+        slot->model = make_model(workload_);
+        slots_.push_back(std::move(slot));
+    }
+}
+
+InferenceEngine::Slot &
+InferenceEngine::claim(const SnapshotHandle &snap)
+{
+    const size_t n = slots_.size();
+    size_t start;
+    {
+        std::lock_guard<std::mutex> lk(claim_mu_);
+        start = next_slot_++;
+    }
+    const std::vector<float> *id =
+        snap.valid() ? snap.shared().get() : nullptr;
+    // Pass 0 keeps only a free slot that already holds this snapshot's
+    // weights (serving affinity: no reload); pass 1 takes any free slot.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (size_t i = 0; i < n; ++i) {
+            Slot &s = *slots_[(start + i) % n];
+            if (!s.mu.try_lock())
+                continue;
+            if (pass == 0 && s.loaded.get() != id) {
+                s.mu.unlock();
+                continue;
+            }
+            return s;
+        }
+    }
+    // Every slot busy: queue on one deterministically.
+    Slot &s = *slots_[start % n];
+    s.mu.lock();
+    return s;
+}
+
+InferenceEngine::Lease::Lease(InferenceEngine &eng,
+                              const SnapshotHandle &snap)
+    : slot_(&eng.claim(snap))
+{
+    if (snap.valid() && slot_->loaded.get() != snap.shared().get()) {
+        slot_->model.set_flat_weights(snap.weights());
+        slot_->loaded = snap.shared();
+    }
+}
+
+EvalStats
+InferenceEngine::evaluate(const SnapshotHandle &snap, const Dataset &test,
+                          int fan_out)
+{
+    EvalStats st;
+    st.epoch = snap.epoch();
+    // An invalid handle (or empty set) scores nothing: samples stays 0
+    // so the caller can tell "nothing ran" from a real 0% result.
+    if (!snap.valid() || test.empty())
+        return st;
+    st.samples = static_cast<int>(test.size());
+
+    const int n = st.samples;
+    const int bs = cfg_.batch_size;
+    const int batches = (n + bs - 1) / bs;
+    const int threads =
+        std::clamp(fan_out > 0 ? fan_out : cfg_.workers, 1, batches);
+
+    // Per-batch partial results, reduced in batch order below: the
+    // outcome is identical whatever the fan-out.
+    std::vector<int> correct(static_cast<size_t>(batches), 0);
+    std::vector<double> loss(static_cast<size_t>(batches), 0.0);
+    auto worker = [&](int tid) {
+        Lease lease(*this, snap);
+        SoftmaxCrossEntropy lossfn;
+        std::vector<int> idx;
+        for (int b = tid; b < batches; b += threads) {
+            const int begin = b * bs;
+            const int end = std::min(n, begin + bs);
+            idx.resize(static_cast<size_t>(end - begin));
+            std::iota(idx.begin(), idx.end(), begin);
+            Tensor logits = lease.model().infer(test.batch_x(idx));
+            // loss.forward returns the batch mean; weight it back to a
+            // sum so the dataset mean is exact with a ragged tail.
+            loss[static_cast<size_t>(b)] =
+                lossfn.forward(logits, test.batch_y(idx)) * (end - begin);
+            correct[static_cast<size_t>(b)] = lossfn.correct();
+        }
+    };
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    double loss_sum = 0.0;
+    for (int b = 0; b < batches; ++b) {
+        st.correct += correct[static_cast<size_t>(b)];
+        loss_sum += loss[static_cast<size_t>(b)];
+    }
+    st.accuracy = static_cast<double>(st.correct) / n;
+    st.mean_loss = loss_sum / n;
+    return st;
+}
+
+std::vector<int>
+InferenceEngine::classify(const SnapshotHandle &snap, const Dataset &data,
+                          const std::vector<int> &indices)
+{
+    std::vector<int> out;
+    if (!snap.valid() || indices.empty())
+        return out;
+    out.reserve(indices.size());
+    Lease lease(*this, snap);
+    const size_t bs = static_cast<size_t>(cfg_.batch_size);
+    std::vector<int> chunk;
+    for (size_t begin = 0; begin < indices.size(); begin += bs) {
+        const size_t end = std::min(indices.size(), begin + bs);
+        chunk.assign(indices.begin() + static_cast<ptrdiff_t>(begin),
+                     indices.begin() + static_cast<ptrdiff_t>(end));
+        Tensor logits = lease.model().infer(data.batch_x(chunk));
+        const std::vector<int> cls = argmax_rows(logits);
+        out.insert(out.end(), cls.begin(), cls.end());
+    }
+    return out;
+}
+
+Tensor
+InferenceEngine::forward(const SnapshotHandle &snap, Tensor batch)
+{
+    assert(snap.valid());
+    Lease lease(*this, snap);
+    return lease.model().infer(std::move(batch));
+}
+
+} // namespace autofl

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * InferenceEngine: batched forward passes over snapshot weights.
+ *
+ * The engine owns a fixed pool of worker slots, each holding a scratch
+ * model tagged with the identity (epoch + buffer) of the weights it
+ * last loaded, so repeated queries against one snapshot skip the flat
+ * weight reload entirely — the serving hot path is claim slot, batch,
+ * infer. Models run through Sequential::infer(), the inference-only
+ * pass that folds cfg.batch_size samples into each layer call (one
+ * GEMM where the per-sample path ran batch GEMV-shaped calls) and
+ * retains no backward state.
+ *
+ * Determinism contract: evaluate() partitions the dataset into
+ * fixed-size batches in index order and reduces per-batch results in
+ * batch order, so accuracy and loss are identical for ANY fan-out.
+ * Batched and per-sample logits are bit-identical per arch variant
+ * (scalar exactly; SIMD variants agree within 1e-4 relative across
+ * batch shapes — the GEMM variant tolerance).
+ */
+#ifndef AUTOFL_SERVE_INFERENCE_ENGINE_H
+#define AUTOFL_SERVE_INFERENCE_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/models.h"
+#include "ps/sharded_store.h"
+#include "serve/serve_config.h"
+
+namespace autofl {
+
+/**
+ * Refcounted, epoch-tagged view of one immutable model version.
+ * Copying shares the underlying weight vector; reads through a valid
+ * handle are lock-free and remain safe after training has moved on —
+ * the refcount keeps the vector alive.
+ */
+class SnapshotHandle
+{
+  public:
+    /** Invalid handle (no snapshot). */
+    SnapshotHandle() = default;
+
+    /** Wrap a published store snapshot. */
+    explicit SnapshotHandle(StoreSnapshot snap) : snap_(std::move(snap)) {}
+
+    /** Whether the handle references a snapshot. */
+    bool valid() const { return snap_.weights != nullptr; }
+
+    /** Commit epoch (model version) of the snapshot. */
+    uint64_t epoch() const { return snap_.epoch; }
+
+    /** The immutable flat weight vector. Handle must be valid. */
+    const std::vector<float> &
+    weights() const
+    {
+        return *snap_.weights;
+    }
+
+    /** Shared ownership of the weight vector (lifetime extension). */
+    const std::shared_ptr<const std::vector<float>> &
+    shared() const
+    {
+        return snap_.weights;
+    }
+
+  private:
+    StoreSnapshot snap_;
+};
+
+/** Result of one batched dataset scoring pass. */
+struct EvalStats
+{
+    int samples = 0;         ///< Rows scored.
+    int correct = 0;         ///< Argmax-correct rows.
+    double accuracy = 0.0;   ///< correct / samples (0 on empty input).
+    double mean_loss = 0.0;  ///< Sample-weighted mean cross-entropy.
+    uint64_t epoch = 0;      ///< Snapshot epoch that was scored.
+};
+
+/** Batched inference over snapshot weights on pooled worker slots. */
+class InferenceEngine
+{
+  public:
+    /**
+     * @param workload Model architecture to instantiate per slot.
+     * @param cfg Batch size and slot-pool size (pre-validated).
+     */
+    InferenceEngine(Workload workload, const ServeConfig &cfg);
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Score @p test with the snapshot's weights. Thread-safe: each of
+     * the @p fan_out threads (0 = cfg.workers, clamped to the batch
+     * count) claims one worker slot. The result is deterministic for
+     * any fan-out.
+     */
+    EvalStats evaluate(const SnapshotHandle &snap, const Dataset &test,
+                      int fan_out = 0);
+
+    /**
+     * Predicted classes for @p indices of @p data, computed in
+     * cfg.batch_size chunks on one claimed slot. Thread-safe.
+     */
+    std::vector<int> classify(const SnapshotHandle &snap,
+                              const Dataset &data,
+                              const std::vector<int> &indices);
+
+    /**
+     * Raw logits for one model-ready input batch (layout per
+     * Dataset::batch_x). Thread-safe; claims one slot.
+     */
+    Tensor forward(const SnapshotHandle &snap, Tensor batch);
+
+    int batch_size() const { return cfg_.batch_size; }
+    int workers() const { return cfg_.workers; }
+
+  private:
+    /**
+     * One pooled scratch model with weight-identity caching. The slot
+     * shares ownership of the weights it last loaded: identity is
+     * plain pointer equality, and the held reference makes address
+     * reuse (a freed buffer reallocated at the same address) — the
+     * classic caching-aliasing bug — structurally impossible.
+     */
+    struct Slot
+    {
+        std::mutex mu;
+        Sequential model;
+        std::shared_ptr<const std::vector<float>> loaded;
+    };
+
+    /** RAII slot claim that also ensures the snapshot is loaded. */
+    class Lease
+    {
+      public:
+        Lease(InferenceEngine &eng, const SnapshotHandle &snap);
+        ~Lease() { slot_->mu.unlock(); }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+        Sequential &model() { return slot_->model; }
+
+      private:
+        Slot *slot_;
+    };
+
+    Workload workload_;
+    ServeConfig cfg_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    std::mutex claim_mu_;  ///< Round-robin start index for claims.
+    size_t next_slot_ = 0;
+
+    Slot &claim(const SnapshotHandle &snap);
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SERVE_INFERENCE_ENGINE_H

@@ -1,0 +1,60 @@
+#include "serve/model_service.h"
+
+#include <cassert>
+
+namespace autofl {
+
+ModelService::ModelService(Workload workload, ServeConfig cfg)
+    : workload_(workload), cfg_(cfg), engine_(workload, cfg)
+{
+    // Epoch 0, no weights: acquire() yields an invalid handle until the
+    // first publish (or an attached store, whose epoch 0 is the init
+    // weights).
+}
+
+void
+ModelService::attach_store(const ShardedStore *store)
+{
+    assert(store != nullptr);
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(local_.weights == nullptr);  // One source per service.
+    store_ = store;
+}
+
+uint64_t
+ModelService::publish(const std::vector<float> &weights)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(store_ == nullptr);  // Store-backed services never publish.
+    if (local_.weights != nullptr && *local_.weights == weights)
+        return local_.epoch;  // Same version: epoch unchanged.
+    local_ = StoreSnapshot{
+        next_epoch_++,
+        std::make_shared<const std::vector<float>>(weights)};
+    return local_.epoch;
+}
+
+SnapshotHandle
+ModelService::acquire() const
+{
+    if (store_ != nullptr)
+        return SnapshotHandle(store_->latest_snapshot());
+    std::lock_guard<std::mutex> lk(mu_);
+    return SnapshotHandle(local_);
+}
+
+bool
+ModelService::refresh(SnapshotHandle &h) const
+{
+    SnapshotHandle latest = acquire();
+    if (!latest.valid())
+        return false;
+    if (h.valid() &&
+        latest.epoch() - h.epoch() <=
+            static_cast<uint64_t>(cfg_.max_snapshot_lag))
+        return false;
+    h = std::move(latest);
+    return true;
+}
+
+} // namespace autofl

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ModelService: the serving-plane facade — one model-consumption path
+ * for everything that *reads* the global model while training writes
+ * it.
+ *
+ * The unit of consumption is the SnapshotHandle: a refcounted,
+ * epoch-tagged view of one immutable weight vector. Acquiring a handle
+ * is one mutex-guarded shared_ptr copy; every read through it after
+ * that is lock-free and safe while striped commit waves keep mutating
+ * the live store — the store publishes fresh snapshots, it never
+ * touches old ones, and the handle's refcount keeps its vector alive
+ * for as long as any consumer holds it. Epochs are monotone, so a
+ * consumer can reason about model freshness ("how many commits behind
+ * am I serving?") without ever blocking a commit.
+ *
+ * Two snapshot sources share the facade:
+ *
+ *  - **Store-backed** (attach_store): the pipelined ps runtime, whose
+ *    commit waves publish epoch-tagged snapshots as a side effect of
+ *    committing. Serving rides those snapshots with zero extra copies.
+ *  - **Self-published** (publish): the synchronous runtimes, whose
+ *    commit point is the round barrier. The barrier publishes the new
+ *    global weights; identical re-publishes keep their epoch, so the
+ *    epoch really counts model versions.
+ *
+ * Inference goes through the owned InferenceEngine: batched forward
+ * passes on worker slots with per-snapshot weight caching. See
+ * src/serve/README.md for the full API contract.
+ */
+#ifndef AUTOFL_SERVE_MODEL_SERVICE_H
+#define AUTOFL_SERVE_MODEL_SERVICE_H
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ps/sharded_store.h"
+#include "serve/inference_engine.h"
+#include "serve/serve_config.h"
+
+namespace autofl {
+
+/** Parameter-server facade over model consumption. */
+class ModelService
+{
+  public:
+    /**
+     * @param workload Model architecture served.
+     * @param cfg Serving knobs (validated; throws on nonsense).
+     */
+    explicit ModelService(Workload workload, ServeConfig cfg = {});
+
+    ModelService(const ModelService &) = delete;
+    ModelService &operator=(const ModelService &) = delete;
+
+    /**
+     * Source snapshots from @p store (which must outlive this object):
+     * acquire() returns the store's latest published snapshot. Call
+     * once, before consumers start; only the pipelined runtime
+     * publishes store snapshots past epoch 0.
+     */
+    void attach_store(const ShardedStore *store);
+
+    /** Whether acquire() reads a live store. */
+    bool store_backed() const { return store_ != nullptr; }
+
+    /**
+     * Publish @p weights as the newest model version (self-published
+     * source only). Re-publishing bitwise-identical weights keeps the
+     * current epoch — the epoch counts model versions, not calls.
+     * @return The epoch now serving.
+     */
+    uint64_t publish(const std::vector<float> &weights);
+
+    /** Handle on the latest snapshot (epoch 0 before any publish). */
+    SnapshotHandle acquire() const;
+
+    /**
+     * Re-acquire only when @p h trails the latest epoch by more than
+     * cfg.max_snapshot_lag (an invalid handle always refreshes).
+     * @return True when @p h was swapped to a newer snapshot.
+     */
+    bool refresh(SnapshotHandle &h) const;
+
+    /** Epoch of the latest snapshot. */
+    uint64_t latest_epoch() const { return acquire().epoch(); }
+
+    /**
+     * Batched test-set scoring of a snapshot — the one evaluation body
+     * behind FlSystem::evaluate(), the pipeline's concurrent eval
+     * workers and the harness accuracy path. Deterministic for any
+     * fan-out (see InferenceEngine::evaluate).
+     */
+    EvalStats evaluate(const SnapshotHandle &h, const Dataset &test,
+                       int fan_out = 0)
+    {
+        return engine_.evaluate(h, test, fan_out);
+    }
+
+    /** Batched class predictions for selected samples of a dataset. */
+    std::vector<int> classify(const SnapshotHandle &h, const Dataset &data,
+                              const std::vector<int> &indices)
+    {
+        return engine_.classify(h, data, indices);
+    }
+
+    /** The batched inference engine (raw forward access). */
+    InferenceEngine &engine() { return engine_; }
+
+    const ServeConfig &config() const { return cfg_; }
+    Workload workload() const { return workload_; }
+
+  private:
+    Workload workload_;
+    ServeConfig cfg_;
+    InferenceEngine engine_;
+
+    const ShardedStore *store_ = nullptr;  ///< Store-backed source.
+
+    mutable std::mutex mu_;  ///< Guards the self-published slot.
+    StoreSnapshot local_;    ///< Self-published source.
+    uint64_t next_epoch_ = 1;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SERVE_MODEL_SERVICE_H

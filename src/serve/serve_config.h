@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Serving-plane configuration. Kept free of other serve/ includes so
+ * fl/system.h and harness/experiment.h can embed a ServeConfig without
+ * pulling in the ModelService machinery.
+ */
+#ifndef AUTOFL_SERVE_SERVE_CONFIG_H
+#define AUTOFL_SERVE_SERVE_CONFIG_H
+
+namespace autofl {
+
+/** Configuration of the model-serving plane (src/serve/). */
+struct ServeConfig
+{
+    /**
+     * Rows per batched forward pass. Inference folds this many samples
+     * into each layer call, so the Dense/LSTM projections run as one
+     * GEMM instead of batch_size GEMV-shaped calls. 1 reproduces the
+     * per-sample path (the bench's baseline). The default sits at the
+     * cache knee: larger batches keep growing the GEMMs but push
+     * conv activations out of L1/L2 (see BENCH_serve_throughput.json).
+     */
+    int batch_size = 16;
+
+    /**
+     * Inference worker slots. Each slot owns a scratch model whose
+     * loaded weights are cached by snapshot identity, so repeated
+     * queries against the same snapshot skip the weight reload. Also
+     * the default evaluation fan-out.
+     */
+    int workers = 4;
+
+    /**
+     * How many epochs a cached SnapshotHandle may trail the latest
+     * snapshot before ModelService::refresh() swaps it. 0 always
+     * serves the freshest snapshot; a positive lag amortizes the
+     * snapshot lookup across queries while training streams commits.
+     */
+    int max_snapshot_lag = 0;
+
+    /**
+     * Validate the knobs, throwing std::invalid_argument with an
+     * actionable message. @p who names the owning config in messages
+     * (e.g. "FlSystemConfig::serve").
+     */
+    void validate(const char *who) const;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SERVE_SERVE_CONFIG_H

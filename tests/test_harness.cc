@@ -1,4 +1,7 @@
 /** @file Experiment harness and oracle-search integration tests. */
+#include <stdexcept>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "harness/oracle_search.h"
@@ -206,6 +209,95 @@ TEST(Harness, DefaultTargetsAreAttainable)
     for (Workload w : all_workloads()) {
         EXPECT_GT(default_target_accuracy(w), 0.0);
         EXPECT_LT(default_target_accuracy(w), 1.0);
+    }
+}
+
+/**
+ * Expect run_experiment(cfg) to reject the config with a message that
+ * names the offending knob (actionable, not just "bad config").
+ */
+void
+expect_rejected(const ExperimentConfig &cfg, const std::string &knob)
+{
+    try {
+        run_experiment(cfg);
+        FAIL() << "expected std::invalid_argument naming " << knob;
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(knob), std::string::npos)
+            << "message does not name the knob: " << e.what();
+    }
+}
+
+TEST(ConfigValidation, RejectsBadPipelineDepth)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.pipeline_depth = 0;
+    expect_rejected(cfg, "pipeline_depth");
+}
+
+TEST(ConfigValidation, RejectsNegativeStalenessBound)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.staleness_bound = -1;
+    expect_rejected(cfg, "staleness_bound");
+}
+
+TEST(ConfigValidation, RejectsBadEvalWorkers)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.eval_workers = 0;
+    expect_rejected(cfg, "eval_workers");
+}
+
+TEST(ConfigValidation, RejectsZeroPsShards)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.ps_shards = 0;
+    expect_rejected(cfg, "ps_shards");
+}
+
+TEST(ConfigValidation, RejectsBadServeConfig)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.serve.batch_size = 0;
+    expect_rejected(cfg, "serve.batch_size");
+    cfg = fast_cfg();
+    cfg.serve.workers = 0;
+    expect_rejected(cfg, "serve.workers");
+    cfg = fast_cfg();
+    cfg.serve.max_snapshot_lag = -1;
+    expect_rejected(cfg, "serve.max_snapshot_lag");
+}
+
+TEST(ConfigValidation, FlSystemCtorRejectsBadRuntimeKnobs)
+{
+    FlSystemConfig cfg;
+    cfg.data.train_samples = 40;
+    cfg.data.test_samples = 10;
+    cfg.partition.num_devices = 4;
+    cfg.ps.pipeline_depth = 0;
+    try {
+        FlSystem fl(cfg);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("pipeline_depth"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ConfigValidation, MessagesAreActionable)
+{
+    // The message carries the rejected value and what the knob means.
+    ExperimentConfig cfg = fast_cfg();
+    cfg.pipeline_depth = -3;
+    try {
+        run_experiment(cfg);
+        FAIL();
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("got -3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(">= 1"), std::string::npos) << msg;
     }
 }
 
