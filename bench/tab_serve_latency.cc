@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Serving-plane latency and admission control under load, written to
+ * BENCH_serve_latency.json.
+ *
+ * Two measurements on the LSTM workload (the one whose per-step
+ * projections collapse best under coalescing):
+ *
+ *  1. Closed-loop saturation at high concurrency (clients = 16x the
+ *     worker slots, each issuing single-sample queries back to back):
+ *     per-call submission (every caller pays its own engine forward)
+ *     vs dynamic batching through ModelService::submit(). Gate: the
+ *     coalesced path clears >= 1.5x the per-call QPS.
+ *
+ *  2. Open-loop generator at a sweep of offered loads around the
+ *     measured capacity: requests fire on a fixed arrival schedule
+ *     whether or not earlier ones finished (submit never blocks), and
+ *     completion latency is measured from the *scheduled* arrival via
+ *     the reply's completion timestamp. Gate: under overload the
+ *     bounded queue sheds (typed rejections observed) and the p99 of
+ *     admitted requests stays within a capacity-derived bound instead
+ *     of growing with the backlog.
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "kernels/kernels.h"
+#include "serve/model_service.h"
+#include "util/stats.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr Workload kWorkload = Workload::LstmShakespeare;
+constexpr int kProbeSamples = 64;   ///< Distinct single-sample inputs.
+constexpr int kSlots = 2;           ///< Engine worker slots.
+constexpr int kClients = 32;        ///< 16x concurrency over slots.
+constexpr int kBatch = 32;
+constexpr int kQueueDepth = 64;
+constexpr int kBatchTimeoutUs = 200;
+constexpr double kClosedLoopSecs = 1.0;
+constexpr double kOpenLoopSecs = 1.2;
+
+double
+secs(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+ServeConfig
+serve_config()
+{
+    ServeConfig cfg;
+    cfg.batch_size = kBatch;
+    cfg.workers = kSlots;
+    cfg.queue_depth = kQueueDepth;
+    cfg.batch_timeout_us = kBatchTimeoutUs;
+    cfg.shed = ShedPolicy::RejectNew;
+    return cfg;
+}
+
+/** Single-sample model-ready inputs, cycled by the load generators. */
+std::vector<Tensor>
+probe_rows(const Dataset &test)
+{
+    std::vector<Tensor> rows;
+    rows.reserve(kProbeSamples);
+    for (int i = 0; i < kProbeSamples; ++i)
+        rows.push_back(test.batch_x({i}));
+    return rows;
+}
+
+struct ClosedLoopResult
+{
+    double qps = 0.0;
+    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+};
+
+/**
+ * kClients threads issue single-sample queries back to back for a
+ * fixed wall-clock window; per-request latency is the caller-observed
+ * round trip. @p dynamic routes through submit(); otherwise every call
+ * runs its own engine forward (the PR-4 serving path).
+ */
+ClosedLoopResult
+closed_loop(ModelService &ms, const std::vector<Tensor> &rows,
+            bool dynamic)
+{
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<double>> lat(
+        static_cast<size_t>(kClients));
+    const SnapshotHandle h = ms.acquire();
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    const auto t0 = Clock::now();
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            std::vector<double> &mine =
+                lat[static_cast<size_t>(c)];
+            size_t i = static_cast<size_t>(c);
+            while (!stop.load(std::memory_order_acquire)) {
+                Tensor row = rows[i % rows.size()];
+                ++i;
+                const auto q0 = Clock::now();
+                if (dynamic) {
+                    const InferenceReply r = ms.query(std::move(row));
+                    if (!r.ok())
+                        continue;
+                } else {
+                    ms.engine().forward(h, std::move(row));
+                }
+                mine.push_back(secs(Clock::now() - q0));
+            }
+        });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kClosedLoopSecs));
+    stop.store(true, std::memory_order_release);
+    for (auto &t : clients)
+        t.join();
+    const double elapsed = secs(Clock::now() - t0);
+
+    std::vector<double> all;
+    for (auto &v : lat)
+        all.insert(all.end(), v.begin(), v.end());
+    ClosedLoopResult out;
+    out.qps = static_cast<double>(all.size()) / elapsed;
+    out.p50_ms = percentile(all, 50) * 1e3;
+    out.p95_ms = percentile(all, 95) * 1e3;
+    out.p99_ms = percentile(all, 99) * 1e3;
+    return out;
+}
+
+struct OpenLoopResult
+{
+    double offered_qps = 0.0;
+    double goodput_qps = 0.0;   ///< Ok completions per second.
+    int requests = 0;
+    int ok = 0;
+    int shed = 0;
+    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;  ///< Ok only.
+};
+
+/**
+ * Open-loop generator: request i fires at t0 + i/rate across kClients
+ * threads regardless of completions (submit never blocks; sheds
+ * resolve immediately). Latency is completion minus *scheduled*
+ * arrival, so falling behind shows up as queueing delay, not as a
+ * lower offered rate.
+ */
+OpenLoopResult
+open_loop(ModelService &ms, const std::vector<Tensor> &rows,
+          double offered_qps)
+{
+    const int total =
+        static_cast<int>(offered_qps * kOpenLoopSecs);
+    struct Pending
+    {
+        Clock::time_point scheduled;
+        std::future<InferenceReply> fut;
+    };
+    std::vector<std::vector<Pending>> pending(
+        static_cast<size_t>(kClients));
+    const auto t0 = Clock::now() + std::chrono::milliseconds(10);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            auto &mine = pending[static_cast<size_t>(c)];
+            for (int i = c; i < total; i += kClients) {
+                const auto at = t0 +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(i / offered_qps));
+                std::this_thread::sleep_until(at);
+                Tensor row =
+                    rows[static_cast<size_t>(i) % rows.size()];
+                mine.push_back(
+                    {at, ms.submit(std::move(row))});
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    OpenLoopResult out;
+    out.offered_qps = offered_qps;
+    out.requests = total;
+    std::vector<double> lat;
+    Clock::time_point last_done = t0;
+    for (auto &v : pending) {
+        for (auto &p : v) {
+            const InferenceReply r = p.fut.get();
+            if (r.ok()) {
+                ++out.ok;
+                lat.push_back(secs(r.completed_at - p.scheduled));
+                last_done = std::max(last_done, r.completed_at);
+            } else {
+                ++out.shed;
+            }
+        }
+    }
+    const double window = std::max(1e-9, secs(last_done - t0));
+    out.goodput_qps = out.ok / window;
+    out.p50_ms = percentile(lat, 50) * 1e3;
+    out.p95_ms = percentile(lat, 95) * 1e3;
+    out.p99_ms = percentile(lat, 99) * 1e3;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    print_banner(std::cout,
+                 "Serving-plane latency: dynamic batching vs per-call, " +
+                     std::string(workload_name(kWorkload)) + ", " +
+                     std::to_string(kClients) + " clients over " +
+                     std::to_string(kSlots) + " slots");
+
+    SyntheticConfig dcfg;
+    dcfg.train_samples = 16;
+    dcfg.test_samples = kProbeSamples;
+    dcfg.seed = kBenchSeed;
+    const Dataset test = make_dataset(kWorkload, dcfg).test;
+    const std::vector<Tensor> rows = probe_rows(test);
+
+    Sequential model = make_model(kWorkload);
+    Rng rng(kBenchSeed);
+    model.init_weights(rng);
+
+    ModelService ms(kWorkload, serve_config());
+    ms.publish(model.flat_weights());
+
+    // Warm every slot (weight load) and the batcher threads.
+    for (int i = 0; i < 64; ++i)
+        ms.query(Tensor(rows[static_cast<size_t>(i) % rows.size()]));
+
+    // ---- closed-loop saturation: per-call vs dynamic batching.
+    const ClosedLoopResult percall = closed_loop(ms, rows, false);
+    const ClosedLoopResult dynamic = closed_loop(ms, rows, true);
+    const double speedup =
+        percall.qps > 0.0 ? dynamic.qps / percall.qps : 0.0;
+
+    TextTable t;
+    t.set_header({"mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+    t.add_row({"per-call", TextTable::num(percall.qps, 0),
+               TextTable::num(percall.p50_ms, 2),
+               TextTable::num(percall.p95_ms, 2),
+               TextTable::num(percall.p99_ms, 2)});
+    t.add_row({"dynamic-batch", TextTable::num(dynamic.qps, 0),
+               TextTable::num(dynamic.p50_ms, 2),
+               TextTable::num(dynamic.p95_ms, 2),
+               TextTable::num(dynamic.p99_ms, 2)});
+    t.render(std::cout);
+    const bool batching_ok = speedup >= 1.5;
+    std::cout << "dynamic batching vs per-call QPS at " << kClients
+              << " clients / " << kSlots << " slots: "
+              << TextTable::num(speedup, 2) << "x ("
+              << (batching_ok ? "PASS" : "FAIL") << " >= 1.5x)\n\n";
+
+    // ---- open-loop sweep around the measured capacity.
+    const double capacity = dynamic.qps;
+    const std::vector<double> load_factors = {0.5, 1.0, 2.0};
+    std::vector<OpenLoopResult> sweep;
+    for (double f : load_factors)
+        sweep.push_back(open_loop(ms, rows, f * capacity));
+
+    print_banner(std::cout,
+                 "Open-loop offered load sweep (capacity " +
+                     TextTable::num(capacity, 0) + " QPS)");
+    TextTable o;
+    o.set_header({"offered QPS", "goodput", "ok", "shed", "p50 (ms)",
+                  "p95 (ms)", "p99 (ms)"});
+    for (const auto &r : sweep) {
+        o.add_row({TextTable::num(r.offered_qps, 0),
+                   TextTable::num(r.goodput_qps, 0),
+                   std::to_string(r.ok), std::to_string(r.shed),
+                   TextTable::num(r.p50_ms, 2),
+                   TextTable::num(r.p95_ms, 2),
+                   TextTable::num(r.p99_ms, 2)});
+    }
+    o.render(std::cout);
+
+    // Admitted latency is bounded by what is ever allowed to wait:
+    // queue_depth queued samples + one coalesced batch per slot, drained
+    // at capacity, plus the coalescing deadline — with generous slack
+    // for scheduler noise on shared runners. An unbounded queue at 2x
+    // offered load would blow through this within the measured window.
+    const OpenLoopResult &over = sweep.back();
+    const double bound_ms =
+        5.0 * 1e3 * (kQueueDepth + kSlots * kBatch) / capacity +
+        5.0 * kBatchTimeoutUs / 1e3 + 50.0;
+    const bool sheds_ok = over.shed > 0;
+    // ok > 0 guards against a vacuous pass: percentile({}) is 0, so an
+    // all-shed overload (zero goodput) must fail, not sail through.
+    const bool p99_ok = over.ok > 0 && over.p99_ms <= bound_ms;
+    std::cout << "overload (2x) sheds: " << over.shed << " ("
+              << (sheds_ok ? "PASS" : "FAIL") << " > 0); p99 "
+              << TextTable::num(over.p99_ms, 2) << " ms over "
+              << over.ok << " admitted ("
+              << (p99_ok ? "PASS" : "FAIL") << " <= bound "
+              << TextTable::num(bound_ms, 2) << " ms, > 0 admitted)\n";
+    const ServeStats st = ms.serving_stats();
+    std::cout << "mean coalesced batch: "
+              << TextTable::num(st.mean_batch_rows(), 2)
+              << " samples over " << st.batches << " batches\n";
+
+    std::ofstream json("BENCH_serve_latency.json");
+    json << "{\n  \"kernel_arch\": \""
+         << kernels::kernel_arch_name(kernels::current_kernel_arch())
+         << "\",\n"
+         << "  \"hardware_threads\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"workload\": \"" << workload_name(kWorkload) << "\",\n"
+         << "  \"clients\": " << kClients << ",\n"
+         << "  \"slots\": " << kSlots << ",\n"
+         << "  \"batch_size\": " << kBatch << ",\n"
+         << "  \"queue_depth\": " << kQueueDepth << ",\n"
+         << "  \"batch_timeout_us\": " << kBatchTimeoutUs << ",\n"
+         << "  \"closed_loop\": {\n"
+         << "    \"per_call\": {\"qps\": " << percall.qps
+         << ", \"p50_ms\": " << percall.p50_ms
+         << ", \"p95_ms\": " << percall.p95_ms
+         << ", \"p99_ms\": " << percall.p99_ms << "},\n"
+         << "    \"dynamic_batch\": {\"qps\": " << dynamic.qps
+         << ", \"p50_ms\": " << dynamic.p50_ms
+         << ", \"p95_ms\": " << dynamic.p95_ms
+         << ", \"p99_ms\": " << dynamic.p99_ms << "},\n"
+         << "    \"batching_speedup\": " << speedup << "\n  },\n"
+         << "  \"open_loop\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const auto &r = sweep[i];
+        json << "    {\"offered_qps\": " << r.offered_qps
+             << ", \"goodput_qps\": " << r.goodput_qps
+             << ", \"requests\": " << r.requests << ", \"ok\": " << r.ok
+             << ", \"shed\": " << r.shed << ", \"p50_ms\": " << r.p50_ms
+             << ", \"p95_ms\": " << r.p95_ms
+             << ", \"p99_ms\": " << r.p99_ms << "}"
+             << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"mean_coalesced_batch_rows\": " << st.mean_batch_rows()
+         << ",\n"
+         << "  \"overload_p99_bound_ms\": " << bound_ms << ",\n"
+         << "  \"gates\": {\"batching_speedup_ok\": "
+         << (batching_ok ? "true" : "false")
+         << ", \"overload_sheds_ok\": " << (sheds_ok ? "true" : "false")
+         << ", \"overload_p99_ok\": " << (p99_ok ? "true" : "false")
+         << "}\n}\n";
+    std::cout << "wrote BENCH_serve_latency.json\n";
+    return batching_ok && sheds_ok && p99_ok ? 0 : 1;
+}

@@ -11,7 +11,10 @@
  * handles (cfg.serve.max_snapshot_lag bounds how stale a cached handle
  * may get), scores a fixed probe set through the batched inference
  * engine, and records how far behind the training frontier each answer
- * was.
+ * was. Alongside it, a pool of online clients fires single-sample
+ * classification queries through ModelService::submit() — the
+ * dynamic-batching entry point — and the run ends with the batcher's
+ * coalescing/shed accounting.
  */
 #include <atomic>
 #include <chrono>
@@ -72,6 +75,29 @@ main()
     std::vector<Query> queries;
     std::mutex qmu;
     std::atomic<bool> stop{false};
+
+    // Online clients: single-sample classification through the dynamic
+    // batcher. Concurrent submissions coalesce into shared engine
+    // batches while the eval thread and training share the same slots.
+    constexpr int kClientThreads = 3;
+    std::atomic<int> answered{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClientThreads);
+    for (int c = 0; c < kClientThreads; ++c) {
+        clients.emplace_back([&, c] {
+            int i = c;
+            while (!stop.load(std::memory_order_acquire)) {
+                const int sample =
+                    i % static_cast<int>(fl.test_set().size());
+                const InferenceReply r = serve.query(
+                    fl.test_set().batch_x({sample}), true);
+                if (r.ok())
+                    answered.fetch_add(1, std::memory_order_relaxed);
+                i += kClientThreads;
+            }
+        });
+    }
+
     std::thread server([&] {
         SnapshotHandle h;
         while (!stop.load(std::memory_order_acquire)) {
@@ -103,6 +129,8 @@ main()
     fl.drain();
     stop.store(true, std::memory_order_release);
     server.join();
+    for (auto &t : clients)
+        t.join();
 
     print_banner(std::cout, "Training rounds (scored by the eval workers)");
     TextTable rt;
@@ -139,5 +167,12 @@ main()
                   << " epochs (bound "
                   << serve.config().max_snapshot_lag << ")\n";
     }
+
+    const ServeStats st = serve.serving_stats();
+    std::cout << "online clients: " << answered.load()
+              << " classifications through the dynamic batcher ("
+              << st.batches << " coalesced batches, mean "
+              << TextTable::num(st.mean_batch_rows(), 2)
+              << " samples/batch, " << st.shed << " shed)\n";
     return 0;
 }

@@ -82,7 +82,17 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
     }
 }
 
-FlSystem::~FlSystem() = default;
+FlSystem::~FlSystem()
+{
+    // The dynamic batcher's dispatcher threads acquire store snapshots,
+    // and the store dies with ps_ (destroyed before serve_, which must
+    // outlive the pipeline drain). Stop serving first so no dispatcher
+    // touches the store after it; queued online requests complete as
+    // Shutdown, the pipeline's queued eval closures still run — they
+    // call the engine directly, not the batcher.
+    if (serve_)
+        serve_->stop_serving();
+}
 
 const Dataset &
 FlSystem::shard(int device_id) const

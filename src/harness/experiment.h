@@ -66,7 +66,9 @@ struct ExperimentConfig
     /**
      * Serving plane: inference batch size, worker slots and snapshot
      * freshness for every model read (FlSystem::evaluate, the
-     * pipeline's eval workers, online queries while training).
+     * pipeline's eval workers, online queries while training), plus
+     * the dynamic-batching queue knobs (queue_depth, batch_timeout_us,
+     * shed policy) governing admission control for submit() traffic.
      */
     ServeConfig serve;
 

@@ -126,6 +126,12 @@ model_batch_shape(Workload w, int batch)
 }
 
 int
+model_batch_axis(Workload w)
+{
+    return w == Workload::LstmShakespeare ? 1 : 0;
+}
+
+int
 model_num_classes(Workload w)
 {
     switch (w) {

@@ -57,6 +57,13 @@ std::vector<int> model_input_shape(Workload w);
 /** Input shape for a batch of @p batch samples. */
 std::vector<int> model_batch_shape(Workload w, int batch);
 
+/**
+ * Which input dimension counts samples: 0 for the batch-major image
+ * workloads, 1 for the LSTM's time-major {seq, batch, vocab} layout.
+ * Output logits are {batch, classes} for every workload.
+ */
+int model_batch_axis(Workload w);
+
 /** Number of output classes. */
 int model_num_classes(Workload w);
 

@@ -1,0 +1,243 @@
+#include "serve/dynamic_batcher.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "nn/loss.h"
+#include "serve/model_service.h"
+
+namespace autofl {
+
+namespace {
+
+/** Complete one request with a data-free status. */
+void
+finish(InferenceRequest &req, ReplyStatus status)
+{
+    InferenceReply reply;
+    reply.status = status;
+    reply.completed_at = std::chrono::steady_clock::now();
+    req.promise.set_value(std::move(reply));
+}
+
+} // namespace
+
+DynamicBatcher::DynamicBatcher(ModelService &service,
+                               const ServeConfig &cfg)
+    : service_(service), cfg_(cfg),
+      batch_axis_(model_batch_axis(service.workload())),
+      batch_rank_(static_cast<int>(
+          model_batch_shape(service.workload(), 1).size())),
+      queue_(cfg.queue_depth, cfg.shed)
+{
+    dispatchers_.reserve(static_cast<size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i)
+        dispatchers_.emplace_back([this] { dispatch_loop(); });
+}
+
+DynamicBatcher::~DynamicBatcher()
+{
+    shutdown();
+}
+
+std::future<InferenceReply>
+DynamicBatcher::submit(Tensor rows, bool want_classes)
+{
+    InferenceRequest req;
+    std::future<InferenceReply> fut = req.promise.get_future();
+
+    // Validate the shape up front: coalescing concatenates raw buffers
+    // along the batch axis, so a tensor that does not fit the served
+    // model must fail typed here, never reach a memcpy.
+    const int n =
+        rows.rank() == batch_rank_ ? rows.dim(batch_axis_) : 0;
+    if (n < 1 ||
+        rows.shape() != model_batch_shape(service_.workload(), n)) {
+        {
+            std::lock_guard<std::mutex> lk(stats_mu_);
+            ++stats_.submitted;
+        }
+        finish(req, ReplyStatus::BadRequest);
+        return fut;
+    }
+    req.samples = n;
+    req.rows = std::move(rows);
+    req.want_classes = want_classes;
+
+    // Count BEFORE the push: a dispatcher may pop and complete the
+    // request the moment it lands in the queue, and a concurrent stats
+    // reader must never see completed > admitted. The optimistic
+    // admitted increment is taken back on the non-admitted outcomes.
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.submitted;
+        ++stats_.admitted;
+    }
+    InferenceRequest evicted;
+    bool has_evicted = false;
+    switch (queue_.push(req, evicted, has_evicted)) {
+      case RequestQueue::Push::Admitted: {
+        if (has_evicted) {
+            {
+                std::lock_guard<std::mutex> lk(stats_mu_);
+                ++stats_.shed;
+            }
+            finish(evicted, ReplyStatus::Shed);
+        }
+        break;
+      }
+      case RequestQueue::Push::Shed: {
+        {
+            std::lock_guard<std::mutex> lk(stats_mu_);
+            --stats_.admitted;
+            ++stats_.shed;
+        }
+        finish(req, ReplyStatus::Shed);
+        break;
+      }
+      case RequestQueue::Push::Closed: {
+        {
+            std::lock_guard<std::mutex> lk(stats_mu_);
+            --stats_.admitted;
+        }
+        finish(req, ReplyStatus::Shutdown);
+        break;
+      }
+    }
+    return fut;
+}
+
+void
+DynamicBatcher::dispatch_loop()
+{
+    std::vector<InferenceRequest> batch;
+    while (queue_.pop_batch(batch, cfg_.batch_size,
+                            std::chrono::microseconds(
+                                cfg_.batch_timeout_us))) {
+        dispatch(batch);
+        batch.clear();
+    }
+}
+
+void
+DynamicBatcher::dispatch(std::vector<InferenceRequest> &batch)
+{
+    assert(!batch.empty());
+    const SnapshotHandle snap = service_.acquire();
+    if (!snap.valid()) {
+        for (auto &req : batch)
+            finish(req, ReplyStatus::NoModel);
+        return;
+    }
+
+    // Coalesce every request's samples into one model-ready tensor
+    // along the workload's batch axis (axis 0 for the image workloads;
+    // the LSTM's batch_x layout is time-major {seq, batch, vocab}, so
+    // its samples concatenate along axis 1). All requests target the
+    // same architecture: every dim but the batch axis must agree.
+    // Sample counts are taken up front — the single-request fast path
+    // moves the tensor out.
+    const int axis = batch_axis_;
+    std::vector<int> counts;
+    counts.reserve(batch.size());
+    int total = 0;
+    for (const auto &req : batch) {
+        assert(req.samples == req.rows.dim(axis));
+        counts.push_back(req.samples);
+        total += req.samples;
+    }
+    Tensor big;
+    if (batch.size() == 1) {
+        big = std::move(batch[0].rows);
+    } else {
+        std::vector<int> shape = batch[0].rows.shape();
+        // outer: dims before the batch axis (the LSTM's time steps);
+        // inner: elements per sample per outer index.
+        size_t outer = 1;
+        for (int d = 0; d < axis; ++d)
+            outer *= static_cast<size_t>(shape[static_cast<size_t>(d)]);
+        size_t inner = 1;
+        for (int d = axis + 1; d < static_cast<int>(shape.size()); ++d)
+            inner *= static_cast<size_t>(shape[static_cast<size_t>(d)]);
+        shape[static_cast<size_t>(axis)] = total;
+        big = Tensor(std::move(shape));
+        for (size_t o = 0; o < outer; ++o) {
+            size_t off = 0;  // Sample offset within this outer index.
+            for (size_t r = 0; r < batch.size(); ++r) {
+                const Tensor &src = batch[r].rows;
+                const size_t n = static_cast<size_t>(counts[r]);
+                std::memcpy(
+                    big.data() +
+                        (o * static_cast<size_t>(total) + off) * inner,
+                    src.data() + o * n * inner, n * inner * sizeof(float));
+                off += n;
+            }
+        }
+    }
+
+    // One inference pass over the coalesced batch; forward() claims a
+    // free engine slot (waiting on the pool's condvar under load).
+    Tensor logits = service_.engine().forward(snap, std::move(big));
+    const int classes = logits.dim(-1);
+
+    // Count before fulfilling any promise: a caller whose future just
+    // resolved may read the stats immediately.
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.batches;
+        stats_.batched_rows += static_cast<uint64_t>(total);
+        stats_.completed += batch.size();
+    }
+
+    // Split the logits back per request, in arrival order.
+    const auto done = std::chrono::steady_clock::now();
+    int row = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        InferenceRequest &req = batch[i];
+        const int n = counts[i];
+        InferenceReply reply;
+        reply.status = ReplyStatus::Ok;
+        reply.epoch = snap.epoch();
+        reply.batch_rows = total;
+        reply.completed_at = done;
+        reply.logits = Tensor({n, classes});
+        std::memcpy(reply.logits.data(),
+                    logits.data() +
+                        static_cast<size_t>(row) *
+                            static_cast<size_t>(classes),
+                    static_cast<size_t>(n) * static_cast<size_t>(classes) *
+                        sizeof(float));
+        if (req.want_classes)
+            reply.classes = argmax_rows(reply.logits);
+        req.promise.set_value(std::move(reply));
+        row += n;
+    }
+}
+
+void
+DynamicBatcher::shutdown()
+{
+    // Serialized, not merely flagged: a second caller (say the
+    // destructor racing an explicit stop_serving) must not return
+    // while the first is still joining dispatchers.
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (stopped_)
+        return;
+    queue_.close();
+    for (auto &t : dispatchers_)
+        t.join();
+    // Whatever the dispatchers did not drain fails typed, not silently.
+    for (auto &req : queue_.drain())
+        finish(req, ReplyStatus::Shutdown);
+    stopped_ = true;
+}
+
+ServeStats
+DynamicBatcher::stats() const
+{
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+}
+
+} // namespace autofl

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * DynamicBatcher: coalesces concurrent inference submissions into full
+ * engine batches.
+ *
+ * Callers submit model-ready input rows and get a future; dispatcher
+ * threads (one per worker slot) pull requests off the bounded
+ * RequestQueue, close a batch at ServeConfig::batch_size rows or the
+ * batch_timeout_us deadline (whichever first), run ONE inference pass
+ * over the coalesced rows on a pooled engine slot against the latest
+ * snapshot, and split the logits back per request. N concurrent 1-row
+ * callers therefore pay ~1/batch_size of a forward pass each instead of
+ * a full pass per call — and under overload the queue sheds typed
+ * rejections instead of growing without bound, so admitted requests
+ * keep a bounded p99.
+ *
+ * Determinism: on the scalar kernel arch, inference logits are
+ * bit-identical for any batch shape, so the same requests produce the
+ * same predictions at ANY concurrency — however timing composes them
+ * into batches. SIMD archs agree within the kernels' 1e-4 cross-variant
+ * contract.
+ */
+#ifndef AUTOFL_SERVE_DYNAMIC_BATCHER_H
+#define AUTOFL_SERVE_DYNAMIC_BATCHER_H
+
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.h"
+#include "serve/serve_config.h"
+
+namespace autofl {
+
+class ModelService;
+
+/** Request-scheduling layer between submitters and the engine slots. */
+class DynamicBatcher
+{
+  public:
+    /**
+     * Spawns cfg.workers dispatcher threads (one per engine slot, so
+     * every slot can run a coalesced batch concurrently).
+     * @param service Owning service; supplies snapshots and the engine.
+     */
+    DynamicBatcher(ModelService &service, const ServeConfig &cfg);
+
+    /** Shuts down (joining dispatchers) if still running. */
+    ~DynamicBatcher();
+
+    DynamicBatcher(const DynamicBatcher &) = delete;
+    DynamicBatcher &operator=(const DynamicBatcher &) = delete;
+
+    /**
+     * Submit @p rows (>= 1 sample along the workload's batch axis,
+     * layout per Dataset::batch_x) for batched inference against the
+     * latest snapshot at dispatch time. Never blocks: under overload
+     * the future completes immediately with ReplyStatus::Shed per the
+     * shed policy. @p want_classes also fills per-sample argmax
+     * classes in the reply.
+     */
+    std::future<InferenceReply> submit(Tensor rows, bool want_classes);
+
+    /**
+     * Stop serving: close the queue, fail queued requests with
+     * ReplyStatus::Shutdown, finish in-flight batches and join the
+     * dispatchers. Idempotent, and serialized — every caller returns
+     * only once the shutdown has fully completed. Subsequent submits
+     * complete as Shutdown (the closed queue rejects them typed).
+     */
+    void shutdown();
+
+    /** Snapshot of the serving counters. */
+    ServeStats stats() const;
+
+  private:
+    void dispatch_loop();
+    void dispatch(std::vector<InferenceRequest> &batch);
+
+    ModelService &service_;
+    ServeConfig cfg_;
+    const int batch_axis_;  ///< Workload's sample dimension (cached).
+    const int batch_rank_;  ///< Workload's input rank (cached).
+    RequestQueue queue_;
+
+    std::mutex shutdown_mu_;  ///< Serializes shutdown end to end.
+    bool stopped_ = false;    ///< Guarded by shutdown_mu_.
+
+    mutable std::mutex stats_mu_;
+    ServeStats stats_;
+
+    std::vector<std::thread> dispatchers_;  ///< Joined in shutdown().
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SERVE_DYNAMIC_BATCHER_H

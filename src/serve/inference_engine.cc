@@ -34,6 +34,20 @@ ServeConfig::validate(const char *who) const
             "): 0 always serves the freshest snapshot; a positive lag "
             "lets cached handles trail that many epochs");
     }
+    if (queue_depth < 1) {
+        throw std::invalid_argument(
+            w + ".queue_depth must be >= 1 (got " +
+            std::to_string(queue_depth) +
+            "): admission control needs at least one queue slot; raise "
+            "it to absorb bursts, shrink it to shed earlier");
+    }
+    if (batch_timeout_us < 0) {
+        throw std::invalid_argument(
+            w + ".batch_timeout_us must be >= 0 (got " +
+            std::to_string(batch_timeout_us) +
+            "): 0 dispatches queued requests immediately; a positive "
+            "deadline lets a partial batch wait for peers to coalesce");
+    }
 }
 
 InferenceEngine::InferenceEngine(Workload workload, const ServeConfig &cfg)
@@ -51,38 +65,50 @@ InferenceEngine::InferenceEngine(Workload workload, const ServeConfig &cfg)
 InferenceEngine::Slot &
 InferenceEngine::claim(const SnapshotHandle &snap)
 {
-    const size_t n = slots_.size();
-    size_t start;
-    {
-        std::lock_guard<std::mutex> lk(claim_mu_);
-        start = next_slot_++;
-    }
     const std::vector<float> *id =
         snap.valid() ? snap.shared().get() : nullptr;
-    // Pass 0 keeps only a free slot that already holds this snapshot's
-    // weights (serving affinity: no reload); pass 1 takes any free slot.
-    for (int pass = 0; pass < 2; ++pass) {
-        for (size_t i = 0; i < n; ++i) {
-            Slot &s = *slots_[(start + i) % n];
-            if (!s.mu.try_lock())
+    std::unique_lock<std::mutex> lk(pool_mu_);
+    for (;;) {
+        // Prefer a free slot that already holds this snapshot's weights
+        // (serving affinity: no reload); fall back to any free slot.
+        Slot *any_free = nullptr;
+        for (auto &sp : slots_) {
+            if (sp->busy)
                 continue;
-            if (pass == 0 && s.loaded.get() != id) {
-                s.mu.unlock();
-                continue;
+            if (sp->loaded.get() == id) {
+                sp->busy = true;
+                return *sp;
             }
-            return s;
+            if (any_free == nullptr)
+                any_free = sp.get();
         }
+        if (any_free != nullptr) {
+            any_free->busy = true;
+            return *any_free;
+        }
+        // Every slot busy: wait for whichever frees first. release()
+        // signals the pool, so N waiters over N slots always make
+        // progress on any freed slot.
+        free_cv_.wait(lk);
     }
-    // Every slot busy: queue on one deterministically.
-    Slot &s = *slots_[start % n];
-    s.mu.lock();
-    return s;
+}
+
+void
+InferenceEngine::release(Slot &s)
+{
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        s.busy = false;
+    }
+    free_cv_.notify_one();
 }
 
 InferenceEngine::Lease::Lease(InferenceEngine &eng,
                               const SnapshotHandle &snap)
-    : slot_(&eng.claim(snap))
+    : eng_(&eng), slot_(&eng.claim(snap))
 {
+    // The weight load runs outside pool_mu_: the busy flag makes the
+    // slot exclusively ours, so only the pool scan ever holds the lock.
     if (snap.valid() && slot_->loaded.get() != snap.shared().get()) {
         slot_->model.set_flat_weights(snap.weights());
         slot_->loaded = snap.shared();
@@ -94,9 +120,12 @@ InferenceEngine::evaluate(const SnapshotHandle &snap, const Dataset &test,
                           int fan_out)
 {
     EvalStats st;
-    st.epoch = snap.epoch();
-    // An invalid handle (or empty set) scores nothing: samples stays 0
-    // so the caller can tell "nothing ran" from a real 0% result.
+    // Only a valid handle carries a meaningful epoch; an invalid one
+    // scores nothing and its epoch field is garbage, so stamping it
+    // would make "nothing ran" indistinguishable from a real epoch-N
+    // result. samples stays 0 whenever no row was scored.
+    if (snap.valid())
+        st.epoch = snap.epoch();
     if (!snap.valid() || test.empty())
         return st;
     st.samples = static_cast<int>(test.size());
@@ -174,7 +203,13 @@ InferenceEngine::classify(const SnapshotHandle &snap, const Dataset &data,
 Tensor
 InferenceEngine::forward(const SnapshotHandle &snap, Tensor batch)
 {
-    assert(snap.valid());
+    // Throw, not assert: a Release build must never silently serve a
+    // slot whose scratch model has no weights loaded.
+    if (!snap.valid()) {
+        throw std::invalid_argument(
+            "InferenceEngine::forward requires a valid snapshot handle "
+            "(no model version published/attached yet)");
+    }
     Lease lease(*this, snap);
     return lease.model().infer(std::move(batch));
 }

@@ -21,6 +21,7 @@
 #ifndef AUTOFL_SERVE_INFERENCE_ENGINE_H
 #define AUTOFL_SERVE_INFERENCE_ENGINE_H
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -114,7 +115,9 @@ class InferenceEngine
 
     /**
      * Raw logits for one model-ready input batch (layout per
-     * Dataset::batch_x). Thread-safe; claims one slot.
+     * Dataset::batch_x). Thread-safe; claims one slot. Throws
+     * std::invalid_argument on an invalid handle — a slot must never
+     * serve without loaded weights.
      */
     Tensor forward(const SnapshotHandle &snap, Tensor batch);
 
@@ -128,35 +131,51 @@ class InferenceEngine
      * plain pointer equality, and the held reference makes address
      * reuse (a freed buffer reallocated at the same address) — the
      * classic caching-aliasing bug — structurally impossible.
+     * Exclusive access is the busy flag, guarded by pool_mu_; the model
+     * itself is touched only between claim() and release().
      */
     struct Slot
     {
-        std::mutex mu;
         Sequential model;
         std::shared_ptr<const std::vector<float>> loaded;
+        bool busy = false;
     };
 
-    /** RAII slot claim that also ensures the snapshot is loaded. */
+  public:
+    /**
+     * RAII slot claim that also ensures the snapshot's weights are
+     * loaded. Claiming prefers a free slot that already holds this
+     * snapshot (serving affinity: no reload), then any free slot; when
+     * every slot is busy the claim waits on the pool's free-slot
+     * condition variable and takes *whichever* slot frees first —
+     * waiters never park on one predetermined slot while others open
+     * up. Public so callers that make several engine calls against one
+     * snapshot (or tests pinning a slot) can hold the claim across
+     * them.
+     */
     class Lease
     {
       public:
         Lease(InferenceEngine &eng, const SnapshotHandle &snap);
-        ~Lease() { slot_->mu.unlock(); }
+        ~Lease() { eng_->release(*slot_); }
         Lease(const Lease &) = delete;
         Lease &operator=(const Lease &) = delete;
         Sequential &model() { return slot_->model; }
 
       private:
+        InferenceEngine *eng_;
         Slot *slot_;
     };
 
+  private:
     Workload workload_;
     ServeConfig cfg_;
     std::vector<std::unique_ptr<Slot>> slots_;
-    std::mutex claim_mu_;  ///< Round-robin start index for claims.
-    size_t next_slot_ = 0;
+    std::mutex pool_mu_;               ///< Guards every Slot::busy flag.
+    std::condition_variable free_cv_;  ///< Signaled on each release().
 
     Slot &claim(const SnapshotHandle &snap);
+    void release(Slot &s);
 };
 
 } // namespace autofl

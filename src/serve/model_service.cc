@@ -1,6 +1,9 @@
 #include "serve/model_service.h"
 
 #include <cassert>
+#include <utility>
+
+#include "serve/dynamic_batcher.h"
 
 namespace autofl {
 
@@ -12,20 +15,29 @@ ModelService::ModelService(Workload workload, ServeConfig cfg)
     // weights).
 }
 
+// Out of line for the forward-declared DynamicBatcher; the member is
+// declared last, so its destructor joins the dispatchers before the
+// engine or the snapshot sources go away.
+ModelService::~ModelService() = default;
+
 void
 ModelService::attach_store(const ShardedStore *store)
 {
     assert(store != nullptr);
     std::lock_guard<std::mutex> lk(mu_);
     assert(local_.weights == nullptr);  // One source per service.
-    store_ = store;
+    // Set-once-before-use: flipping sources mid-flight would tear the
+    // epoch sequence consumers reason about.
+    assert(store_.load(std::memory_order_relaxed) == nullptr);
+    store_.store(store, std::memory_order_release);
 }
 
 uint64_t
 ModelService::publish(const std::vector<float> &weights)
 {
     std::lock_guard<std::mutex> lk(mu_);
-    assert(store_ == nullptr);  // Store-backed services never publish.
+    // Store-backed services never publish.
+    assert(store_.load(std::memory_order_relaxed) == nullptr);
     if (local_.weights != nullptr && *local_.weights == weights)
         return local_.epoch;  // Same version: epoch unchanged.
     local_ = StoreSnapshot{
@@ -37,8 +49,11 @@ ModelService::publish(const std::vector<float> &weights)
 SnapshotHandle
 ModelService::acquire() const
 {
-    if (store_ != nullptr)
-        return SnapshotHandle(store_->latest_snapshot());
+    // Lock-free on the store-backed path: attach_store's release store
+    // pairs with this acquire load, and the store itself synchronizes
+    // its snapshot publication.
+    if (const ShardedStore *s = store_.load(std::memory_order_acquire))
+        return SnapshotHandle(s->latest_snapshot());
     std::lock_guard<std::mutex> lk(mu_);
     return SnapshotHandle(local_);
 }
@@ -55,6 +70,55 @@ ModelService::refresh(SnapshotHandle &h) const
         return false;
     h = std::move(latest);
     return true;
+}
+
+std::future<InferenceReply>
+ModelService::submit(Tensor rows, bool want_classes)
+{
+    DynamicBatcher *b = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(batcher_mu_);
+        if (!serving_stopped_ && !batcher_)
+            batcher_ = std::make_unique<DynamicBatcher>(*this, cfg_);
+        // A stopped batcher still takes submissions: its closed queue
+        // fails them typed, counted and timestamped like any other
+        // completion. It is never resurrected.
+        b = batcher_.get();
+    }
+    if (b == nullptr) {
+        // Stopped before the batcher ever existed: fail typed without
+        // creating one (there are no stats to count into yet).
+        std::promise<InferenceReply> p;
+        InferenceReply reply;
+        reply.status = ReplyStatus::Shutdown;
+        reply.completed_at = std::chrono::steady_clock::now();
+        p.set_value(std::move(reply));
+        return p.get_future();
+    }
+    return b->submit(std::move(rows), want_classes);
+}
+
+void
+ModelService::stop_serving()
+{
+    DynamicBatcher *b = nullptr;
+    {
+        std::lock_guard<std::mutex> lk(batcher_mu_);
+        serving_stopped_ = true;
+        b = batcher_.get();
+    }
+    // Shut down outside batcher_mu_: the join can take as long as an
+    // in-flight batch, and concurrent submit()/serving_stats() callers
+    // must keep getting their immediate (typed) answers meanwhile.
+    if (b != nullptr)
+        b->shutdown();
+}
+
+ServeStats
+ModelService::serving_stats() const
+{
+    std::lock_guard<std::mutex> lk(batcher_mu_);
+    return batcher_ ? batcher_->stats() : ServeStats{};
 }
 
 } // namespace autofl

@@ -25,21 +25,29 @@
  *    epoch really counts model versions.
  *
  * Inference goes through the owned InferenceEngine: batched forward
- * passes on worker slots with per-snapshot weight caching. See
+ * passes on worker slots with per-snapshot weight caching. Concurrent
+ * online queries go through submit(), the dynamic-batching entry point:
+ * a bounded RequestQueue plus DynamicBatcher coalesce them into full
+ * engine batches and shed typed rejections under overload. See
  * src/serve/README.md for the full API contract.
  */
 #ifndef AUTOFL_SERVE_MODEL_SERVICE_H
 #define AUTOFL_SERVE_MODEL_SERVICE_H
 
+#include <atomic>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "ps/sharded_store.h"
 #include "serve/inference_engine.h"
+#include "serve/request_queue.h"
 #include "serve/serve_config.h"
 
 namespace autofl {
+
+class DynamicBatcher;
 
 /** Parameter-server facade over model consumption. */
 class ModelService
@@ -50,20 +58,29 @@ class ModelService
      * @param cfg Serving knobs (validated; throws on nonsense).
      */
     explicit ModelService(Workload workload, ServeConfig cfg = {});
+    ~ModelService();
 
     ModelService(const ModelService &) = delete;
     ModelService &operator=(const ModelService &) = delete;
 
     /**
-     * Source snapshots from @p store (which must outlive this object):
-     * acquire() returns the store's latest published snapshot. Call
-     * once, before consumers start; only the pipelined runtime
-     * publishes store snapshots past epoch 0.
+     * Source snapshots from @p store (which must outlive every
+     * consumer; see stop_serving): acquire() returns the store's
+     * latest published snapshot. Set-once-before-use: call exactly
+     * once (asserted), and strictly before publish() is ever called —
+     * concurrent acquire() calls are safe (the pointer is an atomic
+     * with release/acquire ordering), but the service must never
+     * switch sources mid-flight. Only the pipelined runtime publishes
+     * store snapshots past epoch 0.
      */
     void attach_store(const ShardedStore *store);
 
     /** Whether acquire() reads a live store. */
-    bool store_backed() const { return store_ != nullptr; }
+    bool
+    store_backed() const
+    {
+        return store_.load(std::memory_order_acquire) != nullptr;
+    }
 
     /**
      * Publish @p weights as the newest model version (self-published
@@ -105,6 +122,39 @@ class ModelService
         return engine_.classify(h, data, indices);
     }
 
+    /**
+     * Submit @p rows (layout per Dataset::batch_x, >= 1 sample along
+     * the workload's batch axis) to the dynamic batcher: concurrent
+     * submissions coalesce into one engine batch (closed at
+     * cfg.batch_size samples or the cfg.batch_timeout_us deadline)
+     * against the latest snapshot at dispatch time. Never blocks —
+     * under overload the future completes immediately with
+     * ReplyStatus::Shed per cfg.shed (bounded queue, bounded p99).
+     * @param want_classes Also argmax each sample into reply.classes.
+     */
+    std::future<InferenceReply> submit(Tensor rows,
+                                       bool want_classes = false);
+
+    /** Synchronous convenience wrapper: submit and wait. */
+    InferenceReply
+    query(Tensor rows, bool want_classes = false)
+    {
+        return submit(std::move(rows), want_classes).get();
+    }
+
+    /**
+     * Stop the dynamic batcher (idempotent): queued requests complete
+     * as ReplyStatus::Shutdown, in-flight batches finish, dispatcher
+     * threads join, and later submits complete as Shutdown. Owners of
+     * a store-backed service MUST call this before the attached store
+     * dies — dispatchers acquire store snapshots. Direct engine calls
+     * (evaluate/classify/forward) keep working.
+     */
+    void stop_serving();
+
+    /** Serving counters (zeros before the first submit()). */
+    ServeStats serving_stats() const;
+
     /** The batched inference engine (raw forward access). */
     InferenceEngine &engine() { return engine_; }
 
@@ -116,11 +166,23 @@ class ModelService
     ServeConfig cfg_;
     InferenceEngine engine_;
 
-    const ShardedStore *store_ = nullptr;  ///< Store-backed source.
+    /**
+     * Store-backed source. Written once by attach_store() before any
+     * consumer runs; atomic because acquire()/store_backed() read it
+     * from serving threads without taking mu_ (release store pairs
+     * with acquire loads).
+     */
+    std::atomic<const ShardedStore *> store_{nullptr};
 
     mutable std::mutex mu_;  ///< Guards the self-published slot.
     StoreSnapshot local_;    ///< Self-published source.
     uint64_t next_epoch_ = 1;
+
+    mutable std::mutex batcher_mu_;  ///< Guards lazy batcher creation.
+    bool serving_stopped_ = false;   ///< stop_serving() is permanent.
+    // Declared last: the batcher's dispatchers use engine_ and the
+    // snapshot sources above, so it must be destroyed (joined) first.
+    std::unique_ptr<DynamicBatcher> batcher_;
 };
 
 } // namespace autofl

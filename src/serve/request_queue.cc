@@ -1,0 +1,118 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace autofl {
+
+const char *
+reply_status_name(ReplyStatus s)
+{
+    switch (s) {
+      case ReplyStatus::Ok:
+        return "Ok";
+      case ReplyStatus::Shed:
+        return "Shed";
+      case ReplyStatus::NoModel:
+        return "NoModel";
+      case ReplyStatus::BadRequest:
+        return "BadRequest";
+      case ReplyStatus::Shutdown:
+        return "Shutdown";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(int depth, ShedPolicy policy)
+    : depth_(static_cast<size_t>(std::max(1, depth))), policy_(policy)
+{
+}
+
+RequestQueue::Push
+RequestQueue::push(InferenceRequest &req, InferenceRequest &evicted,
+                   bool &has_evicted)
+{
+    has_evicted = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (closed_)
+            return Push::Closed;
+        if (q_.size() >= depth_) {
+            if (policy_ == ShedPolicy::RejectNew)
+                return Push::Shed;
+            // DropOldest: hand the head back for the caller to complete
+            // as Shed outside the lock, then admit the newcomer.
+            evicted = std::move(q_.front());
+            q_.pop_front();
+            has_evicted = true;
+        }
+        q_.push_back(std::move(req));
+    }
+    work_cv_.notify_one();
+    return Push::Admitted;
+}
+
+bool
+RequestQueue::pop_batch(std::vector<InferenceRequest> &out, int max_rows,
+                        std::chrono::microseconds timeout)
+{
+    const int want = std::max(1, max_rows);
+    std::unique_lock<std::mutex> lk(mu_);
+    work_cv_.wait(lk, [&] { return !q_.empty() || closed_; });
+    if (closed_)
+        return false;  // Leftovers go to drain(), typed Shutdown.
+
+    // The batch opens on the first request; the deadline anchors here
+    // so a partial batch waits at most `timeout` for peers, however
+    // they trickle in.
+    const auto deadline =
+        std::chrono::steady_clock::now() + timeout;
+    int rows = 0;
+    const auto take = [&] {
+        while (!q_.empty() && rows < want) {
+            rows += q_.front().samples;
+            out.push_back(std::move(q_.front()));
+            q_.pop_front();
+        }
+    };
+    take();
+    while (rows < want && !closed_) {
+        if (!work_cv_.wait_until(lk, deadline,
+                                 [&] { return !q_.empty() || closed_; }))
+            break;  // Deadline: dispatch the partial batch.
+        take();
+    }
+    return true;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+    }
+    work_cv_.notify_all();
+}
+
+std::vector<InferenceRequest>
+RequestQueue::drain()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<InferenceRequest> out;
+    out.reserve(q_.size());
+    while (!q_.empty()) {
+        out.push_back(std::move(q_.front()));
+        q_.pop_front();
+    }
+    return out;
+}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+}
+
+} // namespace autofl

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * RequestQueue: the admission-controlled waiting room of the serving
+ * plane's dynamic batcher.
+ *
+ * Concurrent callers drop InferenceRequests here; dispatcher threads
+ * pull them back out coalesced into batches (pop_batch closes a batch
+ * at max_rows or a deadline, whichever first). The queue is bounded:
+ * once ServeConfig::queue_depth requests wait, the shed policy decides
+ * whether the newcomer or the oldest waiter is completed with a typed
+ * ReplyStatus::Shed — overload degrades into fast typed rejections with
+ * bounded latency for admitted work, never into an unbounded backlog.
+ *
+ * Pushes never block (shedding replaces back-pressure), so the only
+ * condition variable is the consumer-side "work arrived" signal.
+ */
+#ifndef AUTOFL_SERVE_REQUEST_QUEUE_H
+#define AUTOFL_SERVE_REQUEST_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/serve_config.h"
+#include "tensor/tensor.h"
+
+namespace autofl {
+
+/** How one submitted request ended. */
+enum class ReplyStatus {
+    Ok,       ///< Served: logits (and classes, when asked) are filled.
+    Shed,     ///< Rejected by admission control under overload.
+    NoModel,  ///< No model version published yet at dispatch time.
+    BadRequest,  ///< Input shape does not fit the served model.
+    Shutdown, ///< The service stopped before the request was served.
+};
+
+/** Display name of a reply status. */
+const char *reply_status_name(ReplyStatus s);
+
+/** Completion of one submitted inference request. */
+struct InferenceReply
+{
+    ReplyStatus status = ReplyStatus::Shutdown;
+    Tensor logits;             ///< {samples, classes} when status == Ok.
+    std::vector<int> classes;  ///< Argmax per sample, when requested.
+    uint64_t epoch = 0;        ///< Snapshot version that answered.
+    int batch_rows = 0;  ///< Samples in the coalesced batch served in.
+    /** When the batcher completed the request (sheds stamp too), so an
+     *  open-loop load generator can measure completion latency without
+     *  polling the future. */
+    std::chrono::steady_clock::time_point completed_at;
+    bool ok() const { return status == ReplyStatus::Ok; }
+};
+
+/** One queued unit of work: model-ready input rows plus its promise. */
+struct InferenceRequest
+{
+    Tensor rows;      ///< Model-ready input (layout per Dataset::batch_x).
+    int samples = 1;  ///< Sample count along the workload's batch axis.
+    bool want_classes = false;  ///< Also argmax the logits per sample.
+    std::promise<InferenceReply> promise;
+};
+
+/** Serving-plane counters (monotone; snapshot via DynamicBatcher). */
+struct ServeStats
+{
+    uint64_t submitted = 0;  ///< submit() calls observed.
+    uint64_t admitted = 0;   ///< Requests that entered the queue.
+    uint64_t shed = 0;       ///< Typed rejections (either shed policy).
+    uint64_t completed = 0;  ///< Requests answered with Ok.
+    uint64_t batches = 0;    ///< Coalesced engine batches dispatched.
+    uint64_t batched_rows = 0;  ///< Total rows across those batches.
+
+    /** Mean rows per dispatched batch (the coalescing win). */
+    double
+    mean_batch_rows() const
+    {
+        return batches ? static_cast<double>(batched_rows) /
+                static_cast<double>(batches)
+                       : 0.0;
+    }
+};
+
+/** Bounded MPMC queue of inference requests with shed-based admission. */
+class RequestQueue
+{
+  public:
+    /**
+     * @param depth Admission bound (>= 1).
+     * @param policy What to do with new work once depth requests wait.
+     */
+    RequestQueue(int depth, ShedPolicy policy);
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /** Outcome of a push attempt. */
+    enum class Push {
+        Admitted,  ///< @p req entered the queue (possibly evicting).
+        Shed,      ///< Queue full under RejectNew: @p req stays with the
+                   ///< caller, who completes its promise as Shed.
+        Closed,    ///< Queue closed: @p req stays with the caller.
+    };
+
+    /**
+     * Try to enqueue @p req; consumes it only when admitted. Under
+     * DropOldest a full queue admits @p req by evicting the oldest
+     * waiter into @p evicted (set @p has_evicted) for the caller to
+     * complete as Shed outside the lock.
+     */
+    Push push(InferenceRequest &req, InferenceRequest &evicted,
+              bool &has_evicted);
+
+    /**
+     * Pull one coalesced batch: blocks until a request arrives (the
+     * batch "opens"), then keeps gathering until the batch holds at
+     * least @p max_rows rows or @p timeout has elapsed since it opened,
+     * whichever first. Appends to @p out in arrival order.
+     * @return False when the queue is closed and drained (dispatcher
+     *         exit signal); @p out is untouched then.
+     */
+    bool pop_batch(std::vector<InferenceRequest> &out, int max_rows,
+                   std::chrono::microseconds timeout);
+
+    /**
+     * Close the queue: subsequent pushes return Closed, blocked
+     * pop_batch calls drain what is left and then return false.
+     */
+    void close();
+
+    /**
+     * Remove every queued request (for the owner to complete as
+     * Shutdown). Call after close(); dispatchers may have drained some
+     * already.
+     */
+    std::vector<InferenceRequest> drain();
+
+    /** Requests currently waiting. */
+    size_t size() const;
+
+  private:
+    const size_t depth_;
+    const ShedPolicy policy_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;  ///< Signaled per admitted push.
+    std::deque<InferenceRequest> q_;
+    bool closed_ = false;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SERVE_REQUEST_QUEUE_H

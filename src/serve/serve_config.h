@@ -9,6 +9,24 @@
 
 namespace autofl {
 
+/**
+ * What the request queue does with new work once queue_depth requests
+ * are already waiting (admission control under overload).
+ */
+enum class ShedPolicy {
+    /**
+     * Reject the incoming request with ReplyStatus::Shed. Admitted
+     * requests keep their latency bound; late arrivals fail fast.
+     */
+    RejectNew,
+    /**
+     * Evict the oldest queued request (completing it with
+     * ReplyStatus::Shed) and admit the new one. Serves the freshest
+     * traffic; long-waiting requests are the ones sacrificed.
+     */
+    DropOldest,
+};
+
 /** Configuration of the model-serving plane (src/serve/). */
 struct ServeConfig
 {
@@ -37,6 +55,28 @@ struct ServeConfig
      * snapshot lookup across queries while training streams commits.
      */
     int max_snapshot_lag = 0;
+
+    /**
+     * Bound on requests waiting in the dynamic-batching queue (the
+     * admission-control knob). Once the queue holds this many requests
+     * the shed policy applies: overload produces typed Shed replies
+     * with bounded latency for admitted work instead of an unbounded
+     * backlog. In-flight batches (already claimed by a dispatcher) do
+     * not count against the bound.
+     */
+    int queue_depth = 256;
+
+    /**
+     * Deadline (microseconds) for closing a partially filled batch: a
+     * dispatcher that opened a batch stops waiting for more rows this
+     * long after the batch opened, so a lone request never waits for
+     * batch_size - 1 peers that may not come. 0 dispatches whatever is
+     * queued immediately (no coalescing wait).
+     */
+    int batch_timeout_us = 200;
+
+    /** Overload behavior once queue_depth requests wait (see above). */
+    ShedPolicy shed = ShedPolicy::RejectNew;
 
     /**
      * Validate the knobs, throwing std::invalid_argument with an

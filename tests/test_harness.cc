@@ -267,6 +267,12 @@ TEST(ConfigValidation, RejectsBadServeConfig)
     cfg = fast_cfg();
     cfg.serve.max_snapshot_lag = -1;
     expect_rejected(cfg, "serve.max_snapshot_lag");
+    cfg = fast_cfg();
+    cfg.serve.queue_depth = 0;
+    expect_rejected(cfg, "serve.queue_depth");
+    cfg = fast_cfg();
+    cfg.serve.batch_timeout_us = -1;
+    expect_rejected(cfg, "serve.batch_timeout_us");
 }
 
 TEST(ConfigValidation, FlSystemCtorRejectsBadRuntimeKnobs)

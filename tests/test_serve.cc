@@ -19,45 +19,14 @@
 #include "kernels/arch.h"
 #include "ps/ps_server.h"
 #include "serve/model_service.h"
+#include "test_util.h"
 
 namespace autofl {
 namespace {
 
-/** Random-initialized flat weights for a workload. */
-std::vector<float>
-random_weights(Workload w, uint64_t seed)
-{
-    Sequential model = make_model(w);
-    Rng rng(seed);
-    model.init_weights(rng);
-    return model.flat_weights();
-}
-
-/** Small held-out set for a workload. */
-Dataset
-small_test_set(Workload w, int samples)
-{
-    SyntheticConfig cfg;
-    cfg.train_samples = 16;  // Unused but must be generated.
-    cfg.test_samples = samples;
-    cfg.seed = 99;
-    return make_dataset(w, cfg).test;
-}
-
-/** RAII kernel-arch override. */
-class ScopedKernelArch
-{
-  public:
-    explicit ScopedKernelArch(kernels::KernelArch arch)
-        : prev_(kernels::current_kernel_arch())
-    {
-        kernels::set_kernel_arch(arch);
-    }
-    ~ScopedKernelArch() { kernels::set_kernel_arch(prev_); }
-
-  private:
-    kernels::KernelArch prev_;
-};
+using testing::random_weights;
+using testing::ScopedKernelArch;
+using testing::small_test_set;
 
 // ------------------------------------------------------ model service --
 
@@ -123,6 +92,41 @@ TEST(ModelService, HandleKeepsOldVersionAliveAfterNewPublishes)
     EXPECT_EQ(old.epoch(), 1u);
     EXPECT_EQ(old.weights(), expect);
     EXPECT_EQ(ms.latest_epoch(), 5u);
+}
+
+TEST(ModelService, StoreAttachVisibleToConcurrentAcquire)
+{
+    // The store_ pointer is written once by attach_store and read by
+    // every acquire()/store_backed() without the service mutex; the
+    // TSan target for that pairing. Readers spin on acquire() while
+    // the main thread attaches: they must transition from the invalid
+    // local source to the store's epoch-0 snapshot, never tearing.
+    const std::vector<float> w = random_weights(Workload::CnnMnist, 21);
+    ShardedStore store(w, 4);
+    ModelService ms(Workload::CnnMnist);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                const SnapshotHandle h = ms.acquire();
+                if (h.valid()) {
+                    ASSERT_EQ(h.weights().size(), w.size());
+                    ASSERT_EQ(h.weights(), w);
+                }
+            }
+        });
+    }
+    ms.attach_store(&store);
+    // Every reader must observe the attached store promptly.
+    while (!ms.acquire().valid()) {
+    }
+    EXPECT_TRUE(ms.store_backed());
+    stop.store(true, std::memory_order_release);
+    for (auto &t : readers)
+        t.join();
+    EXPECT_EQ(ms.acquire().weights(), w);
 }
 
 // ------------------------------------------------- batched inference --
@@ -244,6 +248,33 @@ TEST(InferenceEngine, InferMatchesForwardWithin1e4OnAnyArch)
             ASSERT_NEAR(y_fwd[i], y_inf[i], tol) << workload_name(w);
         }
     }
+}
+
+TEST(InferenceEngine, EvaluateStampsEpochOnlyForValidHandles)
+{
+    const Dataset test = small_test_set(Workload::CnnMnist, 12);
+    ServeConfig cfg;
+    cfg.workers = 1;
+    ModelService ms(Workload::CnnMnist, cfg);
+
+    // Invalid handle: nothing ran, and the epoch stays 0 — a garbage
+    // epoch stamp would make this indistinguishable from a real
+    // epoch-N score of zero samples.
+    const EvalStats none = ms.evaluate(ms.acquire(), test);
+    EXPECT_EQ(none.samples, 0);
+    EXPECT_EQ(none.epoch, 0u);
+
+    // Valid handle: the scored snapshot's epoch is stamped, including
+    // through epoch bumps.
+    std::vector<float> w = random_weights(Workload::CnnMnist, 19);
+    ms.publish(w);
+    w[0] += 1.0f;
+    ms.publish(w);
+    const SnapshotHandle h = ms.acquire();
+    const EvalStats real = ms.evaluate(h, test);
+    EXPECT_EQ(real.samples, 12);
+    EXPECT_EQ(real.epoch, 2u);
+    EXPECT_EQ(real.epoch, h.epoch());
 }
 
 TEST(InferenceEngine, EvaluateDeterministicAcrossFanOutAndSlots)

@@ -1,4 +1,5 @@
 /** @file Statistics accumulator and table emitter tests. */
+#include <algorithm>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -24,6 +25,24 @@ TEST(SlidingWindow, MeanTracksOnlyTheWindow)
     EXPECT_EQ(w.count(), 3u);
     EXPECT_DOUBLE_EQ(w.mean(), 4.0);
     EXPECT_EQ(w.capacity(), 3u);
+}
+
+TEST(SlidingWindow, WrapAroundMeanTracksLastCapacityValues)
+{
+    // The ring wraps several times; the mean must always cover exactly
+    // the last `capacity` observations, whatever next_ points at.
+    SlidingWindow w(4);
+    for (int i = 1; i <= 10; ++i) {
+        w.add(static_cast<double>(i));
+        const int lo = std::max(1, i - 3);
+        double expect = 0.0;
+        for (int v = lo; v <= i; ++v)
+            expect += v;
+        expect /= (i - lo + 1);
+        EXPECT_DOUBLE_EQ(w.mean(), expect) << "after adding " << i;
+    }
+    EXPECT_EQ(w.count(), 4u);  // {7, 8, 9, 10}.
+    EXPECT_DOUBLE_EQ(w.mean(), 8.5);
 }
 
 TEST(SlidingWindow, CapacityClampedToOne)
@@ -112,6 +131,33 @@ TEST(Percentile, EdgesAndMedian)
 TEST(Percentile, EmptyIsZero)
 {
     EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsThatSampleAtAnyP)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.5}, 0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile({7.5}, 50), 7.5);
+    EXPECT_DOUBLE_EQ(percentile({7.5}, 99), 7.5);
+    EXPECT_DOUBLE_EQ(percentile({7.5}, 100), 7.5);
+}
+
+TEST(Percentile, OutOfRangePClampsToExtremes)
+{
+    const std::vector<double> v = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 250), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanksOnUnsortedInput)
+{
+    // Linear interpolation at rank p/100 * (n-1); input order must not
+    // matter (percentile sorts its copy).
+    const std::vector<double> v = {40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 75), 32.5);  // 30 * .75 + 40 * .25.
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+    EXPECT_NEAR(percentile(v, 99), 39.7, 1e-9);
 }
 
 TEST(MeanGeomean, Basics)

@@ -1,7 +1,9 @@
 /**
  * @file
  * Shared helpers for the gtest suite: numerical gradient checking of
- * layers and models against the analytic backward passes.
+ * layers and models against the analytic backward passes, plus the
+ * serving-suite fixtures (random workload weights, small test sets,
+ * scoped kernel-arch overrides).
  */
 #ifndef AUTOFL_TESTS_TEST_UTIL_H
 #define AUTOFL_TESTS_TEST_UTIL_H
@@ -11,8 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include "data/synthetic.h"
+#include "kernels/arch.h"
 #include "nn/layer.h"
 #include "nn/loss.h"
+#include "nn/models.h"
 #include "nn/sequential.h"
 #include "util/rng.h"
 
@@ -25,6 +30,42 @@ randomize(Tensor &t, Rng &rng, double scale = 0.5)
     for (size_t i = 0; i < t.size(); ++i)
         t[i] = static_cast<float>(rng.uniform(-scale, scale));
 }
+
+/** Random-initialized flat weights for a workload. */
+inline std::vector<float>
+random_weights(Workload w, uint64_t seed)
+{
+    Sequential model = make_model(w);
+    Rng rng(seed);
+    model.init_weights(rng);
+    return model.flat_weights();
+}
+
+/** Small held-out set for a workload. */
+inline Dataset
+small_test_set(Workload w, int samples)
+{
+    SyntheticConfig cfg;
+    cfg.train_samples = 16;  // Unused but must be generated.
+    cfg.test_samples = samples;
+    cfg.seed = 99;
+    return make_dataset(w, cfg).test;
+}
+
+/** RAII kernel-arch override. */
+class ScopedKernelArch
+{
+  public:
+    explicit ScopedKernelArch(kernels::KernelArch arch)
+        : prev_(kernels::current_kernel_arch())
+    {
+        kernels::set_kernel_arch(arch);
+    }
+    ~ScopedKernelArch() { kernels::set_kernel_arch(prev_); }
+
+  private:
+    kernels::KernelArch prev_;
+};
 
 /**
  * Scalar objective used by the gradient checks: a fixed random linear
