@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Distributed transport throughput: ping-pong RTT and messages/sec for
+ * the three Van flavors (loopback, Unix socket, TCP) at control-plane
+ * and weight-sized payloads, the measured wire bytes per training
+ * round, and the headline overhead check — a loopback cluster round
+ * must stay within 10% of the direct in-process runtime at equal
+ * parallelism (the transport is allowed to cost a copy, not a round).
+ * Results go to BENCH_net_throughput.json; the overhead check is the
+ * exit code.
+ *
+ * The gate round uses devices from one latency class only: the cluster
+ * assigns jobs round-robin while the in-process executor schedules
+ * greedily, and comparing the transports' overhead requires the two
+ * schedules to have the same critical path.
+ */
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "fl/fl_cluster.h"
+#include "fl/system.h"
+#include "net/van.h"
+#include "ps/ps_server.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kGateRounds = 12;
+constexpr double kDeviceLatencyS = 0.02;
+constexpr double kMaxOverhead = 0.10;  // Loopback may cost <= 10%.
+
+// All latency class 0 (device % 4 == 0): see the file comment.
+const std::vector<int> kGateIds = {0, 4, 8, 12, 16, 20, 24, 28};
+
+FlSystemConfig
+gate_config(bool loopback)
+{
+    FlSystemConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.params = {16, 1, 6};
+    cfg.hyper.lr = 0.05;
+    cfg.data.train_samples = 320;
+    cfg.data.test_samples = 80;
+    cfg.data.noise = 0.6;
+    cfg.partition.num_devices = 32;
+    cfg.seed = kBenchSeed;
+    cfg.threads = kWorkers;
+    cfg.ps.mode = SyncMode::SemiAsync;
+    cfg.ps.staleness_bound = 0;
+    cfg.ps.shards = 5;
+    cfg.ps.sim_device_latency_s = kDeviceLatencyS;
+    if (loopback) {
+        cfg.ps.net.listen = "loopback";
+        cfg.ps.net.workers = kWorkers;
+    }
+    return cfg;
+}
+
+struct RttResult
+{
+    std::string transport;
+    std::string payload;
+    size_t frame_bytes = 0;
+    int pings = 0;
+    double rtt_us = 0.0;
+    double msgs_per_sec = 0.0;
+    double mb_per_sec = 0.0;
+};
+
+net::Message
+make_ping(size_t floats)
+{
+    net::Message m;
+    m.type = net::MsgType::Push;
+    m.from = 1;
+    m.round = 7;
+    m.seq = 3;
+    m.ints = {1, 2, 3};
+    m.floats.assign(floats, 1.25f);
+    return m;
+}
+
+/**
+ * Ping-pong @p pings round trips of a @p floats-sized message over an
+ * established endpoint pair; @p server echoes from its own thread.
+ */
+RttResult
+measure_rtt(net::Transport &client, net::Transport &server,
+            const char *transport, const char *payload, size_t floats,
+            int pings)
+{
+    std::thread echo([&server] {
+        net::Message m;
+        while (server.recv(&m, -1) == net::RecvStatus::Ok)
+            server.send(std::move(m));
+    });
+
+    RttResult r;
+    r.transport = transport;
+    r.payload = payload;
+    r.frame_bytes = net::wire_frame_bytes(make_ping(floats));
+    r.pings = pings;
+
+    net::Message reply;
+    client.send(make_ping(floats));  // Warm both directions.
+    client.recv(&reply, -1);
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < pings; ++i) {
+        client.send(make_ping(floats));
+        if (client.recv(&reply, -1) != net::RecvStatus::Ok)
+            break;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    client.close();
+    echo.join();
+
+    r.rtt_us = elapsed.count() / pings * 1e6;
+    r.msgs_per_sec = 2.0 * pings / elapsed.count();
+    r.mb_per_sec = 2.0 * pings * static_cast<double>(r.frame_bytes) /
+        elapsed.count() / 1e6;
+    return r;
+}
+
+/** RTT over a fresh loopback pair. */
+RttResult
+rtt_loopback(const char *payload, size_t floats, int pings)
+{
+    auto [a, b] = net::make_loopback_pair();
+    return measure_rtt(*a, *b, "loopback", payload, floats, pings);
+}
+
+/**
+ * RTT over a socket scheme: listen, dial from a thread, accept, then
+ * ping-pong. Returns false when the address cannot be bound (e.g. no
+ * TCP on this runner) — the row is skipped, not failed.
+ */
+bool
+rtt_socket(const std::string &addr_str, const char *transport,
+           const char *payload, size_t floats, int pings, RttResult *out)
+{
+    const net::NetAddress addr = net::NetAddress::parse(addr_str);
+    std::string err;
+    auto listener = net::Listener::listen(addr, &err);
+    if (!listener) {
+        std::cout << "  (skipping " << transport << ": " << err << ")\n";
+        return false;
+    }
+    std::unique_ptr<net::Transport> client;
+    std::thread dialer([&] { client = net::dial(addr, 50, 20, &err); });
+    auto server = listener->accept(5000);
+    dialer.join();
+    if (!client || !server) {
+        std::cout << "  (skipping " << transport << ": " << err << ")\n";
+        return false;
+    }
+    *out = measure_rtt(*client, *server, transport, payload, floats, pings);
+    return true;
+}
+
+struct GateResult
+{
+    double direct_rps = 0.0;
+    double loopback_rps = 0.0;
+    double bytes_per_round = 0.0;
+};
+
+GateResult
+measure_gate()
+{
+    GateResult g;
+    {
+        FlSystem fl(gate_config(false));
+        if (fl.ps() != nullptr)
+            fl.ps()->set_eval_fn(nullptr);  // Time the runtime only.
+        fl.run_round(kGateIds, 0);  // Warm caches.
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 1; r <= kGateRounds; ++r)
+            fl.run_round(kGateIds, static_cast<uint64_t>(r));
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        g.direct_rps = kGateRounds / elapsed.count();
+    }
+    {
+        FlSystem fl(gate_config(true));
+        fl.run_round(kGateIds, 0);  // Warm caches + assemble the fleet.
+        const auto start = std::chrono::steady_clock::now();
+        for (int r = 1; r <= kGateRounds; ++r)
+            fl.run_round(kGateIds, static_cast<uint64_t>(r));
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        g.loopback_rps = kGateRounds / elapsed.count();
+        // Worker-side send+recv covers every wire byte exactly once
+        // (each server byte is some worker's peer byte).
+        uint64_t bytes = 0;
+        for (int w = 0; w < kWorkers; ++w) {
+            net::ClusterWorker *cw = fl.cluster()->loopback_worker(w);
+            bytes += cw->van().bytes_sent() + cw->van().bytes_received();
+        }
+        g.bytes_per_round =
+            static_cast<double>(bytes) / (kGateRounds + 1);
+        fl.cluster()->shutdown();
+    }
+    return g;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Weight-sized pings use the gate model's real dimension, so the
+    // RTT rows measure the frames an actual training round moves.
+    const size_t weight_floats =
+        FlSystem(gate_config(false)).server().global_weights().size();
+
+    print_banner(std::cout,
+                 "Net transport throughput: ping-pong RTT, wire "
+                 "bytes/round, loopback-vs-direct overhead gate");
+
+    const std::string unix_addr = "unix:/tmp/autofl_bench_net_" +
+        std::to_string(::getpid()) + ".sock";
+    const std::string tcp_addr =
+        "tcp:127.0.0.1:" + std::to_string(35000 + ::getpid() % 20000);
+
+    std::vector<RttResult> rtts;
+    rtts.push_back(rtt_loopback("control", 0, 4000));
+    rtts.push_back(rtt_loopback("weights", weight_floats, 400));
+    RttResult r;
+    if (rtt_socket(unix_addr, "unix", "control", 0, 4000, &r))
+        rtts.push_back(r);
+    if (rtt_socket(unix_addr, "unix", "weights", weight_floats, 400, &r))
+        rtts.push_back(r);
+    if (rtt_socket(tcp_addr, "tcp", "control", 0, 4000, &r))
+        rtts.push_back(r);
+    if (rtt_socket(tcp_addr, "tcp", "weights", weight_floats, 400, &r))
+        rtts.push_back(r);
+
+    TextTable t;
+    t.set_header({"transport", "payload", "frame-bytes", "rtt-us",
+                  "msgs/s", "MB/s"});
+    for (const auto &m : rtts) {
+        t.add_row({m.transport, m.payload, std::to_string(m.frame_bytes),
+                   TextTable::num(m.rtt_us, 1),
+                   TextTable::num(m.msgs_per_sec, 0),
+                   TextTable::num(m.mb_per_sec, 1)});
+    }
+    t.render(std::cout);
+
+    const GateResult g = measure_gate();
+    const double ratio =
+        g.direct_rps > 0.0 ? g.loopback_rps / g.direct_rps : 0.0;
+    const bool pass = ratio >= 1.0 - kMaxOverhead;
+    std::cout << "wire traffic: "
+              << TextTable::num(g.bytes_per_round / 1e6, 2)
+              << " MB/round (" << kGateIds.size() << " jobs)\n";
+    std::cout << "loopback cluster vs direct in-process at " << kWorkers
+              << "-way parallelism: " << TextTable::num(ratio, 2) << "x ("
+              << (pass ? "PASS" : "FAIL") << " >= "
+              << TextTable::num(1.0 - kMaxOverhead, 2) << "x)\n";
+
+    std::ofstream json("BENCH_net_throughput.json");
+    json << "{\n  \"workload\": \"CnnMnist\",\n"
+         << "  \"weight_floats\": " << weight_floats << ",\n"
+         << "  \"hardware_threads\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"rtt\": [\n";
+    for (size_t i = 0; i < rtts.size(); ++i) {
+        const auto &m = rtts[i];
+        json << "    {\"transport\": \"" << m.transport
+             << "\", \"payload\": \"" << m.payload
+             << "\", \"frame_bytes\": " << m.frame_bytes
+             << ", \"pings\": " << m.pings << ", \"rtt_us\": " << m.rtt_us
+             << ", \"msgs_per_sec\": " << m.msgs_per_sec
+             << ", \"mb_per_sec\": " << m.mb_per_sec << "}"
+             << (i + 1 < rtts.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"gate\": {\"jobs_per_round\": " << kGateIds.size()
+         << ", \"workers\": " << kWorkers
+         << ", \"device_latency_s\": " << kDeviceLatencyS
+         << ", \"bytes_per_round\": " << g.bytes_per_round
+         << ", \"direct_rounds_per_sec\": " << g.direct_rps
+         << ", \"loopback_rounds_per_sec\": " << g.loopback_rps
+         << ", \"loopback_ratio\": " << ratio
+         << ", \"max_overhead\": " << kMaxOverhead << ", \"pass\": "
+         << (pass ? "true" : "false") << "}\n}\n";
+    std::cout << "wrote BENCH_net_throughput.json\n";
+    return pass ? 0 : 1;
+}

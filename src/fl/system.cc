@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "fl/fl_cluster.h"
 #include "ps/executor.h"
 #include "ps/ps_server.h"
 #include "serve/model_service.h"
@@ -23,6 +24,13 @@ FlSystemConfig::validate() const
     }
     ps.validate("FlSystemConfig.ps");
     serve.validate("FlSystemConfig.serve");
+    if (ps.net.enabled() && algorithm == Algorithm::Fedl) {
+        throw std::invalid_argument(
+            "FlSystemConfig.ps.net cannot run FEDL: its two-phase "
+            "global-gradient exchange is a synchronous barrier the "
+            "cluster round protocol does not speak; use FedAvg or "
+            "FedProx");
+    }
 }
 
 namespace {
@@ -48,8 +56,13 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
     for (const auto &indices : partition_.shards)
         shards_.push_back(data_.train.subset(indices));
 
-    if (cfg_.ps.mode != SyncMode::Sync &&
-        cfg_.algorithm != Algorithm::Fedl) {
+    if (cfg_.ps.net.enabled()) {
+        // Distributed transport: the cluster owns the store and the
+        // aggregator; it assembles its worker fleet lazily at the
+        // first round so constructing a system stays cheap.
+        cluster_ = std::make_unique<FlCluster>(*this);
+    } else if (cfg_.ps.mode != SyncMode::Sync &&
+               cfg_.algorithm != Algorithm::Fedl) {
         ps_ = std::make_unique<PsServer>(server_, cfg_.workload,
                                          cfg_.params, cfg_.hyper,
                                          cfg_.algorithm, cfg_.seed, cfg_.ps,
@@ -188,6 +201,16 @@ FlSystem::aggregate(const std::vector<LocalUpdate> &updates)
 PsRoundStats
 FlSystem::run_round(const std::vector<int> &device_ids, uint64_t round)
 {
+    if (cluster_) {
+        if (!cluster_->started()) {
+            std::string err;
+            if (!cluster_->start(&err))
+                throw std::runtime_error("FlSystem: cluster start "
+                                         "failed: " +
+                                         err);
+        }
+        return cluster_->run_round(device_ids, round);
+    }
     if (!ps_) {
         auto updates = run_local_round(device_ids, round);
         aggregate(updates);

@@ -24,6 +24,7 @@ namespace autofl {
 class PsServer;
 class PsExecutor;
 class ModelService;
+class FlCluster;
 
 /** Configuration of one FL training job. */
 struct FlSystemConfig
@@ -122,6 +123,13 @@ class FlSystem
     PsServer *ps() { return ps_.get(); }
 
     /**
+     * The distributed cluster runtime (cfg.ps.net.listen != ""), or
+     * null. Started lazily at the first round; rounds route through it
+     * instead of the in-process runtimes.
+     */
+    FlCluster *cluster() { return cluster_.get(); }
+
+    /**
      * The serving plane: versioned snapshot handles over this job's
      * global model plus the batched inference engine. Safe to query
      * from any thread, concurrently with (pipelined) training.
@@ -153,6 +161,7 @@ class FlSystem
     // serving plane must outlive that drain.
     std::unique_ptr<ModelService> serve_;  ///< The serving plane.
     std::unique_ptr<PsServer> ps_;  ///< Non-null when cfg.ps.mode != Sync.
+    std::unique_ptr<FlCluster> cluster_;  ///< Non-null when ps.net set.
 
     // Synchronous-path training pool: lazily created, then reused for
     // every round (the seed spawned fresh std::threads per round).

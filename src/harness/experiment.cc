@@ -21,9 +21,11 @@ ExperimentConfig::validate() const
     // ps_shards is checked here because its name differs from
     // PsConfig::shards.
     PsConfig ps_view;
+    ps_view.mode = sync_mode;
     ps_view.pipeline_depth = pipeline_depth;
     ps_view.staleness_bound = staleness_bound;
     ps_view.eval_workers = eval_workers;
+    ps_view.net = net;
     ps_view.validate("ExperimentConfig");
     if (ps_shards < 1) {
         throw std::invalid_argument(
@@ -271,9 +273,10 @@ run_experiment(const ExperimentConfig &cfg)
     fcfg.ps.shards = cfg.ps_shards;
     fcfg.ps.pipeline_depth = cfg.pipeline_depth;
     fcfg.ps.eval_workers = cfg.eval_workers;
+    fcfg.ps.net = cfg.net;
     fcfg.serve = cfg.serve;
     FlSystem fl(fcfg);
-    const bool ps_mode = fl.ps() != nullptr;
+    const bool ps_mode = fl.ps() != nullptr || fl.cluster() != nullptr;
 
     // Under the ps runtime stragglers are evicted by the staleness
     // bound at aggregation time, not dropped at a simulated deadline.

@@ -64,6 +64,15 @@ struct ExperimentConfig
     int eval_workers = 2;     ///< Concurrent snapshot-eval pool size.
 
     /**
+     * Distributed transport (src/net/). Leave net.listen empty for the
+     * in-process runtimes; "loopback" routes rounds through in-process
+     * Van endpoints, "unix:/path" or "tcp:host:port" runs real worker
+     * processes (net.spawn_cmd) with heartbeat-based failure eviction.
+     * Requires a non-Sync sync_mode and pipeline_depth == 1.
+     */
+    NetConfig net;
+
+    /**
      * Serving plane: inference batch size, worker slots and snapshot
      * freshness for every model read (FlSystem::evaluate, the
      * pipeline's eval workers, online queries while training), plus

@@ -1,0 +1,371 @@
+#include "cluster.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+
+namespace autofl::net {
+
+ClusterServer::ClusterServer(std::vector<float> init_weights, Algorithm alg,
+                             const PsConfig &cfg)
+    : cfg_(cfg), store_(std::move(init_weights), cfg.shards),
+      agg_(store_, alg, cfg),
+      monitor_(po_, cfg.net.heartbeat_timeout_ms,
+               [this](int node, int silent_ms) {
+                   evict_node(node, "heartbeat timeout", silent_ms);
+               })
+{
+    monitor_.start();
+}
+
+ClusterServer::~ClusterServer()
+{
+    shutdown();
+}
+
+int
+ClusterServer::add_worker(std::unique_ptr<Transport> van)
+{
+    const int id = po_.add_worker("");
+    auto peer = std::make_unique<Peer>();
+    peer->id = id;
+    peer->van = std::move(van);
+    Peer *p = peer.get();
+    peers_.push_back(std::move(peer));
+    assert(static_cast<int>(peers_.size()) == id);
+    monitor_.note_alive(id);  // The join itself is a sign of life.
+    p->rx = std::thread([this, p] { rx_loop(p); });
+    return id;
+}
+
+bool
+ClusterServer::start_listening(std::string *err)
+{
+    const NetAddress addr = NetAddress::parse(cfg_.net.listen);
+    if (!addr.socket_scheme()) {
+        if (err)
+            *err = "listen address '" + cfg_.net.listen +
+                "' is not a socket scheme";
+        return false;
+    }
+    listener_ = Listener::listen(addr, err);
+    return listener_ != nullptr;
+}
+
+int
+ClusterServer::accept_workers(int n, int timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    int accepted = 0;
+    while (accepted < n && listener_) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        if (left <= 0)
+            break;
+        auto van = listener_->accept(static_cast<int>(left));
+        if (!van)
+            continue;
+        add_worker(std::move(van));
+        ++accepted;
+    }
+    return accepted;
+}
+
+void
+ClusterServer::rx_loop(Peer *peer)
+{
+    for (;;) {
+        Message m;
+        const RecvStatus rs = peer->van->recv(&m, -1);
+        if (rs == RecvStatus::Ok) {
+            monitor_.note_alive(peer->id);
+            handle(peer, std::move(m));
+            continue;
+        }
+        if (rs == RecvStatus::Timeout)
+            continue;
+        // Closed or Error: the node is gone. During shutdown that is
+        // the expected teardown; otherwise it is a failure detected
+        // faster than any heartbeat timeout.
+        if (!shutting_down_ && po_.mark_dead(peer->id)) {
+            const std::string why = rs == RecvStatus::Error ?
+                "protocol error: " + peer->van->last_error() :
+                "connection closed";
+            evict_node(peer->id, why.c_str(), 0);
+        }
+        return;
+    }
+}
+
+void
+ClusterServer::handle(Peer *peer, Message &&m)
+{
+    switch (m.type) {
+      case MsgType::Join: {
+          Message ack;
+          ack.type = MsgType::JoinAck;
+          ack.from = Postoffice::kServerId;
+          ack.seq = static_cast<uint64_t>(peer->id);
+          peer->van->send(std::move(ack));
+          return;
+      }
+      case MsgType::Heartbeat: {
+          Message ack;
+          ack.type = MsgType::HeartbeatAck;
+          ack.from = Postoffice::kServerId;
+          peer->van->send(std::move(ack));
+          return;
+      }
+      case MsgType::PullReq: {
+          // Clock first, weights second: a commit landing in between
+          // makes the recorded staleness an upper bound, never an
+          // undercount (same discipline as the in-process runtime).
+          Message resp;
+          resp.type = MsgType::PullResp;
+          resp.from = Postoffice::kServerId;
+          resp.round = m.round;
+          resp.seq = m.seq;
+          resp.clock = agg_.clock();
+          std::vector<float> full = store_.read();
+          if (m.ints.size() == 2) {
+              // Ranged pull: shard interval [lo, hi) in store stripes.
+              const int lo = m.ints[0], hi = m.ints[1];
+              if (lo < 0 || hi <= lo || hi > store_.num_shards())
+                  return;  // Malformed range; drop, peer will time out.
+              const auto [begin, _lo_end] = Postoffice::shard_range(
+                  lo, store_.dim(), store_.num_shards());
+              const auto [_hi_begin, end] = Postoffice::shard_range(
+                  hi - 1, store_.dim(), store_.num_shards());
+              resp.ints = {static_cast<int32_t>(begin),
+                           static_cast<int32_t>(end)};
+              resp.floats.assign(full.begin() + static_cast<long>(begin),
+                                 full.begin() + static_cast<long>(end));
+          } else {
+              resp.ints = {0, static_cast<int32_t>(store_.dim())};
+              resp.floats = std::move(full);
+          }
+          peer->van->send(std::move(resp));
+          return;
+      }
+      case MsgType::Push: {
+          if (m.floats.size() != store_.dim() || m.ints.size() != 3 ||
+              m.doubles.size() != 2) {
+              std::fprintf(stderr,
+                           "[net] worker %d push malformed "
+                           "(%zu floats, dim %zu); dropping\n",
+                           peer->id, m.floats.size(), store_.dim());
+              return;
+          }
+          bool accept = false;
+          {
+              std::lock_guard<std::mutex> lk(round_mu_);
+              auto it = outstanding_.find(peer->id);
+              if (round_active_ && m.round == current_round_ &&
+                  it != outstanding_.end()) {
+                  auto &seqs = it->second;
+                  auto sit = std::find(seqs.begin(), seqs.end(), m.seq);
+                  if (sit != seqs.end()) {
+                      seqs.erase(sit);
+                      accept = true;
+                  }
+              }
+          }
+          if (!accept)
+              return;  // Late push from an evicted/stale round.
+          LocalUpdate u;
+          u.device_id = m.ints[0];
+          u.num_steps = m.ints[1];
+          u.num_samples = m.ints[2];
+          u.train_loss = m.doubles[0];
+          u.train_acc = m.doubles[1];
+          u.weights = std::move(m.floats);
+          agg_.push(PsPush{std::move(u), m.seq, m.clock});
+          {
+              std::lock_guard<std::mutex> lk(round_mu_);
+              ++arrived_;
+              round_cv_.notify_all();
+          }
+          return;
+      }
+      case MsgType::BarrierAck: {
+          po_.barrier_ack(peer->id, m.seq);
+          std::lock_guard<std::mutex> lk(round_mu_);
+          barrier_cv_.notify_all();
+          return;
+      }
+      case MsgType::Bye: {
+          po_.mark_left(peer->id);
+          // A leave with jobs in flight still evicts them — the work
+          // is gone either way; Left just records it was voluntary.
+          evict_node(peer->id, "left", 0);
+          return;
+      }
+      default:
+          return;  // Worker-bound types are ignored on the server.
+    }
+}
+
+bool
+ClusterServer::send_to(int id, Message m)
+{
+    if (id < 1 || id > static_cast<int>(peers_.size()))
+        return false;
+    return peers_[static_cast<size_t>(id - 1)]->van->send(std::move(m));
+}
+
+void
+ClusterServer::evict_node(int id, const char *why, int silent_ms)
+{
+    size_t evicted = 0;
+    {
+        std::lock_guard<std::mutex> lk(round_mu_);
+        auto it = outstanding_.find(id);
+        if (it != outstanding_.end()) {
+            evicted = it->second.size();
+            lost_ += static_cast<int>(evicted);
+            outstanding_.erase(it);
+        }
+        // Account before waking the round waiter: run_round returns as
+        // soon as the notify lands, and callers read dead_evictions()
+        // right after.
+        dead_evictions_ += evicted;
+        round_cv_.notify_all();
+        barrier_cv_.notify_all();
+    }
+    std::fprintf(stderr,
+                 "[net] worker %d gone (%s%s); evicting %zu in-flight "
+                 "job%s as stale\n",
+                 id, why,
+                 silent_ms > 0 ?
+                     (" after " + std::to_string(silent_ms) + " ms").c_str() :
+                     "",
+                 evicted, evicted == 1 ? "" : "s");
+}
+
+PsRoundStats
+ClusterServer::run_round(const std::vector<ClusterJob> &jobs, uint64_t round)
+{
+    const int n = static_cast<int>(jobs.size());
+    PsRoundStats stats;
+    if (n == 0)
+        return stats;
+    const std::vector<int> ids = po_.alive_workers();
+    if (ids.empty()) {
+        std::fprintf(stderr,
+                     "[net] round %llu: no alive workers; evicting all %d "
+                     "jobs\n",
+                     static_cast<unsigned long long>(round), n);
+        stats.evicted = n;
+        dead_evictions_ += static_cast<uint64_t>(n);
+        return stats;
+    }
+
+    agg_.begin_round(n);
+    std::map<int, std::vector<int32_t>> assign;  // node -> [dev, seq, ...].
+    {
+        std::lock_guard<std::mutex> lk(round_mu_);
+        round_active_ = true;
+        current_round_ = round;
+        expected_ = n;
+        arrived_ = 0;
+        lost_ = 0;
+        outstanding_.clear();
+        for (int i = 0; i < n; ++i) {
+            const int w = ids[static_cast<size_t>(i) % ids.size()];
+            outstanding_[w].push_back(static_cast<uint64_t>(i));
+            auto &list = assign[w];
+            list.push_back(jobs[static_cast<size_t>(i)].device_id);
+            list.push_back(i);
+        }
+    }
+    for (auto &[w, list] : assign) {
+        Message m;
+        m.type = MsgType::RoundAssign;
+        m.from = Postoffice::kServerId;
+        m.round = round;
+        m.ints = std::move(list);
+        if (!send_to(w, std::move(m)) && po_.mark_dead(w))
+            evict_node(w, "send failed", 0);
+    }
+
+    {
+        std::unique_lock<std::mutex> lk(round_mu_);
+        const auto complete = [&] { return arrived_ + lost_ >= expected_; };
+        if (cfg_.net.round_timeout_ms > 0) {
+            if (!round_cv_.wait_for(
+                    lk,
+                    std::chrono::milliseconds(cfg_.net.round_timeout_ms),
+                    complete)) {
+                // Deadline backstop: whoever still owes jobs is a
+                // straggler beyond tolerance — declare dead, evict.
+                std::vector<int> late;
+                for (const auto &[w, seqs] : outstanding_)
+                    if (!seqs.empty())
+                        late.push_back(w);
+                lk.unlock();
+                for (int w : late)
+                    if (po_.mark_dead(w))
+                        evict_node(w, "round deadline", 0);
+                lk.lock();
+                round_cv_.wait(lk, complete);
+            }
+        } else {
+            round_cv_.wait(lk, complete);
+        }
+        round_active_ = false;
+        stats = agg_.flush();
+        stats.evicted += lost_;
+    }
+    return stats;
+}
+
+bool
+ClusterServer::barrier(int timeout_ms)
+{
+    const uint64_t id = po_.open_barrier();
+    for (int w : po_.alive_workers()) {
+        Message m;
+        m.type = MsgType::Barrier;
+        m.from = Postoffice::kServerId;
+        m.seq = id;
+        send_to(w, std::move(m));
+    }
+    std::unique_lock<std::mutex> lk(round_mu_);
+    return barrier_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                                [&] { return po_.barrier_done(); });
+}
+
+void
+ClusterServer::shutdown()
+{
+    if (shut_)
+        return;
+    shut_ = true;
+
+    // Sync point first so workers drain their queues before the
+    // Shutdown lands; a dead worker shrinks the quorum, and a timeout
+    // just means we proceed to the hard stop.
+    if (!peers_.empty())
+        barrier(std::max(1000, cfg_.net.heartbeat_timeout_ms));
+
+    shutting_down_ = true;
+    for (auto &p : peers_) {
+        Message m;
+        m.type = MsgType::Shutdown;
+        m.from = Postoffice::kServerId;
+        p->van->send(std::move(m));
+    }
+    if (listener_)
+        listener_->close();
+    for (auto &p : peers_)
+        p->van->close();
+    for (auto &p : peers_)
+        if (p->rx.joinable())
+            p->rx.join();
+    monitor_.stop();
+}
+
+} // namespace autofl::net

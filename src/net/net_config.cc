@@ -1,0 +1,75 @@
+#include "net_config.h"
+
+#include <stdexcept>
+
+#include "net/van.h"
+
+namespace autofl {
+
+void
+NetConfig::validate(const char *who) const
+{
+    if (!enabled())
+        return;
+    const std::string w(who);
+    const net::NetAddress addr = net::NetAddress::parse(listen);
+    if (!addr.valid()) {
+        throw std::invalid_argument(
+            w + ".listen '" + listen +
+            "' is not a transport address: use \"loopback\" (in-process "
+            "nodes), \"unix:/path/to.sock\" or \"tcp:host:port\" (literal "
+            "IPv4, port 1-65535)");
+    }
+    if (workers < 1) {
+        throw std::invalid_argument(
+            w + ".workers must be >= 1 (got " + std::to_string(workers) +
+            "): the cluster needs at least one worker node");
+    }
+    if (!spawn_cmd.empty() && !addr.socket_scheme()) {
+        throw std::invalid_argument(
+            w + ".spawn_cmd is set but listen is '" + listen +
+            "': spawning worker processes needs a unix: or tcp: address "
+            "they can dial");
+    }
+    if (heartbeat_interval_ms < 1) {
+        throw std::invalid_argument(
+            w + ".heartbeat_interval_ms must be >= 1 (got " +
+            std::to_string(heartbeat_interval_ms) +
+            "): workers must heartbeat to stay members");
+    }
+    if (heartbeat_timeout_ms < 2 * heartbeat_interval_ms) {
+        throw std::invalid_argument(
+            w + ".heartbeat_timeout_ms must be >= 2x heartbeat_interval_ms "
+            "(got " + std::to_string(heartbeat_timeout_ms) + " vs interval " +
+            std::to_string(heartbeat_interval_ms) +
+            "): a single delayed beat would otherwise evict a live node");
+    }
+    if (connect_retry < 1) {
+        throw std::invalid_argument(
+            w + ".connect_retry must be >= 1 (got " +
+            std::to_string(connect_retry) +
+            "): workers need at least one dial attempt");
+    }
+    if (connect_retry_delay_ms < 1) {
+        throw std::invalid_argument(
+            w + ".connect_retry_delay_ms must be >= 1 (got " +
+            std::to_string(connect_retry_delay_ms) +
+            "): back-to-back dial retries just burn the retry budget");
+    }
+    if (join_timeout_ms < 1) {
+        throw std::invalid_argument(
+            w + ".join_timeout_ms must be >= 1 (got " +
+            std::to_string(join_timeout_ms) +
+            "): the server cannot wait forever for workers to join");
+    }
+    if (round_timeout_ms != 0 && round_timeout_ms < heartbeat_timeout_ms) {
+        throw std::invalid_argument(
+            w + ".round_timeout_ms must be 0 (disabled) or >= "
+            "heartbeat_timeout_ms (got " + std::to_string(round_timeout_ms) +
+            " vs timeout " + std::to_string(heartbeat_timeout_ms) +
+            "): the round backstop must not fire before failure detection "
+            "has had its chance");
+    }
+}
+
+} // namespace autofl

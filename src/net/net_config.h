@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Knobs of the distributed parameter-server transport. Kept free of
+ * other net/ includes so ps/ps_config.h can embed a NetConfig without
+ * pulling the socket layer into every translation unit.
+ */
+#ifndef AUTOFL_NET_NET_CONFIG_H
+#define AUTOFL_NET_NET_CONFIG_H
+
+#include <string>
+
+namespace autofl {
+
+/** Distributed-runtime configuration (disabled unless listen is set). */
+struct NetConfig
+{
+    /**
+     * Transport selector. "" keeps the in-process runtime (the zero-copy
+     * fast case). "loopback" runs server and workers as nodes of one
+     * process over deterministic in-memory Vans. "unix:/path" and
+     * "tcp:host:port" listen on a real socket for worker processes.
+     */
+    std::string listen;
+
+    /** Worker nodes: spawned threads (loopback) or awaited joins. */
+    int workers = 4;
+
+    /**
+     * Worker launch command (socket schemes only). When non-empty,
+     * FlSystem forks and execs it once per worker with AUTOFL_NET_ADDR
+     * set to the listen address; empty means workers are launched
+     * externally and the server just waits for them to join.
+     */
+    std::string spawn_cmd;
+
+    /** Worker heartbeat period. */
+    int heartbeat_interval_ms = 250;
+
+    /**
+     * Silence threshold after which the Monitor declares a node dead
+     * and its in-flight jobs are evicted (the staleness-eviction path).
+     */
+    int heartbeat_timeout_ms = 2000;
+
+    /** Worker dial attempts (workers race the server's bind). */
+    int connect_retry = 40;
+
+    /** Delay between dial attempts. */
+    int connect_retry_delay_ms = 50;
+
+    /** Deadline for the expected workers to join at startup. */
+    int join_timeout_ms = 20000;
+
+    /**
+     * Hard per-round deadline: outstanding jobs past it are evicted and
+     * their workers declared dead (stragglers that heartbeat but never
+     * push). 0 disables the backstop.
+     */
+    int round_timeout_ms = 120000;
+
+    /** Whether the distributed runtime is selected at all. */
+    bool enabled() const { return !listen.empty(); }
+
+    /**
+     * Validate the knobs, throwing std::invalid_argument with an
+     * actionable message. @p who names the owning config in messages
+     * (e.g. "FlSystemConfig.ps.net").
+     */
+    void validate(const char *who) const;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_NET_NET_CONFIG_H

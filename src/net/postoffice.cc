@@ -1,0 +1,139 @@
+#include "postoffice.h"
+
+#include <algorithm>
+
+namespace autofl::net {
+
+int
+Postoffice::add_worker(std::string name)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    NodeInfo info;
+    info.id = static_cast<int>(workers_.size()) + 1;
+    info.role = NodeRole::Worker;
+    info.state = NodeState::Alive;
+    info.name = std::move(name);
+    workers_.push_back(info);
+    return info.id;
+}
+
+void
+Postoffice::mark_left(int id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (id < 1 || id > static_cast<int>(workers_.size()))
+        return;
+    NodeInfo &n = workers_[static_cast<size_t>(id - 1)];
+    if (n.state == NodeState::Alive)
+        n.state = NodeState::Left;
+}
+
+bool
+Postoffice::mark_dead(int id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (id < 1 || id > static_cast<int>(workers_.size()))
+        return false;
+    NodeInfo &n = workers_[static_cast<size_t>(id - 1)];
+    if (n.state != NodeState::Alive)
+        return false;
+    n.state = NodeState::Dead;
+    return true;
+}
+
+bool
+Postoffice::is_alive(int id) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (id < 1 || id > static_cast<int>(workers_.size()))
+        return false;
+    return workers_[static_cast<size_t>(id - 1)].state == NodeState::Alive;
+}
+
+std::vector<int>
+Postoffice::alive_workers() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<int> ids;
+    for (const NodeInfo &n : workers_)
+        if (n.state == NodeState::Alive)
+            ids.push_back(n.id);
+    return ids;
+}
+
+int
+Postoffice::alive_count() const
+{
+    return static_cast<int>(alive_workers().size());
+}
+
+int
+Postoffice::total_joined() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<int>(workers_.size());
+}
+
+std::vector<NodeInfo>
+Postoffice::members() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return workers_;
+}
+
+uint64_t
+Postoffice::open_barrier()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++barrier_id_;
+    barrier_acks_.clear();
+    return barrier_id_;
+}
+
+bool
+Postoffice::barrier_ack(int id, uint64_t barrier_id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (barrier_id != barrier_id_)
+        return barrier_done_locked();
+    if (std::find(barrier_acks_.begin(), barrier_acks_.end(), id) ==
+        barrier_acks_.end())
+        barrier_acks_.push_back(id);
+    return barrier_done_locked();
+}
+
+bool
+Postoffice::barrier_done() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return barrier_done_locked();
+}
+
+bool
+Postoffice::barrier_done_locked() const
+{
+    for (const NodeInfo &n : workers_) {
+        if (n.state != NodeState::Alive)
+            continue;
+        if (std::find(barrier_acks_.begin(), barrier_acks_.end(), n.id) ==
+            barrier_acks_.end())
+            return false;
+    }
+    return true;
+}
+
+std::pair<size_t, size_t>
+Postoffice::shard_range(int s, size_t dim, int num_shards)
+{
+    // Mirror of ShardedStore's layout: minimum size dim / n, with the
+    // first dim % n shards one element larger.
+    const size_t n = static_cast<size_t>(std::max(1, num_shards));
+    const size_t base = dim / n;
+    const size_t rem = dim % n;
+    const size_t i = static_cast<size_t>(s);
+    const size_t begin = i * base + std::min(i, rem);
+    const size_t end = begin + base + (i < rem ? 1 : 0);
+    return {begin, end};
+}
+
+} // namespace autofl::net

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Postoffice: the cluster's membership book. Tracks node identity
+ * (server id 0, workers 1..N in join order), liveness transitions
+ * (joined -> alive -> left/dead), barrier bookkeeping, and the
+ * shard-range routing arithmetic (identical to ShardedStore's layout,
+ * so a ranged pull addresses exactly the bytes a store shard owns).
+ *
+ * The Postoffice records state; it decides nothing. The Monitor turns
+ * heartbeat silence into mark_dead calls, and the ClusterServer turns
+ * those into job evictions.
+ */
+#ifndef AUTOFL_NET_POSTOFFICE_H
+#define AUTOFL_NET_POSTOFFICE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace autofl::net {
+
+/** Node role in the star topology. */
+enum class NodeRole { Server, Worker };
+
+/** Liveness of one member. */
+enum class NodeState {
+    Alive,  ///< Joined and heartbeating.
+    Left,   ///< Sent Bye; a clean departure.
+    Dead,   ///< Declared failed by the Monitor or a closed transport.
+};
+
+/** One member's book entry. */
+struct NodeInfo
+{
+    int id = -1;
+    NodeRole role = NodeRole::Worker;
+    NodeState state = NodeState::Alive;
+    std::string name;  ///< Diagnostic label from the Join message.
+};
+
+/** Membership registry; all methods are thread-safe. */
+class Postoffice
+{
+  public:
+    static constexpr int kServerId = 0;
+
+    /** Register a joining worker; returns its assigned id (1-based). */
+    int add_worker(std::string name);
+
+    /** Record a clean leave (Bye). No-op once dead. */
+    void mark_left(int id);
+
+    /**
+     * Record a failure. Returns true on the Alive -> Dead transition
+     * (false when already dead/left/unknown), so eviction runs once
+     * even when the monitor and a closed transport race to report it.
+     */
+    bool mark_dead(int id);
+
+    bool is_alive(int id) const;
+
+    /** Ids of alive workers, ascending (deterministic routing order). */
+    std::vector<int> alive_workers() const;
+
+    int alive_count() const;
+
+    /** Workers that ever joined. */
+    int total_joined() const;
+
+    /** Snapshot of the whole book (diagnostics, tests). */
+    std::vector<NodeInfo> members() const;
+
+    // ------------------------------------------------------- barrier --
+
+    /**
+     * Open a new barrier generation and return its id. Acks from the
+     * previous generation no longer count.
+     */
+    uint64_t open_barrier();
+
+    /**
+     * Record @p id's ack for barrier @p barrier_id. Returns true when
+     * every currently-alive worker has acked — deaths during a barrier
+     * shrink the quorum rather than wedging it.
+     */
+    bool barrier_ack(int id, uint64_t barrier_id);
+
+    /** Whether the open barrier is satisfied by the alive quorum. */
+    bool barrier_done() const;
+
+    // ------------------------------------------------------- routing --
+
+    /**
+     * Flat-index range [begin, end) of shard @p s when @p dim weights
+     * are split into @p num_shards contiguous shards — the same
+     * arithmetic as ShardedStore (first dim % num_shards shards get one
+     * extra element), so ranged pulls align with store stripes.
+     */
+    static std::pair<size_t, size_t> shard_range(int s, size_t dim,
+                                                 int num_shards);
+
+  private:
+    mutable std::mutex mu_;
+    std::vector<NodeInfo> workers_;  ///< Index i holds node id i+1.
+    uint64_t barrier_id_ = 0;
+    std::vector<int> barrier_acks_;
+
+    bool barrier_done_locked() const;
+};
+
+} // namespace autofl::net
+
+#endif // AUTOFL_NET_POSTOFFICE_H

@@ -1,0 +1,154 @@
+#include "process.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+namespace autofl::net {
+
+namespace {
+
+std::vector<std::string>
+split_command(const std::string &cmd)
+{
+    std::vector<std::string> out;
+    std::istringstream ss(cmd);
+    std::string tok;
+    while (ss >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+} // namespace
+
+WorkerProcessGroup::~WorkerProcessGroup()
+{
+    for (size_t i = 0; i < pids_.size(); ++i) {
+        if (pids_[i] <= 0)
+            continue;
+        ::kill(pids_[i], SIGKILL);
+        ::waitpid(pids_[i], nullptr, 0);
+        pids_[i] = -1;
+    }
+}
+
+int
+WorkerProcessGroup::spawn(int n, const std::string &cmd,
+                          const std::string &addr)
+{
+    const std::vector<std::string> args = split_command(cmd);
+    if (args.empty()) {
+        std::fprintf(stderr, "[net] spawn: empty command\n");
+        return 0;
+    }
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    int spawned = 0;
+    for (int i = 0; i < n; ++i) {
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "[net] fork failed: %s\n",
+                         std::strerror(errno));
+            break;
+        }
+        if (pid == 0) {
+            // Child: hand over the rendezvous via the environment and
+            // exec. _exit (not exit) on failure — never unwind the
+            // parent's atexit state from a failed child.
+            ::setenv("AUTOFL_NET_ADDR", addr.c_str(), 1);
+            ::setenv("AUTOFL_NET_WORKER", std::to_string(i).c_str(), 1);
+            ::execvp(argv[0], argv.data());
+            std::fprintf(stderr, "[net] execvp %s failed: %s\n", argv[0],
+                         std::strerror(errno));
+            ::_exit(127);
+        }
+        pids_.push_back(pid);
+        ++spawned;
+    }
+    exits_.resize(pids_.size());
+    return spawned;
+}
+
+int
+WorkerProcessGroup::live_count() const
+{
+    int n = 0;
+    for (pid_t p : pids_)
+        if (p > 0)
+            ++n;
+    return n;
+}
+
+bool
+WorkerProcessGroup::kill_worker(int index, int sig)
+{
+    if (index < 0 || index >= static_cast<int>(pids_.size()))
+        return false;
+    const pid_t pid = pids_[static_cast<size_t>(index)];
+    if (pid <= 0)
+        return false;
+    return ::kill(pid, sig) == 0;
+}
+
+std::vector<WorkerExit>
+WorkerProcessGroup::wait_all(int timeout_ms)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    const auto reap = [this](size_t i, int flags) {
+        const pid_t pid = pids_[i];
+        int status = 0;
+        const pid_t r = ::waitpid(pid, &status, flags);
+        if (r != pid)
+            return false;
+        WorkerExit &e = exits_[i];
+        e.pid = pid;
+        if (WIFEXITED(status)) {
+            e.exited = true;
+            e.exit_code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+            e.exited = false;
+            e.term_signal = WTERMSIG(status);
+        }
+        pids_[i] = -1;
+        return true;
+    };
+
+    while (live_count() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        bool progressed = false;
+        for (size_t i = 0; i < pids_.size(); ++i)
+            if (pids_[i] > 0 && reap(i, WNOHANG))
+                progressed = true;
+        if (!progressed && live_count() > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    // Deadline: anything still alive is wedged — force it down so no
+    // orphan outlives the run, and record that we had to.
+    for (size_t i = 0; i < pids_.size(); ++i) {
+        if (pids_[i] <= 0)
+            continue;
+        std::fprintf(stderr,
+                     "[net] worker pid %d missed the exit deadline; "
+                     "sending SIGKILL\n",
+                     static_cast<int>(pids_[i]));
+        ::kill(pids_[i], SIGKILL);
+        reap(i, 0);
+        exits_[i].forced = true;
+    }
+    return exits_;
+}
+
+} // namespace autofl::net

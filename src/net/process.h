@@ -1,0 +1,80 @@
+/**
+ * @file
+ * WorkerProcessGroup: fork/exec a fleet of worker processes and track
+ * them to a clean exit. The parent is the server; each child runs the
+ * configured spawn command with the server's address in
+ * AUTOFL_NET_ADDR (and its index in AUTOFL_NET_WORKER) — workers
+ * rebuild their datasets deterministically from config + seed, so no
+ * data ever ships over the wire at launch.
+ *
+ * The group is also the chaos handle: kill_worker() delivers a signal
+ * (SIGKILL for crash-fault tests), and wait_all() bounds the reap so a
+ * wedged child becomes a reported failure plus a SIGKILL, never an
+ * orphan surviving the test run.
+ */
+#ifndef AUTOFL_NET_PROCESS_H
+#define AUTOFL_NET_PROCESS_H
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace autofl::net {
+
+/** Exit record of one reaped worker process. */
+struct WorkerExit
+{
+    pid_t pid = -1;
+    bool exited = false;    ///< Normal exit (vs signal).
+    int exit_code = -1;     ///< Valid when exited.
+    int term_signal = 0;    ///< Valid when !exited.
+    bool forced = false;    ///< We had to SIGKILL it at the deadline.
+};
+
+/** A spawned fleet of worker processes. */
+class WorkerProcessGroup
+{
+  public:
+    WorkerProcessGroup() = default;
+
+    /** Kills anything still running (no orphans past the group). */
+    ~WorkerProcessGroup();
+
+    WorkerProcessGroup(const WorkerProcessGroup &) = delete;
+    WorkerProcessGroup &operator=(const WorkerProcessGroup &) = delete;
+
+    /**
+     * Spawn @p n workers. @p cmd is split on whitespace into argv and
+     * exec'd with AUTOFL_NET_ADDR=@p addr and AUTOFL_NET_WORKER=<index>
+     * in the environment. Returns the number successfully forked.
+     */
+    int spawn(int n, const std::string &cmd, const std::string &addr);
+
+    /** Pids in spawn order (-1 once reaped). */
+    const std::vector<pid_t> &pids() const { return pids_; }
+
+    /** Number of children not yet reaped. */
+    int live_count() const;
+
+    /**
+     * Send @p sig to worker @p index (chaos injection). False if the
+     * index is bad or the child is already reaped.
+     */
+    bool kill_worker(int index, int sig);
+
+    /**
+     * Reap every child within @p timeout_ms; stragglers are SIGKILLed
+     * and reaped with `forced` set. Returns the exit records in spawn
+     * order. Clean means: every record exited with code 0, none forced
+     * (chaos-killed workers are expected to show their signal).
+     */
+    std::vector<WorkerExit> wait_all(int timeout_ms);
+
+  private:
+    std::vector<pid_t> pids_;
+    std::vector<WorkerExit> exits_;
+};
+
+} // namespace autofl::net
+
+#endif // AUTOFL_NET_PROCESS_H

@@ -1,0 +1,461 @@
+#include "van.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace autofl::net {
+
+const char *
+recv_status_name(RecvStatus s)
+{
+    switch (s) {
+      case RecvStatus::Ok:
+        return "Ok";
+      case RecvStatus::Timeout:
+        return "Timeout";
+      case RecvStatus::Closed:
+        return "Closed";
+      case RecvStatus::Error:
+        return "Error";
+    }
+    return "unknown";
+}
+
+// -------------------------------------------------------- loopback van --
+
+namespace {
+
+/** One direction of a loopback pair: a FIFO of moved-in messages. */
+struct LoopbackQueue
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> q;
+    bool closed = false;
+    uint64_t bytes = 0;  ///< Sum of would-be frame sizes.
+};
+
+class LoopbackVan : public Transport
+{
+  public:
+    LoopbackVan(std::shared_ptr<LoopbackQueue> tx,
+                std::shared_ptr<LoopbackQueue> rx)
+        : tx_(std::move(tx)), rx_(std::move(rx))
+    {
+    }
+
+    ~LoopbackVan() override { close(); }
+
+    bool send(Message m) override
+    {
+        const size_t frame = wire_frame_bytes(m);
+        std::lock_guard<std::mutex> lk(tx_->mu);
+        if (tx_->closed)
+            return false;
+        tx_->bytes += frame;
+        sent_ += frame;
+        tx_->q.push_back(std::move(m));
+        tx_->cv.notify_one();
+        return true;
+    }
+
+    RecvStatus recv(Message *out, int timeout_ms) override
+    {
+        std::unique_lock<std::mutex> lk(rx_->mu);
+        const auto ready = [&] { return !rx_->q.empty() || rx_->closed; };
+        if (timeout_ms < 0) {
+            rx_->cv.wait(lk, ready);
+        } else if (!rx_->cv.wait_for(
+                       lk, std::chrono::milliseconds(timeout_ms), ready)) {
+            return RecvStatus::Timeout;
+        }
+        if (rx_->q.empty())
+            return RecvStatus::Closed;
+        *out = std::move(rx_->q.front());
+        rx_->q.pop_front();
+        received_ += wire_frame_bytes(*out);
+        return RecvStatus::Ok;
+    }
+
+    void close() override
+    {
+        for (auto *q : {tx_.get(), rx_.get()}) {
+            std::lock_guard<std::mutex> lk(q->mu);
+            q->closed = true;
+            q->cv.notify_all();
+        }
+    }
+
+    const char *kind() const override { return "loopback"; }
+    uint64_t bytes_sent() const override { return sent_; }
+    uint64_t bytes_received() const override { return received_; }
+
+  private:
+    std::shared_ptr<LoopbackQueue> tx_, rx_;
+    std::atomic<uint64_t> sent_{0}, received_{0};
+};
+
+} // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair()
+{
+    auto a2b = std::make_shared<LoopbackQueue>();
+    auto b2a = std::make_shared<LoopbackQueue>();
+    return {std::make_unique<LoopbackVan>(a2b, b2a),
+            std::make_unique<LoopbackVan>(b2a, a2b)};
+}
+
+// -------------------------------------------------------------- address --
+
+NetAddress
+NetAddress::parse(const std::string &addr)
+{
+    NetAddress a;
+    if (addr == "loopback") {
+        a.scheme = Scheme::Loopback;
+        return a;
+    }
+    if (addr.rfind("unix:", 0) == 0) {
+        a.path = addr.substr(5);
+        if (a.path.empty() || a.path.size() >= sizeof(sockaddr_un{}.sun_path))
+            return NetAddress{};
+        a.scheme = Scheme::Unix;
+        return a;
+    }
+    if (addr.rfind("tcp:", 0) == 0) {
+        const std::string rest = addr.substr(4);
+        const size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            return NetAddress{};
+        a.host = rest.substr(0, colon);
+        try {
+            a.port = std::stoi(rest.substr(colon + 1));
+        } catch (const std::exception &) {
+            return NetAddress{};
+        }
+        if (a.port < 1 || a.port > 65535)
+            return NetAddress{};
+        a.scheme = Scheme::Tcp;
+        return a;
+    }
+    return NetAddress{};
+}
+
+// ------------------------------------------------------------ socket van --
+
+namespace {
+
+/** Blocking write of the whole buffer; false once the peer is gone. */
+bool
+write_all(int fd, const uint8_t *data, size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+class SocketVan : public Transport
+{
+  public:
+    SocketVan(int fd, const char *kind) : fd_(fd), kind_(kind) {}
+
+    ~SocketVan() override { close(); }
+
+    bool send(Message m) override
+    {
+        const std::vector<uint8_t> frame = frame_message(m);
+        std::lock_guard<std::mutex> lk(send_mu_);
+        if (fd_ < 0)
+            return false;
+        if (!write_all(fd_, frame.data(), frame.size()))
+            return false;
+        sent_ += frame.size();
+        return true;
+    }
+
+    RecvStatus recv(Message *out, int timeout_ms) override
+    {
+        // Wait for the first header byte under the caller's deadline;
+        // once a frame has started, the rest is read under the I/O
+        // deadline (a peer that stalls mid-frame is broken, not idle).
+        uint8_t header[kWireHeaderBytes];
+        RecvStatus rs = read_exact(header, 1, timeout_ms);
+        if (rs != RecvStatus::Ok)
+            return rs;
+        rs = read_exact(header + 1, sizeof(header) - 1, kIoTimeoutMs);
+        if (rs != RecvStatus::Ok)
+            return fail(rs == RecvStatus::Timeout ? "stalled mid-header" :
+                                                    "peer closed mid-header");
+
+        uint32_t payload_len = 0;
+        const WireStatus hs = check_header(header, sizeof(header),
+                                           &payload_len);
+        if (hs != WireStatus::Ok)
+            return fail(wire_status_name(hs));
+
+        std::vector<uint8_t> frame(kWireHeaderBytes + payload_len);
+        std::memcpy(frame.data(), header, sizeof(header));
+        rs = read_exact(frame.data() + kWireHeaderBytes, payload_len,
+                        kIoTimeoutMs);
+        if (rs != RecvStatus::Ok)
+            return fail(rs == RecvStatus::Timeout ? "stalled mid-frame" :
+                                                    "peer closed mid-frame");
+
+        size_t consumed = 0;
+        const WireStatus ps = parse_frame(frame.data(), frame.size(), out,
+                                          &consumed);
+        if (ps != WireStatus::Ok)
+            return fail(wire_status_name(ps));
+        received_ += frame.size();
+        return RecvStatus::Ok;
+    }
+
+    void close() override
+    {
+        std::lock_guard<std::mutex> lk(send_mu_);
+        if (fd_ >= 0) {
+            ::shutdown(fd_, SHUT_RDWR);
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    const char *kind() const override { return kind_; }
+    uint64_t bytes_sent() const override { return sent_; }
+    uint64_t bytes_received() const override { return received_; }
+
+    std::string last_error() const override
+    {
+        std::lock_guard<std::mutex> lk(err_mu_);
+        return err_;
+    }
+
+  private:
+    /** A frame stalled longer than this is a broken peer, not an idle one. */
+    static constexpr int kIoTimeoutMs = 10000;
+
+    RecvStatus fail(const std::string &why)
+    {
+        {
+            std::lock_guard<std::mutex> lk(err_mu_);
+            err_ = why;
+        }
+        close();
+        return RecvStatus::Error;
+    }
+
+    /** Read exactly @p len bytes; Timeout applies to each poll wait. */
+    RecvStatus read_exact(uint8_t *data, size_t len, int timeout_ms)
+    {
+        while (len > 0) {
+            const int fd = fd_;
+            if (fd < 0)
+                return RecvStatus::Closed;
+            pollfd pfd{fd, POLLIN, 0};
+            const int pr = ::poll(&pfd, 1, timeout_ms);
+            if (pr == 0)
+                return RecvStatus::Timeout;
+            if (pr < 0) {
+                if (errno == EINTR)
+                    continue;
+                return RecvStatus::Closed;
+            }
+            const ssize_t n = ::recv(fd, data, len, 0);
+            if (n == 0)
+                return RecvStatus::Closed;
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return RecvStatus::Closed;
+            }
+            data += n;
+            len -= static_cast<size_t>(n);
+        }
+        return RecvStatus::Ok;
+    }
+
+    std::atomic<int> fd_;
+    const char *kind_;
+    std::mutex send_mu_;  ///< Frames from concurrent senders never interleave.
+    mutable std::mutex err_mu_;
+    std::string err_;
+    std::atomic<uint64_t> sent_{0}, received_{0};
+};
+
+int
+make_socket_fd(const NetAddress &addr, std::string *err)
+{
+    const int domain =
+        addr.scheme == NetAddress::Scheme::Unix ? AF_UNIX : AF_INET;
+    const int fd = ::socket(domain, SOCK_STREAM, 0);
+    if (fd < 0 && err)
+        *err = std::string("socket: ") + std::strerror(errno);
+    return fd;
+}
+
+/** Fill a sockaddr for @p addr; returns its size (0 on failure). */
+socklen_t
+fill_sockaddr(const NetAddress &addr, sockaddr_storage *ss, std::string *err)
+{
+    std::memset(ss, 0, sizeof(*ss));
+    if (addr.scheme == NetAddress::Scheme::Unix) {
+        auto *sun = reinterpret_cast<sockaddr_un *>(ss);
+        sun->sun_family = AF_UNIX;
+        std::strncpy(sun->sun_path, addr.path.c_str(),
+                     sizeof(sun->sun_path) - 1);
+        return sizeof(sockaddr_un);
+    }
+    auto *sin = reinterpret_cast<sockaddr_in *>(ss);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(static_cast<uint16_t>(addr.port));
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sin->sin_addr) != 1) {
+        if (err)
+            *err = "unresolvable host '" + addr.host +
+                "' (tcp addresses take a literal IPv4, e.g. 127.0.0.1)";
+        return 0;
+    }
+    return sizeof(sockaddr_in);
+}
+
+void
+tune_stream_fd(int fd, const NetAddress &addr)
+{
+    if (addr.scheme == NetAddress::Scheme::Tcp) {
+        // The round protocol is request/response; Nagle would add a
+        // delayed-ack RTT to every pull and push.
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+}
+
+} // namespace
+
+// -------------------------------------------------------------- listener --
+
+Listener::Listener(int fd, NetAddress addr) : fd_(fd), addr_(std::move(addr))
+{
+}
+
+Listener::~Listener()
+{
+    close();
+}
+
+std::unique_ptr<Listener>
+Listener::listen(const NetAddress &addr, std::string *err)
+{
+    if (!addr.socket_scheme()) {
+        if (err)
+            *err = "listen needs a unix: or tcp: address";
+        return nullptr;
+    }
+    if (addr.scheme == NetAddress::Scheme::Unix)
+        ::unlink(addr.path.c_str());
+
+    const int fd = make_socket_fd(addr, err);
+    if (fd < 0)
+        return nullptr;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_storage ss;
+    const socklen_t slen = fill_sockaddr(addr, &ss, err);
+    if (slen == 0 || ::bind(fd, reinterpret_cast<sockaddr *>(&ss), slen) < 0 ||
+        ::listen(fd, 64) < 0) {
+        if (err && err->empty())
+            *err = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(fd);
+        return nullptr;
+    }
+    return std::unique_ptr<Listener>(new Listener(fd, addr));
+}
+
+std::unique_ptr<Transport>
+Listener::accept(int timeout_ms)
+{
+    const int fd = fd_;
+    if (fd < 0)
+        return nullptr;
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr <= 0)
+        return nullptr;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0)
+        return nullptr;
+    tune_stream_fd(conn, addr_);
+    return std::make_unique<SocketVan>(
+        conn, addr_.scheme == NetAddress::Scheme::Unix ? "unix" : "tcp");
+}
+
+void
+Listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        if (addr_.scheme == NetAddress::Scheme::Unix)
+            ::unlink(addr_.path.c_str());
+    }
+}
+
+std::unique_ptr<Transport>
+dial(const NetAddress &addr, int retries, int retry_delay_ms,
+     std::string *err)
+{
+    if (!addr.socket_scheme()) {
+        if (err)
+            *err = "dial needs a unix: or tcp: address";
+        return nullptr;
+    }
+    std::string last;
+    for (int attempt = 0; attempt < std::max(1, retries); ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(retry_delay_ms));
+        }
+        const int fd = make_socket_fd(addr, &last);
+        if (fd < 0)
+            continue;
+        sockaddr_storage ss;
+        const socklen_t slen = fill_sockaddr(addr, &ss, &last);
+        if (slen == 0) {
+            ::close(fd);
+            break;  // Unresolvable address: retrying cannot help.
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&ss), slen) == 0) {
+            tune_stream_fd(fd, addr);
+            return std::make_unique<SocketVan>(
+                fd,
+                addr.scheme == NetAddress::Scheme::Unix ? "unix" : "tcp");
+        }
+        last = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+    }
+    if (err)
+        *err = last.empty() ? "connect failed" : last;
+    return nullptr;
+}
+
+} // namespace autofl::net

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The Van: point-to-point message endpoints behind one Transport
+ * interface.
+ *
+ * Two implementations share the wire.h message model:
+ *
+ * - LoopbackVan — a deterministic in-process endpoint pair. Messages
+ *   move through a FIFO queue without serialization, so the weight
+ *   vectors a loopback cluster exchanges are the very same allocations
+ *   the sender produced (the zero-copy fast case). Per-pair delivery
+ *   is strictly FIFO, which is what the determinism contract needs:
+ *   ordering across peers is structural (push seqs), never timing.
+ *
+ * - SocketVan — a connected stream socket (Unix domain or TCP) carrying
+ *   serialized frames. Malformed inbound frames surface as
+ *   RecvStatus::Error with the typed WireStatus in last_error(); the
+ *   connection is closed rather than resynchronized (a stream that has
+ *   lost framing cannot be trusted again).
+ *
+ * Both ends are full duplex: send() is safe from any thread (frames
+ * never interleave); recv() is single-consumer.
+ */
+#ifndef AUTOFL_NET_VAN_H
+#define AUTOFL_NET_VAN_H
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/wire.h"
+
+namespace autofl::net {
+
+/** Typed outcome of one receive attempt. */
+enum class RecvStatus {
+    Ok,       ///< A message was delivered.
+    Timeout,  ///< Nothing arrived within the deadline.
+    Closed,   ///< Peer closed (or this end was closed); terminal.
+    Error,    ///< Malformed frame or socket failure; terminal.
+};
+
+/** Display name ("Ok", "Closed", ...). */
+const char *recv_status_name(RecvStatus s);
+
+/** One bidirectional message endpoint. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Send one message; @p m is consumed (moved through the loopback
+     * queue, serialized by sockets). Returns false once the connection
+     * is closed or broken — callers treat that as the peer being gone,
+     * never as an error to retry.
+     */
+    virtual bool send(Message m) = 0;
+
+    /**
+     * Receive the next message. @p timeout_ms < 0 blocks indefinitely;
+     * 0 polls. Timeout is transient; Closed and Error are terminal.
+     */
+    virtual RecvStatus recv(Message *out, int timeout_ms) = 0;
+
+    /** Close this end; unblocks the peer's recv with Closed. */
+    virtual void close() = 0;
+
+    /** "loopback", "unix" or "tcp". */
+    virtual const char *kind() const = 0;
+
+    /** Wire bytes sent/received (loopback counts would-be frame sizes). */
+    virtual uint64_t bytes_sent() const = 0;
+    virtual uint64_t bytes_received() const = 0;
+
+    /** Last terminal error ("" when none), e.g. "BadMagic". */
+    virtual std::string last_error() const { return ""; }
+};
+
+/** Connected pair of in-process loopback endpoints. */
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+make_loopback_pair();
+
+/**
+ * Endpoint address. Schemes:
+ * - "loopback"           — in-process endpoint pairs (no socket).
+ * - "unix:/path/to.sock" — Unix domain stream socket.
+ * - "tcp:host:port"      — TCP with TCP_NODELAY.
+ */
+struct NetAddress
+{
+    enum class Scheme { Invalid, Loopback, Unix, Tcp };
+
+    Scheme scheme = Scheme::Invalid;
+    std::string path;  ///< Unix socket path.
+    std::string host;  ///< TCP host.
+    int port = 0;      ///< TCP port.
+
+    static NetAddress parse(const std::string &addr);
+    bool valid() const { return scheme != Scheme::Invalid; }
+    bool socket_scheme() const
+    {
+        return scheme == Scheme::Unix || scheme == Scheme::Tcp;
+    }
+};
+
+/** Listening socket producing accepted SocketVan connections. */
+class Listener
+{
+  public:
+    /**
+     * Bind and listen on @p addr (Unix or TCP scheme). Returns null
+     * with @p err set on failure. A Unix path is unlinked first so
+     * stale socket files from a killed run cannot block a new one.
+     */
+    static std::unique_ptr<Listener> listen(const NetAddress &addr,
+                                            std::string *err);
+
+    ~Listener();
+
+    /** Accept one connection; null on timeout or after close(). */
+    std::unique_ptr<Transport> accept(int timeout_ms);
+
+    /** Stop accepting; unblocks a pending accept. */
+    void close();
+
+  private:
+    Listener(int fd, NetAddress addr);
+
+    int fd_ = -1;
+    NetAddress addr_;
+};
+
+/**
+ * Connect to @p addr, retrying @p retries times @p retry_delay_ms
+ * apart (workers race the server's bind). Null with @p err set once
+ * the budget is exhausted.
+ */
+std::unique_ptr<Transport> dial(const NetAddress &addr, int retries,
+                                int retry_delay_ms, std::string *err);
+
+} // namespace autofl::net
+
+#endif // AUTOFL_NET_VAN_H

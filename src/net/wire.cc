@@ -1,0 +1,228 @@
+#include "wire.h"
+
+#include <cstring>
+
+namespace autofl::net {
+
+namespace {
+
+// Scalar encoding is explicit little-endian so the format is defined by
+// bytes, not by host layout. Float/double sections are memcpy'd IEEE-754
+// bit images (every supported target is little-endian IEEE-754), which
+// is what keeps weights bit-exact across the wire.
+
+void
+put_u16(std::vector<uint8_t> &b, uint16_t v)
+{
+    b.push_back(static_cast<uint8_t>(v));
+    b.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+put_u32(std::vector<uint8_t> &b, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+put_u64(std::vector<uint8_t> &b, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t
+get_u16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t
+get_u32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+        (static_cast<uint32_t>(p[2]) << 16) |
+        (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+get_u64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Fixed metadata bytes at the head of every payload. */
+constexpr size_t kMetaBytes = 4 + 8 + 8 + 8 + 4 * 4;  // from,r,s,c + counts.
+
+size_t
+payload_bytes(const Message &m)
+{
+    return kMetaBytes + 4 * m.ints.size() + 4 * m.floats.size() +
+        8 * m.doubles.size() + m.text.size();
+}
+
+} // namespace
+
+const char *
+msg_type_name(MsgType t)
+{
+    switch (t) {
+      case MsgType::Join:
+        return "Join";
+      case MsgType::JoinAck:
+        return "JoinAck";
+      case MsgType::Heartbeat:
+        return "Heartbeat";
+      case MsgType::HeartbeatAck:
+        return "HeartbeatAck";
+      case MsgType::RoundAssign:
+        return "RoundAssign";
+      case MsgType::PullReq:
+        return "PullReq";
+      case MsgType::PullResp:
+        return "PullResp";
+      case MsgType::Push:
+        return "Push";
+      case MsgType::Barrier:
+        return "Barrier";
+      case MsgType::BarrierAck:
+        return "BarrierAck";
+      case MsgType::Bye:
+        return "Bye";
+      case MsgType::Shutdown:
+        return "Shutdown";
+    }
+    return "unknown";
+}
+
+const char *
+wire_status_name(WireStatus s)
+{
+    switch (s) {
+      case WireStatus::Ok:
+        return "Ok";
+      case WireStatus::NeedMore:
+        return "NeedMore";
+      case WireStatus::BadMagic:
+        return "BadMagic";
+      case WireStatus::BadVersion:
+        return "BadVersion";
+      case WireStatus::BadType:
+        return "BadType";
+      case WireStatus::Oversized:
+        return "Oversized";
+      case WireStatus::BadPayload:
+        return "BadPayload";
+    }
+    return "unknown";
+}
+
+size_t
+wire_frame_bytes(const Message &m)
+{
+    return kWireHeaderBytes + payload_bytes(m);
+}
+
+std::vector<uint8_t>
+frame_message(const Message &m)
+{
+    const size_t payload = payload_bytes(m);
+    std::vector<uint8_t> b;
+    b.reserve(kWireHeaderBytes + payload);
+    put_u32(b, kWireMagic);
+    put_u16(b, kWireVersion);
+    put_u16(b, static_cast<uint16_t>(m.type));
+    put_u32(b, static_cast<uint32_t>(payload));
+    put_u32(b, static_cast<uint32_t>(m.from));
+    put_u64(b, m.round);
+    put_u64(b, m.seq);
+    put_u64(b, m.clock);
+    put_u32(b, static_cast<uint32_t>(m.ints.size()));
+    put_u32(b, static_cast<uint32_t>(m.floats.size()));
+    put_u32(b, static_cast<uint32_t>(m.doubles.size()));
+    put_u32(b, static_cast<uint32_t>(m.text.size()));
+    const size_t meta_end = b.size();
+    b.resize(kWireHeaderBytes + payload);
+    uint8_t *p = b.data() + meta_end;
+    std::memcpy(p, m.ints.data(), 4 * m.ints.size());
+    p += 4 * m.ints.size();
+    std::memcpy(p, m.floats.data(), 4 * m.floats.size());
+    p += 4 * m.floats.size();
+    std::memcpy(p, m.doubles.data(), 8 * m.doubles.size());
+    p += 8 * m.doubles.size();
+    std::memcpy(p, m.text.data(), m.text.size());
+    return b;
+}
+
+WireStatus
+check_header(const uint8_t *data, size_t len, uint32_t *payload_len)
+{
+    if (len < kWireHeaderBytes)
+        return WireStatus::NeedMore;
+    if (get_u32(data) != kWireMagic)
+        return WireStatus::BadMagic;
+    if (get_u16(data + 4) != kWireVersion)
+        return WireStatus::BadVersion;
+    const uint16_t type = get_u16(data + 6);
+    if (type < kMinMsgType || type > kMaxMsgType)
+        return WireStatus::BadType;
+    const uint32_t payload = get_u32(data + 8);
+    if (payload > kMaxPayloadBytes)
+        return WireStatus::Oversized;
+    if (payload < kMetaBytes)
+        return WireStatus::BadPayload;
+    *payload_len = payload;
+    return WireStatus::Ok;
+}
+
+WireStatus
+parse_frame(const uint8_t *data, size_t len, Message *out, size_t *consumed)
+{
+    uint32_t payload = 0;
+    const WireStatus hs = check_header(data, len, &payload);
+    if (hs != WireStatus::Ok)
+        return hs;
+    if (len < kWireHeaderBytes + payload)
+        return WireStatus::NeedMore;
+
+    const uint8_t *p = data + kWireHeaderBytes;
+    Message m;
+    m.type = static_cast<MsgType>(get_u16(data + 6));
+    m.from = static_cast<int32_t>(get_u32(p));
+    m.round = get_u64(p + 4);
+    m.seq = get_u64(p + 12);
+    m.clock = get_u64(p + 20);
+    const uint64_t n_ints = get_u32(p + 28);
+    const uint64_t n_floats = get_u32(p + 32);
+    const uint64_t n_doubles = get_u32(p + 36);
+    const uint64_t n_text = get_u32(p + 40);
+
+    // The declared section counts must tile the declared payload
+    // exactly; the 64-bit sum cannot overflow (counts are 32-bit).
+    const uint64_t need =
+        kMetaBytes + 4 * n_ints + 4 * n_floats + 8 * n_doubles + n_text;
+    if (need != payload)
+        return WireStatus::BadPayload;
+
+    p += kMetaBytes;
+    m.ints.resize(n_ints);
+    std::memcpy(m.ints.data(), p, 4 * n_ints);
+    p += 4 * n_ints;
+    m.floats.resize(n_floats);
+    std::memcpy(m.floats.data(), p, 4 * n_floats);
+    p += 4 * n_floats;
+    m.doubles.resize(n_doubles);
+    std::memcpy(m.doubles.data(), p, 8 * n_doubles);
+    p += 8 * n_doubles;
+    m.text.assign(reinterpret_cast<const char *>(p), n_text);
+
+    *out = std::move(m);
+    *consumed = kWireHeaderBytes + payload;
+    return WireStatus::Ok;
+}
+
+} // namespace autofl::net

@@ -11,6 +11,8 @@
 #include <functional>
 #include <string>
 
+#include "net/net_config.h"
+
 namespace autofl {
 
 /**
@@ -94,6 +96,14 @@ struct PsConfig
     {
         return sim_device_latency_s * (0.5 + 0.5 * (device_id % 4));
     }
+
+    /**
+     * Distributed transport (src/net/). net.listen == "" keeps the
+     * classic in-process runtime; "loopback" routes rounds through
+     * LoopbackVan endpoints, and a socket scheme runs real worker
+     * processes. See NetConfig.
+     */
+    NetConfig net;
 
     /**
      * Validate the knobs, throwing std::invalid_argument with an

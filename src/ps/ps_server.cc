@@ -60,6 +60,23 @@ PsConfig::validate(const char *who) const
             std::to_string(executor_threads) +
             "): 0 inherits the system thread count");
     }
+    net.validate((w + ".net").c_str());
+    if (net.enabled()) {
+        if (mode == SyncMode::Sync) {
+            throw std::invalid_argument(
+                w + ".net: the distributed transport runs on the "
+                "parameter-server runtime; use mode SemiAsync with "
+                "staleness_bound 0 for synchronous semantics (it is "
+                "bit-identical to Sync), or Async");
+        }
+        if (pipeline_depth != 1) {
+            throw std::invalid_argument(
+                w + ".net requires pipeline_depth == 1 (got " +
+                std::to_string(pipeline_depth) +
+                "): streaming round overlap is not yet wired through "
+                "the transport");
+        }
+    }
 }
 
 PsServer::PsServer(Server &server, Workload workload,
