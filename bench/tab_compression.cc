@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Push-path compression gate: runs the same loopback-cluster training
+ * job under every Compression mode and measures what each codec buys
+ * and what it costs — push-path wire bytes per round (Push + PushDelta
+ * frames only; pulls stay full f32 and would dilute the ratio), final
+ * accuracy against the uncompressed run, and raw codec encode/decode
+ * throughput on a weight-sized delta.
+ *
+ * Gates (the exit code):
+ *   - Int8 shrinks push bytes/round by >= 3x vs None;
+ *   - TopK at the default 10% keeps >= 8x;
+ *   - every compressed mode's final accuracy lands within one
+ *     percentage point of the uncompressed run;
+ *   - Compression::None over the cluster reproduces the direct
+ *     in-process runtime bit for bit (the codec must be invisible
+ *     when it is off).
+ *
+ * Results go to BENCH_compression.json.
+ */
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fl/fl_cluster.h"
+#include "fl/system.h"
+#include "net/van.h"
+#include "ps/compression.h"
+#include "util/rng.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kRounds = 48;
+constexpr double kMinInt8Reduction = 3.0;
+constexpr double kMinTopKReduction = 8.0;
+constexpr double kMaxAccDelta = 0.01;  // One percentage point.
+
+// 8 jobs per round out of 32 devices, one latency class (see
+// tab_net_throughput.cc for why the stride matters on the cluster).
+const std::vector<int> kJobIds = {0, 4, 8, 12, 16, 20, 24, 28};
+
+FlSystemConfig
+run_config(Compression mode, bool loopback)
+{
+    FlSystemConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.params = {16, 1, 6};
+    cfg.hyper.lr = 0.05;
+    // The accuracy gate compares modes at 1pp resolution: the test set
+    // must be large enough that one sample moves accuracy well below
+    // the tolerance, and training must reach its plateau so the codecs
+    // are compared at convergence, not mid-descent.
+    cfg.data.train_samples = 480;
+    cfg.data.test_samples = 400;
+    cfg.data.noise = 0.6;
+    cfg.partition.num_devices = 32;
+    cfg.seed = kBenchSeed;
+    cfg.threads = kWorkers;
+    cfg.ps.mode = SyncMode::SemiAsync;
+    cfg.ps.staleness_bound = 0;
+    cfg.ps.shards = 5;
+    cfg.ps.compression.mode = mode;
+    if (loopback) {
+        cfg.ps.net.listen = "loopback";
+        cfg.ps.net.workers = kWorkers;
+    }
+    return cfg;
+}
+
+/** One mode's measured training run over the loopback cluster. */
+struct ModeResult
+{
+    Compression mode = Compression::None;
+    double push_bytes_per_round = 0.0;
+    double reduction = 1.0;       ///< None's push bytes / this mode's.
+    double final_accuracy = 0.0;
+    double acc_delta = 0.0;       ///< vs the uncompressed run.
+};
+
+ModeResult
+measure_mode(Compression mode)
+{
+    ModeResult r;
+    r.mode = mode;
+    FlSystem fl(run_config(mode, true));
+    for (uint64_t round = 0; round < kRounds; ++round)
+        fl.run_round(kJobIds, round);
+    r.final_accuracy = fl.evaluate();
+    // Workers send every push-path frame exactly once; counting their
+    // sent bytes for the two push types isolates the uplink the codec
+    // is allowed to shrink.
+    uint64_t push_bytes = 0;
+    for (int w = 0; w < kWorkers; ++w) {
+        const net::Transport &van = fl.cluster()->loopback_worker(w)->van();
+        push_bytes += van.bytes_sent(net::MsgType::Push) +
+            van.bytes_sent(net::MsgType::PushDelta);
+    }
+    r.push_bytes_per_round = static_cast<double>(push_bytes) / kRounds;
+    fl.cluster()->shutdown();
+    return r;
+}
+
+/**
+ * The off-switch gate: a None-mode cluster run must produce the very
+ * same weight bits as the direct in-process runtime — the compression
+ * subsystem may not perturb the uncompressed push path at all.
+ */
+bool
+none_bit_exact()
+{
+    FlSystem direct(run_config(Compression::None, false));
+    FlSystem clustered(run_config(Compression::None, true));
+    for (uint64_t round = 0; round < 3; ++round) {
+        direct.run_round(kJobIds, round);
+        clustered.run_round(kJobIds, round);
+    }
+    const auto &a = direct.server().global_weights();
+    const auto &b = clustered.server().global_weights();
+    bool equal = a.size() == b.size();
+    for (size_t i = 0; equal && i < a.size(); ++i)
+        equal = a[i] == b[i];
+    clustered.cluster()->shutdown();
+    return equal;
+}
+
+/** Raw codec throughput on an n-element delta (no error feedback). */
+struct CodecResult
+{
+    Compression mode = Compression::Fp16;
+    size_t payload_bytes = 0;
+    double encode_mb_per_sec = 0.0;
+    double decode_mb_per_sec = 0.0;
+};
+
+CodecResult
+measure_codec(Compression mode, size_t n, int reps)
+{
+    Rng rng(kBenchSeed);
+    std::vector<float> delta(n);
+    for (auto &v : delta)
+        v = rng.uniform(-0.5f, 0.5f);
+
+    CompressionConfig cfg;
+    cfg.mode = mode;
+
+    CodecResult r;
+    r.mode = mode;
+    const double raw_mb = static_cast<double>(n) * 4.0 / 1e6;
+
+    EncodedDelta e;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        e = encode_delta(cfg, delta);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    r.payload_bytes = encoded_payload_bytes(e);
+    r.encode_mb_per_sec = raw_mb * reps / elapsed.count();
+
+    std::vector<float> out;
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        if (decode_delta(e, &out) != CodecStatus::Ok)
+            return r;  // Leaves decode throughput at 0: visible failure.
+    }
+    elapsed = std::chrono::steady_clock::now() - start;
+    r.decode_mb_per_sec = raw_mb * reps / elapsed.count();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    print_banner(std::cout,
+                 "Push-path compression: bytes/round per codec, "
+                 "accuracy deltas, codec throughput, gates");
+
+    const std::vector<Compression> kModes = {
+        Compression::None, Compression::Fp16, Compression::Int8,
+        Compression::TopK};
+
+    std::vector<ModeResult> runs;
+    for (Compression mode : kModes)
+        runs.push_back(measure_mode(mode));
+    const ModeResult &none = runs.front();
+    for (auto &r : runs) {
+        if (r.push_bytes_per_round > 0.0)
+            r.reduction = none.push_bytes_per_round / r.push_bytes_per_round;
+        r.acc_delta = r.final_accuracy - none.final_accuracy;
+    }
+
+    TextTable t;
+    t.set_header({"mode", "push-KB/round", "reduction", "final-acc(%)",
+                  "acc-delta(pp)"});
+    for (const auto &r : runs) {
+        t.add_row({compression_name(r.mode),
+                   TextTable::num(r.push_bytes_per_round / 1e3, 1),
+                   TextTable::num(r.reduction, 2) + "x",
+                   TextTable::num(r.final_accuracy * 100.0, 1),
+                   TextTable::num(r.acc_delta * 100.0, 2)});
+    }
+    t.render(std::cout);
+
+    // Codec throughput on a 1M-element delta: large enough that the
+    // timed loop measures the kernels, not the allocator.
+    std::vector<CodecResult> codecs;
+    for (Compression mode :
+         {Compression::Fp16, Compression::Int8, Compression::TopK})
+        codecs.push_back(measure_codec(mode, 1u << 20, 20));
+
+    TextTable ct;
+    ct.set_header({"codec", "payload-bytes", "encode-MB/s", "decode-MB/s"});
+    for (const auto &c : codecs) {
+        ct.add_row({compression_name(c.mode),
+                    std::to_string(c.payload_bytes),
+                    TextTable::num(c.encode_mb_per_sec, 0),
+                    TextTable::num(c.decode_mb_per_sec, 0)});
+    }
+    ct.render(std::cout);
+
+    const bool bit_exact = none_bit_exact();
+    const ModeResult &int8 = runs[2];
+    const ModeResult &topk = runs[3];
+    const bool int8_pass = int8.reduction >= kMinInt8Reduction;
+    const bool topk_pass = topk.reduction >= kMinTopKReduction;
+    bool acc_pass = true;
+    for (size_t i = 1; i < runs.size(); ++i)
+        acc_pass = acc_pass && std::fabs(runs[i].acc_delta) <= kMaxAccDelta;
+    const bool pass = bit_exact && int8_pass && topk_pass && acc_pass;
+
+    std::cout << "int8 reduction: " << TextTable::num(int8.reduction, 2)
+              << "x (" << (int8_pass ? "PASS" : "FAIL") << " >= "
+              << TextTable::num(kMinInt8Reduction, 1) << "x)\n"
+              << "topk reduction: " << TextTable::num(topk.reduction, 2)
+              << "x (" << (topk_pass ? "PASS" : "FAIL") << " >= "
+              << TextTable::num(kMinTopKReduction, 1) << "x)\n"
+              << "accuracy within " << TextTable::num(kMaxAccDelta * 100, 0)
+              << "pp of uncompressed: " << (acc_pass ? "PASS" : "FAIL")
+              << "\n"
+              << "none-mode cluster bit-exact vs direct: "
+              << (bit_exact ? "PASS" : "FAIL") << "\n";
+
+    std::ofstream json("BENCH_compression.json");
+    json << "{\n  \"workload\": \"CnnMnist\",\n"
+         << "  \"jobs_per_round\": " << kJobIds.size() << ",\n"
+         << "  \"rounds\": " << kRounds << ",\n"
+         << "  \"workers\": " << kWorkers << ",\n"
+         << "  \"hardware_threads\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"modes\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        json << "    {\"mode\": \"" << compression_name(r.mode)
+             << "\", \"push_bytes_per_round\": " << r.push_bytes_per_round
+             << ", \"reduction_x\": " << r.reduction
+             << ", \"final_accuracy\": " << r.final_accuracy
+             << ", \"acc_delta\": " << r.acc_delta << "}"
+             << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"codec_throughput\": [\n";
+    for (size_t i = 0; i < codecs.size(); ++i) {
+        const auto &c = codecs[i];
+        json << "    {\"codec\": \"" << compression_name(c.mode)
+             << "\", \"elements\": " << (1u << 20)
+             << ", \"payload_bytes\": " << c.payload_bytes
+             << ", \"encode_mb_per_sec\": " << c.encode_mb_per_sec
+             << ", \"decode_mb_per_sec\": " << c.decode_mb_per_sec << "}"
+             << (i + 1 < codecs.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"gates\": {"
+         << "\"min_int8_reduction\": " << kMinInt8Reduction
+         << ", \"int8_reduction\": " << int8.reduction
+         << ", \"int8_pass\": " << (int8_pass ? "true" : "false")
+         << ", \"min_topk_reduction\": " << kMinTopKReduction
+         << ", \"topk_reduction\": " << topk.reduction
+         << ", \"topk_pass\": " << (topk_pass ? "true" : "false")
+         << ", \"max_acc_delta\": " << kMaxAccDelta
+         << ", \"acc_pass\": " << (acc_pass ? "true" : "false")
+         << ", \"none_bit_exact\": " << (bit_exact ? "true" : "false")
+         << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+    std::cout << "wrote BENCH_compression.json\n";
+    return pass ? 0 : 1;
+}

@@ -3,7 +3,8 @@
  * Distributed transport throughput: ping-pong RTT and messages/sec for
  * the three Van flavors (loopback, Unix socket, TCP) at control-plane
  * and weight-sized payloads, the measured wire bytes per training
- * round, and the headline overhead check — a loopback cluster round
+ * round (total and attributed per message type), and the headline
+ * overhead check — a loopback cluster round
  * must stay within 10% of the direct in-process runtime at equal
  * parallelism (the transport is allowed to cost a copy, not a round).
  * Results go to BENCH_net_throughput.json; the overhead check is the
@@ -19,6 +20,7 @@
 #include <iostream>
 #include <thread>
 #include <unistd.h>
+#include <utility>
 
 #include "bench_common.h"
 #include "fl/fl_cluster.h"
@@ -170,6 +172,9 @@ struct GateResult
     double direct_rps = 0.0;
     double loopback_rps = 0.0;
     double bytes_per_round = 0.0;
+
+    /** Wire bytes per round attributed to each message type (non-zero). */
+    std::vector<std::pair<std::string, double>> bytes_by_type;
 };
 
 GateResult
@@ -206,6 +211,20 @@ measure_gate()
         }
         g.bytes_per_round =
             static_cast<double>(bytes) / (kGateRounds + 1);
+        for (uint16_t t = net::kMinMsgType; t <= net::kMaxMsgType; ++t) {
+            const auto type = static_cast<net::MsgType>(t);
+            uint64_t per_type = 0;
+            for (int w = 0; w < kWorkers; ++w) {
+                const net::Transport &van =
+                    fl.cluster()->loopback_worker(w)->van();
+                per_type +=
+                    van.bytes_sent(type) + van.bytes_received(type);
+            }
+            if (per_type > 0)
+                g.bytes_by_type.emplace_back(
+                    net::msg_type_name(type),
+                    static_cast<double>(per_type) / (kGateRounds + 1));
+        }
         fl.cluster()->shutdown();
     }
     return g;
@@ -261,6 +280,14 @@ main()
     std::cout << "wire traffic: "
               << TextTable::num(g.bytes_per_round / 1e6, 2)
               << " MB/round (" << kGateIds.size() << " jobs)\n";
+    TextTable bt;
+    bt.set_header({"msg-type", "bytes/round", "share-%"});
+    for (const auto &[name, per_round] : g.bytes_by_type) {
+        bt.add_row({name, TextTable::num(per_round, 0),
+                    TextTable::num(100.0 * per_round / g.bytes_per_round,
+                                   1)});
+    }
+    bt.render(std::cout);
     std::cout << "loopback cluster vs direct in-process at " << kWorkers
               << "-way parallelism: " << TextTable::num(ratio, 2) << "x ("
               << (pass ? "PASS" : "FAIL") << " >= "
@@ -287,7 +314,13 @@ main()
          << ", \"workers\": " << kWorkers
          << ", \"device_latency_s\": " << kDeviceLatencyS
          << ", \"bytes_per_round\": " << g.bytes_per_round
-         << ", \"direct_rounds_per_sec\": " << g.direct_rps
+         << ",\n    \"bytes_per_round_by_type\": {";
+    for (size_t i = 0; i < g.bytes_by_type.size(); ++i) {
+        json << (i > 0 ? ", " : "") << "\"" << g.bytes_by_type[i].first
+             << "\": " << g.bytes_by_type[i].second;
+    }
+    json << "}"
+         << ",\n    \"direct_rounds_per_sec\": " << g.direct_rps
          << ", \"loopback_rounds_per_sec\": " << g.loopback_rps
          << ", \"loopback_ratio\": " << ratio
          << ", \"max_overhead\": " << kMaxOverhead << ", \"pass\": "

@@ -15,6 +15,12 @@
  *              the round completes with its jobs logged as staleness
  *              evictions — a dead client costs one round's
  *              contribution, never a hang.
+ *   --compression {none,fp16,int8,topk}
+ *              Push-path compression demo: workers ship encoded deltas
+ *              under error feedback (AUTOFL_NET_COMPRESSION carries the
+ *              codec to the worker processes). Prints push bytes/round
+ *              and final accuracy, checked against an in-process run of
+ *              the same compressed job.
  *   --worker   Internal: run as a worker node (AUTOFL_NET_ADDR set by
  *              the parent).
  *
@@ -33,6 +39,7 @@
 
 #include "fl/fl_cluster.h"
 #include "fl/system.h"
+#include "ps/compression.h"
 #include "util/table.h"
 
 using namespace autofl;
@@ -135,6 +142,64 @@ run_clean(const std::string &self)
 }
 
 int
+run_compressed(const std::string &self, Compression mode)
+{
+    std::cout << "ps_cluster --compression " << compression_name(mode)
+              << ": encoded client deltas over the socket cluster\n\n";
+
+    // Reference: the identical compressed job, entirely in-process
+    // (compression requires the ps runtime, so the reference stays
+    // SemiAsync S=0 rather than Sync).
+    FlSystemConfig ref_cfg = base_config();
+    ref_cfg.ps.net = NetConfig{};
+    ref_cfg.ps.compression.mode = mode;
+    FlSystem ref(ref_cfg);
+    for (uint64_t r = 0; r < kRounds; ++r)
+        ref.run_round(kRoundIds, r);
+    const double ref_acc = ref.evaluate();
+
+    FlSystemConfig cfg = base_config();
+    cfg.ps.net.listen = socket_address();
+    cfg.ps.net.spawn_cmd = self + " --worker";
+    cfg.ps.compression.mode = mode;
+    FlSystem fl(cfg);
+    for (uint64_t r = 0; r < kRounds; ++r)
+        fl.run_round(kRoundIds, r);
+    const double acc = fl.evaluate();
+    const uint64_t push_bytes = fl.cluster()->server().push_bytes_received();
+    const double per_round = static_cast<double>(push_bytes) / kRounds;
+    const double raw_per_round = static_cast<double>(
+        kRoundIds.size() * 4 * fl.server().global_weights().size());
+    fl.cluster()->shutdown();
+
+    std::cout << "push traffic: " << TextTable::num(per_round / 1e3, 1)
+              << " KB/round (raw f32 would be "
+              << TextTable::num(raw_per_round / 1e3, 1) << " KB/round, "
+              << TextTable::num(raw_per_round / per_round, 2) << "x)\n"
+              << "final accuracy: " << TextTable::num(acc * 100, 1)
+              << "% (in-process " << TextTable::num(ref_acc * 100, 1)
+              << "%)\n\n";
+
+    int failures = 0;
+    failures += check(std::fabs(acc - ref_acc) <= 0.05,
+                      "compressed socket training lands in the "
+                      "in-process accuracy band");
+    failures += check(mode == Compression::None ||
+                          per_round < raw_per_round,
+                      "encoded deltas cost less wire than raw pushes");
+    failures += check(fl.cluster()->server().dead_evictions() == 0,
+                      "no spurious evictions in a healthy cluster");
+    const auto &exits = fl.cluster()->worker_exits();
+    failures += check(exits.size() == kWorkers, "every worker reaped");
+    for (const auto &e : exits) {
+        failures += check(e.exited && e.exit_code == 0 && !e.forced,
+                          "worker pid " + std::to_string(e.pid) +
+                              " exited clean");
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
 run_chaos(const std::string &self)
 {
     std::cout << "ps_cluster --chaos: SIGKILL a worker mid-round\n\n";
@@ -209,6 +274,8 @@ main(int argc, char **argv)
     const std::string self = argv[0];
     const bool worker = argc > 1 && std::string(argv[1]) == "--worker";
     const bool chaos = argc > 1 && std::string(argv[1]) == "--chaos";
+    const bool compressed =
+        argc > 1 && std::string(argv[1]) == "--compression";
 
     if (worker) {
         const char *addr = std::getenv("AUTOFL_NET_ADDR");
@@ -224,11 +291,31 @@ main(int argc, char **argv)
             cfg.ps.net.heartbeat_interval_ms = 50;
             cfg.ps.net.heartbeat_timeout_ms = 500;
         }
+        // The compressed parent carries the codec in the environment;
+        // workers encode, so both sides must agree on it.
+        if (const char *codec = std::getenv("AUTOFL_NET_COMPRESSION")) {
+            if (!parse_compression(codec, &cfg.ps.compression.mode)) {
+                std::cerr << "bad AUTOFL_NET_COMPRESSION: " << codec
+                          << "\n";
+                return 1;
+            }
+        }
         return run_cluster_worker(cfg, addr);
     }
     if (chaos) {
         ::setenv("AUTOFL_NET_CHAOS", "1", 1);
         return run_chaos(self);
+    }
+    if (compressed) {
+        Compression mode = Compression::None;
+        if (argc < 3 || !parse_compression(argv[2], &mode)) {
+            std::cerr << "--compression requires one of: none, fp16, "
+                         "int8, topk\n";
+            return 1;
+        }
+        ::setenv("AUTOFL_NET_COMPRESSION", compression_name(mode).c_str(),
+                 1);
+        return run_compressed(self, mode);
     }
     return run_clean(self);
 }

@@ -61,7 +61,7 @@ FlCluster::start(std::string *err)
             cluster->add_worker(std::move(server_end));
             auto lw = std::make_unique<LoopWorker>();
             lw->worker = std::make_unique<net::ClusterWorker>(
-                std::move(worker_end), ncfg);
+                std::move(worker_end), ncfg, cfg.ps.compression);
             net::ClusterWorker *w = lw->worker.get();
             lw->thread = std::thread([this, w, &cfg] {
                 std::string join_err;
@@ -184,7 +184,8 @@ run_cluster_worker(const FlSystemConfig &cfg, const std::string &addr_str)
                      addr_str.c_str(), err.c_str());
         return 1;
     }
-    net::ClusterWorker worker(std::move(van), cfg.ps.net);
+    net::ClusterWorker worker(std::move(van), cfg.ps.net,
+                              cfg.ps.compression);
     if (!worker.join(&err)) {
         std::fprintf(stderr, "[net] worker: %s\n", err.c_str());
         return 1;

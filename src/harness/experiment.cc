@@ -26,6 +26,7 @@ ExperimentConfig::validate() const
     ps_view.staleness_bound = staleness_bound;
     ps_view.eval_workers = eval_workers;
     ps_view.net = net;
+    ps_view.compression = compression;
     ps_view.validate("ExperimentConfig");
     if (ps_shards < 1) {
         throw std::invalid_argument(
@@ -274,6 +275,7 @@ run_experiment(const ExperimentConfig &cfg)
     fcfg.ps.pipeline_depth = cfg.pipeline_depth;
     fcfg.ps.eval_workers = cfg.eval_workers;
     fcfg.ps.net = cfg.net;
+    fcfg.ps.compression = cfg.compression;
     fcfg.serve = cfg.serve;
     FlSystem fl(fcfg);
     const bool ps_mode = fl.ps() != nullptr || fl.cluster() != nullptr;
@@ -471,6 +473,15 @@ run_experiment(const ExperimentConfig &cfg)
             prof.mem_bound_frac = mem_frac;
             prof.payload_bytes = gobs.profile.model_bytes;
             prof.batch_size = params.batch_size;
+            if (cfg.compression.enabled()) {
+                // Uplink shrinks to the codec's encoded delta size;
+                // the downlink stays the full f32 model.
+                prof.uplink_bytes =
+                    static_cast<double>(encoded_delta_bytes(
+                        cfg.compression,
+                        static_cast<size_t>(gobs.profile.model_bytes /
+                                            4.0)));
+            }
             profiles.push_back(prof);
         }
 
@@ -574,6 +585,15 @@ run_characterization(const ExperimentConfig &cfg, int rounds)
             prof.mem_bound_frac = mem_frac;
             prof.payload_bytes = gobs.profile.model_bytes;
             prof.batch_size = params.batch_size;
+            if (cfg.compression.enabled()) {
+                // Uplink shrinks to the codec's encoded delta size;
+                // the downlink stays the full f32 model.
+                prof.uplink_bytes =
+                    static_cast<double>(encoded_delta_bytes(
+                        cfg.compression,
+                        static_cast<size_t>(gobs.profile.model_bytes /
+                                            4.0)));
+            }
             profiles.push_back(prof);
         }
         RoundExec exec = simulate_round(fleet, plans, profiles,

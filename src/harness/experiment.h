@@ -73,6 +73,14 @@ struct ExperimentConfig
     NetConfig net;
 
     /**
+     * Push-path update compression (ps/compression.h). Shrinks the
+     * simulated uplink (download stays full f32) and, on the real
+     * runtimes, replaces raw pushes with encoded deltas under error
+     * feedback. Requires a non-Sync sync_mode and pipeline_depth == 1.
+     */
+    CompressionConfig compression;
+
+    /**
      * Serving plane: inference batch size, worker slots and snapshot
      * freshness for every model read (FlSystem::evaluate, the
      * pipeline's eval workers, online queries while training), plus

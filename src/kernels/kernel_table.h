@@ -58,6 +58,17 @@ struct KernelTable
                             const float *cprev, float *c, float *h,
                             int h_stride) = nullptr;
 
+    // Push-delta codec family (update compression): bit-identical
+    // across variants — max is exact, quantize/dequantize and fp16
+    // conversions perform one round-to-nearest-even per element.
+    float (*absmax)(size_t n, const float *x) = nullptr;
+    void (*quantize_i8)(size_t n, const float *x, float inv_scale,
+                        int8_t *q) = nullptr;
+    void (*dequantize_i8)(size_t n, const int8_t *q, float scale,
+                          float *y) = nullptr;
+    void (*fp16_encode)(size_t n, const float *x, uint16_t *h) = nullptr;
+    void (*fp16_decode)(size_t n, const uint16_t *h, float *y) = nullptr;
+
     // Double-precision accumulation used by FL aggregation.
     void (*axpy_f64)(size_t n, double alpha, const float *x,
                      double *acc) = nullptr;

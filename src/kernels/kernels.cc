@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "kernels/kernel_table.h"
 
@@ -205,6 +206,119 @@ scalar_apply_step_f64(size_t n, float *w, double tau, const double *dir)
         w[i] = static_cast<float>(w[i] - tau * dir[i]);
 }
 
+// ------------------------------------------ scalar push-delta codec
+
+float
+scalar_absmax(size_t n, const float *x)
+{
+    float m = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        m = std::fmax(m, std::fabs(x[i]));
+    return m;
+}
+
+void
+scalar_quantize_i8(size_t n, const float *x, float inv_scale, int8_t *q)
+{
+    for (size_t i = 0; i < n; ++i) {
+        // One RNE rounding (nearbyintf under the default mode), then a
+        // float-domain clamp: NaN products land on -127, exactly like
+        // the AVX2 variant's cvtps_epi32(NaN) = INT_MIN -> max(-127).
+        float r = std::nearbyint(x[i] * inv_scale);
+        r = std::fmin(std::fmax(r, -127.0f), 127.0f);
+        q[i] = static_cast<int8_t>(r);
+    }
+}
+
+void
+scalar_dequantize_i8(size_t n, const int8_t *q, float scale, float *y)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] = static_cast<float>(q[i]) * scale;
+}
+
+/**
+ * f32 -> IEEE binary16, round-to-nearest-even, by bit manipulation —
+ * bit-identical to F16C's VCVTPS2PH (subnormal halves, mantissa-carry
+ * overflow into inf, and NaN quieting with truncated payload).
+ */
+inline uint16_t
+scalar_f32_to_fp16(float x)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    const uint32_t sign = (bits >> 16) & 0x8000u;
+    const uint32_t absb = bits & 0x7fffffffu;
+    if (absb >= 0x7f800000u) {  // inf / NaN (quiet bit set, payload MSBs)
+        if (absb == 0x7f800000u)
+            return static_cast<uint16_t>(sign | 0x7c00u);
+        return static_cast<uint16_t>(sign | 0x7e00u |
+                                     ((absb & 0x7fffffu) >> 13));
+    }
+    if (absb >= 0x47800000u)  // >= 65536: inf
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    if (absb >= 0x38800000u) {  // normal half; carry may round to inf
+        uint32_t q = ((((absb >> 23) - 112u) << 10) |
+                      ((absb >> 13) & 0x3ffu));
+        const uint32_t rem = absb & 0x1fffu;
+        if (rem > 0x1000u || (rem == 0x1000u && (q & 1u)))
+            ++q;
+        return static_cast<uint16_t>(sign | q);
+    }
+    if (absb <= 0x33000000u)  // <= 2^-25: RNE to (signed) zero
+        return static_cast<uint16_t>(sign);
+    // Subnormal half: value = m24 * 2^(E-150), h = rne(m24 >> (126-E)).
+    const uint32_t m24 = (absb & 0x7fffffu) | 0x800000u;
+    const uint32_t shift = 126u - (absb >> 23);  // in [1, 24]
+    uint32_t q = m24 >> shift;
+    const uint32_t rem = m24 & ((1u << shift) - 1u);
+    const uint32_t half = 1u << (shift - 1u);
+    if (rem > half || (rem == half && (q & 1u)))
+        ++q;  // May carry into the smallest normal — correct encoding.
+    return static_cast<uint16_t>(sign | q);
+}
+
+/** IEEE binary16 -> f32: exact widening. */
+inline float
+scalar_fp16_to_f32(uint16_t h)
+{
+    const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+    const uint32_t exp = (h >> 10) & 0x1fu;
+    uint32_t man = h & 0x3ffu;
+    uint32_t bits;
+    if (exp == 0x1fu) {  // inf / NaN
+        bits = sign | 0x7f800000u | (man << 13);
+    } else if (exp != 0u) {  // normal
+        bits = sign | ((exp + 112u) << 23) | (man << 13);
+    } else if (man == 0u) {  // zero
+        bits = sign;
+    } else {  // subnormal: normalize
+        uint32_t shift = 0;
+        while (!(man & 0x400u)) {
+            man <<= 1;
+            ++shift;
+        }
+        bits = sign | ((113u - shift) << 23) | ((man & 0x3ffu) << 13);
+    }
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+void
+scalar_fp16_encode(size_t n, const float *x, uint16_t *h)
+{
+    for (size_t i = 0; i < n; ++i)
+        h[i] = scalar_f32_to_fp16(x[i]);
+}
+
+void
+scalar_fp16_decode(size_t n, const uint16_t *h, float *y)
+{
+    for (size_t i = 0; i < n; ++i)
+        y[i] = scalar_fp16_to_f32(h[i]);
+}
+
 inline float
 scalar_sigmoidf(float x)
 {
@@ -259,6 +373,11 @@ make_scalar_table()
         k.relu_backward = scalar_relu_backward;
         k.sgd_step = scalar_sgd_step;
         k.sgd_step_prox = scalar_sgd_step_prox;
+        k.absmax = scalar_absmax;
+        k.quantize_i8 = scalar_quantize_i8;
+        k.dequantize_i8 = scalar_dequantize_i8;
+        k.fp16_encode = scalar_fp16_encode;
+        k.fp16_decode = scalar_fp16_decode;
         k.axpy_f64 = scalar_axpy_f64;
         k.diff_axpy_f64 = scalar_diff_axpy_f64;
         k.cast_f64_to_f32 = scalar_cast_f64_to_f32;
@@ -395,6 +514,64 @@ sgd_step_prox(size_t n, float *w, const float *g, float *v,
 {
     pick(&KernelTable::sgd_step_prox)(n, w, g, v, anchor, lr, wd, momentum,
                                       mu);
+}
+
+// ------------------------------- push-delta codec (update compression)
+
+float
+absmax(size_t n, const float *x)
+{
+    return pick(&KernelTable::absmax)(n, x);
+}
+
+void
+quantize_i8(size_t n, const float *x, float inv_scale, int8_t *q)
+{
+    pick(&KernelTable::quantize_i8)(n, x, inv_scale, q);
+}
+
+void
+dequantize_i8(size_t n, const int8_t *q, float scale, float *y)
+{
+    pick(&KernelTable::dequantize_i8)(n, q, scale, y);
+}
+
+void
+fp16_encode(size_t n, const float *x, uint16_t *h)
+{
+    pick(&KernelTable::fp16_encode)(n, x, h);
+}
+
+void
+fp16_decode(size_t n, const uint16_t *h, float *y)
+{
+    pick(&KernelTable::fp16_decode)(n, h, y);
+}
+
+void
+topk_select(size_t n, const float *x, size_t k, int32_t *idx)
+{
+    // Arch-independent by contract: comparison-only selection, no float
+    // rounding — one shared implementation keeps the chosen support a
+    // pure function of the input across every kernel arch. Magnitudes
+    // compare as IEEE bit patterns (monotone with |x| for non-NaN; NaN
+    // sorts largest), which is a strict total order even on garbage
+    // inputs — no comparator UB.
+    std::vector<uint32_t> mag(n);
+    std::memcpy(mag.data(), x, n * sizeof(float));
+    for (size_t i = 0; i < n; ++i)
+        mag[i] &= 0x7fffffffu;
+    std::vector<int32_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = static_cast<int32_t>(i);
+    const auto larger_mag = [&mag](int32_t a, int32_t b) {
+        return mag[a] > mag[b] || (mag[a] == mag[b] && a < b);
+    };
+    if (k < n)
+        std::nth_element(order.begin(), order.begin() + k, order.end(),
+                         larger_mag);
+    std::sort(order.begin(), order.begin() + k);
+    std::copy(order.begin(), order.begin() + k, idx);
 }
 
 void

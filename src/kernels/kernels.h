@@ -83,6 +83,40 @@ void sgd_step_prox(size_t n, float *w, const float *g, float *v,
                    const float *anchor, float lr, float wd, float momentum,
                    float mu);
 
+// ------------------------------- push-delta codec (update compression)
+// The quantize/dequantize/fp16 family is bit-identical across ALL
+// variants: max is an exact operation, and every conversion performs
+// one round-to-nearest-even per element in both the scalar and the
+// SIMD code paths (scalar nearbyintf == _mm256_cvtps_epi32 under the
+// default rounding mode; the bit-manipulation fp16 conversion matches
+// F16C). Inputs are expected finite; NaN elements quantize to -127
+// deterministically on every variant.
+
+/** max_i |x[i]| (0 for n == 0). Exact, order-independent. */
+float absmax(size_t n, const float *x);
+
+/** q[i] = clamp(rne(x[i] * inv_scale), -127, 127). */
+void quantize_i8(size_t n, const float *x, float inv_scale, int8_t *q);
+
+/** y[i] = q[i] * scale (exact int->float widen, one rounding). */
+void dequantize_i8(size_t n, const int8_t *q, float scale, float *y);
+
+/** h[i] = IEEE binary16 of x[i], round-to-nearest-even (subnormals,
+ *  overflow-to-inf and NaN-quieting included). */
+void fp16_encode(size_t n, const float *x, uint16_t *h);
+
+/** y[i] = exact f32 widening of the binary16 h[i]. */
+void fp16_decode(size_t n, const uint16_t *h, float *y);
+
+/**
+ * Indices of the k largest-magnitude elements of x, written to idx in
+ * ascending index order. Ties break toward the lower index, so the
+ * selection is a pure function of the input — arch-independent by
+ * construction (comparison-only, no float rounding), like the training
+ * gate kernels. Requires k <= n.
+ */
+void topk_select(size_t n, const float *x, size_t k, int32_t *idx);
+
 // --------------------------------- f64 accumulation (FL aggregation)
 
 /** acc[i] += alpha * x[i] into double accumulators. */

@@ -447,6 +447,141 @@ avx2_sgd_step_prox(size_t n, float *w, const float *g, float *v,
     }
 }
 
+// ------------------------------------------- push-delta codec family
+// Bit-identical to the scalar variants: max is exact, every conversion
+// is one RNE rounding (cvtps_epi32 / cvtps_ph under the default MXCSR
+// mode match scalar nearbyintf / the bit-manipulation fp16 path).
+
+/** Horizontal max, exact (order-free). */
+inline float
+hmax(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_max_ps(lo, hi);
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+}
+
+float
+avx2_absmax(size_t n, const float *x)
+{
+    const __m256 absmask =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+    __m256 acc = _mm256_setzero_ps();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm256_max_ps(acc,
+                            _mm256_and_ps(_mm256_loadu_ps(x + i), absmask));
+    float m = hmax(acc);
+    for (; i < n; ++i)
+        m = __builtin_fmaxf(m, __builtin_fabsf(x[i]));
+    return m;
+}
+
+/** rne(x * inv) clamped to [-127, 127], as 8 int32 lanes. */
+inline __m256i
+quant_lanes(const float *x, __m256 vinv, __m256i lo, __m256i hi)
+{
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(x), vinv);
+    __m256i q = _mm256_cvtps_epi32(prod);  // RNE; NaN -> INT_MIN
+    q = _mm256_max_epi32(q, lo);           // NaN lands on -127, like
+    q = _mm256_min_epi32(q, hi);           // scalar fmax(NaN,-127).
+    return q;
+}
+
+void
+avx2_quantize_i8(size_t n, const float *x, float inv_scale, int8_t *q)
+{
+    const __m256 vinv = _mm256_set1_ps(inv_scale);
+    const __m256i lo = _mm256_set1_epi32(-127);
+    const __m256i hi = _mm256_set1_epi32(127);
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i a = quant_lanes(x + i, vinv, lo, hi);
+        const __m256i b = quant_lanes(x + i + 8, vinv, lo, hi);
+        const __m256i c = quant_lanes(x + i + 16, vinv, lo, hi);
+        const __m256i d = quant_lanes(x + i + 24, vinv, lo, hi);
+        // packs run per 128-bit lane; the final dword permute restores
+        // element order. Saturation never engages (clamped to +-127).
+        const __m256i ab = _mm256_packs_epi32(a, b);
+        const __m256i cd = _mm256_packs_epi32(c, d);
+        __m256i abcd = _mm256_packs_epi16(ab, cd);
+        abcd = _mm256_permutevar8x32_epi32(
+            abcd, _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(q + i), abcd);
+    }
+    for (; i < n; ++i) {
+        float r = __builtin_nearbyintf(x[i] * inv_scale);
+        r = __builtin_fminf(__builtin_fmaxf(r, -127.0f), 127.0f);
+        q[i] = static_cast<int8_t>(r);
+    }
+}
+
+void
+avx2_dequantize_i8(size_t n, const int8_t *q, float scale, float *y)
+{
+    const __m256 vs = _mm256_set1_ps(scale);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i b = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(q + i));
+        const __m256 v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(b));
+        _mm256_storeu_ps(y + i, _mm256_mul_ps(v, vs));
+    }
+    for (; i < n; ++i)
+        y[i] = static_cast<float>(q[i]) * scale;
+}
+
+#if defined(__F16C__)
+
+void
+avx2_fp16_encode(size_t n, const float *x, uint16_t *h)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i packed = _mm256_cvtps_ph(
+            _mm256_loadu_ps(x + i), _MM_FROUND_TO_NEAREST_INT);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(h + i), packed);
+    }
+    if (i < n) {  // Tail via a masked full vector (same instruction).
+        float buf[8] = {};
+        uint16_t out[8];
+        for (size_t t = i; t < n; ++t)
+            buf[t - i] = x[t];
+        const __m128i packed = _mm256_cvtps_ph(
+            _mm256_loadu_ps(buf), _MM_FROUND_TO_NEAREST_INT);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out), packed);
+        for (size_t t = i; t < n; ++t)
+            h[t] = out[t - i];
+    }
+}
+
+void
+avx2_fp16_decode(size_t n, const uint16_t *h, float *y)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i packed = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(h + i));
+        _mm256_storeu_ps(y + i, _mm256_cvtph_ps(packed));
+    }
+    if (i < n) {
+        uint16_t buf[8] = {};
+        float out[8];
+        for (size_t t = i; t < n; ++t)
+            buf[t - i] = h[t];
+        const __m128i packed =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(buf));
+        _mm256_storeu_ps(out, _mm256_cvtph_ps(packed));
+        for (size_t t = i; t < n; ++t)
+            y[t] = out[t - i];
+    }
+}
+
+#endif // __F16C__
+
 // ------------------------------------ f64 accumulation (aggregation)
 
 void
@@ -617,6 +752,17 @@ avx2_kernel_table()
         k.relu_backward = avx2_relu_backward;
         k.sgd_step = avx2_sgd_step;
         k.sgd_step_prox = avx2_sgd_step_prox;
+        k.absmax = avx2_absmax;
+        k.quantize_i8 = avx2_quantize_i8;
+        k.dequantize_i8 = avx2_dequantize_i8;
+#if defined(__F16C__)
+        // F16C is a separate cpuid bit from AVX2; leave the entries
+        // null (scalar fallback) on the rare parts without it.
+        if (__builtin_cpu_supports("f16c")) {
+            k.fp16_encode = avx2_fp16_encode;
+            k.fp16_decode = avx2_fp16_decode;
+        }
+#endif
         k.axpy_f64 = avx2_axpy_f64;
         k.diff_axpy_f64 = avx2_diff_axpy_f64;
         k.cast_f64_to_f32 = avx2_cast_f64_to_f32;

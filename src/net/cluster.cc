@@ -1,8 +1,11 @@
 #include "cluster.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+
+#include "kernels/kernels.h"
 
 namespace autofl::net {
 
@@ -146,6 +149,10 @@ ClusterServer::handle(Peer *peer, Message &&m)
           } else {
               resp.ints = {0, static_cast<int32_t>(store_.dim())};
               resp.floats = std::move(full);
+              if (cfg_.compression.enabled()) {
+                  std::lock_guard<std::mutex> lk(round_mu_);
+                  pull_cache_[{peer->id, m.seq}] = resp.floats;
+              }
           }
           peer->van->send(std::move(resp));
           return;
@@ -182,6 +189,78 @@ ClusterServer::handle(Peer *peer, Message &&m)
           u.train_loss = m.doubles[0];
           u.train_acc = m.doubles[1];
           u.weights = std::move(m.floats);
+          agg_.push(PsPush{std::move(u), m.seq, m.clock});
+          {
+              std::lock_guard<std::mutex> lk(round_mu_);
+              ++arrived_;
+              round_cv_.notify_all();
+          }
+          return;
+      }
+      case MsgType::PushDelta: {
+          // Full validation before any commit: every malformed frame —
+          // wrong section sizes, unknown codec, truncated scale table,
+          // NaN scales, bad sparse indices — is a typed drop, never a
+          // crash. Late deltas from evicted rounds fall out of the
+          // acceptance check exactly like raw pushes.
+          std::vector<float> delta;
+          const WireStatus ws = decode_push_delta(m, store_.dim(), &delta);
+          if (ws != WireStatus::Ok) {
+              std::fprintf(stderr,
+                           "[net] worker %d push-delta rejected (%s); "
+                           "dropping\n",
+                           peer->id, wire_status_name(ws));
+              return;
+          }
+          bool accept = false;
+          std::vector<float> pulled;
+          {
+              std::lock_guard<std::mutex> lk(round_mu_);
+              auto it = outstanding_.find(peer->id);
+              if (round_active_ && m.round == current_round_ &&
+                  it != outstanding_.end()) {
+                  auto &seqs = it->second;
+                  auto sit = std::find(seqs.begin(), seqs.end(), m.seq);
+                  if (sit != seqs.end()) {
+                      seqs.erase(sit);
+                      accept = true;
+                      auto pit = pull_cache_.find({peer->id, m.seq});
+                      if (pit != pull_cache_.end()) {
+                          pulled = std::move(pit->second);
+                          pull_cache_.erase(pit);
+                      }
+                  }
+              }
+          }
+          if (!accept)
+              return;  // Late delta from an evicted/stale round.
+          if (pulled.size() != store_.dim()) {
+              // The job was claimed but its pull base is gone (e.g. a
+              // codec mismatch between worker and server config); the
+              // update is unreconstructable. Account it as lost so the
+              // round completes instead of hanging on this seq.
+              std::fprintf(stderr,
+                           "[net] worker %d push-delta seq %llu has no "
+                           "cached pull base; counting as lost\n",
+                           peer->id,
+                           static_cast<unsigned long long>(m.seq));
+              std::lock_guard<std::mutex> lk(round_mu_);
+              ++lost_;
+              round_cv_.notify_all();
+              return;
+          }
+          LocalUpdate u;
+          u.device_id = m.ints[0];
+          u.num_steps = m.ints[1];
+          u.num_samples = m.ints[2];
+          u.train_loss = m.doubles[0];
+          u.train_acc = m.doubles[1];
+          // Reconstruct the absolute weights the worker trained to:
+          // the exact pulled payload plus the decoded delta — the same
+          // floats the in-process runtime's decode-before-commit hands
+          // its aggregator.
+          u.weights = std::move(pulled);
+          kernels::vadd(u.weights.size(), delta.data(), u.weights.data());
           agg_.push(PsPush{std::move(u), m.seq, m.clock});
           {
               std::lock_guard<std::mutex> lk(round_mu_);
@@ -228,6 +307,12 @@ ClusterServer::evict_node(int id, const char *why, int silent_ms)
             lost_ += static_cast<int>(evicted);
             outstanding_.erase(it);
         }
+        for (auto pit = pull_cache_.begin(); pit != pull_cache_.end();) {
+            if (pit->first.first == id)
+                pit = pull_cache_.erase(pit);
+            else
+                ++pit;
+        }
         // Account before waking the round waiter: run_round returns as
         // soon as the notify lands, and callers read dead_evictions()
         // right after.
@@ -273,6 +358,7 @@ ClusterServer::run_round(const std::vector<ClusterJob> &jobs, uint64_t round)
         arrived_ = 0;
         lost_ = 0;
         outstanding_.clear();
+        pull_cache_.clear();
         for (int i = 0; i < n; ++i) {
             const int w = ids[static_cast<size_t>(i) % ids.size()];
             outstanding_[w].push_back(static_cast<uint64_t>(i));
@@ -336,6 +422,17 @@ ClusterServer::barrier(int timeout_ms)
     std::unique_lock<std::mutex> lk(round_mu_);
     return barrier_cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
                                 [&] { return po_.barrier_done(); });
+}
+
+uint64_t
+ClusterServer::push_bytes_received() const
+{
+    uint64_t bytes = 0;
+    for (const auto &p : peers_) {
+        bytes += p->van->bytes_received(MsgType::Push) +
+            p->van->bytes_received(MsgType::PushDelta);
+    }
+    return bytes;
 }
 
 void

@@ -115,6 +115,14 @@ class ClusterServer
     /** Total jobs evicted because their worker died or timed out. */
     uint64_t dead_evictions() const { return dead_evictions_; }
 
+    /**
+     * Server-side wire bytes received on the push path (Push +
+     * PushDelta frames, summed over every registered worker) — the
+     * uplink traffic push compression is allowed to shrink. Pull
+     * responses are deliberately excluded.
+     */
+    uint64_t push_bytes_received() const;
+
   private:
     struct Peer
     {
@@ -143,6 +151,15 @@ class ClusterServer
     int arrived_ = 0;
     int lost_ = 0;
     std::map<int, std::vector<uint64_t>> outstanding_;  ///< node -> seqs.
+
+    /**
+     * Compressed mode only: the exact full-pull payload served per
+     * (node, seq), kept so a PushDelta can be reconstructed as
+     * pulled + decoded delta — the store advances between pull and
+     * push, so re-reading it would decode against the wrong base.
+     * Entries die with their push, their node, or their round.
+     */
+    std::map<std::pair<int, uint64_t>, std::vector<float>> pull_cache_;
 
     // Barrier state.
     std::condition_variable barrier_cv_;

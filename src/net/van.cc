@@ -37,6 +37,27 @@ recv_status_name(RecvStatus s)
 
 namespace {
 
+/** Per-MsgType byte counters (index 0 unused; bad types dropped). */
+struct TypeCounters
+{
+    std::atomic<uint64_t> v[kMaxMsgType + 1] = {};
+
+    void add(MsgType t, uint64_t b)
+    {
+        const uint16_t i = static_cast<uint16_t>(t);
+        if (i >= kMinMsgType && i <= kMaxMsgType)
+            v[i].fetch_add(b, std::memory_order_relaxed);
+    }
+
+    uint64_t get(MsgType t) const
+    {
+        const uint16_t i = static_cast<uint16_t>(t);
+        return (i >= kMinMsgType && i <= kMaxMsgType)
+                   ? v[i].load(std::memory_order_relaxed)
+                   : 0;
+    }
+};
+
 /** One direction of a loopback pair: a FIFO of moved-in messages. */
 struct LoopbackQueue
 {
@@ -61,11 +82,13 @@ class LoopbackVan : public Transport
     bool send(Message m) override
     {
         const size_t frame = wire_frame_bytes(m);
+        const MsgType type = m.type;
         std::lock_guard<std::mutex> lk(tx_->mu);
         if (tx_->closed)
             return false;
         tx_->bytes += frame;
         sent_ += frame;
+        sent_by_type_.add(type, frame);
         tx_->q.push_back(std::move(m));
         tx_->cv.notify_one();
         return true;
@@ -85,7 +108,9 @@ class LoopbackVan : public Transport
             return RecvStatus::Closed;
         *out = std::move(rx_->q.front());
         rx_->q.pop_front();
-        received_ += wire_frame_bytes(*out);
+        const size_t frame = wire_frame_bytes(*out);
+        received_ += frame;
+        received_by_type_.add(out->type, frame);
         return RecvStatus::Ok;
     }
 
@@ -101,10 +126,19 @@ class LoopbackVan : public Transport
     const char *kind() const override { return "loopback"; }
     uint64_t bytes_sent() const override { return sent_; }
     uint64_t bytes_received() const override { return received_; }
+    uint64_t bytes_sent(MsgType t) const override
+    {
+        return sent_by_type_.get(t);
+    }
+    uint64_t bytes_received(MsgType t) const override
+    {
+        return received_by_type_.get(t);
+    }
 
   private:
     std::shared_ptr<LoopbackQueue> tx_, rx_;
     std::atomic<uint64_t> sent_{0}, received_{0};
+    TypeCounters sent_by_type_, received_by_type_;
 };
 
 } // namespace
@@ -191,6 +225,7 @@ class SocketVan : public Transport
         if (!write_all(fd_, frame.data(), frame.size()))
             return false;
         sent_ += frame.size();
+        sent_by_type_.add(m.type, frame.size());
         return true;
     }
 
@@ -228,6 +263,7 @@ class SocketVan : public Transport
         if (ps != WireStatus::Ok)
             return fail(wire_status_name(ps));
         received_ += frame.size();
+        received_by_type_.add(out->type, frame.size());
         return RecvStatus::Ok;
     }
 
@@ -244,6 +280,14 @@ class SocketVan : public Transport
     const char *kind() const override { return kind_; }
     uint64_t bytes_sent() const override { return sent_; }
     uint64_t bytes_received() const override { return received_; }
+    uint64_t bytes_sent(MsgType t) const override
+    {
+        return sent_by_type_.get(t);
+    }
+    uint64_t bytes_received(MsgType t) const override
+    {
+        return received_by_type_.get(t);
+    }
 
     std::string last_error() const override
     {
@@ -301,6 +345,7 @@ class SocketVan : public Transport
     mutable std::mutex err_mu_;
     std::string err_;
     std::atomic<uint64_t> sent_{0}, received_{0};
+    TypeCounters sent_by_type_, received_by_type_;
 };
 
 int

@@ -73,6 +73,14 @@ class Transport
     virtual uint64_t bytes_sent() const = 0;
     virtual uint64_t bytes_received() const = 0;
 
+    /**
+     * Wire bytes sent/received for one message type — how the benches
+     * attribute a round's traffic to pulls vs pushes, and what makes
+     * push-compression wins visible per message class.
+     */
+    virtual uint64_t bytes_sent(MsgType t) const = 0;
+    virtual uint64_t bytes_received(MsgType t) const = 0;
+
     /** Last terminal error ("" when none), e.g. "BadMagic". */
     virtual std::string last_error() const { return ""; }
 };

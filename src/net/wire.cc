@@ -56,13 +56,13 @@ get_u64(const uint8_t *p)
 }
 
 /** Fixed metadata bytes at the head of every payload. */
-constexpr size_t kMetaBytes = 4 + 8 + 8 + 8 + 4 * 4;  // from,r,s,c + counts.
+constexpr size_t kMetaBytes = 4 + 8 + 8 + 8 + 5 * 4;  // from,r,s,c + counts.
 
 size_t
 payload_bytes(const Message &m)
 {
     return kMetaBytes + 4 * m.ints.size() + 4 * m.floats.size() +
-        8 * m.doubles.size() + m.text.size();
+        8 * m.doubles.size() + m.text.size() + m.bytes.size();
 }
 
 } // namespace
@@ -95,6 +95,8 @@ msg_type_name(MsgType t)
         return "Bye";
       case MsgType::Shutdown:
         return "Shutdown";
+      case MsgType::PushDelta:
+        return "PushDelta";
     }
     return "unknown";
 }
@@ -117,6 +119,8 @@ wire_status_name(WireStatus s)
         return "Oversized";
       case WireStatus::BadPayload:
         return "BadPayload";
+      case WireStatus::BadCodec:
+        return "BadCodec";
     }
     return "unknown";
 }
@@ -145,6 +149,7 @@ frame_message(const Message &m)
     put_u32(b, static_cast<uint32_t>(m.floats.size()));
     put_u32(b, static_cast<uint32_t>(m.doubles.size()));
     put_u32(b, static_cast<uint32_t>(m.text.size()));
+    put_u32(b, static_cast<uint32_t>(m.bytes.size()));
     const size_t meta_end = b.size();
     b.resize(kWireHeaderBytes + payload);
     uint8_t *p = b.data() + meta_end;
@@ -155,6 +160,8 @@ frame_message(const Message &m)
     std::memcpy(p, m.doubles.data(), 8 * m.doubles.size());
     p += 8 * m.doubles.size();
     std::memcpy(p, m.text.data(), m.text.size());
+    p += m.text.size();
+    std::memcpy(p, m.bytes.data(), m.bytes.size());
     return b;
 }
 
@@ -200,11 +207,12 @@ parse_frame(const uint8_t *data, size_t len, Message *out, size_t *consumed)
     const uint64_t n_floats = get_u32(p + 32);
     const uint64_t n_doubles = get_u32(p + 36);
     const uint64_t n_text = get_u32(p + 40);
+    const uint64_t n_bytes = get_u32(p + 44);
 
     // The declared section counts must tile the declared payload
     // exactly; the 64-bit sum cannot overflow (counts are 32-bit).
-    const uint64_t need =
-        kMetaBytes + 4 * n_ints + 4 * n_floats + 8 * n_doubles + n_text;
+    const uint64_t need = kMetaBytes + 4 * n_ints + 4 * n_floats +
+        8 * n_doubles + n_text + n_bytes;
     if (need != payload)
         return WireStatus::BadPayload;
 
@@ -219,10 +227,71 @@ parse_frame(const uint8_t *data, size_t len, Message *out, size_t *consumed)
     std::memcpy(m.doubles.data(), p, 8 * n_doubles);
     p += 8 * n_doubles;
     m.text.assign(reinterpret_cast<const char *>(p), n_text);
+    p += n_text;
+    m.bytes.resize(n_bytes);
+    std::memcpy(m.bytes.data(), p, n_bytes);
 
     *out = std::move(m);
     *consumed = kWireHeaderBytes + payload;
     return WireStatus::Ok;
+}
+
+// ------------------------------------------------ PushDelta mapping
+
+Message
+make_push_delta(int device, int steps, int samples, double loss, double acc,
+                EncodedDelta e)
+{
+    Message m;
+    m.type = MsgType::PushDelta;
+    m.ints = {device,
+              steps,
+              samples,
+              static_cast<int32_t>(e.mode),
+              static_cast<int32_t>(e.n),
+              static_cast<int32_t>(e.k),
+              static_cast<int32_t>(e.quant_range)};
+    m.doubles = {loss, acc};
+    m.floats = std::move(e.scales);
+    m.bytes = std::move(e.payload);
+    return m;
+}
+
+WireStatus
+decode_push_delta(const Message &m, size_t dim, std::vector<float> *delta)
+{
+    if (m.type != MsgType::PushDelta)
+        return WireStatus::BadType;
+    if (m.ints.size() != kPushDeltaInts || m.doubles.size() != 2)
+        return WireStatus::BadCodec;
+    const int32_t codec = m.ints[3];
+    // None never ships as PushDelta (raw pushes keep the Push message),
+    // so only the compressed codec ids are valid here.
+    if (codec != static_cast<int32_t>(Compression::Fp16) &&
+        codec != static_cast<int32_t>(Compression::Int8) &&
+        codec != static_cast<int32_t>(Compression::TopK))
+        return WireStatus::BadCodec;
+    if (m.ints[4] < 0 || static_cast<size_t>(m.ints[4]) != dim ||
+        m.ints[5] < 0 || m.ints[6] < 0)
+        return WireStatus::BadCodec;
+
+    EncodedDelta e;
+    e.mode = static_cast<Compression>(codec);
+    e.n = static_cast<uint32_t>(m.ints[4]);
+    e.k = static_cast<uint32_t>(m.ints[5]);
+    e.quant_range = static_cast<uint32_t>(m.ints[6]);
+    e.scales = m.floats;
+    e.payload = m.bytes;
+    if (decode_delta(e, delta) != CodecStatus::Ok)
+        return WireStatus::BadCodec;
+    return WireStatus::Ok;
+}
+
+WireStatus
+validate_push_delta(const Message &m, size_t dim)
+{
+    std::vector<float> scratch;
+    return decode_push_delta(m, dim, &scratch);
 }
 
 } // namespace autofl::net

@@ -5,10 +5,13 @@
  *
  * A frame is a 12-byte header — magic, version, type, payload length —
  * followed by a self-describing payload: the routing metadata (sender,
- * round, seq, clock) and four typed sections (i32 / f32 / f64 / text)
- * whose declared element counts must tile the payload exactly. Integers
- * are little-endian; float sections are IEEE-754 bit images, so weights
- * cross the wire bit-exact (the determinism contract depends on it).
+ * round, seq, clock) and five typed sections (i32 / f32 / f64 / text /
+ * bytes) whose declared element counts must tile the payload exactly.
+ * Integers are little-endian; float sections are IEEE-754 bit images,
+ * so weights cross the wire bit-exact (the determinism contract depends
+ * on it). Version 2 added the bytes section and the PushDelta message
+ * carrying compressed client deltas (ps/compression.h); version-1 peers
+ * are rejected with BadVersion.
  *
  * Parsing never throws, never over-reads and never allocates from a
  * length it has not validated: every malformed frame maps to a typed
@@ -23,7 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "ps/compression.h"
+
 namespace autofl::net {
+
+using autofl::EncodedDelta;
 
 /**
  * Message taxonomy of the star topology (one server, N workers).
@@ -36,7 +43,9 @@ namespace autofl::net {
  * Data plane: RoundAssign (server -> worker: device/seq job pairs),
  * PullReq/PullResp (worker pulls a weight-shard range; the response
  * carries the aggregator clock the staleness bound is measured
- * against), Push (worker returns its trained update with provenance).
+ * against), Push (worker returns its trained update with provenance),
+ * PushDelta (the compressed form: an encoded delta against the pulled
+ * weights — see ps/compression.h — with the same provenance).
  */
 enum class MsgType : uint16_t {
     Join = 1,
@@ -51,10 +60,11 @@ enum class MsgType : uint16_t {
     BarrierAck,
     Bye,
     Shutdown,
+    PushDelta,
 };
 
 constexpr uint16_t kMinMsgType = 1;
-constexpr uint16_t kMaxMsgType = static_cast<uint16_t>(MsgType::Shutdown);
+constexpr uint16_t kMaxMsgType = static_cast<uint16_t>(MsgType::PushDelta);
 
 /** Display name ("Push", "JoinAck", ...). */
 const char *msg_type_name(MsgType t);
@@ -72,6 +82,7 @@ struct Message
     std::vector<float> floats;    ///< Weight payloads (bit-exact).
     std::vector<double> doubles;  ///< Update provenance (loss, acc).
     std::string text;             ///< Diagnostics (join names, errors).
+    std::vector<uint8_t> bytes;   ///< Packed codec payloads (PushDelta).
 };
 
 /** Typed outcome of parsing bytes as a frame. */
@@ -83,13 +94,14 @@ enum class WireStatus {
     BadType,     ///< Message type outside the known taxonomy.
     Oversized,   ///< Declared payload exceeds kMaxPayloadBytes.
     BadPayload,  ///< Section counts do not tile the payload exactly.
+    BadCodec,    ///< PushDelta sections are no valid encoded delta.
 };
 
 /** Display name ("Ok", "BadMagic", ...). */
 const char *wire_status_name(WireStatus s);
 
-constexpr uint32_t kWireMagic = 0x41465031u;  // "AFP1" (AutoFL PS v1).
-constexpr uint16_t kWireVersion = 1;
+constexpr uint32_t kWireMagic = 0x41465031u;  // "AFP1" (AutoFL PS).
+constexpr uint16_t kWireVersion = 2;  // v2: bytes section + PushDelta.
 constexpr size_t kWireHeaderBytes = 12;
 
 /**
@@ -125,6 +137,34 @@ WireStatus check_header(const uint8_t *data, size_t len,
  */
 WireStatus parse_frame(const uint8_t *data, size_t len, Message *out,
                        size_t *consumed);
+
+// ------------------------------------------------ PushDelta mapping
+// A PushDelta message carries an EncodedDelta plus the Push message's
+// provenance: ints = {device, steps, samples, codec, n, k, quant_range},
+// doubles = {loss, acc}, floats = the Int8 scale table, bytes = the
+// packed codec payload. Compression::None never ships as PushDelta —
+// uncompressed pushes keep the plain Push message, bit-for-bit.
+
+/** ints section length of a PushDelta message. */
+constexpr size_t kPushDeltaInts = 7;
+
+/** Build a PushDelta message (type/sections only; routing metadata —
+ *  from/round/seq/clock — is the caller's). */
+Message make_push_delta(int device, int steps, int samples, double loss,
+                        double acc, EncodedDelta e);
+
+/**
+ * Validate a PushDelta's sections against the expected model dimension
+ * and decode the delta into @p delta. Every malformed encoding — wrong
+ * section sizes, unknown codec id, truncated scale table, NaN scales,
+ * counts exceeding a range, out-of-range sparse indices — maps to
+ * BadCodec (never a crash); a non-PushDelta type is BadType.
+ */
+WireStatus decode_push_delta(const Message &m, size_t dim,
+                             std::vector<float> *delta);
+
+/** Validation-only decode_push_delta (fuzzing / gatekeeping). */
+WireStatus validate_push_delta(const Message &m, size_t dim);
 
 } // namespace autofl::net
 

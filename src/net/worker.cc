@@ -3,10 +3,13 @@
 #include <chrono>
 #include <cstdio>
 
+#include "kernels/kernels.h"
+
 namespace autofl::net {
 
-ClusterWorker::ClusterWorker(std::unique_ptr<Transport> van, NetConfig cfg)
-    : van_(std::move(van)), cfg_(std::move(cfg))
+ClusterWorker::ClusterWorker(std::unique_ptr<Transport> van, NetConfig cfg,
+                             CompressionConfig compression)
+    : van_(std::move(van)), cfg_(std::move(cfg)), compression_(compression)
 {
 }
 
@@ -183,16 +186,32 @@ ClusterWorker::run(const JobFn &fn)
                       return false;
                   LocalUpdate u = fn(job);
                   Message push;
-                  push.type = MsgType::Push;
+                  if (compression_.enabled() &&
+                      u.weights.size() == job.weights.size()) {
+                      // Ship the delta against the pulled weights;
+                      // error feedback folds in whatever previous
+                      // rounds' quantizers dropped for this device.
+                      std::vector<float> delta = std::move(u.weights);
+                      kernels::vsub(delta.size(), job.weights.data(),
+                                    delta.data());
+                      push = make_push_delta(
+                          u.device_id, static_cast<int>(u.num_steps),
+                          static_cast<int>(u.num_samples), u.train_loss,
+                          u.train_acc,
+                          error_feedback_.encode(compression_, u.device_id,
+                                                 std::move(delta)));
+                  } else {
+                      push.type = MsgType::Push;
+                      push.ints = {u.device_id,
+                                   static_cast<int32_t>(u.num_steps),
+                                   static_cast<int32_t>(u.num_samples)};
+                      push.doubles = {u.train_loss, u.train_acc};
+                      push.floats = std::move(u.weights);
+                  }
                   push.from = id_;
                   push.round = m.round;
                   push.seq = job.seq;
                   push.clock = job.pull_clock;
-                  push.ints = {u.device_id,
-                               static_cast<int32_t>(u.num_steps),
-                               static_cast<int32_t>(u.num_samples)};
-                  push.doubles = {u.train_loss, u.train_acc};
-                  push.floats = std::move(u.weights);
                   if (!van_->send(std::move(push)))
                       return false;
                   ++jobs_done_;

@@ -32,6 +32,7 @@
 #include "fl/fl_types.h"
 #include "net/net_config.h"
 #include "net/van.h"
+#include "ps/compression.h"
 
 namespace autofl::net {
 
@@ -55,8 +56,13 @@ class ClusterWorker
     /**
      * @param van Established connection to the server.
      * @param cfg Heartbeat cadence and join timeout.
+     * @param compression Push-delta codec; when enabled, updates leave
+     *        as PushDelta messages (delta against the pulled weights,
+     *        with this worker's per-device error feedback) instead of
+     *        raw Push. Must match the server's PsConfig::compression.
      */
-    ClusterWorker(std::unique_ptr<Transport> van, NetConfig cfg);
+    ClusterWorker(std::unique_ptr<Transport> van, NetConfig cfg,
+                  CompressionConfig compression = {});
 
     /** Stops the heartbeat thread and closes the transport. */
     ~ClusterWorker();
@@ -97,6 +103,8 @@ class ClusterWorker
   private:
     std::unique_ptr<Transport> van_;
     NetConfig cfg_;
+    CompressionConfig compression_;
+    ErrorFeedback error_feedback_;  ///< Per-device residuals, this node.
     int id_ = -1;
     std::deque<Message> pending_;  ///< Stashed during join()/pull().
 

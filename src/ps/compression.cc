@@ -1,0 +1,423 @@
+#include "compression.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "kernels/kernels.h"
+
+namespace autofl {
+
+namespace {
+
+/** ceil(n / d) for positive d. */
+inline size_t
+div_up(size_t n, size_t d)
+{
+    return (n + d - 1) / d;
+}
+
+/** TopK kept count for an n-element delta: at least 1, at most n. */
+inline size_t
+topk_count(double fraction, size_t n)
+{
+    if (n == 0)
+        return 0;
+    const size_t k =
+        static_cast<size_t>(std::llround(fraction * static_cast<double>(n)));
+    return k < 1 ? 1 : (k > n ? n : k);
+}
+
+void
+encode_int8(const CompressionConfig &cfg, const std::vector<float> &delta,
+            EncodedDelta *e)
+{
+    const size_t n = delta.size();
+    const size_t range = static_cast<size_t>(cfg.quant_range);
+    const size_t ranges = div_up(n, range);
+    e->quant_range = static_cast<uint32_t>(cfg.quant_range);
+    e->scales.resize(ranges);
+    e->payload.resize(n);
+    int8_t *q = reinterpret_cast<int8_t *>(e->payload.data());
+    for (size_t r = 0; r < ranges; ++r) {
+        const size_t lo = r * range;
+        const size_t len = (lo + range <= n) ? range : n - lo;
+        const float m = kernels::absmax(len, delta.data() + lo);
+        // A degenerate range (all-zero, or non-finite magnitudes)
+        // stores scale 0 and quantizes to zeros; error feedback
+        // re-sends anything representable next round.
+        if (!(m > 0.0f) || !std::isfinite(m)) {
+            e->scales[r] = 0.0f;
+            std::memset(q + lo, 0, len);
+            continue;
+        }
+        e->scales[r] = m;
+        kernels::quantize_i8(len, delta.data() + lo, 127.0f / m, q + lo);
+    }
+}
+
+void
+encode_fp16(const std::vector<float> &delta, EncodedDelta *e)
+{
+    const size_t n = delta.size();
+    e->payload.resize(2 * n);
+    kernels::fp16_encode(n, delta.data(),
+                         reinterpret_cast<uint16_t *>(e->payload.data()));
+}
+
+void
+encode_topk(const CompressionConfig &cfg, const std::vector<float> &delta,
+            EncodedDelta *e)
+{
+    const size_t n = delta.size();
+    const size_t k = topk_count(cfg.topk_fraction, n);
+    e->k = static_cast<uint32_t>(k);
+
+    std::vector<int32_t> idx(k);
+    kernels::topk_select(n, delta.data(), k, idx.data());
+
+    std::vector<float> vals(k);
+    for (size_t i = 0; i < k; ++i)
+        vals[i] = delta[static_cast<size_t>(idx[i])];
+    std::vector<uint16_t> half(k);
+    kernels::fp16_encode(k, vals.data(), half.data());
+
+    // Ranged layout: per 65536-element range a u32 count, then count
+    // ascending u16 local indices, then count binary16 values —
+    // 4 bytes per kept element plus 4 per range.
+    const size_t ranges = div_up(n, kTopKRangeLen);
+    e->payload.resize(4 * ranges + 4 * k);
+    uint8_t *p = e->payload.data();
+    size_t cursor = 0;  // Next unconsumed selected index.
+    for (size_t r = 0; r < ranges; ++r) {
+        const size_t hi = (r + 1) * kTopKRangeLen;
+        const size_t begin = cursor;
+        while (cursor < k && static_cast<size_t>(idx[cursor]) < hi)
+            ++cursor;
+        const uint32_t count = static_cast<uint32_t>(cursor - begin);
+        std::memcpy(p, &count, 4);
+        p += 4;
+        for (size_t i = begin; i < cursor; ++i) {
+            const uint16_t local = static_cast<uint16_t>(
+                static_cast<size_t>(idx[i]) - r * kTopKRangeLen);
+            std::memcpy(p, &local, 2);
+            p += 2;
+        }
+        std::memcpy(p, half.data() + begin, 2 * count);
+        p += 2 * count;
+    }
+}
+
+CodecStatus
+decode_int8(const EncodedDelta &e, std::vector<float> *out)
+{
+    const size_t n = e.n;
+    if (e.quant_range == 0 || e.payload.size() != n ||
+        e.scales.size() != div_up(n, e.quant_range))
+        return CodecStatus::BadLength;
+    for (const float m : e.scales)
+        if (!std::isfinite(m) || m < 0.0f)
+            return CodecStatus::BadScale;
+    out->resize(n);
+    const int8_t *q = reinterpret_cast<const int8_t *>(e.payload.data());
+    const size_t range = e.quant_range;
+    for (size_t r = 0; r < e.scales.size(); ++r) {
+        const size_t lo = r * range;
+        const size_t len = (lo + range <= n) ? range : n - lo;
+        kernels::dequantize_i8(len, q + lo, e.scales[r] / 127.0f,
+                               out->data() + lo);
+    }
+    return CodecStatus::Ok;
+}
+
+CodecStatus
+decode_fp16(const EncodedDelta &e, std::vector<float> *out)
+{
+    if (e.payload.size() != 2 * static_cast<size_t>(e.n) ||
+        !e.scales.empty())
+        return CodecStatus::BadLength;
+    out->resize(e.n);
+    kernels::fp16_decode(
+        e.n, reinterpret_cast<const uint16_t *>(e.payload.data()),
+        out->data());
+    return CodecStatus::Ok;
+}
+
+CodecStatus
+decode_topk(const EncodedDelta &e, std::vector<float> *out)
+{
+    const size_t n = e.n;
+    const size_t k = e.k;
+    if (k > n || !e.scales.empty())
+        return CodecStatus::BadK;
+    const size_t ranges = div_up(n, kTopKRangeLen);
+    if (e.payload.size() != 4 * ranges + 4 * k)
+        return CodecStatus::BadLength;
+
+    // Validate the full structure before writing any output.
+    const uint8_t *p = e.payload.data();
+    size_t total = 0;
+    for (size_t r = 0; r < ranges; ++r) {
+        const size_t range_len =
+            (r + 1) * kTopKRangeLen <= n ? kTopKRangeLen
+                                         : n - r * kTopKRangeLen;
+        // In bounds: the exact-size check above plus the incremental
+        // total + count <= k bound keep every read inside payload.
+        uint32_t count;
+        std::memcpy(&count, p, 4);
+        p += 4;
+        if (count > range_len || total + count > k)
+            return CodecStatus::BadK;
+        uint16_t prev = 0;
+        for (uint32_t i = 0; i < count; ++i) {
+            uint16_t local;
+            std::memcpy(&local, p + 2 * i, 2);
+            if (local >= range_len || (i > 0 && local <= prev))
+                return CodecStatus::BadIndex;
+            prev = local;
+        }
+        p += 4 * static_cast<size_t>(count);  // Indices + values.
+        total += count;
+    }
+    if (total != k)
+        return CodecStatus::BadK;
+
+    out->assign(n, 0.0f);
+    p = e.payload.data();
+    std::vector<uint16_t> halves;
+    std::vector<float> vals;
+    for (size_t r = 0; r < ranges; ++r) {
+        uint32_t count;
+        std::memcpy(&count, p, 4);
+        p += 4;
+        halves.resize(count);
+        vals.resize(count);
+        std::memcpy(halves.data(), p + 2 * static_cast<size_t>(count),
+                    2 * static_cast<size_t>(count));
+        kernels::fp16_decode(count, halves.data(), vals.data());
+        float *base = out->data() + r * kTopKRangeLen;
+        for (uint32_t i = 0; i < count; ++i) {
+            uint16_t local;
+            std::memcpy(&local, p + 2 * i, 2);
+            base[local] = vals[i];
+        }
+        p += 4 * static_cast<size_t>(count);
+    }
+    return CodecStatus::Ok;
+}
+
+} // namespace
+
+std::string
+compression_name(Compression c)
+{
+    switch (c) {
+      case Compression::None:
+        return "none";
+      case Compression::Fp16:
+        return "fp16";
+      case Compression::Int8:
+        return "int8";
+      case Compression::TopK:
+        return "topk";
+    }
+    return "unknown";
+}
+
+bool
+parse_compression(const std::string &name, Compression *out)
+{
+    if (name == "none")
+        *out = Compression::None;
+    else if (name == "fp16")
+        *out = Compression::Fp16;
+    else if (name == "int8")
+        *out = Compression::Int8;
+    else if (name == "topk")
+        *out = Compression::TopK;
+    else
+        return false;
+    return true;
+}
+
+void
+CompressionConfig::validate(const char *who) const
+{
+    const std::string w = who;
+    if (mode == Compression::Int8 && quant_range < 1)
+        throw std::invalid_argument(
+            w + ".quant_range must be >= 1 for int8 compression (got " +
+            std::to_string(quant_range) + ")");
+    if (mode == Compression::TopK &&
+        !(topk_fraction > 0.0 && topk_fraction <= 1.0))
+        throw std::invalid_argument(
+            w + ".topk_fraction must be in (0, 1] for topk compression "
+                "(got " +
+            std::to_string(topk_fraction) + ")");
+}
+
+const char *
+codec_status_name(CodecStatus s)
+{
+    switch (s) {
+      case CodecStatus::Ok:
+        return "ok";
+      case CodecStatus::BadMode:
+        return "bad-mode";
+      case CodecStatus::BadLength:
+        return "bad-length";
+      case CodecStatus::BadScale:
+        return "bad-scale";
+      case CodecStatus::BadK:
+        return "bad-k";
+      case CodecStatus::BadIndex:
+        return "bad-index";
+    }
+    return "unknown";
+}
+
+EncodedDelta
+encode_delta(const CompressionConfig &cfg, std::vector<float> delta)
+{
+    EncodedDelta e;
+    e.mode = cfg.mode;
+    e.n = static_cast<uint32_t>(delta.size());
+    switch (cfg.mode) {
+      case Compression::None:
+        e.dense = std::move(delta);
+        break;
+      case Compression::Fp16:
+        encode_fp16(delta, &e);
+        break;
+      case Compression::Int8:
+        encode_int8(cfg, delta, &e);
+        break;
+      case Compression::TopK:
+        encode_topk(cfg, delta, &e);
+        break;
+    }
+    return e;
+}
+
+CodecStatus
+decode_delta(const EncodedDelta &e, std::vector<float> *out)
+{
+    switch (e.mode) {
+      case Compression::None:
+        if (e.dense.size() != e.n)
+            return CodecStatus::BadLength;
+        *out = e.dense;
+        return CodecStatus::Ok;
+      case Compression::Fp16:
+        return decode_fp16(e, out);
+      case Compression::Int8:
+        return decode_int8(e, out);
+      case Compression::TopK:
+        return decode_topk(e, out);
+    }
+    return CodecStatus::BadMode;
+}
+
+size_t
+encoded_payload_bytes(const EncodedDelta &e)
+{
+    return 4 * e.scales.size() + e.payload.size() + 4 * e.dense.size();
+}
+
+size_t
+encoded_delta_bytes(const CompressionConfig &cfg, size_t n)
+{
+    switch (cfg.mode) {
+      case Compression::None:
+        return 4 * n;
+      case Compression::Fp16:
+        return 2 * n;
+      case Compression::Int8:
+        return n + 4 * div_up(n, static_cast<size_t>(cfg.quant_range));
+      case Compression::TopK:
+        return 4 * div_up(n, kTopKRangeLen) +
+            4 * topk_count(cfg.topk_fraction, n);
+    }
+    return 4 * n;
+}
+
+EncodedDelta
+ErrorFeedback::encode(const CompressionConfig &cfg, int device,
+                      std::vector<float> delta,
+                      std::vector<float> *decoded)
+{
+    if (!cfg.enabled()) {
+        if (decoded != nullptr)
+            *decoded = delta;
+        return encode_delta(cfg, std::move(delta));
+    }
+
+    // Fold the carried residual in. The residual is moved out under the
+    // lock (one in-flight encode per device by runtime contract), so
+    // the O(n) codec work runs unlocked.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = residual_.find(device);
+        if (it != residual_.end() && it->second.size() == delta.size())
+            kernels::vadd(delta.size(), it->second.data(), delta.data());
+    }
+
+    EncodedDelta e = encode_delta(cfg, delta);  // Copies: delta lives on.
+
+    // New residual: folded delta minus what the receiver reconstructs.
+    std::vector<float> rec;
+    decode_delta(e, &rec);
+    kernels::vsub(delta.size(), rec.data(), delta.data());
+    if (decoded != nullptr)
+        *decoded = std::move(rec);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        residual_[device] = std::move(delta);
+    }
+    return e;
+}
+
+size_t
+ErrorFeedback::compress_update(const CompressionConfig &cfg, int device,
+                               const float *pulled,
+                               std::vector<float> &weights)
+{
+    const size_t n = weights.size();
+    if (!cfg.enabled())
+        return 4 * n;  // Raw f32 payload; weights untouched, bit-for-bit.
+
+    // delta = weights - pulled, under error feedback.
+    std::vector<float> delta = weights;
+    kernels::vsub(n, pulled, delta.data());
+    std::vector<float> decoded;
+    const EncodedDelta e = encode(cfg, device, std::move(delta), &decoded);
+
+    // The receiver's view: pulled + decoded delta.
+    weights.assign(pulled, pulled + n);
+    kernels::vadd(n, decoded.data(), weights.data());
+    return encoded_payload_bytes(e);
+}
+
+void
+ErrorFeedback::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    residual_.clear();
+}
+
+size_t
+ErrorFeedback::tracked_devices() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return residual_.size();
+}
+
+std::vector<float>
+ErrorFeedback::residual(int device) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = residual_.find(device);
+    return it != residual_.end() ? it->second : std::vector<float>{};
+}
+
+} // namespace autofl

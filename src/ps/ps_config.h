@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/net_config.h"
+#include "ps/compression.h"
 
 namespace autofl {
 
@@ -104,6 +105,18 @@ struct PsConfig
      * processes. See NetConfig.
      */
     NetConfig net;
+
+    /**
+     * Push-path update compression (see ps/compression.h). Client
+     * pushes carry encoded deltas instead of raw f32 weights — over
+     * the cluster as PushDelta wire messages, in-process as an
+     * encode/decode round trip before the aggregator — with per-client
+     * error feedback. None keeps the bit-for-bit uncompressed runtime.
+     * Compressed modes require the ps runtime (mode != Sync) at
+     * pipeline_depth 1: the residual sequence is deterministic only
+     * when a device trains at most once concurrently.
+     */
+    CompressionConfig compression;
 
     /**
      * Validate the knobs, throwing std::invalid_argument with an

@@ -61,6 +61,23 @@ PsConfig::validate(const char *who) const
             "): 0 inherits the system thread count");
     }
     net.validate((w + ".net").c_str());
+    compression.validate((w + ".compression").c_str());
+    if (compression.enabled()) {
+        if (mode == SyncMode::Sync) {
+            throw std::invalid_argument(
+                w + ".compression: push-delta compression runs on the "
+                "parameter-server push path; use mode SemiAsync with "
+                "staleness_bound 0 for synchronous semantics, or Async");
+        }
+        if (pipeline_depth != 1) {
+            throw std::invalid_argument(
+                w + ".compression requires pipeline_depth == 1 (got " +
+                std::to_string(pipeline_depth) +
+                "): the error-feedback residual sequence is "
+                "deterministic only when a device trains at most once "
+                "concurrently");
+        }
+    }
     if (net.enabled()) {
         if (mode == SyncMode::Sync) {
             throw std::invalid_argument(
@@ -170,6 +187,15 @@ PsServer::run_round(const std::vector<PsRoundJob> &jobs, uint64_t round)
             LocalUpdate u = trainers_[static_cast<size_t>(worker)]->train(
                 weights, *job.shard, params_, hyper_, alg_, {}, rng);
             u.device_id = job.device_id;
+            // The in-process push "wire": encode the delta against the
+            // pulled weights and hand the aggregator the decoded
+            // reconstruction — exactly what a cluster server commits.
+            // None is a pure byte count, zero float ops (bit parity).
+            push_payload_bytes_.fetch_add(
+                error_feedback_.compress_update(cfg_.compression,
+                                                job.device_id,
+                                                weights.data(), u.weights),
+                std::memory_order_relaxed);
             agg_.push(PsPush{std::move(u), static_cast<uint64_t>(seq),
                              pull_clock});
         });
@@ -208,6 +234,12 @@ PsServer::submit_round(const std::vector<PsRoundJob> &jobs, uint64_t round,
     }
     if (cb)
         cb(res);
+}
+
+uint64_t
+PsServer::push_payload_bytes() const
+{
+    return push_payload_bytes_.load(std::memory_order_relaxed);
 }
 
 void

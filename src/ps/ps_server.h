@@ -10,6 +10,7 @@
 #ifndef AUTOFL_PS_PS_SERVER_H
 #define AUTOFL_PS_PS_SERVER_H
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -95,6 +96,16 @@ class PsServer
     AsyncAggregator &aggregator() { return agg_; }
     PsExecutor &executor() { return exec_; }
 
+    /**
+     * Push-path wire bytes this runtime would have moved (classic mode,
+     * in-process): the sum of each update's encoded payload size under
+     * cfg.compression — raw f32 bytes for None.
+     */
+    uint64_t push_payload_bytes() const;
+
+    /** Per-client error-feedback state (tests/metrics). */
+    const ErrorFeedback &error_feedback() const { return error_feedback_; }
+
   private:
     Server &server_;
     FlGlobalParams params_;
@@ -107,6 +118,8 @@ class PsServer
     AsyncAggregator agg_;
     std::vector<std::unique_ptr<LocalTrainer>> trainers_;  ///< Per worker.
     RoundPipeline::EvalFn eval_fn_;  ///< Classic-mode inline scoring.
+    ErrorFeedback error_feedback_;   ///< Push-compression residuals.
+    std::atomic<uint64_t> push_payload_bytes_{0};
 
     // Pipelined mode only. Declared after the components they use so
     // the pipeline drains (and the eval pool joins) before any of them

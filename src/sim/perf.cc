@@ -86,8 +86,14 @@ compute_time_s(const DeviceSpec &spec, ExecTarget target, double freq_frac,
 double
 comm_time_s(double payload_bytes, double bandwidth_mbps)
 {
+    return comm_time_s(payload_bytes, payload_bytes, bandwidth_mbps);
+}
+
+double
+comm_time_s(double down_bytes, double up_bytes, double bandwidth_mbps)
+{
     assert(bandwidth_mbps > 0.0);
-    const double bits = 2.0 * payload_bytes * 8.0;  // download + upload
+    const double bits = (down_bytes + up_bytes) * 8.0;
     return bits / (bandwidth_mbps * 1e6 * kCommScale);
 }
 

@@ -18,7 +18,7 @@ struct ComputeProfile
 {
     double train_flops = 0;      ///< Total training FLOPs this round.
     double mem_bound_frac = 0;   ///< Fraction of time that is memory-bound.
-    double payload_bytes = 0;    ///< Gradient payload size (up or down).
+    double payload_bytes = 0;    ///< Downlink payload (full f32 model).
     int batch_size = 32;         ///< Local minibatch size B (utilization).
 
     /**
@@ -26,6 +26,14 @@ struct ComputeProfile
      * (disabled by micro-level tests that isolate the rate model).
      */
     bool include_overhead = true;
+
+    /**
+     * Uplink payload when push-path compression shrinks it (see
+     * ps/compression.h: encoded_delta_bytes). 0 keeps the symmetric
+     * model (uplink == payload_bytes), which is the uncompressed
+     * runtime.
+     */
+    double uplink_bytes = 0;
 };
 
 /** Fixed per-round on-device setup/teardown time (simulated seconds). */
@@ -53,6 +61,13 @@ double compute_time_s(const DeviceSpec &spec, ExecTarget target,
 
 /** Simulated up+down gradient transfer time over the current link. */
 double comm_time_s(double payload_bytes, double bandwidth_mbps);
+
+/**
+ * Asymmetric variant: full-model download, compressed-delta upload.
+ * comm_time_s(b, mbps) == comm_time_s(b, b, mbps) exactly.
+ */
+double comm_time_s(double down_bytes, double up_bytes,
+                   double bandwidth_mbps);
 
 } // namespace autofl
 

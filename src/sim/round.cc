@@ -40,6 +40,9 @@ simulate_round(Fleet &fleet, const std::vector<ParticipantPlan> &plans,
         e.comp_s = compute_time_s(dev.spec(), plan.target, freq, profiles[i],
                                   dev.state(), dev.heat());
         e.comm_s = comm_time_s(profiles[i].payload_bytes,
+                               profiles[i].uplink_bytes > 0.0 ?
+                                   profiles[i].uplink_bytes :
+                                   profiles[i].payload_bytes,
                                dev.state().bandwidth_mbps);
         out.participants.push_back(e);
         completions.push_back(e.completion_s());
