@@ -29,6 +29,7 @@
 #include "bench_common.h"
 #include "fl/fl_cluster.h"
 #include "fl/system.h"
+#include "kernels/arch.h"
 #include "net/van.h"
 #include "ps/compression.h"
 #include "util/rng.h"
@@ -252,6 +253,9 @@ main()
 
     std::ofstream json("BENCH_compression.json");
     json << "{\n  \"workload\": \"CnnMnist\",\n"
+         << "  \"kernel_arch\": \""
+         << kernels::kernel_arch_name(kernels::current_kernel_arch())
+         << "\",\n"
          << "  \"jobs_per_round\": " << kJobIds.size() << ",\n"
          << "  \"rounds\": " << kRounds << ",\n"
          << "  \"workers\": " << kWorkers << ",\n"

@@ -16,9 +16,16 @@
  *    baseline path, so this ratio is the round-time win on this
  *    machine.
  *
+ * Also measured: a GEMM row per supported kernel arch (scalar, neon,
+ * avx2, avx512 — whatever this box can run), and the packed-panel
+ * driver vs the direct blocked kernels at a deep-K shape
+ * (256x256x4096, the conv-backward / LSTM regime packing exists for).
+ *
  * Exit-code gates (skipped with a note when the CPU has no vector
- * variant): vectorized GEMM >= 3x the seed scalar loop, and the
- * end-to-end pipelined round time must improve (>= 1.05x).
+ * variant): vectorized GEMM >= 3x the seed scalar loop, the
+ * end-to-end pipelined round time must improve (>= 1.05x), and on
+ * AVX2-capable boxes the packed path must beat the direct AVX2
+ * kernels by >= 1.25x at the deep-K shape.
  */
 #include <chrono>
 #include <fstream>
@@ -171,6 +178,47 @@ main()
     });
     const double gemm_speedup = t_naive / t_simd;
 
+    // One GEMM row per variant the box can run (Auto path policy, like
+    // the production call sites).
+    std::vector<std::pair<KernelArch, double>> arch_rows;
+    for (KernelArch arch : kernels::supported_kernel_archs()) {
+        kernels::set_kernel_arch(arch);
+        const double t = time_best(5, [&] {
+            kernels::gemm(kGemmDim, kGemmDim, kGemmDim, a.data(), kGemmDim,
+                          b.data(), kGemmDim, c.data(), kGemmDim);
+        });
+        arch_rows.emplace_back(arch, gemm_gflops(t));
+    }
+
+    // -------------------------------------------- packed vs direct path
+    // Deep-K shape where panel reuse pays; measured on the AVX2 table
+    // specifically so the ratio is comparable across boxes whose best
+    // arch differs.
+    constexpr int kPackM = 256, kPackN = 256, kPackK = 4096;
+    const bool has_avx2 = kernels::kernel_arch_supported(KernelArch::Avx2);
+    double packed_ratio = 0.0;
+    if (has_avx2) {
+        kernels::set_kernel_arch(KernelArch::Avx2);
+        std::vector<float> pa(static_cast<size_t>(kPackM) * kPackK);
+        std::vector<float> pb(static_cast<size_t>(kPackK) * kPackN);
+        std::vector<float> pc(static_cast<size_t>(kPackM) * kPackN);
+        for (auto &v : pa)
+            v = static_cast<float>(rng.uniform(-1, 1));
+        for (auto &v : pb)
+            v = static_cast<float>(rng.uniform(-1, 1));
+        const auto deep_gemm = [&] {
+            kernels::gemm(kPackM, kPackN, kPackK, pa.data(), kPackK,
+                          pb.data(), kPackN, pc.data(), kPackN);
+        };
+        kernels::set_gemm_path(kernels::GemmPath::Direct);
+        const double t_direct = time_best(5, deep_gemm);
+        kernels::set_gemm_path(kernels::GemmPath::Packed);
+        const double t_packed = time_best(5, deep_gemm);
+        kernels::set_gemm_path(kernels::GemmPath::Auto);
+        packed_ratio = t_direct / t_packed;
+    }
+    kernels::set_kernel_arch(best);
+
     // ------------------------------------------------------ conv micro
     // CnnMnist's first 5x5 conv shape, batch 16. Setup (layer, weights,
     // input) stays outside the timed region: only fwd+bwd is measured.
@@ -212,7 +260,21 @@ main()
                "-"});
     t.render(std::cout);
 
-    bool gemm_ok = true, e2e_ok = true;
+    TextTable ta;
+    ta.set_header({"arch", "gemm-512 GFLOP/s", "parity: gemm",
+                   "elementwise", "codec", "transcendental"});
+    for (const auto &[arch, gflops] : arch_rows) {
+        const kernels::KernelParity &p = kernels::kernel_parity(arch);
+        ta.add_row({kernels::kernel_arch_name(arch),
+                    TextTable::num(gflops, 2),
+                    kernels::parity_tier_name(p.gemm),
+                    kernels::parity_tier_name(p.elementwise),
+                    kernels::parity_tier_name(p.codec),
+                    kernels::parity_tier_name(p.transcendental)});
+    }
+    ta.render(std::cout);
+
+    bool gemm_ok = true, e2e_ok = true, packed_ok = true;
     if (vectorized) {
         gemm_ok = gemm_speedup >= 3.0;
         e2e_ok = e2e_speedup >= 1.05;
@@ -226,10 +288,18 @@ main()
         std::cout << "no vector variant on this CPU; speedup gates "
                      "skipped\n";
     }
+    if (has_avx2) {
+        packed_ok = packed_ratio >= 1.25;
+        std::cout << "packed-panel vs direct AVX2 GEMM (256x256x4096): "
+                  << TextTable::num(packed_ratio, 2) << "x ("
+                  << (packed_ok ? "PASS" : "FAIL") << " >= 1.25x)\n";
+    } else {
+        std::cout << "no AVX2 on this CPU; packed-path gate skipped\n";
+    }
 
     std::ofstream json("BENCH_kernel_throughput.json");
     json << "{\n"
-         << "  \"kernel_arch_best\": \""
+         << "  \"kernel_arch\": \""
          << kernels::kernel_arch_name(best) << "\",\n"
          << "  \"hardware_threads\": " << hw_threads << ",\n"
          << "  \"gemm_dim\": " << kGemmDim << ",\n"
@@ -237,6 +307,15 @@ main()
          << "  \"gemm_scalar_gflops\": " << gemm_gflops(t_scalar) << ",\n"
          << "  \"gemm_best_gflops\": " << gemm_gflops(t_simd) << ",\n"
          << "  \"gemm_speedup_vs_naive\": " << gemm_speedup << ",\n"
+         << "  \"gemm_arch_gflops\": {";
+    for (size_t i = 0; i < arch_rows.size(); ++i)
+        json << (i != 0 ? ", " : "") << "\""
+             << kernels::kernel_arch_name(arch_rows[i].first)
+             << "\": " << arch_rows[i].second;
+    json << "},\n"
+         << "  \"packed_gemm_shape\": [" << kPackM << ", " << kPackN << ", "
+         << kPackK << "],\n"
+         << "  \"packed_vs_direct_avx2\": " << packed_ratio << ",\n"
          << "  \"conv_speedup\": " << conv_speedup << ",\n"
          << "  \"e2e_pipeline_depth\": " << kPipelineDepth << ",\n"
          << "  \"e2e_rounds_per_sec_scalar\": " << rps_scalar << ",\n"

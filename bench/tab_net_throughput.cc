@@ -25,6 +25,7 @@
 #include "bench_common.h"
 #include "fl/fl_cluster.h"
 #include "fl/system.h"
+#include "kernels/arch.h"
 #include "net/van.h"
 #include "ps/ps_server.h"
 
@@ -295,6 +296,9 @@ main()
 
     std::ofstream json("BENCH_net_throughput.json");
     json << "{\n  \"workload\": \"CnnMnist\",\n"
+         << "  \"kernel_arch\": \""
+         << kernels::kernel_arch_name(kernels::current_kernel_arch())
+         << "\",\n"
          << "  \"weight_floats\": " << weight_floats << ",\n"
          << "  \"hardware_threads\": "
          << std::thread::hardware_concurrency() << ",\n"

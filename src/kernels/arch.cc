@@ -11,50 +11,57 @@ namespace autofl::kernels {
 
 namespace {
 
-KernelArch
-detect_best()
+/**
+ * "This binary and this CPU can run the variant." The table pointer is
+ * null when the TU was built without the ISA (wrong target or missing
+ * compiler support), so "binary supports it" is part of the check, not
+ * just cpuid. The NEON table is only compiled on targets where ASIMD
+ * is baseline, so its pointer alone decides.
+ */
+bool
+arch_supported(KernelArch arch)
 {
-    // The AVX2 table is null when the TU was built without AVX2/FMA
-    // support (non-x86 target), so "binary supports it" is part of the
-    // check, not just cpuid.
-    if (avx2_kernel_table() == nullptr)
-        return KernelArch::Scalar;
+    switch (arch) {
+      case KernelArch::Scalar:
+        return true;
+      case KernelArch::Neon:
+        return neon_kernel_table() != nullptr;
+      case KernelArch::Avx2:
 #if defined(__x86_64__) || defined(_M_X64)
-    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-        return KernelArch::Avx2;
+        return avx2_kernel_table() != nullptr &&
+               __builtin_cpu_supports("avx2") &&
+               __builtin_cpu_supports("fma");
+#else
+        return false;
 #endif
-    return KernelArch::Scalar;
+      case KernelArch::Avx512:
+#if defined(__x86_64__) || defined(_M_X64)
+        return avx512_kernel_table() != nullptr &&
+               __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("fma");
+#else
+        return false;
+#endif
+    }
+    return false;
 }
 
 KernelArch
-initial_arch()
+detect_best()
 {
-    const KernelArch best = detect_best();
-    const char *env = std::getenv("AUTOFL_KERNEL_ARCH");
-    if (env == nullptr || std::strcmp(env, "auto") == 0 ||
-        std::strcmp(env, "best") == 0 || env[0] == '\0')
-        return best;
-    if (std::strcmp(env, "scalar") == 0)
-        return KernelArch::Scalar;
-    if (std::strcmp(env, "avx2") == 0) {
-        if (best == KernelArch::Avx2)
-            return KernelArch::Avx2;
-        std::fprintf(stderr,
-                     "AUTOFL_KERNEL_ARCH=avx2 unsupported here; "
-                     "using %s\n",
-                     kernel_arch_name(best));
-        return best;
-    }
-    std::fprintf(stderr,
-                 "unknown AUTOFL_KERNEL_ARCH=\"%s\"; using %s\n", env,
-                 kernel_arch_name(best));
-    return best;
+    // Widest first; declaration order in KernelArch is narrow-to-wide.
+    for (const KernelArch arch :
+         {KernelArch::Avx512, KernelArch::Avx2, KernelArch::Neon})
+        if (arch_supported(arch))
+            return arch;
+    return KernelArch::Scalar;
 }
 
 std::atomic<KernelArch> &
 arch_slot()
 {
-    static std::atomic<KernelArch> arch{initial_arch()};
+    static std::atomic<KernelArch> arch{
+        resolve_kernel_arch_request(std::getenv("AUTOFL_KERNEL_ARCH"))};
     return arch;
 }
 
@@ -67,6 +74,23 @@ best_kernel_arch()
     return best;
 }
 
+bool
+kernel_arch_supported(KernelArch arch)
+{
+    return arch_supported(arch);
+}
+
+std::vector<KernelArch>
+supported_kernel_archs()
+{
+    std::vector<KernelArch> archs;
+    for (const KernelArch arch : {KernelArch::Scalar, KernelArch::Neon,
+                                  KernelArch::Avx2, KernelArch::Avx512})
+        if (arch_supported(arch))
+            archs.push_back(arch);
+    return archs;
+}
+
 KernelArch
 current_kernel_arch()
 {
@@ -76,10 +100,39 @@ current_kernel_arch()
 KernelArch
 set_kernel_arch(KernelArch arch)
 {
-    if (arch == KernelArch::Avx2 && best_kernel_arch() != KernelArch::Avx2)
+    if (!arch_supported(arch))
         arch = best_kernel_arch();
     arch_slot().store(arch, std::memory_order_relaxed);
     return arch;
+}
+
+KernelArch
+resolve_kernel_arch_request(const char *request)
+{
+    const KernelArch best = best_kernel_arch();
+    if (request == nullptr || request[0] == '\0' ||
+        std::strcmp(request, "auto") == 0 ||
+        std::strcmp(request, "best") == 0)
+        return best;
+    bool known = false;
+    for (const KernelArch arch : {KernelArch::Scalar, KernelArch::Neon,
+                                  KernelArch::Avx2, KernelArch::Avx512}) {
+        if (std::strcmp(request, kernel_arch_name(arch)) != 0)
+            continue;
+        known = true;
+        if (arch_supported(arch))
+            return arch;
+        break;
+    }
+    if (known)
+        std::fprintf(stderr,
+                     "AUTOFL_KERNEL_ARCH=%s unsupported here; using %s\n",
+                     request, kernel_arch_name(best));
+    else
+        std::fprintf(stderr,
+                     "unknown AUTOFL_KERNEL_ARCH=\"%s\"; using %s\n",
+                     request, kernel_arch_name(best));
+    return best;
 }
 
 const char *
@@ -88,8 +141,24 @@ kernel_arch_name(KernelArch arch)
     switch (arch) {
       case KernelArch::Scalar:
         return "scalar";
+      case KernelArch::Neon:
+        return "neon";
       case KernelArch::Avx2:
         return "avx2";
+      case KernelArch::Avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+const char *
+parity_tier_name(ParityTier tier)
+{
+    switch (tier) {
+      case ParityTier::Exact:
+        return "exact";
+      case ParityTier::Tolerance:
+        return "tolerance";
     }
     return "unknown";
 }

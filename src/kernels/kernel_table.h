@@ -14,12 +14,16 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "kernels/arch.h"
+
 namespace autofl::kernels {
 
 /** Per-arch kernel entry points (raw row-major float buffers). */
 struct KernelTable
 {
-    // C {m,n} = (or +=) A {m,k} B {k,n}.
+    // Direct GEMM family: C {m,n} = (or +=) A {m,k} B {k,n}. Streams
+    // the operands in place — the small-shape path, and the baseline
+    // the packed-panel driver is gated against in the benches.
     void (*gemm)(int m, int n, int k, const float *a, int lda,
                  const float *b, int ldb, float *c, int ldc,
                  bool accumulate) = nullptr;
@@ -31,6 +35,26 @@ struct KernelTable
     void (*gemm_nt)(int m, int n, int k, const float *a, int lda,
                     const float *b, int ldb, float *c, int ldc,
                     bool accumulate) = nullptr;
+
+    // Packed-panel GEMM microkernel (BLIS-style): computes one
+    // gemm_mr x gemm_nr register tile from contiguous panels. apanel
+    // holds kc groups of gemm_mr row values (one per k step), bpanel
+    // kc groups of gemm_nr column values; both are zero-padded to full
+    // tile width by the packing routines, so the microkernel never
+    // sees a ragged edge (the shared driver stages edge tiles through
+    // a scratch tile). Null when the variant has no packed path — the
+    // scalar table, whose direct loops are the bit-exactness baseline.
+    void (*gemm_micro)(int kc, const float *apanel, const float *bpanel,
+                       float *c, int ldc, bool accumulate) = nullptr;
+    // Register tile shape and cache-blocking parameters (elements).
+    // Invariants the shared driver relies on: gemm_mc % gemm_mr == 0
+    // and gemm_nc % gemm_nr == 0 (prepacked-operand offsets assume
+    // every non-final block is a whole multiple of the tile).
+    int gemm_mr = 0;  ///< Microkernel rows.
+    int gemm_nr = 0;  ///< Microkernel columns.
+    int gemm_mc = 0;  ///< A block rows per L2-resident pack.
+    int gemm_kc = 0;  ///< Shared k depth per pack (B panel fits L1).
+    int gemm_nc = 0;  ///< B block columns per outer pack.
 
     // Elementwise family: bit-identical across variants (no FMA).
     void (*axpy)(size_t n, float alpha, const float *x, float *y) = nullptr;
@@ -50,10 +74,20 @@ struct KernelTable
                           const float *anchor, float lr, float wd,
                           float momentum, float mu) = nullptr;
 
-    // Inference-only fused LSTM gate update. Unlike the training gate
-    // kernels (arch-independent by contract), variants may vectorize
-    // the transcendentals: scalar is bit-identical to
-    // lstm_gate_forward, SIMD agrees within ~1e-6 relative.
+    // Fused LSTM gate family (transcendental tier). Variants may
+    // vectorize sigmoid/tanh with a polynomial exp; the scalar entries
+    // keep exact libm transcendentals and are the parity baseline.
+    // Training results are already per-arch through the GEMM tier, so
+    // the gate kernels share the same Tolerance class; per-variant
+    // bitwise determinism (Sync == SemiAsync(S=0)) is unaffected.
+    void (*lstm_gate_forward)(int batch, int hidden, float *z,
+                              const float *cprev, float *c, float *h,
+                              int h_stride) = nullptr;
+    void (*lstm_gate_backward)(int batch, int hidden, const float *z,
+                               const float *cprev, const float *c,
+                               const float *dh, const float *dc, float *dz,
+                               float *dc_prev) = nullptr;
+    // Inference-only fused gate update (activated z is scratch).
     void (*lstm_gate_infer)(int batch, int hidden, float *z,
                             const float *cprev, float *c, float *h,
                             int h_stride) = nullptr;
@@ -78,6 +112,12 @@ struct KernelTable
                             float *out) = nullptr;
     void (*apply_step_f64)(size_t n, float *w, double tau,
                            const double *dir) = nullptr;
+
+    // What this variant promises relative to the scalar baseline, per
+    // kernel family. tests/test_kernels.cc reads these to decide
+    // bit-exact vs 1e-4 assertions — a new table declares its contract
+    // here instead of the tests hard-coding per-arch knowledge.
+    KernelParity parity_tier{};
 };
 
 /** The portable table; every entry is non-null. */
@@ -89,6 +129,22 @@ const KernelTable *scalar_kernel_table();
  * -mavx2 -mfma on x86-64 only).
  */
 const KernelTable *avx2_kernel_table();
+
+/**
+ * The AVX-512F/FMA table, or null when built without AVX-512 support.
+ * Inherits the AVX2 entries (every AVX-512 CPU runs them, and the
+ * exact-tier families stay bit-identical that way) and overrides the
+ * GEMM microkernel and the transcendental family with 16-lane code
+ * (defined in kernels_avx512.cc, compiled with -mavx512f -mfma).
+ */
+const KernelTable *avx512_kernel_table();
+
+/**
+ * The NEON/ASIMD table, or null off aarch64. ASIMD is baseline on
+ * aarch64, so the TU needs no special flags — it self-guards on
+ * __ARM_NEON (defined in kernels_neon.cc).
+ */
+const KernelTable *neon_kernel_table();
 
 } // namespace autofl::kernels
 

@@ -1,6 +1,7 @@
 #include "kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <vector>
@@ -355,6 +356,274 @@ scalar_lstm_gate(int batch, int hidden, float *z, const float *cprev,
     }
 }
 
+void
+scalar_lstm_gate_backward(int batch, int hidden, const float *z,
+                          const float *cprev, const float *c,
+                          const float *dh, const float *dc, float *dz,
+                          float *dc_prev)
+{
+    const int h4 = 4 * hidden;
+    for (int n = 0; n < batch; ++n) {
+        const float *zrow = z + static_cast<size_t>(n) * h4;
+        const float *cp = cprev + static_cast<size_t>(n) * hidden;
+        const float *cn = c + static_cast<size_t>(n) * hidden;
+        const float *dhn = dh + static_cast<size_t>(n) * hidden;
+        const float *dcn = dc + static_cast<size_t>(n) * hidden;
+        float *dzrow = dz + static_cast<size_t>(n) * h4;
+        float *dcp = dc_prev + static_cast<size_t>(n) * hidden;
+        for (int j = 0; j < hidden; ++j) {
+            const float i_g = zrow[j];
+            const float f_g = zrow[hidden + j];
+            const float g_g = zrow[2 * hidden + j];
+            const float o_g = zrow[3 * hidden + j];
+            const float tc = std::tanh(cn[j]);
+            const float dht = dhn[j];
+
+            const float dct = dht * o_g * (1.0f - tc * tc) + dcn[j];
+            const float d_o = dht * tc;
+            const float d_i = dct * g_g;
+            const float d_g = dct * i_g;
+            const float d_f = dct * cp[j];
+            dcp[j] = dct * f_g;
+
+            dzrow[j] = d_i * i_g * (1.0f - i_g);
+            dzrow[hidden + j] = d_f * f_g * (1.0f - f_g);
+            dzrow[2 * hidden + j] = d_g * (1.0f - g_g * g_g);
+            dzrow[3 * hidden + j] = d_o * o_g * (1.0f - o_g);
+        }
+    }
+}
+
+// ----------------------------------------- packed-panel GEMM driver
+// Shared BLIS-style 5-loop driver parameterized by the active table's
+// register-tile geometry (gemm_mr x gemm_nr) and cache blocking
+// (gemm_mc / gemm_kc / gemm_nc). A is repacked into contiguous MR-row
+// panels, B into NR-column panels, so the microkernel streams both
+// with unit stride regardless of the source layout (plain, ^T via
+// strides, or a prepacked handle). Panels are zero-padded to full tile
+// width; ragged C edges are staged through a scratch tile. Reduction
+// order is ascending k per output element (one FMA per term), fixed by
+// (m, n, k, arch) — per-variant bitwise deterministic, same 1e-4
+// tolerance class as the direct SIMD kernels.
+
+/** Shapes below these never amortize the packing pass. */
+constexpr int kPackedMinK = 48;
+/** Operand footprint (elements) above which packing pays for itself. */
+constexpr long long kPackedMinOperand = 8192;
+/** Upper bound on any variant's MR x NR scratch tile. */
+constexpr int kMaxMicroTile = 512;
+
+inline int
+round_up(int v, int mult)
+{
+    return (v + mult - 1) / mult * mult;
+}
+
+/**
+ * Pack an mb x kb block of A (element (i, kk) at a[i*rs + kk*cs]) into
+ * ceil(mb/mr) panels of kb groups of mr row values, zero-padded.
+ */
+void
+pack_a_block(int mb, int kb, const float *a, size_t rs, size_t cs, int mr,
+             float *out)
+{
+    for (int p = 0; p < mb; p += mr) {
+        const int rows = std::min(mr, mb - p);
+        const float *ablk = a + static_cast<size_t>(p) * rs;
+        for (int kk = 0; kk < kb; ++kk) {
+            const float *src = ablk + static_cast<size_t>(kk) * cs;
+            for (int r = 0; r < rows; ++r)
+                *out++ = src[static_cast<size_t>(r) * rs];
+            for (int r = rows; r < mr; ++r)
+                *out++ = 0.0f;
+        }
+    }
+}
+
+/**
+ * Pack a kb x nb block of B (element (kk, j) at b[kk*rs + j*cs]) into
+ * ceil(nb/nr) panels of kb groups of nr column values, zero-padded.
+ */
+void
+pack_b_block(int kb, int nb, const float *b, size_t rs, size_t cs, int nr,
+             float *out)
+{
+    for (int p = 0; p < nb; p += nr) {
+        const int cols = std::min(nr, nb - p);
+        const float *bblk = b + static_cast<size_t>(p) * cs;
+        for (int kk = 0; kk < kb; ++kk) {
+            const float *src = bblk + static_cast<size_t>(kk) * rs;
+            if (cs == 1 && cols == nr) {
+                std::memcpy(out, src, sizeof(float) * static_cast<size_t>(nr));
+                out += nr;
+            } else {
+                for (int j = 0; j < cols; ++j)
+                    *out++ = src[static_cast<size_t>(j) * cs];
+                for (int j = cols; j < nr; ++j)
+                    *out++ = 0.0f;
+            }
+        }
+    }
+}
+
+/** Sweep one packed (mb x kb) x (kb x nb) macro block over C. */
+void
+macro_block(const KernelTable &t, int mb, int nb, int kb, const float *ap,
+            const float *bp, float *c, int ldc, bool acc)
+{
+    const int mr = t.gemm_mr;
+    const int nr = t.gemm_nr;
+    const size_t astride = static_cast<size_t>(mr) * kb;
+    const size_t bstride = static_cast<size_t>(nr) * kb;
+    alignas(64) float tile[kMaxMicroTile];
+    for (int jr = 0; jr < nb; jr += nr) {
+        const int nn = std::min(nr, nb - jr);
+        const float *bpanel = bp + static_cast<size_t>(jr / nr) * bstride;
+        for (int ir = 0; ir < mb; ir += mr) {
+            const int mm = std::min(mr, mb - ir);
+            const float *apanel = ap + static_cast<size_t>(ir / mr) * astride;
+            float *cblk = c + static_cast<size_t>(ir) * ldc + jr;
+            if (mm == mr && nn == nr) {
+                t.gemm_micro(kb, apanel, bpanel, cblk, ldc, acc);
+            } else {
+                // Ragged edge: full tile into scratch, then the valid
+                // region onto C (same per-element reduction order).
+                t.gemm_micro(kb, apanel, bpanel, tile, nr, false);
+                for (int i = 0; i < mm; ++i) {
+                    const float *trow = tile + static_cast<size_t>(i) * nr;
+                    float *crow = cblk + static_cast<size_t>(i) * ldc;
+                    if (acc) {
+                        for (int j = 0; j < nn; ++j)
+                            crow[j] += trow[j];
+                    } else {
+                        for (int j = 0; j < nn; ++j)
+                            crow[j] = trow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * One GEMM operand for the packed driver: either a raw strided matrix
+ * (element (r, c) at raw[r*rs + c*cs]) or fully prepacked panels laid
+ * out in the driver's own block order (see pack_gemm_a/pack_gemm_b).
+ */
+struct OperandA
+{
+    const float *raw = nullptr;
+    size_t rs = 0;
+    size_t cs = 0;
+    const float *packed = nullptr;  ///< pc-major, then ic blocks.
+};
+
+struct OperandB
+{
+    const float *raw = nullptr;
+    size_t rs = 0;
+    size_t cs = 0;
+    const float *packed = nullptr;  ///< jc-major, then pc blocks.
+};
+
+void
+packed_gemm_driver(const KernelTable &t, int m, int n, int k,
+                   const OperandA &oa, const OperandB &ob, float *c, int ldc,
+                   bool accumulate)
+{
+    if (k <= 0) {
+        if (!accumulate)
+            for (int i = 0; i < m; ++i)
+                std::memset(c + static_cast<size_t>(i) * ldc, 0,
+                            sizeof(float) * static_cast<size_t>(n));
+        return;
+    }
+    const int mr = t.gemm_mr;
+    const int nr = t.gemm_nr;
+    const int mc = t.gemm_mc;
+    const int kc = t.gemm_kc;
+    const int nc = t.gemm_nc;
+    const int rnd_m = round_up(m, mr);
+    thread_local std::vector<float> apack;
+    thread_local std::vector<float> bpack;
+    if (oa.packed == nullptr)
+        apack.resize(static_cast<size_t>(round_up(std::min(m, mc), mr)) *
+                     static_cast<size_t>(std::min(k, kc)));
+    if (ob.packed == nullptr)
+        bpack.resize(static_cast<size_t>(round_up(std::min(n, nc), nr)) *
+                     static_cast<size_t>(std::min(k, kc)));
+    for (int jc = 0; jc < n; jc += nc) {
+        const int nb = std::min(nc, n - jc);
+        const int rnd_nb = round_up(nb, nr);
+        for (int pc = 0; pc < k; pc += kc) {
+            const int kb = std::min(kc, k - pc);
+            // Later kc blocks accumulate onto the earlier ones, so the
+            // per-element reduction stays ascending k.
+            const bool acc = accumulate || pc > 0;
+            const float *bp;
+            if (ob.packed != nullptr) {
+                bp = ob.packed + static_cast<size_t>(jc) * k +
+                     static_cast<size_t>(rnd_nb) * pc;
+            } else {
+                pack_b_block(kb, nb,
+                             ob.raw + static_cast<size_t>(pc) * ob.rs +
+                                 static_cast<size_t>(jc) * ob.cs,
+                             ob.rs, ob.cs, nr, bpack.data());
+                bp = bpack.data();
+            }
+            for (int ic = 0; ic < m; ic += mc) {
+                const int mb = std::min(mc, m - ic);
+                const float *ap;
+                if (oa.packed != nullptr) {
+                    ap = oa.packed + static_cast<size_t>(rnd_m) * pc +
+                         static_cast<size_t>(ic) * kb;
+                } else {
+                    pack_a_block(mb, kb,
+                                 oa.raw + static_cast<size_t>(ic) * oa.rs +
+                                     static_cast<size_t>(pc) * oa.cs,
+                                 oa.rs, oa.cs, mr, apack.data());
+                    ap = apack.data();
+                }
+                macro_block(t, mb, nb, kb, ap, bp,
+                            c + static_cast<size_t>(ic) * ldc + jc, ldc,
+                            acc);
+            }
+        }
+    }
+}
+
+std::atomic<GemmPath> &
+gemm_path_slot()
+{
+    static std::atomic<GemmPath> path{GemmPath::Auto};
+    return path;
+}
+
+/**
+ * Pure function of (table, shape, path policy) — never of data — so
+ * the reduction order each call site sees is reproducible.
+ */
+inline bool
+use_packed_path(const KernelTable &t, int m, int n, int k)
+{
+    if (t.gemm_micro == nullptr)
+        return false;
+    switch (gemm_path_slot().load(std::memory_order_relaxed)) {
+      case GemmPath::Direct:
+        return false;
+      case GemmPath::Packed:
+        return true;
+      case GemmPath::Auto:
+        break;
+    }
+    if (k < kPackedMinK || m < t.gemm_mr || n < t.gemm_nr)
+        return false;
+    // Packing is O(mk + kn) against O(mnk) flops; it pays once an
+    // operand no longer sits in L1 across the sweep.
+    return static_cast<long long>(k) * n >= kPackedMinOperand ||
+           static_cast<long long>(k) * m >= kPackedMinOperand;
+}
+
 const KernelTable *
 make_scalar_table()
 {
@@ -382,10 +651,32 @@ make_scalar_table()
         k.diff_axpy_f64 = scalar_diff_axpy_f64;
         k.cast_f64_to_f32 = scalar_cast_f64_to_f32;
         k.apply_step_f64 = scalar_apply_step_f64;
+        k.lstm_gate_forward = scalar_lstm_gate;
+        k.lstm_gate_backward = scalar_lstm_gate_backward;
         k.lstm_gate_infer = scalar_lstm_gate;
+        // No gemm_micro: the scalar direct loops ARE the bit-exactness
+        // baseline, so the scalar table has no packed path by design.
+        // Parity tiers: all Exact (this table defines the baseline).
         return k;
     }();
     return &t;
+}
+
+/** The given arch's table, or null when not compiled in. */
+const KernelTable *
+table_for(KernelArch arch)
+{
+    switch (arch) {
+      case KernelArch::Scalar:
+        return scalar_kernel_table();
+      case KernelArch::Neon:
+        return neon_kernel_table();
+      case KernelArch::Avx2:
+        return avx2_kernel_table();
+      case KernelArch::Avx512:
+        return avx512_kernel_table();
+    }
+    return scalar_kernel_table();
 }
 
 /**
@@ -395,14 +686,8 @@ make_scalar_table()
 inline const KernelTable &
 active()
 {
-    switch (current_kernel_arch()) {
-      case KernelArch::Avx2:
-        if (const KernelTable *t = avx2_kernel_table())
-            return *t;
-        break;
-      case KernelArch::Scalar:
-        break;
-    }
+    if (const KernelTable *t = table_for(current_kernel_arch()))
+        return *t;
     return *scalar_kernel_table();
 }
 
@@ -425,12 +710,39 @@ scalar_kernel_table()
 
 // ------------------------------------------------ public dispatchers
 
+const KernelParity &
+kernel_parity(KernelArch arch)
+{
+    const KernelTable *t = table_for(arch);
+    return (t != nullptr ? t : scalar_kernel_table())->parity_tier;
+}
+
+GemmPath
+set_gemm_path(GemmPath path)
+{
+    return gemm_path_slot().exchange(path, std::memory_order_relaxed);
+}
+
+GemmPath
+current_gemm_path()
+{
+    return gemm_path_slot().load(std::memory_order_relaxed);
+}
+
 void
 gemm(int m, int n, int k, const float *a, int lda, const float *b, int ldb,
      float *c, int ldc, bool accumulate)
 {
     if (m <= 0 || n <= 0)
         return;
+    const KernelTable &t = active();
+    if (use_packed_path(t, m, n, k)) {
+        packed_gemm_driver(t, m, n, k,
+                           OperandA{a, static_cast<size_t>(lda), 1, nullptr},
+                           OperandB{b, static_cast<size_t>(ldb), 1, nullptr},
+                           c, ldc, accumulate);
+        return;
+    }
     pick(&KernelTable::gemm)(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
 }
 
@@ -440,6 +752,15 @@ gemm_tn(int m, int n, int k, const float *a, int lda, const float *b,
 {
     if (m <= 0 || n <= 0)
         return;
+    const KernelTable &t = active();
+    if (use_packed_path(t, m, n, k)) {
+        // A stored {k, m}: element (i, kk) at a[kk * lda + i].
+        packed_gemm_driver(t, m, n, k,
+                           OperandA{a, 1, static_cast<size_t>(lda), nullptr},
+                           OperandB{b, static_cast<size_t>(ldb), 1, nullptr},
+                           c, ldc, accumulate);
+        return;
+    }
     pick(&KernelTable::gemm_tn)(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
 }
 
@@ -449,7 +770,145 @@ gemm_nt(int m, int n, int k, const float *a, int lda, const float *b,
 {
     if (m <= 0 || n <= 0)
         return;
+    const KernelTable &t = active();
+    if (use_packed_path(t, m, n, k)) {
+        // B stored {n, k}: element (kk, j) at b[j * ldb + kk].
+        packed_gemm_driver(t, m, n, k,
+                           OperandA{a, static_cast<size_t>(lda), 1, nullptr},
+                           OperandB{b, 1, static_cast<size_t>(ldb), nullptr},
+                           c, ldc, accumulate);
+        return;
+    }
     pick(&KernelTable::gemm_nt)(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+// ------------------------------------------- prepacked GEMM operands
+
+PackedGemm
+pack_gemm_a(int m, int k, const float *a, int lda, bool a_transposed)
+{
+    PackedGemm p;
+    p.rows_ = m;
+    p.cols_ = k;
+    p.arch_ = current_kernel_arch();
+    if (m <= 0 || k <= 0)
+        return p;
+    const size_t rs = a_transposed ? 1 : static_cast<size_t>(lda);
+    const size_t cs = a_transposed ? static_cast<size_t>(lda) : 1;
+    const KernelTable *t = table_for(p.arch_);
+    if (t != nullptr && t->gemm_micro != nullptr && k >= kPackedMinK &&
+        m >= t->gemm_mr) {
+        p.panels_ = true;
+        p.buf_.resize(static_cast<size_t>(round_up(m, t->gemm_mr)) * k);
+        float *out = p.buf_.data();
+        for (int pc = 0; pc < k; pc += t->gemm_kc) {
+            const int kb = std::min(t->gemm_kc, k - pc);
+            for (int ic = 0; ic < m; ic += t->gemm_mc) {
+                const int mb = std::min(t->gemm_mc, m - ic);
+                pack_a_block(mb, kb,
+                             a + static_cast<size_t>(ic) * rs +
+                                 static_cast<size_t>(pc) * cs,
+                             rs, cs, t->gemm_mr, out);
+                out += static_cast<size_t>(round_up(mb, t->gemm_mr)) * kb;
+            }
+        }
+        return p;
+    }
+    // Below the cutoff (or scalar arch): a contiguous row-major copy;
+    // compute calls route through the ordinary dispatcher, so the
+    // scalar path keeps the seed-exact direct loops.
+    p.buf_.resize(static_cast<size_t>(m) * k);
+    for (int i = 0; i < m; ++i) {
+        float *dst = p.buf_.data() + static_cast<size_t>(i) * k;
+        const float *src = a + static_cast<size_t>(i) * rs;
+        if (cs == 1)
+            std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(k));
+        else
+            for (int kk = 0; kk < k; ++kk)
+                dst[kk] = src[static_cast<size_t>(kk) * cs];
+    }
+    return p;
+}
+
+PackedGemm
+pack_gemm_b(int k, int n, const float *b, int ldb, bool b_transposed)
+{
+    PackedGemm p;
+    p.rows_ = k;
+    p.cols_ = n;
+    p.arch_ = current_kernel_arch();
+    if (k <= 0 || n <= 0)
+        return p;
+    const size_t rs = b_transposed ? 1 : static_cast<size_t>(ldb);
+    const size_t cs = b_transposed ? static_cast<size_t>(ldb) : 1;
+    const KernelTable *t = table_for(p.arch_);
+    if (t != nullptr && t->gemm_micro != nullptr && k >= kPackedMinK &&
+        n >= t->gemm_nr) {
+        p.panels_ = true;
+        p.buf_.resize(static_cast<size_t>(round_up(n, t->gemm_nr)) * k);
+        float *out = p.buf_.data();
+        for (int jc = 0; jc < n; jc += t->gemm_nc) {
+            const int nb = std::min(t->gemm_nc, n - jc);
+            for (int pc = 0; pc < k; pc += t->gemm_kc) {
+                const int kb = std::min(t->gemm_kc, k - pc);
+                pack_b_block(kb, nb,
+                             b + static_cast<size_t>(pc) * rs +
+                                 static_cast<size_t>(jc) * cs,
+                             rs, cs, t->gemm_nr, out);
+                out += static_cast<size_t>(round_up(nb, t->gemm_nr)) * kb;
+            }
+        }
+        return p;
+    }
+    p.buf_.resize(static_cast<size_t>(k) * n);
+    for (int kk = 0; kk < k; ++kk) {
+        float *dst = p.buf_.data() + static_cast<size_t>(kk) * n;
+        const float *src = b + static_cast<size_t>(kk) * rs;
+        if (cs == 1)
+            std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(n));
+        else
+            for (int j = 0; j < n; ++j)
+                dst[j] = src[static_cast<size_t>(j) * cs];
+    }
+    return p;
+}
+
+void
+gemm_packed_a(const PackedGemm &a, int n, const float *b, int ldb, float *c,
+              int ldc, bool accumulate)
+{
+    const int m = a.rows_;
+    const int k = a.cols_;
+    if (m <= 0 || n <= 0)
+        return;
+    if (!a.panels_) {
+        gemm(m, n, k, a.buf_.data(), k, b, ldb, c, ldc, accumulate);
+        return;
+    }
+    // Compute with the arch the panels were laid out for, so a handle
+    // outlives any mid-flight set_kernel_arch flip.
+    packed_gemm_driver(*table_for(a.arch_), m, n, k,
+                       OperandA{nullptr, 0, 0, a.buf_.data()},
+                       OperandB{b, static_cast<size_t>(ldb), 1, nullptr}, c,
+                       ldc, accumulate);
+}
+
+void
+gemm_packed_b(int m, const float *a, int lda, const PackedGemm &b, float *c,
+              int ldc, bool accumulate)
+{
+    const int k = b.rows_;
+    const int n = b.cols_;
+    if (m <= 0 || n <= 0)
+        return;
+    if (!b.panels_) {
+        gemm(m, n, k, a, lda, b.buf_.data(), n, c, ldc, accumulate);
+        return;
+    }
+    packed_gemm_driver(*table_for(b.arch_), m, n, k,
+                       OperandA{a, static_cast<size_t>(lda), 1, nullptr},
+                       OperandB{nullptr, 0, 0, b.buf_.data()}, c, ldc,
+                       accumulate);
 }
 
 void
@@ -605,9 +1064,8 @@ void
 lstm_gate_forward(int batch, int hidden, float *z, const float *cprev,
                   float *c, float *h, int h_stride)
 {
-    // Training path: arch-independent exact math (the determinism
-    // contract for pipelined-vs-sync bit parity).
-    scalar_lstm_gate(batch, hidden, z, cprev, c, h, h_stride);
+    pick(&KernelTable::lstm_gate_forward)(batch, hidden, z, cprev, c, h,
+                                          h_stride);
 }
 
 void
@@ -623,36 +1081,8 @@ lstm_gate_backward(int batch, int hidden, const float *z, const float *cprev,
                    const float *c, const float *dh, const float *dc,
                    float *dz, float *dc_prev)
 {
-    const int h4 = 4 * hidden;
-    for (int n = 0; n < batch; ++n) {
-        const float *zrow = z + static_cast<size_t>(n) * h4;
-        const float *cp = cprev + static_cast<size_t>(n) * hidden;
-        const float *cn = c + static_cast<size_t>(n) * hidden;
-        const float *dhn = dh + static_cast<size_t>(n) * hidden;
-        const float *dcn = dc + static_cast<size_t>(n) * hidden;
-        float *dzrow = dz + static_cast<size_t>(n) * h4;
-        float *dcp = dc_prev + static_cast<size_t>(n) * hidden;
-        for (int j = 0; j < hidden; ++j) {
-            const float i_g = zrow[j];
-            const float f_g = zrow[hidden + j];
-            const float g_g = zrow[2 * hidden + j];
-            const float o_g = zrow[3 * hidden + j];
-            const float tc = std::tanh(cn[j]);
-            const float dht = dhn[j];
-
-            const float dct = dht * o_g * (1.0f - tc * tc) + dcn[j];
-            const float d_o = dht * tc;
-            const float d_i = dct * g_g;
-            const float d_g = dct * i_g;
-            const float d_f = dct * cp[j];
-            dcp[j] = dct * f_g;
-
-            dzrow[j] = d_i * i_g * (1.0f - i_g);
-            dzrow[hidden + j] = d_f * f_g * (1.0f - f_g);
-            dzrow[2 * hidden + j] = d_g * (1.0f - g_g * g_g);
-            dzrow[3 * hidden + j] = d_o * o_g * (1.0f - o_g);
-        }
-    }
+    pick(&KernelTable::lstm_gate_backward)(batch, hidden, z, cprev, c, dh,
+                                           dc, dz, dc_prev);
 }
 
 // --------------------------------------------------- im2col / col2im

@@ -15,23 +15,37 @@
  *    count or call site.
  *  - The scalar GEMM variants reduce over k in ascending order exactly
  *    like the seed triple loops (bit-compatible with pre-kernel runs).
- *  - Elementwise kernels are bit-identical across ALL variants (no
- *    FMA); GEMM/conv variants agree within 1e-4 relative tolerance.
+ *  - Each kernel family carries an explicit per-arch parity tier
+ *    (kernel_parity()): `exact` families (elementwise, codecs) are
+ *    bit-identical across ALL variants; `tolerance` families (SIMD
+ *    GEMM, vectorized transcendentals) agree within 1e-4 relative.
  */
 #ifndef AUTOFL_KERNELS_KERNELS_H
 #define AUTOFL_KERNELS_KERNELS_H
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "kernels/arch.h"
 
 namespace autofl::kernels {
 
+/** Per-family parity tiers the given variant promises vs scalar. */
+const KernelParity &kernel_parity(KernelArch arch);
+
 // ------------------------------------------------------------- GEMM
 // Row-major. When @p accumulate is false, C is overwritten; when true,
 // the product is added on top of the existing C (used to fuse bias
 // pre-fill and gradient accumulation into the multiply).
+//
+// SIMD variants route large shapes through a packed-panel driver (A
+// repacked into MR x kc row panels, B into kc x NR column panels, BLIS
+//-style cache blocking) and keep the original blocked kernels for
+// small shapes. Both paths are per-variant deterministic; they belong
+// to the same 1e-4 `tolerance` parity class but are NOT bit-identical
+// to each other, so the path choice is a pure function of (m, n, k)
+// and the selected arch — never of data or timing.
 
 /** C {m,n} = (or +=) A {m,k} x B {k,n}. */
 void gemm(int m, int n, int k, const float *a, int lda, const float *b,
@@ -44,6 +58,95 @@ void gemm_tn(int m, int n, int k, const float *a, int lda, const float *b,
 /** C {m,n} = (or +=) A x B^T for B stored {n,k}. */
 void gemm_nt(int m, int n, int k, const float *a, int lda, const float *b,
              int ldb, float *c, int ldc, bool accumulate = false);
+
+/**
+ * GEMM path selection hook for tests and benches. `Auto` (the default)
+ * picks per shape; `Direct` forces the original streaming kernels;
+ * `Packed` forces the packed-panel driver where the variant has one
+ * (falls back to Direct on the scalar table, which by contract has no
+ * packed path). Process-global, like set_kernel_arch().
+ */
+enum class GemmPath {
+    Auto,
+    Direct,
+    Packed,
+};
+
+/** Install a path policy; returns the previous one. */
+GemmPath set_gemm_path(GemmPath path);
+
+/** The path policy gemm() consults right now. */
+GemmPath current_gemm_path();
+
+// ------------------------------------------- prepacked GEMM operands
+// Weight-stationary call sites (LSTM steps share one W across all
+// timesteps, conv layers share one W across the batch) pack the
+// constant operand once and reuse the panels across every GEMM call.
+// The panels are laid out for the arch selected at pack() time; the
+// compute calls keep using that arch's microkernel, so a handle stays
+// valid (and deterministic) even if the dispatch arch is flipped
+// mid-flight. On the scalar table — or for shapes below the packing
+// cutoff — the handle degrades to a contiguous row-major copy and the
+// compute calls route through the ordinary dispatcher, preserving the
+// scalar bit-exactness contract.
+
+/** Opaque prepacked operand; movable, reusable across calls. */
+class PackedGemm
+{
+  public:
+    PackedGemm() = default;
+
+    /** Logical rows of the (possibly transposed) operand. */
+    int rows() const { return rows_; }
+    /** Logical cols of the (possibly transposed) operand. */
+    int cols() const { return cols_; }
+    /** True when panel-packed (SIMD arch and above the cutoff). */
+    bool packed() const { return panels_; }
+    /** Arch whose panel layout (and microkernel) this handle uses. */
+    KernelArch arch() const { return arch_; }
+
+  private:
+    friend PackedGemm pack_gemm_a(int m, int k, const float *a, int lda,
+                                  bool a_transposed);
+    friend PackedGemm pack_gemm_b(int k, int n, const float *b, int ldb,
+                                  bool b_transposed);
+    friend void gemm_packed_a(const PackedGemm &a, int n, const float *b,
+                              int ldb, float *c, int ldc, bool accumulate);
+    friend void gemm_packed_b(int m, const float *a, int lda,
+                              const PackedGemm &b, float *c, int ldc,
+                              bool accumulate);
+
+    std::vector<float> buf_;
+    int rows_ = 0;
+    int cols_ = 0;
+    KernelArch arch_ = KernelArch::Scalar;
+    bool panels_ = false;
+};
+
+/**
+ * Pack the A operand of C {m,n} = A {m,k} B: m x k panels, reusable
+ * across gemm_packed_a calls. With @p a_transposed, @p a is stored
+ * {k,m} with leading dimension @p lda (the gemm_tn A operand) and is
+ * gathered into the same row-major panel layout.
+ */
+PackedGemm pack_gemm_a(int m, int k, const float *a, int lda,
+                       bool a_transposed = false);
+
+/**
+ * Pack the B operand of C {m,n} = A B {k,n}. With @p b_transposed,
+ * @p b is stored {n,k} with leading dimension @p ldb (the gemm_nt B
+ * operand) and is gathered into the same column-panel layout.
+ */
+PackedGemm pack_gemm_b(int k, int n, const float *b, int ldb,
+                       bool b_transposed = false);
+
+/** C {a.rows(), n} = (or +=) packed A x B {a.cols(), n}. */
+void gemm_packed_a(const PackedGemm &a, int n, const float *b, int ldb,
+                   float *c, int ldc, bool accumulate = false);
+
+/** C {m, b.cols()} = (or +=) A {m, b.rows()} x packed B. */
+void gemm_packed_b(int m, const float *a, int lda, const PackedGemm &b,
+                   float *c, int ldc, bool accumulate = false);
 
 // ------------------------------------------------- fused elementwise
 
@@ -133,9 +236,15 @@ void cast_f64_to_f32(size_t n, const double *acc, float *out);
 void apply_step_f64(size_t n, float *w, double tau, const double *dir);
 
 // --------------------------------------------- LSTM fused gate math
-// Arch-independent (transcendental-heavy; shared scalar code), fused
-// across the four gates. z is the pre-activation {batch, 4*hidden}
-// block laid out [i | f | g | o] and is activated in place.
+// Fused across the four gates; z is the pre-activation
+// {batch, 4*hidden} block laid out [i | f | g | o] and is activated in
+// place. Arch-dispatched (transcendental parity tier): the scalar
+// entries keep exact libm sigmoid/tanh and are the baseline; SIMD
+// variants vectorize the transcendentals with a polynomial exp and
+// agree within ~1e-6 relative — inside the 1e-4 tolerance class that
+// training numerics already sit in through the GEMM tier. Per-variant
+// bitwise determinism (the Sync == SemiAsync(S=0) contract) holds as
+// for every kernel.
 
 /**
  * Forward cell update: activate z in place, write the new cell state
@@ -155,10 +264,7 @@ void lstm_gate_backward(int batch, int hidden, const float *z,
 
 /**
  * Inference-only variant of lstm_gate_forward (no backward follows, so
- * the activated z block is scratch). Arch-dispatched: the scalar
- * variant is bit-identical to lstm_gate_forward; SIMD variants
- * vectorize sigmoid/tanh with a polynomial exp and agree within ~1e-6
- * relative — inside the serving plane's 1e-4 SIMD parity contract.
+ * the activated z block is scratch).
  */
 void lstm_gate_infer(int batch, int hidden, float *z, const float *cprev,
                      float *c, float *h, int h_stride);

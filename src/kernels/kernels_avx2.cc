@@ -9,7 +9,9 @@
  * Reduction-order contract (see README.md):
  *  - GEMM variants reduce over k in ascending order per output element,
  *    one FMA per term, accumulators in registers. Deterministic; agrees
- *    with scalar within FMA-rounding (<< 1e-4 relative).
+ *    with scalar within FMA-rounding (<< 1e-4 relative). The packed
+ *    6x16 microkernel shares that order — the direct and packed paths
+ *    are the same parity tier, not bit-identical to each other.
  *  - gemm_nt reduces in 8-lane partial sums (lane l owns k = l mod 8),
  *    combined low-to-high, then the scalar k-tail — fixed order.
  *  - Elementwise kernels use mul/add (never FMA) in the scalar's exact
@@ -134,6 +136,72 @@ avx2_gemm(int m, int n, int k, const float *a, int lda, const float *b,
     }
     if (j < n)
         tail_cols(m, j, n, k, a, lda, 1, b, ldb, c, ldc, accumulate);
+}
+
+/**
+ * Packed-panel 6 x 16 microkernel: 12 ymm accumulators, one k step
+ * loads 2 B vectors and broadcasts 6 A values from contiguous panels
+ * (apanel: kc groups of 6 row values; bpanel: kc groups of 16 column
+ * values — see the driver in kernels.cc).
+ */
+void
+avx2_micro_6x16(int kc, const float *ap, const float *bp, float *c, int ldc,
+                bool accumulate)
+{
+    __m256 c00, c01, c10, c11, c20, c21, c30, c31, c40, c41, c50, c51;
+    if (accumulate) {
+        c00 = _mm256_loadu_ps(c + 0 * static_cast<size_t>(ldc));
+        c01 = _mm256_loadu_ps(c + 0 * static_cast<size_t>(ldc) + 8);
+        c10 = _mm256_loadu_ps(c + 1 * static_cast<size_t>(ldc));
+        c11 = _mm256_loadu_ps(c + 1 * static_cast<size_t>(ldc) + 8);
+        c20 = _mm256_loadu_ps(c + 2 * static_cast<size_t>(ldc));
+        c21 = _mm256_loadu_ps(c + 2 * static_cast<size_t>(ldc) + 8);
+        c30 = _mm256_loadu_ps(c + 3 * static_cast<size_t>(ldc));
+        c31 = _mm256_loadu_ps(c + 3 * static_cast<size_t>(ldc) + 8);
+        c40 = _mm256_loadu_ps(c + 4 * static_cast<size_t>(ldc));
+        c41 = _mm256_loadu_ps(c + 4 * static_cast<size_t>(ldc) + 8);
+        c50 = _mm256_loadu_ps(c + 5 * static_cast<size_t>(ldc));
+        c51 = _mm256_loadu_ps(c + 5 * static_cast<size_t>(ldc) + 8);
+    } else {
+        c00 = c01 = c10 = c11 = c20 = c21 = c30 = c31 = c40 = c41 = c50 =
+            c51 = _mm256_setzero_ps();
+    }
+    for (int kk = 0; kk < kc; ++kk) {
+        const __m256 b0 = _mm256_loadu_ps(bp);
+        const __m256 b1 = _mm256_loadu_ps(bp + 8);
+        bp += 16;
+        __m256 av = _mm256_broadcast_ss(ap + 0);
+        c00 = _mm256_fmadd_ps(av, b0, c00);
+        c01 = _mm256_fmadd_ps(av, b1, c01);
+        av = _mm256_broadcast_ss(ap + 1);
+        c10 = _mm256_fmadd_ps(av, b0, c10);
+        c11 = _mm256_fmadd_ps(av, b1, c11);
+        av = _mm256_broadcast_ss(ap + 2);
+        c20 = _mm256_fmadd_ps(av, b0, c20);
+        c21 = _mm256_fmadd_ps(av, b1, c21);
+        av = _mm256_broadcast_ss(ap + 3);
+        c30 = _mm256_fmadd_ps(av, b0, c30);
+        c31 = _mm256_fmadd_ps(av, b1, c31);
+        av = _mm256_broadcast_ss(ap + 4);
+        c40 = _mm256_fmadd_ps(av, b0, c40);
+        c41 = _mm256_fmadd_ps(av, b1, c41);
+        av = _mm256_broadcast_ss(ap + 5);
+        c50 = _mm256_fmadd_ps(av, b0, c50);
+        c51 = _mm256_fmadd_ps(av, b1, c51);
+        ap += 6;
+    }
+    _mm256_storeu_ps(c + 0 * static_cast<size_t>(ldc), c00);
+    _mm256_storeu_ps(c + 0 * static_cast<size_t>(ldc) + 8, c01);
+    _mm256_storeu_ps(c + 1 * static_cast<size_t>(ldc), c10);
+    _mm256_storeu_ps(c + 1 * static_cast<size_t>(ldc) + 8, c11);
+    _mm256_storeu_ps(c + 2 * static_cast<size_t>(ldc), c20);
+    _mm256_storeu_ps(c + 2 * static_cast<size_t>(ldc) + 8, c21);
+    _mm256_storeu_ps(c + 3 * static_cast<size_t>(ldc), c30);
+    _mm256_storeu_ps(c + 3 * static_cast<size_t>(ldc) + 8, c31);
+    _mm256_storeu_ps(c + 4 * static_cast<size_t>(ldc), c40);
+    _mm256_storeu_ps(c + 4 * static_cast<size_t>(ldc) + 8, c41);
+    _mm256_storeu_ps(c + 5 * static_cast<size_t>(ldc), c50);
+    _mm256_storeu_ps(c + 5 * static_cast<size_t>(ldc) + 8, c51);
 }
 
 /** gemm_tn: A stored {k, m}; element (i, kk) lives at a[kk * lda + i]. */
@@ -732,6 +800,139 @@ avx2_lstm_gate_infer(int batch, int hidden, float *z, const float *cprev,
     }
 }
 
+/**
+ * Training-path fused gate forward: like the infer kernel, but the
+ * activated gates are stored back into z (the backward pass reads the
+ * post-activation gate cache).
+ */
+void
+avx2_lstm_gate_forward(int batch, int hidden, float *z, const float *cprev,
+                       float *c, float *h, int h_stride)
+{
+    const int h4 = 4 * hidden;
+    const int vec_end = hidden - hidden % 8;
+    for (int n = 0; n < batch; ++n) {
+        float *zrow = z + static_cast<size_t>(n) * h4;
+        const float *cp = cprev + static_cast<size_t>(n) * hidden;
+        float *cn = c + static_cast<size_t>(n) * hidden;
+        float *hn = h + static_cast<size_t>(n) * h_stride;
+        int j = 0;
+        for (; j < vec_end; j += 8) {
+            const __m256 zi = sigmoid256(_mm256_loadu_ps(zrow + j));
+            const __m256 zf =
+                sigmoid256(_mm256_loadu_ps(zrow + hidden + j));
+            const __m256 zg =
+                tanh256(_mm256_loadu_ps(zrow + 2 * hidden + j));
+            const __m256 zo =
+                sigmoid256(_mm256_loadu_ps(zrow + 3 * hidden + j));
+            _mm256_storeu_ps(zrow + j, zi);
+            _mm256_storeu_ps(zrow + hidden + j, zf);
+            _mm256_storeu_ps(zrow + 2 * hidden + j, zg);
+            _mm256_storeu_ps(zrow + 3 * hidden + j, zo);
+            const __m256 cv = _mm256_fmadd_ps(
+                zf, _mm256_loadu_ps(cp + j), _mm256_mul_ps(zi, zg));
+            _mm256_storeu_ps(cn + j, cv);
+            _mm256_storeu_ps(hn + j, _mm256_mul_ps(zo, tanh256(cv)));
+        }
+        for (; j < hidden; ++j) {
+            const float zi = 1.0f / (1.0f + __builtin_expf(-zrow[j]));
+            const float zf =
+                1.0f / (1.0f + __builtin_expf(-zrow[hidden + j]));
+            const float zg = __builtin_tanhf(zrow[2 * hidden + j]);
+            const float zo =
+                1.0f / (1.0f + __builtin_expf(-zrow[3 * hidden + j]));
+            zrow[j] = zi;
+            zrow[hidden + j] = zf;
+            zrow[2 * hidden + j] = zg;
+            zrow[3 * hidden + j] = zo;
+            const float cv = zf * cp[j] + zi * zg;
+            cn[j] = cv;
+            hn[j] = zo * __builtin_tanhf(cv);
+        }
+    }
+}
+
+/**
+ * Training-path fused gate backward. The only transcendental is
+ * tanh(c); full lanes use the polynomial tanh256 (transcendental
+ * parity tier, like the forward/infer kernels), the tail the same
+ * libm call the scalar variant makes.
+ */
+void
+avx2_lstm_gate_backward(int batch, int hidden, const float *z,
+                        const float *cprev, const float *c, const float *dh,
+                        const float *dc, float *dz, float *dc_prev)
+{
+    const int h4 = 4 * hidden;
+    const int vec_end = hidden - hidden % 8;
+    const __m256 one = _mm256_set1_ps(1.0f);
+    for (int n = 0; n < batch; ++n) {
+        const float *zrow = z + static_cast<size_t>(n) * h4;
+        const float *cp = cprev + static_cast<size_t>(n) * hidden;
+        const float *cn = c + static_cast<size_t>(n) * hidden;
+        const float *dhn = dh + static_cast<size_t>(n) * hidden;
+        const float *dcn = dc + static_cast<size_t>(n) * hidden;
+        float *dzrow = dz + static_cast<size_t>(n) * h4;
+        float *dcp = dc_prev + static_cast<size_t>(n) * hidden;
+        int j = 0;
+        for (; j < vec_end; j += 8) {
+            const __m256 i_g = _mm256_loadu_ps(zrow + j);
+            const __m256 f_g = _mm256_loadu_ps(zrow + hidden + j);
+            const __m256 g_g = _mm256_loadu_ps(zrow + 2 * hidden + j);
+            const __m256 o_g = _mm256_loadu_ps(zrow + 3 * hidden + j);
+            const __m256 tc = tanh256(_mm256_loadu_ps(cn + j));
+            const __m256 dht = _mm256_loadu_ps(dhn + j);
+
+            const __m256 dtc = _mm256_sub_ps(one, _mm256_mul_ps(tc, tc));
+            const __m256 dct = _mm256_add_ps(
+                _mm256_mul_ps(_mm256_mul_ps(dht, o_g), dtc),
+                _mm256_loadu_ps(dcn + j));
+            const __m256 d_o = _mm256_mul_ps(dht, tc);
+            const __m256 d_i = _mm256_mul_ps(dct, g_g);
+            const __m256 d_g = _mm256_mul_ps(dct, i_g);
+            const __m256 d_f = _mm256_mul_ps(dct, _mm256_loadu_ps(cp + j));
+            _mm256_storeu_ps(dcp + j, _mm256_mul_ps(dct, f_g));
+
+            _mm256_storeu_ps(
+                dzrow + j,
+                _mm256_mul_ps(_mm256_mul_ps(d_i, i_g),
+                              _mm256_sub_ps(one, i_g)));
+            _mm256_storeu_ps(
+                dzrow + hidden + j,
+                _mm256_mul_ps(_mm256_mul_ps(d_f, f_g),
+                              _mm256_sub_ps(one, f_g)));
+            _mm256_storeu_ps(
+                dzrow + 2 * hidden + j,
+                _mm256_mul_ps(d_g,
+                              _mm256_sub_ps(one, _mm256_mul_ps(g_g, g_g))));
+            _mm256_storeu_ps(
+                dzrow + 3 * hidden + j,
+                _mm256_mul_ps(_mm256_mul_ps(d_o, o_g),
+                              _mm256_sub_ps(one, o_g)));
+        }
+        for (; j < hidden; ++j) {
+            const float i_g = zrow[j];
+            const float f_g = zrow[hidden + j];
+            const float g_g = zrow[2 * hidden + j];
+            const float o_g = zrow[3 * hidden + j];
+            const float tc = __builtin_tanhf(cn[j]);
+            const float dht = dhn[j];
+
+            const float dct = dht * o_g * (1.0f - tc * tc) + dcn[j];
+            const float d_o = dht * tc;
+            const float d_i = dct * g_g;
+            const float d_g = dct * i_g;
+            const float d_f = dct * cp[j];
+            dcp[j] = dct * f_g;
+
+            dzrow[j] = d_i * i_g * (1.0f - i_g);
+            dzrow[hidden + j] = d_f * f_g * (1.0f - f_g);
+            dzrow[2 * hidden + j] = d_g * (1.0f - g_g * g_g);
+            dzrow[3 * hidden + j] = d_o * o_g * (1.0f - o_g);
+        }
+    }
+}
+
 } // namespace
 
 const KernelTable *
@@ -742,6 +943,12 @@ avx2_kernel_table()
         k.gemm = avx2_gemm;
         k.gemm_tn = avx2_gemm_tn;
         k.gemm_nt = avx2_gemm_nt;
+        k.gemm_micro = avx2_micro_6x16;
+        k.gemm_mr = 6;
+        k.gemm_nr = 16;
+        k.gemm_mc = 72;    // A block 72 x 256 ~ 72 KB, L2-resident.
+        k.gemm_kc = 256;   // B panel 256 x 16 = 16 KB, L1-resident.
+        k.gemm_nc = 1024;  // B block 256 x 1024 = 1 MB, LLC-resident.
         k.axpy = avx2_axpy;
         k.scale = avx2_scale;
         k.vadd = avx2_vadd;
@@ -767,7 +974,17 @@ avx2_kernel_table()
         k.diff_axpy_f64 = avx2_diff_axpy_f64;
         k.cast_f64_to_f32 = avx2_cast_f64_to_f32;
         k.apply_step_f64 = avx2_apply_step_f64;
+        // Training numerics are per-arch through the GEMM tier anyway,
+        // so the gates share the transcendental Tolerance tier.
+        k.lstm_gate_forward = avx2_lstm_gate_forward;
         k.lstm_gate_infer = avx2_lstm_gate_infer;
+        k.lstm_gate_backward = avx2_lstm_gate_backward;
+        k.parity_tier = KernelParity{
+            .gemm = ParityTier::Tolerance,
+            .elementwise = ParityTier::Exact,
+            .codec = ParityTier::Exact,
+            .transcendental = ParityTier::Tolerance,
+        };
         return k;
     }();
     return &t;

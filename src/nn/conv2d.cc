@@ -47,9 +47,11 @@ Conv2D::infer(Tensor x)
     // Grouped (depthwise) convolutions stay per-sample: their GEMMs
     // are so small (depthwise M = 1, K = k*k) that gathering a wide
     // column buffer costs more than the GEMM saves. Pointwise convs
-    // stay per-sample too — their per-sample path multiplies the input
-    // in place with no unfold at all, so the wide gather would add the
-    // only copy in the pipeline.
+    // skip the wide gather too: convolve() needs no unfold for them
+    // and packs W's panels once for the whole batch, so the gather
+    // and the output un-scatter would add the only copies in the
+    // pipeline (the MobileNet batched-throughput regression came from
+    // exactly those copies).
     if (batch == 1 || groups_ > 1 || pointwise())
         return convolve(x);
 
@@ -119,6 +121,13 @@ Conv2D::convolve(const Tensor &xin)
     if (!pointwise())
         col_.resize(static_cast<size_t>(patch) * ospatial);
 
+    // Ungrouped layers share one W across the whole batch: pack its
+    // panels once and let every per-sample GEMM reuse them. Grouped
+    // weights are per-group slices too small to pay for packing.
+    kernels::PackedGemm wp;
+    if (groups_ == 1)
+        wp = kernels::pack_gemm_a(ocg, patch, w_.data(), patch);
+
     for (int n = 0; n < batch; ++n) {
         for (int g = 0; g < groups_; ++g) {
             const float *xg = xin.data() +
@@ -140,9 +149,15 @@ Conv2D::convolve(const Tensor &xin)
                 for (int i = 0; i < ospatial; ++i)
                     yrow[i] = bias;
             }
-            const float *wg = w_.data() + static_cast<size_t>(g) * ocg * patch;
-            kernels::gemm(ocg, ospatial, patch, wg, patch, col, ospatial,
-                          yg, ospatial, /*accumulate=*/true);
+            if (groups_ == 1) {
+                kernels::gemm_packed_a(wp, ospatial, col, ospatial, yg,
+                                       ospatial, /*accumulate=*/true);
+            } else {
+                const float *wg =
+                    w_.data() + static_cast<size_t>(g) * ocg * patch;
+                kernels::gemm(ocg, ospatial, patch, wg, patch, col,
+                              ospatial, yg, ospatial, /*accumulate=*/true);
+            }
         }
     }
     return y;
@@ -165,6 +180,14 @@ Conv2D::backward(const Tensor &grad_out)
         col_.resize(static_cast<size_t>(patch) * ospatial);
         dcol_.resize(static_cast<size_t>(patch) * ospatial);
     }
+
+    // The dcol GEMM multiplies W^T against every sample's dy: gather
+    // the transposed panels once per backward call. (The dW gemm_nt has
+    // no batch-constant operand — both dy and col change per sample.)
+    kernels::PackedGemm wpt;
+    if (groups_ == 1)
+        wpt = kernels::pack_gemm_a(patch, ocg, w_.data(), patch,
+                                   /*a_transposed=*/true);
 
     for (int n = 0; n < batch; ++n) {
         for (int g = 0; g < groups_; ++g) {
@@ -196,15 +219,16 @@ Conv2D::backward(const Tensor &grad_out)
                 w_.data() + static_cast<size_t>(g) * ocg * patch;
             float *dxg = dx.data() +
                 (static_cast<size_t>(n) * in_ch_ + g * icg) * ih * iw;
-            if (pointwise()) {
+            float *dcol = pointwise() ? dxg : dcol_.data();
+            if (groups_ == 1)
+                kernels::gemm_packed_a(wpt, ospatial, dyg, ospatial, dcol,
+                                       ospatial);
+            else
                 kernels::gemm_tn(patch, ospatial, ocg, wg, patch, dyg,
-                                 ospatial, dxg, ospatial);
-            } else {
-                kernels::gemm_tn(patch, ospatial, ocg, wg, patch, dyg,
-                                 ospatial, dcol_.data(), ospatial);
+                                 ospatial, dcol, ospatial);
+            if (!pointwise())
                 kernels::col2im_add(dcol_.data(), icg, ih, iw, k_, stride_,
                                     pad_, dxg);
-            }
         }
     }
     return dx;

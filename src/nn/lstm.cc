@@ -55,6 +55,12 @@ Lstm::forward(Tensor x)
     gates_.assign(static_cast<size_t>(time), Tensor());
     cs_.assign(static_cast<size_t>(time) + 1, Tensor({batch, hidden_}));
 
+    // W is shared by every timestep: pack its panels once and reuse
+    // them across the whole sequence. infer() packs identically, so
+    // the two stay on the same GEMM path (and bit-identical).
+    const kernels::PackedGemm wp =
+        kernels::pack_gemm_b(xh, h4, wcat_.data(), h4);
+
     Tensor out_seq;
     if (return_sequences_)
         out_seq = Tensor({time, batch, hidden_});
@@ -74,8 +80,7 @@ Lstm::forward(Tensor x)
 
         // One fused GEMM: all four gates, input + recurrent projections.
         Tensor z({batch, h4});
-        kernels::gemm(batch, h4, xh, xht.data(), xh, wcat_.data(), h4,
-                      z.data(), h4);
+        kernels::gemm_packed_b(batch, xht.data(), xh, wp, z.data(), h4);
         kernels::add_bias_rows(batch, h4, b_.data(), z.data());
 
         // Fused gate activation + cell update: [i | f | g | o] in
@@ -131,6 +136,8 @@ Lstm::infer(Tensor x)
     Tensor z({batch, h4});
     Tensor c_prev({batch, hidden_});
     Tensor c({batch, hidden_});
+    const kernels::PackedGemm wp =
+        kernels::pack_gemm_b(xh, h4, wcat_.data(), h4);
 
     Tensor out_seq;
     Tensor h_last;
@@ -146,8 +153,7 @@ Lstm::infer(Tensor x)
                         xt + static_cast<size_t>(n) * in_,
                         sizeof(float) * static_cast<size_t>(in_));
 
-        kernels::gemm(batch, h4, xh, xht.data(), xh, wcat_.data(), h4,
-                      z.data(), h4);
+        kernels::gemm_packed_b(batch, xht.data(), xh, wp, z.data(), h4);
         kernels::add_bias_rows(batch, h4, b_.data(), z.data());
 
         const bool last = t + 1 == time;
@@ -198,6 +204,11 @@ Lstm::backward(const Tensor &grad_out)
     // Packed [dWx; dWh] accumulated across timesteps by the GEMM
     // itself, split back into the parameter gradients at the end.
     Tensor dwcat({xh, h4});
+    // The dxh GEMM multiplies against W^T every timestep; gather the
+    // transposed panels once for the whole BPTT sweep. (The dwcat
+    // gemm_tn has no constant operand — both sides change per t.)
+    const kernels::PackedGemm wpt =
+        kernels::pack_gemm_b(h4, xh, wcat_.data(), h4, /*b_transposed=*/true);
 
     if (!return_sequences_) {
         assert(grad_out.rank() == 2 && grad_out.dim(1) == hidden_);
@@ -226,8 +237,7 @@ Lstm::backward(const Tensor &grad_out)
         kernels::accumulate_rows(batch, h4, dz.data(), db_.data());
 
         // [dx_t | dh_{t-1}] in one fused GEMM against the packed W.
-        kernels::gemm_nt(batch, xh, h4, dz.data(), h4, wcat_.data(), h4,
-                         dxh.data(), xh);
+        kernels::gemm_packed_b(batch, dz.data(), h4, wpt, dxh.data(), xh);
         float *dxt = dx.data() + static_cast<size_t>(t) * batch * in_;
         for (int n = 0; n < batch; ++n) {
             const float *row = dxh.data() + static_cast<size_t>(n) * xh;

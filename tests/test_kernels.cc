@@ -385,9 +385,263 @@ TEST(ArchSelection, SetArchClampsAndReports)
     EXPECT_EQ(kernels::set_kernel_arch(KernelArch::Scalar),
               KernelArch::Scalar);
     EXPECT_EQ(kernels::current_kernel_arch(), KernelArch::Scalar);
-    // Requesting AVX2 either installs it (supported) or clamps to best.
-    const KernelArch got = kernels::set_kernel_arch(KernelArch::Avx2);
-    EXPECT_EQ(got, kernels::best_kernel_arch());
+    // A supported request installs exactly that variant; an unsupported
+    // one clamps to the widest the box can run — never a crash.
+    for (KernelArch arch : {KernelArch::Neon, KernelArch::Avx2,
+                            KernelArch::Avx512}) {
+        const KernelArch got = kernels::set_kernel_arch(arch);
+        if (kernels::kernel_arch_supported(arch))
+            EXPECT_EQ(got, arch) << kernels::kernel_arch_name(arch);
+        else
+            EXPECT_EQ(got, kernels::best_kernel_arch())
+                << kernels::kernel_arch_name(arch);
+        EXPECT_EQ(kernels::current_kernel_arch(), got);
+    }
+}
+
+/**
+ * AUTOFL_KERNEL_ARCH resolution never crashes: unknown names, empty
+ * and null requests, and ISA requests the box cannot honor (e.g.
+ * "avx512" on a non-AVX-512 host, "neon" on x86) all fall back to the
+ * best supported variant.
+ */
+TEST(ArchSelection, EnvResolutionFallsBackToBest)
+{
+    const KernelArch best = kernels::best_kernel_arch();
+    EXPECT_EQ(kernels::resolve_kernel_arch_request(nullptr), best);
+    EXPECT_EQ(kernels::resolve_kernel_arch_request(""), best);
+    EXPECT_EQ(kernels::resolve_kernel_arch_request("auto"), best);
+    EXPECT_EQ(kernels::resolve_kernel_arch_request("best"), best);
+    EXPECT_EQ(kernels::resolve_kernel_arch_request("sse9000"), best);
+    EXPECT_EQ(kernels::resolve_kernel_arch_request("AVX2 "), best);
+    for (KernelArch arch : {KernelArch::Scalar, KernelArch::Neon,
+                            KernelArch::Avx2, KernelArch::Avx512}) {
+        const KernelArch got = kernels::resolve_kernel_arch_request(
+            kernels::kernel_arch_name(arch));
+        if (kernels::kernel_arch_supported(arch))
+            EXPECT_EQ(got, arch) << kernels::kernel_arch_name(arch);
+        else
+            EXPECT_EQ(got, best) << kernels::kernel_arch_name(arch);
+    }
+}
+
+/** Every advertised variant actually installs and computes. */
+TEST(ArchSelection, SupportedArchsAllRun)
+{
+    ArchGuard guard;
+    const auto archs = kernels::supported_kernel_archs();
+    ASSERT_FALSE(archs.empty());
+    EXPECT_EQ(archs.front(), KernelArch::Scalar);
+    EXPECT_EQ(archs.back(), kernels::best_kernel_arch());
+    for (KernelArch arch : archs) {
+        ASSERT_EQ(kernels::set_kernel_arch(arch), arch);
+        const float a = 2.0f, b = 3.0f;
+        float out = -1.0f;
+        kernels::gemm(1, 1, 1, &a, 1, &b, 1, &out, 1);
+        EXPECT_EQ(out, 6.0f) << kernels::kernel_arch_name(arch);
+    }
+}
+
+/**
+ * Each kernel family honors the parity tier its table declares:
+ * `exact` families must match the scalar baseline bit-for-bit, and
+ * `tolerance` families within 1e-4 relative — for EVERY variant the box
+ * can run, not just the widest.
+ */
+TEST(ParityTier, FamiliesHonorDeclaredTier)
+{
+    ArchGuard guard;
+    Rng rng(52);
+    const int m = 17, k = 67, n = 33;
+    const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+    const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+    const size_t vn = 515;
+    const auto x = random_vec(vn, rng);
+    const int batch = 5, hidden = 19;
+    const auto z0 = random_vec(static_cast<size_t>(batch) * 4 * hidden, rng);
+    const auto cp = random_vec(static_cast<size_t>(batch) * hidden, rng);
+
+    kernels::set_kernel_arch(KernelArch::Scalar);
+    std::vector<float> gemm_ref(static_cast<size_t>(m) * n);
+    kernels::gemm(m, n, k, a.data(), k, b.data(), n, gemm_ref.data(), n);
+    std::vector<float> axpy_ref = x;
+    kernels::axpy(vn, 0.37f, x.data(), axpy_ref.data());
+    const float amax_ref = kernels::absmax(vn, x.data());
+    std::vector<int8_t> q_ref(vn);
+    kernels::quantize_i8(vn, x.data(), 127.0f / amax_ref, q_ref.data());
+    std::vector<float> z_ref = z0;
+    std::vector<float> c_ref(static_cast<size_t>(batch) * hidden);
+    std::vector<float> h_ref(c_ref.size());
+    kernels::lstm_gate_forward(batch, hidden, z_ref.data(), cp.data(),
+                               c_ref.data(), h_ref.data(), hidden);
+
+    for (KernelArch arch : kernels::supported_kernel_archs()) {
+        kernels::set_kernel_arch(arch);
+        const kernels::KernelParity &tier = kernels::kernel_parity(arch);
+        const char *name = kernels::kernel_arch_name(arch);
+
+        std::vector<float> gemm_v(gemm_ref.size());
+        kernels::gemm(m, n, k, a.data(), k, b.data(), n, gemm_v.data(), n);
+        if (tier.gemm == kernels::ParityTier::Exact)
+            EXPECT_EQ(gemm_ref, gemm_v) << name;
+        else
+            expect_rel_close(gemm_ref, gemm_v, 1e-4, name);
+
+        // The elementwise and codec families are Exact on every table
+        // shipped today; a future Tolerance-tier table would relax the
+        // assertion here rather than silently failing.
+        std::vector<float> axpy_v = x;
+        kernels::axpy(vn, 0.37f, x.data(), axpy_v.data());
+        std::vector<int8_t> q_v(vn);
+        kernels::quantize_i8(vn, x.data(), 127.0f / amax_ref, q_v.data());
+        ASSERT_EQ(tier.elementwise, kernels::ParityTier::Exact) << name;
+        ASSERT_EQ(tier.codec, kernels::ParityTier::Exact) << name;
+        EXPECT_EQ(axpy_ref, axpy_v) << name;
+        EXPECT_EQ(amax_ref, kernels::absmax(vn, x.data())) << name;
+        EXPECT_EQ(q_ref, q_v) << name;
+
+        std::vector<float> z_v = z0, c_v(c_ref.size()), h_v(h_ref.size());
+        kernels::lstm_gate_forward(batch, hidden, z_v.data(), cp.data(),
+                                   c_v.data(), h_v.data(), hidden);
+        if (tier.transcendental == kernels::ParityTier::Exact) {
+            EXPECT_EQ(z_ref, z_v) << name;
+            EXPECT_EQ(h_ref, h_v) << name;
+        } else {
+            expect_rel_close(z_ref, z_v, 1e-4, name);
+            expect_rel_close(h_ref, h_v, 1e-4, name);
+        }
+    }
+}
+
+/**
+ * Force the packed-panel driver across ragged shapes straddling the
+ * 6x16 and 8x32 register tiles (MR-1/MR/MR+1 and the NR edges, plus a
+ * large-prime K that never divides the kc blocks) and check it against
+ * the scalar reference in both accumulate modes, for all three operand
+ * layouts.
+ */
+TEST(PackedGemmPath, RaggedShapesMatchScalar)
+{
+    if (!has_simd())
+        GTEST_SKIP() << "no SIMD variant on this CPU";
+    ArchGuard guard;
+    const kernels::GemmPath saved =
+        kernels::set_gemm_path(kernels::GemmPath::Packed);
+    const int ms[] = {1, 5, 6, 7, 8, 9, 33};
+    const int ns[] = {1, 15, 16, 17, 31, 32, 33};
+    const int ks[] = {1, 48, 509};
+    Rng rng(53);
+    for (int m : ms) {
+        for (int n : ns) {
+            for (int k : ks) {
+                const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+                const auto at = random_vec(static_cast<size_t>(k) * m, rng);
+                const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+                const auto bt = random_vec(static_cast<size_t>(n) * k, rng);
+                const auto base = random_vec(static_cast<size_t>(m) * n,
+                                             rng);
+                for (bool acc : {false, true}) {
+                    auto run = [&](KernelArch arch) {
+                        kernels::set_kernel_arch(arch);
+                        std::vector<float> nn = base, tn = base, nt = base;
+                        kernels::gemm(m, n, k, a.data(), k, b.data(), n,
+                                      nn.data(), n, acc);
+                        kernels::gemm_tn(m, n, k, at.data(), m, b.data(), n,
+                                         tn.data(), n, acc);
+                        kernels::gemm_nt(m, n, k, a.data(), k, bt.data(), k,
+                                         nt.data(), n, acc);
+                        nn.insert(nn.end(), tn.begin(), tn.end());
+                        nn.insert(nn.end(), nt.begin(), nt.end());
+                        return nn;
+                    };
+                    const auto s = run(KernelArch::Scalar);
+                    const auto v = run(kernels::best_kernel_arch());
+                    expect_rel_close(s, v, 1e-4, "packed gemm");
+                    if (::testing::Test::HasFailure())
+                        FAIL() << "shape m=" << m << " n=" << n
+                               << " k=" << k << " acc=" << acc;
+                }
+            }
+        }
+    }
+    kernels::set_gemm_path(saved);
+}
+
+/**
+ * Prepacked operand handles reproduce the dispatcher: bit-identically
+ * where the handle degraded to a contiguous copy (scalar arch), within
+ * the gemm tolerance tier where it panel-packed — including the
+ * transposed gathers that serve the gemm_tn / gemm_nt call sites.
+ */
+TEST(PackedGemmPath, PrepackedOperandsMatchGemm)
+{
+    ArchGuard guard;
+    Rng rng(54);
+    const int m = 37, k = 129, n = 53;
+    const auto a = random_vec(static_cast<size_t>(m) * k, rng);
+    const auto at = random_vec(static_cast<size_t>(k) * m, rng);
+    const auto b = random_vec(static_cast<size_t>(k) * n, rng);
+    const auto bt = random_vec(static_cast<size_t>(n) * k, rng);
+    const auto base = random_vec(static_cast<size_t>(m) * n, rng);
+
+    for (KernelArch arch : kernels::supported_kernel_archs()) {
+        kernels::set_kernel_arch(arch);
+        const char *name = kernels::kernel_arch_name(arch);
+        auto check = [&](const std::vector<float> &ref,
+                         const std::vector<float> &got, bool packed) {
+            if (packed)
+                expect_rel_close(ref, got, 1e-4, name);
+            else
+                EXPECT_EQ(ref, got) << name;
+        };
+
+        for (bool acc : {false, true}) {
+            std::vector<float> ref = base, got = base;
+
+            const auto pa = kernels::pack_gemm_a(m, k, a.data(), k);
+            EXPECT_EQ(pa.rows(), m);
+            EXPECT_EQ(pa.cols(), k);
+            EXPECT_EQ(pa.packed(), arch != KernelArch::Scalar);
+            kernels::gemm(m, n, k, a.data(), k, b.data(), n, ref.data(), n,
+                          acc);
+            kernels::gemm_packed_a(pa, n, b.data(), n, got.data(), n, acc);
+            check(ref, got, pa.packed());
+
+            const auto pat =
+                kernels::pack_gemm_a(m, k, at.data(), m, true);
+            ref = base;
+            got = base;
+            kernels::gemm_tn(m, n, k, at.data(), m, b.data(), n, ref.data(),
+                             n, acc);
+            kernels::gemm_packed_a(pat, n, b.data(), n, got.data(), n, acc);
+            check(ref, got, pat.packed());
+
+            const auto pb = kernels::pack_gemm_b(k, n, b.data(), n);
+            EXPECT_EQ(pb.rows(), k);
+            EXPECT_EQ(pb.cols(), n);
+            ref = base;
+            got = base;
+            kernels::gemm(m, n, k, a.data(), k, b.data(), n, ref.data(), n,
+                          acc);
+            kernels::gemm_packed_b(m, a.data(), k, pb, got.data(), n, acc);
+            check(ref, got, pb.packed());
+
+            const auto pbt =
+                kernels::pack_gemm_b(k, n, bt.data(), k, true);
+            ref = base;
+            got = base;
+            kernels::gemm_nt(m, n, k, a.data(), k, bt.data(), k, ref.data(),
+                             n, acc);
+            kernels::gemm_packed_b(m, a.data(), k, pbt, got.data(), n, acc);
+            // The transposed scalar copy-fallback reduces in the same
+            // ascending-k order but accumulates separately, so it is
+            // tolerance-class like the packed layouts.
+            if (arch == KernelArch::Scalar)
+                expect_rel_close(ref, got, 1e-5, name);
+            else
+                check(ref, got, pbt.packed());
+        }
+    }
 }
 
 } // namespace
