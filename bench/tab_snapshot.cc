@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Snapshot persistence gate: measures what the src/store/ subsystem
+ * costs the training path and buys the serving path.
+ *
+ * Three measurements, three gates (the exit code):
+ *   - Cold start: mmap an artifact and serve the first prediction from
+ *     it alone (MappedSnapshot::open + attach_artifact + classify) must
+ *     be >= 5x faster than rebuilding the parameter-server store from
+ *     the training stack (FlSystem with resume_from, then the same
+ *     first prediction).
+ *   - Overhead: checkpointing every retired round must cost <= 5% of
+ *     the pipelined runtime's rounds/s — request() hands the writer a
+ *     refcounted snapshot and returns, so the train path never waits
+ *     on the disk.
+ *   - Determinism: a run interrupted at round R and resumed from its
+ *     artifact must finish with weights bit-identical to the
+ *     uninterrupted run (the SemiAsync(S=0) == Sync contract extended
+ *     across a process boundary).
+ *
+ * Results go to BENCH_snapshot.json.
+ */
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fl/system.h"
+#include "kernels/arch.h"
+#include "serve/model_service.h"
+#include "store/mapped_snapshot.h"
+#include "store/snapshot.h"
+
+using namespace autofl;
+using namespace autofl::bench;
+
+namespace {
+
+constexpr double kMinColdStartSpeedup = 5.0;
+constexpr double kMaxOverheadFrac = 0.05;
+constexpr int kThroughputRounds = 24;
+
+/**
+ * Simulated device latency for the overhead measurement, as in
+ * tab_ps_throughput.cc: with it, rounds/s measures the runtime's
+ * ability to overlap work — the regime checkpointing must not
+ * perturb — rather than raw arithmetic contention for the same cores
+ * the writer thread serializes on.
+ */
+constexpr double kDeviceLatencyS = 0.005;
+constexpr int kResumeRounds = 6;
+constexpr int kResumeCut = 2;
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** The pipelined training job every measurement runs. */
+FlSystemConfig
+job_config()
+{
+    FlSystemConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.params = {8, 1, 4};  // B=8, E=1, K=4.
+    cfg.data.train_samples = 256;
+    cfg.data.test_samples = 128;
+    cfg.partition.num_devices = 16;
+    cfg.seed = kBenchSeed;
+    cfg.threads = 4;
+    cfg.ps.mode = SyncMode::SemiAsync;
+    cfg.ps.staleness_bound = 0;  // Single-batch rounds: bit-exact resume.
+    cfg.ps.pipeline_depth = 3;
+    return cfg;
+}
+
+/** Deterministic participants: a pure function of the round. */
+std::vector<int>
+participants(uint64_t round, int num_devices, int k)
+{
+    std::vector<int> ids;
+    for (int i = 0; i < k; ++i)
+        ids.push_back(static_cast<int>((round * 3 +
+                                        static_cast<uint64_t>(i) * 2 + 1) %
+                                       static_cast<uint64_t>(num_devices)));
+    return ids;
+}
+
+void
+run_rounds(FlSystem &fl, uint64_t first, uint64_t last)
+{
+    for (uint64_t r = first; r <= last; ++r)
+        fl.run_round(participants(r, fl.num_devices(), fl.config().params.k),
+                     r);
+    fl.drain();
+}
+
+/** Pipelined rounds/s via submit_round, optionally checkpointing. */
+double
+measure_rounds_per_sec(bool checkpoint, const std::string &dir)
+{
+    FlSystemConfig cfg = job_config();
+    cfg.ps.sim_device_latency_s = kDeviceLatencyS;
+    if (checkpoint) {
+        cfg.ps.snapshot_dir = dir;
+        cfg.ps.snapshot_every_epochs = 1;  // Worst case: every round.
+    }
+    FlSystem fl(cfg);
+    int done = 0;
+    const auto start = Clock::now();
+    for (uint64_t r = 0; r < kThroughputRounds; ++r) {
+        fl.submit_round(
+            participants(r, fl.num_devices(), cfg.params.k), r,
+            [&done](const PsRoundResult &) { ++done; });
+    }
+    fl.drain();
+    const double elapsed = seconds_since(start);
+    if (done != kThroughputRounds)
+        return 0.0;  // Visible failure: the gate cannot pass on 0.
+    return kThroughputRounds / elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    print_banner(std::cout,
+                 "Snapshot persistence: cold-start speedup, checkpoint "
+                 "overhead, crash-resume determinism, gates");
+
+    const std::string dir = "bench_snapshot_artifacts";
+    [[maybe_unused]] int rc =
+        std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+
+    // ---- Produce the artifact one training run would leave behind.
+    FlSystemConfig train_cfg = job_config();
+    train_cfg.ps.snapshot_dir = dir;
+    std::vector<float> final_weights;
+    std::vector<int> want_predictions;
+    const std::vector<int> probe = {0, 7, 19, 31, 63, 99};
+    {
+        FlSystem fl(train_cfg);
+        run_rounds(fl, 0, kResumeRounds - 1);
+        fl.checkpoint_writer()->flush();
+        final_weights = fl.server().global_weights();
+        want_predictions =
+            fl.serve().classify(fl.serve().acquire(), fl.test_set(), probe);
+    }
+    const std::string artifact = dir + "/latest.snap";
+
+    // The serving client's own inputs exist before either cold start;
+    // dataset generation is timed only where it is inherent (the
+    // training-stack rebuild regenerates shards to reconstruct the
+    // store).
+    const Dataset probe_set = make_dataset(train_cfg.workload,
+                                           train_cfg.data)
+                                  .test;
+
+    // ---- Cold start A: rebuild the training stack around the artifact.
+    double rebuild_s = 0.0;
+    {
+        FlSystemConfig cfg = job_config();
+        cfg.ps.resume_from = artifact;
+        const auto start = Clock::now();
+        FlSystem fl(cfg);
+        const std::vector<int> got =
+            fl.serve().classify(fl.serve().acquire(), probe_set, probe);
+        rebuild_s = seconds_since(start);
+        if (got != want_predictions) {
+            std::cout << "FATAL: rebuilt-store predictions diverged\n";
+            return 1;
+        }
+    }
+
+    // ---- Cold start B: mmap the artifact, no training stack at all.
+    double mmap_s = 0.0;
+    {
+        const auto start = Clock::now();
+        store::SnapshotStatus st;
+        auto snap = store::MappedSnapshot::open(artifact, &st);
+        if (!snap) {
+            std::cout << "FATAL: " << store::snapshot_status_name(st)
+                      << " opening " << artifact << "\n";
+            return 1;
+        }
+        ModelService serve(train_cfg.workload);
+        serve.attach_artifact(snap);
+        const std::vector<int> got =
+            serve.classify(serve.acquire(), probe_set, probe);
+        mmap_s = seconds_since(start);
+        if (got != want_predictions) {
+            std::cout << "FATAL: mmap-served predictions diverged\n";
+            return 1;
+        }
+    }
+    const double speedup = mmap_s > 0.0 ? rebuild_s / mmap_s : 0.0;
+
+    // ---- Checkpoint overhead on the pipelined runtime. Best of two
+    // trials each: the gate compares steady-state throughput, not a
+    // cold allocator.
+    double base_rps = 0.0, ckpt_rps = 0.0;
+    for (int trial = 0; trial < 2; ++trial) {
+        base_rps = std::max(base_rps, measure_rounds_per_sec(false, dir));
+        ckpt_rps = std::max(ckpt_rps, measure_rounds_per_sec(true, dir));
+    }
+    const double overhead =
+        base_rps > 0.0 ? 1.0 - ckpt_rps / base_rps : 1.0;
+
+    // ---- Crash-resume determinism across a process-shaped boundary:
+    // a second system resumes from round kResumeCut's artifact and
+    // must land on the reference run's exact weight bits.
+    bool bit_exact = false;
+    {
+        FlSystemConfig cfg = job_config();
+        cfg.ps.resume_from =
+            dir + "/model-r" + std::to_string(kResumeCut) + ".snap";
+        FlSystem fl(cfg);
+        run_rounds(fl, kResumeCut + 1, kResumeRounds - 1);
+        const auto &got = fl.server().global_weights();
+        bit_exact = got.size() == final_weights.size();
+        for (size_t i = 0; bit_exact && i < got.size(); ++i)
+            bit_exact = got[i] == final_weights[i];
+    }
+
+    TextTable t;
+    t.set_header({"measurement", "value"});
+    t.add_row({"rebuild-store cold start (ms)",
+               TextTable::num(rebuild_s * 1e3, 2)});
+    t.add_row({"mmap cold start (ms)", TextTable::num(mmap_s * 1e3, 2)});
+    t.add_row({"cold-start speedup", TextTable::num(speedup, 1) + "x"});
+    t.add_row({"pipelined rounds/s (no ckpt)", TextTable::num(base_rps, 1)});
+    t.add_row({"pipelined rounds/s (ckpt/round)",
+               TextTable::num(ckpt_rps, 1)});
+    t.add_row({"checkpoint overhead", TextTable::num(overhead * 100, 2) +
+               "%"});
+    t.add_row({"resumed == uninterrupted", bit_exact ? "yes" : "NO"});
+    t.render(std::cout);
+
+    const bool cold_pass = speedup >= kMinColdStartSpeedup;
+    const bool overhead_pass = overhead <= kMaxOverheadFrac;
+    const bool pass = cold_pass && overhead_pass && bit_exact;
+
+    std::cout << "cold-start speedup: " << TextTable::num(speedup, 1)
+              << "x (" << (cold_pass ? "PASS" : "FAIL") << " >= "
+              << TextTable::num(kMinColdStartSpeedup, 0) << "x)\n"
+              << "checkpoint overhead: " << TextTable::num(overhead * 100, 2)
+              << "% (" << (overhead_pass ? "PASS" : "FAIL") << " <= "
+              << TextTable::num(kMaxOverheadFrac * 100, 0) << "%)\n"
+              << "crash-resume bit-exact: " << (bit_exact ? "PASS" : "FAIL")
+              << "\n";
+
+    std::ofstream json("BENCH_snapshot.json");
+    json << "{\n  \"workload\": \"CnnMnist\",\n"
+         << "  \"kernel_arch\": \""
+         << kernels::kernel_arch_name(kernels::current_kernel_arch())
+         << "\",\n"
+         << "  \"hardware_threads\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"pipeline_depth\": " << job_config().ps.pipeline_depth
+         << ",\n"
+         << "  \"throughput_rounds\": " << kThroughputRounds << ",\n"
+         << "  \"base_device_latency_s\": " << kDeviceLatencyS << ",\n"
+         << "  \"cold_start\": {"
+         << "\"rebuild_store_s\": " << rebuild_s
+         << ", \"mmap_s\": " << mmap_s
+         << ", \"speedup_x\": " << speedup << "},\n"
+         << "  \"checkpoint_overhead\": {"
+         << "\"base_rounds_per_sec\": " << base_rps
+         << ", \"ckpt_rounds_per_sec\": " << ckpt_rps
+         << ", \"overhead_frac\": " << overhead << "},\n"
+         << "  \"gates\": {"
+         << "\"min_cold_start_speedup\": " << kMinColdStartSpeedup
+         << ", \"cold_start_pass\": " << (cold_pass ? "true" : "false")
+         << ", \"max_overhead_frac\": " << kMaxOverheadFrac
+         << ", \"overhead_pass\": " << (overhead_pass ? "true" : "false")
+         << ", \"resume_bit_exact\": " << (bit_exact ? "true" : "false")
+         << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+    std::cout << "wrote BENCH_snapshot.json\n";
+    return pass ? 0 : 1;
+}

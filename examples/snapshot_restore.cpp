@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Crash-resume demo: the full persistence story across real process
+ * boundaries. The same binary is every role — the parent spawns itself
+ * as a training process and SIGKILLs it mid-run, then proves the
+ * artifacts survived the crash whole, resumes training to the exact
+ * bits the uninterrupted run produces, and finally spawns itself as a
+ * serving process that answers predictions from the artifact alone
+ * (no parameter server, no training stack).
+ *
+ * Phases (each a checked claim; exit 0 only if all hold):
+ *   1. Reference: an uninterrupted pipelined run — final weights and
+ *      probe predictions to beat.
+ *   2. Crash: a child process trains the same job with per-round
+ *      checkpoints; the parent SIGKILLs it mid-run. Every artifact
+ *      left behind must parse Ok — temp + fsync + atomic rename means
+ *      a crash at any instant leaves no torn file.
+ *   3. Resume: a new system restores latest.snap and trains the
+ *      remaining rounds; its final weights must be bit-identical to
+ *      phase 1 (the SemiAsync(S=0) == Sync determinism contract,
+ *      extended across a kill -9).
+ *   4. Serve: a child process cold-starts from the final artifact via
+ *      mmap and must return phase 1's exact predictions.
+ *
+ * Modes:
+ *   (default)       Orchestrate all four phases.
+ *   --train <dir>   Internal: train with checkpoints into <dir>.
+ *   --serve <path>  Internal: mmap <path>, print probe predictions.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "fl/system.h"
+#include "serve/model_service.h"
+#include "store/mapped_snapshot.h"
+#include "store/snapshot.h"
+
+using namespace autofl;
+
+namespace {
+
+constexpr uint64_t kRounds = 16;
+constexpr uint64_t kSeed = 2021;
+const std::vector<int> kProbe = {0, 3, 11, 27, 42, 63};
+
+/** The one job every role constructs independently. */
+FlSystemConfig
+job_config()
+{
+    FlSystemConfig cfg;
+    cfg.workload = Workload::CnnMnist;
+    cfg.params = {8, 1, 4};
+    cfg.data.train_samples = 192;
+    cfg.data.test_samples = 64;
+    cfg.partition.num_devices = 8;
+    cfg.seed = kSeed;
+    cfg.threads = 4;
+    cfg.ps.mode = SyncMode::SemiAsync;
+    cfg.ps.staleness_bound = 0;   // Single-batch rounds: bit-exact resume.
+    cfg.ps.pipeline_depth = 3;
+    return cfg;
+}
+
+/** Deterministic participants — a pure function of the round, so a
+ *  resumed process replays the exact selection schedule. */
+std::vector<int>
+participants(uint64_t round)
+{
+    std::vector<int> ids;
+    for (int i = 0; i < 4; ++i)
+        ids.push_back(static_cast<int>(
+            (round * 3 + static_cast<uint64_t>(i) * 2 + 1) % 8));
+    return ids;
+}
+
+void
+run_rounds(FlSystem &fl, uint64_t first, uint64_t last)
+{
+    for (uint64_t r = first; r <= last; ++r)
+        fl.run_round(participants(r), r);
+    fl.drain();
+}
+
+bool
+file_parses_ok(const std::string &path)
+{
+    store::SnapshotData data;
+    return store::read_snapshot_file(path, &data) ==
+        store::SnapshotStatus::Ok;
+}
+
+/** Child role: train with per-round checkpoints until SIGKILLed. */
+int
+run_train_child(const std::string &dir)
+{
+    FlSystemConfig cfg = job_config();
+    cfg.ps.snapshot_dir = dir;
+    // Slow the rounds so the parent's kill lands mid-run on any box.
+    cfg.ps.sim_device_latency_s = 0.03;
+    FlSystem fl(cfg);
+    run_rounds(fl, 0, kRounds - 1);
+    fl.checkpoint_writer()->flush();
+    return 0;
+}
+
+/** Child role: serve predictions from the artifact alone. */
+int
+run_serve_child(const std::string &path)
+{
+    store::SnapshotStatus st;
+    const auto snap = store::MappedSnapshot::open(path, &st);
+    if (!snap) {
+        std::cerr << "serve: " << store::snapshot_status_name(st) << ": "
+                  << path << "\n";
+        return 1;
+    }
+    const FlSystemConfig cfg = job_config();
+    ModelService serve(cfg.workload);
+    serve.attach_artifact(snap);
+    const Dataset test = make_dataset(cfg.workload, cfg.data).test;
+    const std::vector<int> got =
+        serve.classify(serve.acquire(), test, kProbe);
+    std::ostringstream out;  // One line the parent parses.
+    out << "predictions:";
+    for (int p : got)
+        out << " " << p;
+    std::cout << out.str() << "\n";
+    return 0;
+}
+
+bool
+check(bool ok, const std::string &what)
+{
+    std::cout << (ok ? "  [ok] " : "  [FAIL] ") << what << "\n";
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string self = argv[0];
+    if (argc > 2 && std::string(argv[1]) == "--train")
+        return run_train_child(argv[2]);
+    if (argc > 2 && std::string(argv[1]) == "--serve")
+        return run_serve_child(argv[2]);
+
+    bool ok = true;
+    const std::string dir = "snapshot_restore_artifacts";
+    [[maybe_unused]] int rc =
+        std::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+
+    // ---- Phase 1: the uninterrupted reference run.
+    std::cout << "phase 1: uninterrupted reference run\n";
+    FlSystemConfig ref_cfg = job_config();
+    FlSystem ref(ref_cfg);
+    run_rounds(ref, 0, kRounds - 1);
+    const std::vector<float> want_weights = ref.server().global_weights();
+    const std::vector<int> want_preds =
+        ref.serve().classify(ref.serve().acquire(), ref.test_set(), kProbe);
+
+    // ---- Phase 2: train in a child, SIGKILL it mid-run.
+    std::cout << "phase 2: train in a child process, kill -9 mid-run\n";
+    const pid_t child = fork();
+    if (child == 0) {
+        execl(self.c_str(), self.c_str(), "--train", dir.c_str(),
+              static_cast<char *>(nullptr));
+        _exit(127);
+    }
+    // Kill as soon as round 1's artifact is complete — early enough
+    // that most of the run is still ahead, late enough that the
+    // resumed process has real state to restore.
+    const std::string r1 = dir + "/model-r1.snap";
+    for (int i = 0; i < 5000 && !file_parses_ok(r1); ++i)
+        usleep(2000);
+    ok &= check(file_parses_ok(r1), "child produced a complete artifact");
+    kill(child, SIGKILL);
+    int status = 0;
+    waitpid(child, &status, 0);
+    ok &= check(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+                "child died by SIGKILL (mid-run, not a clean exit)");
+
+    // Every artifact the kill left behind must be whole: the writer
+    // never renames a file it has not fully written and fsynced.
+    int artifacts = 0;
+    if (DIR *d = opendir(dir.c_str())) {
+        while (dirent *e = readdir(d)) {
+            const std::string name = e->d_name;
+            if (name.size() > 5 &&
+                name.compare(name.size() - 5, 5, ".snap") == 0) {
+                ++artifacts;
+                ok &= check(file_parses_ok(dir + "/" + name),
+                            name + " parses Ok after the crash");
+            }
+        }
+        closedir(d);
+    }
+    ok &= check(artifacts >= 2, "crash left artifacts behind (" +
+                std::to_string(artifacts) + ")");
+
+    // ---- Phase 3: resume and land on the reference bits.
+    std::cout << "phase 3: resume from latest.snap, finish the run\n";
+    store::SnapshotData latest;
+    ok &= check(store::read_snapshot_file(dir + "/latest.snap", &latest) ==
+                    store::SnapshotStatus::Ok,
+                "latest.snap names a complete artifact");
+    FlSystemConfig res_cfg = job_config();
+    res_cfg.ps.resume_from = dir + "/latest.snap";
+    res_cfg.ps.snapshot_dir = dir;  // Re-checkpoint: phase 4's artifact.
+    FlSystem resumed(res_cfg);
+    ok &= check(resumed.resumed() &&
+                    resumed.resume_round() == latest.meta.round,
+                "resumed at the artifact's round (" +
+                    std::to_string(latest.meta.round) + ")");
+    if (resumed.resume_round() + 1 < kRounds)
+        run_rounds(resumed, resumed.resume_round() + 1, kRounds - 1);
+    resumed.checkpoint_writer()->flush();
+    ok &= check(resumed.server().global_weights() == want_weights,
+                "resumed final weights bit-identical to the "
+                "uninterrupted run");
+
+    // ---- Phase 4: cold-start serving from the artifact alone.
+    std::cout << "phase 4: serve from the final artifact in a fresh "
+                 "process\n";
+    const std::string cmd = self + " --serve " + dir + "/latest.snap";
+    std::string line;
+    if (FILE *p = popen(cmd.c_str(), "r")) {
+        char buf[256];
+        while (fgets(buf, sizeof buf, p))
+            line += buf;
+        const int prc = pclose(p);
+        ok &= check(prc == 0, "serve child exited 0");
+    } else {
+        ok = false;
+    }
+    std::ostringstream want_line;
+    want_line << "predictions:";
+    for (int p : want_preds)
+        want_line << " " << p;
+    want_line << "\n";
+    ok &= check(line == want_line.str(),
+                "served predictions match the reference run");
+
+    std::cout << (ok ? "all checks passed\n" : "CHECKS FAILED\n");
+    return ok ? 0 : 1;
+}

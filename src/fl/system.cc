@@ -56,6 +56,32 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
     for (const auto &indices : partition_.shards)
         shards_.push_back(data_.train.subset(indices));
 
+    const uint64_t topology = store::model_topology_hash(
+        workload_name(cfg_.workload), server_.global_weights().size());
+
+    if (!cfg_.ps.resume_from.empty()) {
+        // Restore BEFORE any runtime is built: PsServer's store, the
+        // cluster and the sync barrier all seed from the server's
+        // weights, so setting them here resumes every runtime alike.
+        // The topology hash covers workload name + dimension, so a
+        // wrong-model artifact fails typed (BadTopology), not by
+        // scattering weights.
+        store::SnapshotData snap;
+        const store::SnapshotStatus st = store::read_snapshot_file(
+            cfg_.ps.resume_from, &snap, topology);
+        if (st != store::SnapshotStatus::Ok) {
+            throw std::runtime_error(
+                "FlSystem: cannot resume from '" + cfg_.ps.resume_from +
+                "': " + store::snapshot_status_name(st) +
+                " (artifacts are written by store::CheckpointWriter; "
+                "point resume_from at <snapshot_dir>/latest.snap)");
+        }
+        assert(snap.weights.size() == server_.global_weights().size());
+        server_.set_global_weights(std::move(snap.weights));
+        resumed_ = true;
+        resume_round_ = snap.meta.round;
+    }
+
     if (cfg_.ps.net.enabled()) {
         // Distributed transport: the cluster owns the store and the
         // aggregator; it assembles its worker fleet lazily at the
@@ -67,6 +93,15 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
                                          cfg_.params, cfg_.hyper,
                                          cfg_.algorithm, cfg_.seed, cfg_.ps,
                                          cfg_.threads);
+    }
+
+    // Persistence for the runtimes whose commit point is the round
+    // barrier on this thread (sync, cluster). The ps runtime owns its
+    // own writer, hooked into its commit path instead.
+    if (!cfg_.ps.snapshot_dir.empty() && !ps_) {
+        ckpt_ = std::make_unique<store::CheckpointWriter>(
+            cfg_.ps.snapshot_dir, topology,
+            static_cast<uint32_t>(cfg_.ps.shards));
     }
 
     // The serving plane. Pipelined mode sources snapshots straight from
@@ -209,7 +244,9 @@ FlSystem::run_round(const std::vector<int> &device_ids, uint64_t round)
                                          "failed: " +
                                          err);
         }
-        return cluster_->run_round(device_ids, round);
+        PsRoundStats stats = cluster_->run_round(device_ids, round);
+        maybe_checkpoint(round);  // Cluster synced the server above.
+        return stats;
     }
     if (!ps_) {
         auto updates = run_local_round(device_ids, round);
@@ -218,6 +255,7 @@ FlSystem::run_round(const std::vector<int> &device_ids, uint64_t round)
         stats.pushed = static_cast<int>(updates.size());
         stats.applied = stats.pushed;
         stats.commits = updates.empty() ? 0 : 1;
+        maybe_checkpoint(round);
         return stats;
     }
     std::vector<PsRoundJob> jobs;
@@ -260,6 +298,25 @@ bool
 FlSystem::pipelined() const
 {
     return ps_ && ps_->pipelined();
+}
+
+store::CheckpointWriter *
+FlSystem::checkpoint_writer()
+{
+    return ps_ ? ps_->checkpoint_writer() : ckpt_.get();
+}
+
+void
+FlSystem::maybe_checkpoint(uint64_t round)
+{
+    // Barrier runtimes have no store commit clock; the artifact epoch
+    // counts completed rounds (round + 1), which for single-commit
+    // rounds is exactly what the ps runtimes would stamp.
+    if (ckpt_ && cfg_.ps.snapshot_due(round)) {
+        ckpt_->request(round, round + 1,
+                       std::make_shared<const std::vector<float>>(
+                           server_.global_weights()));
+    }
 }
 
 double

@@ -18,6 +18,7 @@
 #include "fl/server.h"
 #include "ps/ps_config.h"
 #include "serve/serve_config.h"
+#include "store/checkpoint_writer.h"
 
 namespace autofl {
 
@@ -148,6 +149,30 @@ class FlSystem
     /** Structural profile of the trained model. */
     const NnProfile &profile() const { return profile_; }
 
+    /**
+     * Whether cfg.ps.resume_from restored an artifact into the server
+     * before any runtime was built. All runtimes seed from the
+     * server's weights (PsServer's store, the cluster, the sync
+     * barrier), so a resumed system continues from the artifact state
+     * no matter which path trains.
+     */
+    bool resumed() const { return resumed_; }
+
+    /**
+     * The restored artifact's round (meaningless unless resumed()).
+     * Drivers continue the round sequence at resume_round() + 1; for
+     * single-batch rounds the continuation is bit-identical to the
+     * uninterrupted run (see PsConfig::resume_from).
+     */
+    uint64_t resume_round() const { return resume_round_; }
+
+    /**
+     * The active snapshot persistence writer: the ps runtime's when it
+     * owns one, this system's for the sync/cluster runtimes, null when
+     * cfg.ps.snapshot_dir is unset.
+     */
+    store::CheckpointWriter *checkpoint_writer();
+
   private:
     FlSystemConfig cfg_;
     TrainTestSplit data_;
@@ -162,6 +187,20 @@ class FlSystem
     std::unique_ptr<ModelService> serve_;  ///< The serving plane.
     std::unique_ptr<PsServer> ps_;  ///< Non-null when cfg.ps.mode != Sync.
     std::unique_ptr<FlCluster> cluster_;  ///< Non-null when ps.net set.
+
+    /**
+     * Snapshot persistence for the runtimes that do NOT own a
+     * PsServer (sync barrier, cluster): their commit point is the
+     * round barrier on this thread, so the system itself requests the
+     * checkpoints (see run_round). Null when ps_ owns the writer or
+     * persistence is off.
+     */
+    std::unique_ptr<store::CheckpointWriter> ckpt_;
+    bool resumed_ = false;
+    uint64_t resume_round_ = 0;
+
+    /** Barrier-runtime checkpoint point (no-op without ckpt_). */
+    void maybe_checkpoint(uint64_t round);
 
     // Synchronous-path training pool: lazily created, then reused for
     // every round (the seed spawned fresh std::threads per round).

@@ -27,6 +27,9 @@ ExperimentConfig::validate() const
     ps_view.eval_workers = eval_workers;
     ps_view.net = net;
     ps_view.compression = compression;
+    ps_view.snapshot_dir = snapshot_dir;
+    ps_view.snapshot_every_epochs = snapshot_every_epochs;
+    ps_view.resume_from = resume_from;
     ps_view.validate("ExperimentConfig");
     if (ps_shards < 1) {
         throw std::invalid_argument(
@@ -276,6 +279,9 @@ run_experiment(const ExperimentConfig &cfg)
     fcfg.ps.eval_workers = cfg.eval_workers;
     fcfg.ps.net = cfg.net;
     fcfg.ps.compression = cfg.compression;
+    fcfg.ps.snapshot_dir = cfg.snapshot_dir;
+    fcfg.ps.snapshot_every_epochs = cfg.snapshot_every_epochs;
+    fcfg.ps.resume_from = cfg.resume_from;
     fcfg.serve = cfg.serve;
     FlSystem fl(fcfg);
     const bool ps_mode = fl.ps() != nullptr || fl.cluster() != nullptr;
@@ -449,7 +455,15 @@ run_experiment(const ExperimentConfig &cfg)
         }
     };
 
-    for (int round = 0; round < cfg.max_rounds && !stop; ++round) {
+    // A resumed run continues the round sequence where the artifact
+    // left off: round indices drive the per-round client RNG and the
+    // fleet simulation, so keeping them global (not restarting at 0)
+    // is what makes the continuation match the uninterrupted run.
+    const int start_round =
+        fl.resumed() ? static_cast<int>(fl.resume_round()) + 1 : 0;
+
+    for (int round = start_round; round < cfg.max_rounds && !stop;
+         ++round) {
         fleet.begin_round();
 
         std::vector<LocalObservation> locals(
@@ -517,6 +531,10 @@ run_experiment(const ExperimentConfig &cfg)
     while (!inflight.empty())
         process_one();
     fl.drain();
+    // A resume so late that no rounds remain still reports the
+    // restored model's real accuracy, not the 0.0 default.
+    if (res.rounds.empty())
+        res.final_accuracy = fl.evaluate();
     return res;
 }
 

@@ -90,6 +90,25 @@ struct ExperimentConfig
     ServeConfig serve;
 
     /**
+     * Snapshot persistence (src/store/): non-empty enables async
+     * checkpointing of the post-round model into this directory (temp
+     * + fsync + atomic rename — a crash never leaves a torn artifact).
+     */
+    std::string snapshot_dir;
+
+    /** Checkpoint cadence in retired rounds (see PsConfig). */
+    int snapshot_every_epochs = 1;
+
+    /**
+     * Resume the run from this artifact (usually
+     * <snapshot_dir>/latest.snap): training restarts at the artifact's
+     * round + 1 and the round loop records only the remaining rounds.
+     * Bit-identical continuation for single-batch rounds; see
+     * PsConfig::resume_from for the contract.
+     */
+    std::string resume_from;
+
+    /**
      * Sliding-window length (rounds) for the runtime statistics the
      * scheduler observes: S_Stale is bucketed from the windowed mean
      * staleness, so one odd round cannot flip the state while a

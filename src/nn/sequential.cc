@@ -95,17 +95,22 @@ Sequential::flat_weights() const
 void
 Sequential::set_flat_weights(const std::vector<float> &w)
 {
+    set_flat_weights(w.data(), w.size());
+}
+
+void
+Sequential::set_flat_weights(const float *w, size_t n)
+{
     size_t off = 0;
     for (auto &l : layers_) {
         for (Tensor *p : l->params()) {
-            assert(off + p->size() <= w.size());
-            std::copy(w.begin() + static_cast<ptrdiff_t>(off),
-                      w.begin() + static_cast<ptrdiff_t>(off + p->size()),
-                      p->vec().begin());
+            assert(off + p->size() <= n);
+            std::copy(w + off, w + off + p->size(), p->vec().begin());
             off += p->size();
         }
     }
-    assert(off == w.size());
+    assert(off == n);
+    (void)n;
 }
 
 double

@@ -91,6 +91,13 @@ class Sequential
     /** Load parameters from a flat vector produced by flat_weights(). */
     void set_flat_weights(const std::vector<float> &w);
 
+    /**
+     * Same, from a raw flat buffer of @p n floats — the zero-copy
+     * entry point for weights that live outside a vector (an mmap'd
+     * snapshot artifact). @p n must equal num_params() (asserted).
+     */
+    void set_flat_weights(const float *w, size_t n);
+
     /** Per-sample forward FLOPs for the given single-sample input shape. */
     double flops_per_sample(std::vector<int> in_shape) const;
 

@@ -119,6 +119,45 @@ struct PsConfig
     CompressionConfig compression;
 
     /**
+     * Snapshot persistence (src/store/). Non-empty: the runtime owns a
+     * store::CheckpointWriter and durably writes the post-round model
+     * (temp + fsync + atomic rename; "latest.snap" always names a
+     * complete artifact) without ever blocking training. Empty (the
+     * default) disables checkpointing.
+     */
+    std::string snapshot_dir;
+
+    /**
+     * Checkpoint cadence: persist after every Nth retired round's
+     * commits (for single-batch rounds — Sync, SemiAsync(S=0) — one
+     * round is one store epoch, so this is snapshot-every-N-epochs).
+     * 1 checkpoints every round. Only meaningful with snapshot_dir.
+     */
+    int snapshot_every_epochs = 1;
+
+    /**
+     * Path of an artifact to restore before training starts (the
+     * crash-resume flag). The run continues from the artifact's round:
+     * for single-batch rounds, resuming at round R and re-running is
+     * bit-identical to the uninterrupted run — the same determinism
+     * contract as SemiAsync(S=0) == Sync. With S > 0 the resumed run
+     * is a valid continuation but not bit-exact (a final-state
+     * artifact cannot reproduce an intra-round first-commit pull).
+     * Empty disables. Incompatible with push compression (per-client
+     * error-feedback residuals are not persisted).
+     */
+    std::string resume_from;
+
+    /** Whether the round just retired is a checkpoint point. */
+    bool snapshot_due(uint64_t round) const
+    {
+        return !snapshot_dir.empty() &&
+               (round + 1) %
+                       static_cast<uint64_t>(snapshot_every_epochs) ==
+                   0;
+    }
+
+    /**
      * Validate the knobs, throwing std::invalid_argument with an
      * actionable message. @p who names the owning config in messages
      * (e.g. "FlSystemConfig::ps").

@@ -60,8 +60,30 @@ PsConfig::validate(const char *who) const
             std::to_string(executor_threads) +
             "): 0 inherits the system thread count");
     }
+    if (snapshot_every_epochs < 1) {
+        throw std::invalid_argument(
+            w + ".snapshot_every_epochs must be >= 1 (got " +
+            std::to_string(snapshot_every_epochs) +
+            "): 1 checkpoints after every round; larger values thin "
+            "the artifact cadence");
+    }
+    if (snapshot_every_epochs != 1 && snapshot_dir.empty()) {
+        throw std::invalid_argument(
+            w + ".snapshot_every_epochs is set but " + w +
+            ".snapshot_dir is empty: a cadence without a directory "
+            "silently checkpoints nothing; set snapshot_dir to enable "
+            "persistence (or leave the cadence at its default)");
+    }
     net.validate((w + ".net").c_str());
     compression.validate((w + ".compression").c_str());
+    if (!resume_from.empty() && compression.enabled()) {
+        throw std::invalid_argument(
+            w + ".resume_from cannot be combined with push compression: "
+            "artifacts persist the global weights but not the "
+            "per-client error-feedback residuals, so a resumed "
+            "compressed run would silently diverge; resume "
+            "uncompressed or restart the compressed run from scratch");
+    }
     if (compression.enabled()) {
         if (mode == SyncMode::Sync) {
             throw std::invalid_argument(
@@ -112,6 +134,14 @@ PsServer::PsServer(Server &server, Workload workload,
     for (int t = 0; t < exec_.threads(); ++t)
         trainers_.push_back(std::make_unique<LocalTrainer>(workload));
 
+    if (!cfg_.snapshot_dir.empty()) {
+        ckpt_ = std::make_unique<store::CheckpointWriter>(
+            cfg_.snapshot_dir,
+            store::model_topology_hash(workload_name(workload),
+                                       server.global_weights().size()),
+            static_cast<uint32_t>(cfg_.shards));
+    }
+
     if (cfg_.pipeline_depth > 1) {
         eval_exec_ = std::make_unique<PsExecutor>(
             std::max(1, cfg_.eval_workers));
@@ -132,6 +162,18 @@ PsServer::PsServer(Server &server, Workload workload,
                 u.device_id = job.device_id;
                 return u;
             });
+        if (ckpt_) {
+            // Persistence rides retirement: the hook shares the
+            // pipeline's own history snapshot zero-copy and the writer
+            // only enqueues — a slow disk thins artifacts, it never
+            // slows a commit wave.
+            pipeline_->set_checkpoint_hook(
+                [this](uint64_t round, uint64_t epoch,
+                       std::shared_ptr<const std::vector<float>> w) {
+                    if (cfg_.snapshot_due(round))
+                        ckpt_->request(round, epoch, std::move(w));
+                });
+        }
     }
 }
 
@@ -203,6 +245,15 @@ PsServer::run_round(const std::vector<PsRoundJob> &jobs, uint64_t round)
     exec_.wait_idle();
     PsRoundStats stats = agg_.flush();
     server_.set_global_weights(store_.read());
+    // Classic-mode persistence point: the barrier. The store is
+    // quiescent here, so the synced server weights ARE the post-round
+    // state; the copy crosses to the writer thread and training moves
+    // on.
+    if (ckpt_ && cfg_.snapshot_due(round)) {
+        ckpt_->request(round, agg_.clock(),
+                       std::make_shared<const std::vector<float>>(
+                           server_.global_weights()));
+    }
     return stats;
 }
 

@@ -22,6 +22,7 @@
 #include "ps/ps_config.h"
 #include "ps/round_pipeline.h"
 #include "ps/sharded_store.h"
+#include "store/checkpoint_writer.h"
 
 namespace autofl {
 
@@ -106,6 +107,15 @@ class PsServer
     /** Per-client error-feedback state (tests/metrics). */
     const ErrorFeedback &error_feedback() const { return error_feedback_; }
 
+    /**
+     * The snapshot persistence writer (null unless cfg.snapshot_dir is
+     * set). Owned here so the checkpoint cadence rides this runtime's
+     * commit path: pipelined rounds persist through the RoundPipeline
+     * retirement hook (zero-copy history snapshot), classic rounds at
+     * their barrier. Callers flush() it to wait for artifacts on disk.
+     */
+    store::CheckpointWriter *checkpoint_writer() { return ckpt_.get(); }
+
   private:
     Server &server_;
     FlGlobalParams params_;
@@ -120,6 +130,13 @@ class PsServer
     RoundPipeline::EvalFn eval_fn_;  ///< Classic-mode inline scoring.
     ErrorFeedback error_feedback_;   ///< Push-compression residuals.
     std::atomic<uint64_t> push_payload_bytes_{0};
+
+    /**
+     * Snapshot persistence (cfg.snapshot_dir). Declared before the
+     * pipeline: the pipeline's retirement hook enqueues into the
+     * writer, so the pipeline must drain (be destroyed) first.
+     */
+    std::unique_ptr<store::CheckpointWriter> ckpt_;
 
     // Pipelined mode only. Declared after the components they use so
     // the pipeline drains (and the eval pool joins) before any of them

@@ -38,6 +38,13 @@ RoundPipeline::set_eval_fn(EvalFn fn)
     eval_fn_ = std::move(fn);
 }
 
+void
+RoundPipeline::set_checkpoint_hook(CheckpointFn fn)
+{
+    std::lock_guard<std::mutex> lk(pmu_);
+    checkpoint_fn_ = std::move(fn);
+}
+
 uint64_t
 RoundPipeline::pull_epoch_for_locked() const
 {
@@ -160,6 +167,19 @@ RoundPipeline::on_retired(uint64_t round, const PsRoundStats &stats,
     std::shared_ptr<const std::vector<float>> snap =
         it != history_.end() ? it->second : nullptr;
     assert(snap);
+
+    if (checkpoint_fn_ && snap) {
+        // Persistence rides retirement: rounds retire in order, so the
+        // hook sees a monotone (round, epoch) sequence, and the shared
+        // history snapshot crosses zero-copy. Invoked with the lock
+        // released (hook style: see AsyncAggregator) — the writer only
+        // enqueues, but no pipeline lock is ever held across foreign
+        // code.
+        const CheckpointFn fn = checkpoint_fn_;
+        lk.unlock();
+        fn(round, final_epoch, snap);
+        lk.lock();
+    }
 
     if (eval_exec_ && eval_fn_ && snap && entry->want_eval) {
         // Score the retired round's snapshot concurrently; the shared

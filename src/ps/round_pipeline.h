@@ -76,6 +76,17 @@ class RoundPipeline
     using EvalFn = std::function<double(const StoreSnapshot &snap)>;
 
     /**
+     * Receives a retired round's final snapshot — the persistence
+     * hook. Invoked in retirement (= round) order with the pipeline
+     * lock released, sharing the pipeline's own history snapshot
+     * zero-copy; the receiver (store::CheckpointWriter) must only
+     * enqueue, never block on IO.
+     */
+    using CheckpointFn = std::function<void(
+        uint64_t round, uint64_t final_epoch,
+        std::shared_ptr<const std::vector<float>> weights)>;
+
+    /**
      * @param exec Training executor (jobs are launched onto it in round
      *        order — the FIFO queue is what lets blocked commit waves
      *        always find their predecessor jobs already running).
@@ -97,6 +108,9 @@ class RoundPipeline
 
     /** Install the snapshot scorer (called before the first submit). */
     void set_eval_fn(EvalFn fn);
+
+    /** Install the persistence hook (called before the first submit). */
+    void set_checkpoint_hook(CheckpointFn fn);
 
     /**
      * Enqueue one round. Returns immediately; jobs launch once the
@@ -135,6 +149,7 @@ class RoundPipeline
     PsConfig cfg_;
     TrainFn train_;
     EvalFn eval_fn_;
+    CheckpointFn checkpoint_fn_;
 
     mutable std::mutex pmu_;
     std::condition_variable drain_cv_;

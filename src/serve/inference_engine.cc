@@ -65,8 +65,7 @@ InferenceEngine::InferenceEngine(Workload workload, const ServeConfig &cfg)
 InferenceEngine::Slot &
 InferenceEngine::claim(const SnapshotHandle &snap)
 {
-    const std::vector<float> *id =
-        snap.valid() ? snap.shared().get() : nullptr;
+    const void *id = snap.valid() ? snap.owner().get() : nullptr;
     std::unique_lock<std::mutex> lk(pool_mu_);
     for (;;) {
         // Prefer a free slot that already holds this snapshot's weights
@@ -109,9 +108,10 @@ InferenceEngine::Lease::Lease(InferenceEngine &eng,
 {
     // The weight load runs outside pool_mu_: the busy flag makes the
     // slot exclusively ours, so only the pool scan ever holds the lock.
-    if (snap.valid() && slot_->loaded.get() != snap.shared().get()) {
-        slot_->model.set_flat_weights(snap.weights());
-        slot_->loaded = snap.shared();
+    if (snap.valid() && slot_->loaded.get() != snap.owner().get()) {
+        const std::span<const float> w = snap.weights();
+        slot_->model.set_flat_weights(w.data(), w.size());
+        slot_->loaded = snap.owner();
     }
 }
 

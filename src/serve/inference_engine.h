@@ -22,9 +22,11 @@
 #define AUTOFL_SERVE_INFERENCE_ENGINE_H
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "data/dataset.h"
@@ -36,9 +38,14 @@ namespace autofl {
 
 /**
  * Refcounted, epoch-tagged view of one immutable model version.
- * Copying shares the underlying weight vector; reads through a valid
- * handle are lock-free and remain safe after training has moved on —
- * the refcount keeps the vector alive.
+ * Copying shares the underlying storage; reads through a valid handle
+ * are lock-free and remain safe after training has moved on — the
+ * refcount keeps the storage alive.
+ *
+ * The handle is a *view* (owner + pointer + length), so the storage
+ * behind it can be a store-published weight vector or an mmap'd
+ * snapshot artifact (store::MappedSnapshot) — the engine's slot
+ * caching keys on owner identity either way and never cares which.
  */
 class SnapshotHandle
 {
@@ -47,30 +54,52 @@ class SnapshotHandle
     SnapshotHandle() = default;
 
     /** Wrap a published store snapshot. */
-    explicit SnapshotHandle(StoreSnapshot snap) : snap_(std::move(snap)) {}
-
-    /** Whether the handle references a snapshot. */
-    bool valid() const { return snap_.weights != nullptr; }
-
-    /** Commit epoch (model version) of the snapshot. */
-    uint64_t epoch() const { return snap_.epoch; }
-
-    /** The immutable flat weight vector. Handle must be valid. */
-    const std::vector<float> &
-    weights() const
+    explicit SnapshotHandle(StoreSnapshot snap)
+        : epoch_(snap.epoch), owner_(snap.weights),
+          data_(snap.weights ? snap.weights->data() : nullptr),
+          size_(snap.weights ? snap.weights->size() : 0)
     {
-        return *snap_.weights;
     }
 
-    /** Shared ownership of the weight vector (lifetime extension). */
-    const std::shared_ptr<const std::vector<float>> &
-    shared() const
+    /**
+     * View @p size floats at @p data, kept alive by @p owner — the
+     * artifact-backed source (data points into the mapped file).
+     */
+    SnapshotHandle(uint64_t epoch, std::shared_ptr<const void> owner,
+                   const float *data, size_t size)
+        : epoch_(epoch), owner_(std::move(owner)), data_(data), size_(size)
     {
-        return snap_.weights;
+    }
+
+    /** Whether the handle references a snapshot. */
+    bool valid() const { return data_ != nullptr; }
+
+    /** Commit epoch (model version) of the snapshot. */
+    uint64_t epoch() const { return epoch_; }
+
+    /** The immutable flat weights. Handle must be valid. */
+    std::span<const float>
+    weights() const
+    {
+        return {data_, size_};
+    }
+
+    /**
+     * Shared ownership of the backing storage (lifetime extension).
+     * Also the snapshot's *identity*: two handles view the same model
+     * version iff their owners are the same object.
+     */
+    const std::shared_ptr<const void> &
+    owner() const
+    {
+        return owner_;
     }
 
   private:
-    StoreSnapshot snap_;
+    uint64_t epoch_ = 0;
+    std::shared_ptr<const void> owner_;
+    const float *data_ = nullptr;
+    size_t size_ = 0;
 };
 
 /** Result of one batched dataset scoring pass. */
@@ -124,6 +153,13 @@ class InferenceEngine
     int batch_size() const { return cfg_.batch_size; }
     int workers() const { return cfg_.workers; }
 
+    /**
+     * Flat parameter count of the served architecture — what any
+     * snapshot source must supply (ModelService validates artifact
+     * dimensions against this before attaching them).
+     */
+    size_t model_params() const { return slots_.front()->model.num_params(); }
+
   private:
     /**
      * One pooled scratch model with weight-identity caching. The slot
@@ -137,7 +173,7 @@ class InferenceEngine
     struct Slot
     {
         Sequential model;
-        std::shared_ptr<const std::vector<float>> loaded;
+        std::shared_ptr<const void> loaded;
         bool busy = false;
     };
 

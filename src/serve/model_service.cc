@@ -1,6 +1,8 @@
 #include "serve/model_service.h"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "serve/dynamic_batcher.h"
@@ -26,18 +28,58 @@ ModelService::attach_store(const ShardedStore *store)
     assert(store != nullptr);
     std::lock_guard<std::mutex> lk(mu_);
     assert(local_.weights == nullptr);  // One source per service.
+    assert(artifact_.load(std::memory_order_relaxed) == nullptr);
     // Set-once-before-use: flipping sources mid-flight would tear the
     // epoch sequence consumers reason about.
     assert(store_.load(std::memory_order_relaxed) == nullptr);
     store_.store(store, std::memory_order_release);
 }
 
+void
+ModelService::attach_artifact(
+    std::shared_ptr<const store::MappedSnapshot> artifact)
+{
+    assert(artifact != nullptr);
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(local_.weights == nullptr);  // One source per service.
+    assert(store_.load(std::memory_order_relaxed) == nullptr);
+    assert(artifact_.load(std::memory_order_relaxed) == nullptr);
+
+    // Throw, not assert: an operator pointing a Release serving
+    // process at the wrong model's artifact must get a diagnosis, not
+    // garbage predictions.
+    const size_t want = engine_.model_params();
+    if (artifact->dim() != want) {
+        throw std::invalid_argument(
+            "ModelService::attach_artifact: artifact holds " +
+            std::to_string(artifact->dim()) + " weights but " +
+            workload_name(workload_) + " has " +
+            std::to_string(want) +
+            " parameters: this artifact was written for a different "
+            "model");
+    }
+    const uint64_t expect =
+        store::model_topology_hash(workload_name(workload_), want);
+    if (artifact->meta().topology_hash != expect) {
+        throw std::invalid_argument(
+            "ModelService::attach_artifact: artifact topology hash does "
+            "not match " +
+            workload_name(workload_) +
+            ": same weight count, different architecture — refusing to "
+            "scatter weights into the wrong layers");
+    }
+
+    artifact_owner_ = std::move(artifact);
+    artifact_.store(artifact_owner_.get(), std::memory_order_release);
+}
+
 uint64_t
 ModelService::publish(const std::vector<float> &weights)
 {
     std::lock_guard<std::mutex> lk(mu_);
-    // Store-backed services never publish.
+    // Store- and artifact-backed services never publish.
     assert(store_.load(std::memory_order_relaxed) == nullptr);
+    assert(artifact_.load(std::memory_order_relaxed) == nullptr);
     if (local_.weights != nullptr && *local_.weights == weights)
         return local_.epoch;  // Same version: epoch unchanged.
     local_ = StoreSnapshot{
@@ -54,6 +96,13 @@ ModelService::acquire() const
     // its snapshot publication.
     if (const ShardedStore *s = store_.load(std::memory_order_acquire))
         return SnapshotHandle(s->latest_snapshot());
+    // Lock-free on the artifact path too: the mapping is immutable and
+    // artifact_owner_ is never reassigned after the release store.
+    if (const store::MappedSnapshot *a =
+            artifact_.load(std::memory_order_acquire)) {
+        return SnapshotHandle(a->meta().epoch, artifact_owner_, a->weights(),
+                              a->dim());
+    }
     std::lock_guard<std::mutex> lk(mu_);
     return SnapshotHandle(local_);
 }

@@ -14,7 +14,7 @@
  * consumer can reason about model freshness ("how many commits behind
  * am I serving?") without ever blocking a commit.
  *
- * Two snapshot sources share the facade:
+ * Three snapshot sources share the facade:
  *
  *  - **Store-backed** (attach_store): the pipelined ps runtime, whose
  *    commit waves publish epoch-tagged snapshots as a side effect of
@@ -23,6 +23,11 @@
  *    commit point is the round barrier. The barrier publishes the new
  *    global weights; identical re-publishes keep their epoch, so the
  *    epoch really counts model versions.
+ *  - **Artifact-backed** (attach_artifact): a serving-only process
+ *    cold-starting from an on-disk snapshot (store::MappedSnapshot) —
+ *    no ps store, no training run. The handle views the mmap'd pages
+ *    directly, so weights are shared read-only across every process
+ *    serving the same artifact.
  *
  * Inference goes through the owned InferenceEngine: batched forward
  * passes on worker slots with per-snapshot weight caching. Concurrent
@@ -44,6 +49,7 @@
 #include "serve/inference_engine.h"
 #include "serve/request_queue.h"
 #include "serve/serve_config.h"
+#include "store/mapped_snapshot.h"
 
 namespace autofl {
 
@@ -80,6 +86,28 @@ class ModelService
     store_backed() const
     {
         return store_.load(std::memory_order_acquire) != nullptr;
+    }
+
+    /**
+     * Source snapshots from an mmap'd on-disk artifact — the serving
+     * cold-start path: no ps store, no training run, weights read
+     * straight from the (validated) mapped file and shared read-only
+     * with any other process serving it. Set-once-before-use like
+     * attach_store, exclusive with the other two sources. Throws
+     * std::invalid_argument when the artifact's dimension or topology
+     * hash does not match the served architecture — a wrong-model
+     * artifact must fail loudly at attach, not scatter weights at
+     * first query. acquire() then yields handles tagged with the
+     * artifact's commit epoch.
+     */
+    void
+    attach_artifact(std::shared_ptr<const store::MappedSnapshot> artifact);
+
+    /** Whether acquire() reads an attached artifact. */
+    bool
+    artifact_backed() const
+    {
+        return artifact_.load(std::memory_order_acquire) != nullptr;
     }
 
     /**
@@ -173,6 +201,16 @@ class ModelService
      * with acquire loads).
      */
     std::atomic<const ShardedStore *> store_{nullptr};
+
+    /**
+     * Artifact-backed source, same set-once-before-use discipline as
+     * store_: the atomic pointer gates readers (release store pairs
+     * with acquire loads), artifact_owner_ holds the mapping alive and
+     * is never written again after attach, so lock-free shared_ptr
+     * copies from serving threads are safe.
+     */
+    std::atomic<const store::MappedSnapshot *> artifact_{nullptr};
+    std::shared_ptr<const store::MappedSnapshot> artifact_owner_;
 
     mutable std::mutex mu_;  ///< Guards the self-published slot.
     StoreSnapshot local_;    ///< Self-published source.

@@ -1,0 +1,132 @@
+#include "store/checkpoint_writer.h"
+
+#include <cstdio>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace autofl::store {
+
+CheckpointWriter::CheckpointWriter(std::string dir, uint64_t topology_hash,
+                                   uint32_t shard_count)
+    : dir_(std::move(dir)), topology_hash_(topology_hash),
+      shard_count_(shard_count)
+{
+    // Best-effort create; a missing/unwritable directory surfaces as
+    // IoError in stats() on the first write, never as a throw.
+    ::mkdir(dir_.c_str(), 0755);
+    thread_ = std::thread([this] { run(); });
+}
+
+CheckpointWriter::~CheckpointWriter()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+std::string CheckpointWriter::latest_path() const
+{
+    return dir_ + "/latest.snap";
+}
+
+std::string CheckpointWriter::artifact_path(uint64_t round) const
+{
+    char name[64];
+    std::snprintf(name, sizeof name, "/model-r%llu.snap",
+                  static_cast<unsigned long long>(round));
+    return dir_ + name;
+}
+
+void CheckpointWriter::request(
+    uint64_t round, uint64_t epoch,
+    std::shared_ptr<const std::vector<float>> weights)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stop_)
+            return;
+        // Single pending slot: a newer checkpoint supersedes an
+        // unstarted older one. The slow-disk failure mode is "fewer
+        // artifacts", never "training waits".
+        if (has_pending_)
+            ++stats_.dropped;
+        pending_ = Request{round, epoch, std::move(weights)};
+        has_pending_ = true;
+        ++stats_.requested;
+    }
+    cv_.notify_one();
+}
+
+void CheckpointWriter::flush()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return !has_pending_ && !writing_; });
+}
+
+CheckpointStats CheckpointWriter::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void CheckpointWriter::run()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [this] { return has_pending_ || stop_; });
+        // Drain-on-shutdown: the destructor's stop still writes the
+        // last accepted checkpoint, so "request then destroy" (the
+        // end of every run) durably persists the final state.
+        if (!has_pending_ && stop_)
+            return;
+        const Request req = std::move(pending_);
+        has_pending_ = false;
+        writing_ = true;
+        lk.unlock();  // IO runs without the lock: request() stays wait-free.
+        write_one(req);
+        lk.lock();
+        writing_ = false;
+        done_cv_.notify_all();
+    }
+}
+
+void CheckpointWriter::write_one(const Request &req)
+{
+    SnapshotMeta meta;
+    meta.epoch = req.epoch;
+    meta.round = req.round;
+    meta.dim = req.weights->size();
+    meta.topology_hash = topology_hash_;
+    meta.shard_count = shard_count_;
+
+    const std::string path = artifact_path(req.round);
+    SnapshotStatus st = write_snapshot_file(
+        path, meta, even_shard_ranges(meta.dim, shard_count_),
+        req.weights->data());
+
+    if (st == SnapshotStatus::Ok) {
+        // Repoint latest.snap atomically: hard-link the new artifact
+        // under a temp name, rename over latest. Either step failing
+        // (or a crash between them) leaves latest pointing at some
+        // complete artifact — never a torn one.
+        const std::string latest = latest_path();
+        const std::string tmp = latest + ".tmp";
+        ::unlink(tmp.c_str());
+        if (::link(path.c_str(), tmp.c_str()) != 0 ||
+            ::rename(tmp.c_str(), latest.c_str()) != 0) {
+            ::unlink(tmp.c_str());
+            st = SnapshotStatus::IoError;
+        }
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.last_status = st;
+    if (st == SnapshotStatus::Ok)
+        ++stats_.written;
+}
+
+} // namespace autofl::store

@@ -1,0 +1,70 @@
+#include "store/mapped_snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace autofl::store {
+
+std::shared_ptr<const MappedSnapshot>
+MappedSnapshot::open(const std::string &path, SnapshotStatus *st,
+                     uint64_t expected_topology)
+{
+    SnapshotStatus local = SnapshotStatus::Ok;
+    SnapshotStatus &out_st = st ? *st : local;
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        out_st = SnapshotStatus::IoError;
+        return nullptr;
+    }
+    struct stat sb{};
+    if (::fstat(fd, &sb) != 0 || !S_ISREG(sb.st_mode) || sb.st_size <= 0) {
+        ::close(fd);
+        out_st = SnapshotStatus::IoError;
+        return nullptr;
+    }
+
+    const size_t len = static_cast<size_t>(sb.st_size);
+    void *map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping pins the file contents; the descriptor is not
+    // needed afterwards.
+    ::close(fd);
+    if (map == MAP_FAILED) {
+        out_st = SnapshotStatus::IoError;
+        return nullptr;
+    }
+    // Prefault: tell the kernel we want the whole artifact resident
+    // so the first prediction is not a page-fault storm. Advisory —
+    // failure (e.g. on an exotic fs) costs latency, not correctness.
+    (void)::madvise(map, len, MADV_WILLNEED);
+
+    // Full validation over the mapped bytes: a MappedSnapshot in hand
+    // is always a complete, checksummed artifact.
+    SnapshotView view;
+    const SnapshotStatus parsed =
+        parse_snapshot(static_cast<const uint8_t *>(map), len, &view,
+                       expected_topology);
+    if (parsed != SnapshotStatus::Ok) {
+        ::munmap(map, len);
+        out_st = parsed;
+        return nullptr;
+    }
+
+    auto snap = std::shared_ptr<MappedSnapshot>(new MappedSnapshot());
+    snap->map_ = map;
+    snap->map_len_ = len;
+    snap->meta_ = view.meta;
+    snap->weights_ = view.weights;
+    out_st = SnapshotStatus::Ok;
+    return snap;
+}
+
+MappedSnapshot::~MappedSnapshot()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, map_len_);
+}
+
+} // namespace autofl::store

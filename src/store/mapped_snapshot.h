@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MappedSnapshot: a validated artifact mapped read-only into the
+ * process with mmap + MADV_WILLNEED — the serving-plane load path.
+ *
+ * Unlike read_snapshot_file (which copies weights into owned memory
+ * for training resume), an mmap load never materialises a private
+ * copy: the page cache backs the weights, multiple serving processes
+ * opening the same artifact share one set of physical pages, and
+ * cold-start cost is the page-in of the file rather than replaying a
+ * training run to rebuild a store. MADV_WILLNEED starts that page-in
+ * at open() so the first prediction does not eat the fault storm.
+ *
+ * Validation is the full parse_snapshot pass — header, shard table
+ * and payload checksum — over the mapped bytes before the object is
+ * returned, so a MappedSnapshot in hand is always a complete, intact
+ * artifact. The payload offset is 64-byte aligned in the file and the
+ * map is page-aligned, so weights() is cache-line aligned in memory.
+ */
+#ifndef AUTOFL_STORE_MAPPED_SNAPSHOT_H
+#define AUTOFL_STORE_MAPPED_SNAPSHOT_H
+
+#include <memory>
+#include <string>
+
+#include "store/snapshot.h"
+
+namespace autofl::store {
+
+class MappedSnapshot
+{
+  public:
+    /**
+     * Map and validate the artifact at @p path. On any failure @p st
+     * (when non-null) receives the typed status and nullptr is
+     * returned — a missing or corrupt artifact never crashes or
+     * throws. @p expected_topology as in parse_snapshot.
+     */
+    static std::shared_ptr<const MappedSnapshot>
+    open(const std::string &path, SnapshotStatus *st = nullptr,
+         uint64_t expected_topology = 0);
+
+    ~MappedSnapshot();
+    MappedSnapshot(const MappedSnapshot &) = delete;
+    MappedSnapshot &operator=(const MappedSnapshot &) = delete;
+
+    const SnapshotMeta &meta() const { return meta_; }
+    /** Cache-line-aligned, page-cache-backed weight payload. */
+    const float *weights() const { return weights_; }
+    size_t dim() const { return static_cast<size_t>(meta_.dim); }
+
+  private:
+    MappedSnapshot() = default;
+
+    void *map_ = nullptr;
+    size_t map_len_ = 0;
+    SnapshotMeta meta_;
+    const float *weights_ = nullptr;
+};
+
+} // namespace autofl::store
+
+#endif // AUTOFL_STORE_MAPPED_SNAPSHOT_H

@@ -1,0 +1,384 @@
+#include "store/snapshot.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace autofl::store {
+
+const char *snapshot_status_name(SnapshotStatus s)
+{
+    switch (s) {
+    case SnapshotStatus::Ok: return "Ok";
+    case SnapshotStatus::IoError: return "IoError";
+    case SnapshotStatus::Truncated: return "Truncated";
+    case SnapshotStatus::BadMagic: return "BadMagic";
+    case SnapshotStatus::BadVersion: return "BadVersion";
+    case SnapshotStatus::BadHeader: return "BadHeader";
+    case SnapshotStatus::Oversized: return "Oversized";
+    case SnapshotStatus::BadChecksum: return "BadChecksum";
+    case SnapshotStatus::BadShardTable: return "BadShardTable";
+    case SnapshotStatus::BadTopology: return "BadTopology";
+    }
+    return "?";
+}
+
+namespace {
+
+// Little-endian field helpers, mirroring net/wire.cc: the byte layout
+// is spelled out per-field so the artifact is identical regardless of
+// host endianness or struct packing.
+void put_u16(std::vector<uint8_t> &buf, size_t at, uint16_t v)
+{
+    buf[at + 0] = static_cast<uint8_t>(v);
+    buf[at + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+void put_u32(std::vector<uint8_t> &buf, size_t at, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf[at + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::vector<uint8_t> &buf, size_t at, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf[at + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t get_u16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (uint16_t{p[1]} << 8));
+}
+
+uint32_t get_u32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t{p[i]} << (8 * i);
+    return v;
+}
+
+uint64_t get_u64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+// FNV-1a 64. Not cryptographic — the threat model is disk rot and
+// torn writes, not an adversary — but it detects any single byte flip
+// and is fast enough to run over the full payload on every load.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t fnv1a(const uint8_t *data, size_t len, uint64_t h = kFnvOffset)
+{
+    for (size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+size_t align_up(size_t n, size_t a)
+{
+    return (n + a - 1) / a * a;
+}
+
+// Header byte offsets (fixed; see snapshot.h file comment).
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffFlags = 6;
+constexpr size_t kOffEpoch = 8;
+constexpr size_t kOffRound = 16;
+constexpr size_t kOffDim = 24;
+constexpr size_t kOffTopology = 32;
+constexpr size_t kOffShardCount = 40;
+constexpr size_t kOffPayloadOffset = 44;
+constexpr size_t kOffPayloadChecksum = 48;
+constexpr size_t kOffHeaderChecksum = 56;
+
+constexpr size_t kShardEntryBytes = 16;  // {u64 begin, u64 end}.
+
+size_t payload_offset_for(uint32_t shard_count)
+{
+    return align_up(kSnapshotHeaderBytes + kShardEntryBytes * shard_count,
+                    kSnapshotAlign);
+}
+
+} // namespace
+
+uint64_t model_topology_hash(const std::string &workload, uint64_t dim)
+{
+    uint64_t h = fnv1a(reinterpret_cast<const uint8_t *>(workload.data()),
+                       workload.size());
+    uint8_t dim_le[8];
+    for (int i = 0; i < 8; ++i)
+        dim_le[i] = static_cast<uint8_t>(dim >> (8 * i));
+    h = fnv1a(dim_le, sizeof dim_le, h);
+    // Reserve 0 as "no expectation" in parse_snapshot.
+    return h == 0 ? 1 : h;
+}
+
+std::vector<ShardRange> even_shard_ranges(uint64_t dim, uint32_t shards)
+{
+    assert(shards >= 1);
+    // Same split as ShardedStore: base = dim / shards, and the first
+    // dim % shards stripes carry one extra element.
+    const uint64_t base = dim / shards;
+    const uint64_t rem = dim % shards;
+    std::vector<ShardRange> out(shards);
+    uint64_t at = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+        const uint64_t len = base + (s < rem ? 1 : 0);
+        out[s] = {at, at + len};
+        at += len;
+    }
+    return out;
+}
+
+size_t snapshot_bytes(const SnapshotMeta &meta)
+{
+    return payload_offset_for(meta.shard_count) +
+           sizeof(float) * static_cast<size_t>(meta.dim);
+}
+
+std::vector<uint8_t> serialize_snapshot(const SnapshotMeta &meta,
+                                        const std::vector<ShardRange> &shards,
+                                        const float *weights)
+{
+    assert(meta.shard_count == shards.size());
+    assert(meta.dim <= kMaxSnapshotFloats);
+    assert(meta.shard_count >= 1 && meta.shard_count <= kMaxSnapshotShards);
+
+    const size_t payload_off = payload_offset_for(meta.shard_count);
+    std::vector<uint8_t> buf(snapshot_bytes(meta), 0);
+
+    put_u32(buf, kOffMagic, kSnapshotMagic);
+    put_u16(buf, kOffVersion, kSnapshotVersion);
+    put_u16(buf, kOffFlags, 0);
+    put_u64(buf, kOffEpoch, meta.epoch);
+    put_u64(buf, kOffRound, meta.round);
+    put_u64(buf, kOffDim, meta.dim);
+    put_u64(buf, kOffTopology, meta.topology_hash);
+    put_u32(buf, kOffShardCount, meta.shard_count);
+    put_u32(buf, kOffPayloadOffset, static_cast<uint32_t>(payload_off));
+
+    size_t at = kSnapshotHeaderBytes;
+    for (const ShardRange &r : shards) {
+        put_u64(buf, at, r.begin);
+        put_u64(buf, at + 8, r.end);
+        at += kShardEntryBytes;
+    }
+    // Gap to payload_off stays zero (alignment padding, checksummed).
+
+    // f32 payload as IEEE-754 bit images: memcpy is exact, and every
+    // float — including NaN payloads — round-trips bit-identically.
+    static_assert(sizeof(float) == 4, "snapshot format requires 32-bit float");
+    if (meta.dim > 0)
+        std::memcpy(buf.data() + payload_off, weights,
+                    sizeof(float) * static_cast<size_t>(meta.dim));
+
+    // Payload checksum covers [header end, EOF): shard table, padding
+    // and weights, so any post-header byte flip is detected.
+    put_u64(buf, kOffPayloadChecksum,
+            fnv1a(buf.data() + kSnapshotHeaderBytes,
+                  buf.size() - kSnapshotHeaderBytes));
+    // Header checksum covers the header bytes before itself.
+    put_u64(buf, kOffHeaderChecksum, fnv1a(buf.data(), kOffHeaderChecksum));
+    return buf;
+}
+
+SnapshotStatus parse_snapshot(const uint8_t *data, size_t len,
+                              SnapshotView *out, uint64_t expected_topology)
+{
+    // Validation order: existence of each field before reading it,
+    // self-consistency before any size derived from it, checksums
+    // before trusting content. Nothing is allocated from an
+    // unvalidated length.
+    if (len < kSnapshotHeaderBytes)
+        return SnapshotStatus::Truncated;
+    if (get_u32(data + kOffMagic) != kSnapshotMagic)
+        return SnapshotStatus::BadMagic;
+    if (get_u16(data + kOffVersion) != kSnapshotVersion)
+        return SnapshotStatus::BadVersion;
+    if (get_u16(data + kOffFlags) != 0)
+        return SnapshotStatus::BadHeader;
+    if (fnv1a(data, kOffHeaderChecksum) != get_u64(data + kOffHeaderChecksum))
+        return SnapshotStatus::BadChecksum;
+
+    SnapshotMeta meta;
+    meta.epoch = get_u64(data + kOffEpoch);
+    meta.round = get_u64(data + kOffRound);
+    meta.dim = get_u64(data + kOffDim);
+    meta.topology_hash = get_u64(data + kOffTopology);
+    meta.shard_count = get_u32(data + kOffShardCount);
+
+    if (meta.dim > kMaxSnapshotFloats)
+        return SnapshotStatus::Oversized;
+    if (meta.shard_count < 1 || meta.shard_count > kMaxSnapshotShards)
+        return SnapshotStatus::BadHeader;
+
+    const size_t payload_off = payload_offset_for(meta.shard_count);
+    if (get_u32(data + kOffPayloadOffset) != payload_off)
+        return SnapshotStatus::BadHeader;
+    const size_t want =
+        payload_off + sizeof(float) * static_cast<size_t>(meta.dim);
+    if (len < want)
+        return SnapshotStatus::Truncated;
+    if (len > want)
+        return SnapshotStatus::BadHeader;  // Trailing garbage.
+
+    if (fnv1a(data + kSnapshotHeaderBytes, len - kSnapshotHeaderBytes) !=
+        get_u64(data + kOffPayloadChecksum))
+        return SnapshotStatus::BadChecksum;
+
+    // Shard ranges must tile [0, dim) contiguously in order — the
+    // invariant ShardedStore's layout provides and a ranged restore
+    // would rely on.
+    std::vector<ShardRange> shards(meta.shard_count);
+    uint64_t at = 0;
+    for (uint32_t s = 0; s < meta.shard_count; ++s) {
+        const uint8_t *e =
+            data + kSnapshotHeaderBytes + kShardEntryBytes * size_t{s};
+        shards[s] = {get_u64(e), get_u64(e + 8)};
+        if (shards[s].begin != at || shards[s].end < shards[s].begin)
+            return SnapshotStatus::BadShardTable;
+        at = shards[s].end;
+    }
+    if (at != meta.dim)
+        return SnapshotStatus::BadShardTable;
+
+    if (expected_topology != 0 && meta.topology_hash != expected_topology)
+        return SnapshotStatus::BadTopology;
+
+    out->meta = meta;
+    out->shards = std::move(shards);
+    out->weights = reinterpret_cast<const float *>(data + payload_off);
+    return SnapshotStatus::Ok;
+}
+
+SnapshotStatus read_snapshot_file(const std::string &path, SnapshotData *out,
+                                  uint64_t expected_topology)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return SnapshotStatus::IoError;
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return SnapshotStatus::IoError;
+    }
+    // Size sanity before allocating: a file larger than any valid
+    // artifact is rejected without buffering it.
+    const size_t max_bytes =
+        payload_offset_for(kMaxSnapshotShards) +
+        sizeof(float) * static_cast<size_t>(kMaxSnapshotFloats);
+    if (static_cast<uint64_t>(st.st_size) > max_bytes) {
+        ::close(fd);
+        return SnapshotStatus::Oversized;
+    }
+
+    std::vector<uint8_t> buf(static_cast<size_t>(st.st_size));
+    size_t got = 0;
+    while (got < buf.size()) {
+        const ssize_t n = ::read(fd, buf.data() + got, buf.size() - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return SnapshotStatus::IoError;
+        }
+        if (n == 0)
+            break;  // Shrank under us; parse reports Truncated.
+        got += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    buf.resize(got);
+
+    SnapshotView view;
+    const SnapshotStatus st2 =
+        parse_snapshot(buf.data(), buf.size(), &view, expected_topology);
+    if (st2 != SnapshotStatus::Ok)
+        return st2;
+    out->meta = view.meta;
+    out->shards = std::move(view.shards);
+    out->weights.assign(view.weights, view.weights + view.meta.dim);
+    return SnapshotStatus::Ok;
+}
+
+namespace {
+
+bool write_all(int fd, const uint8_t *data, size_t len)
+{
+    size_t put = 0;
+    while (put < len) {
+        const ssize_t n = ::write(fd, data + put, len - put);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        put += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+// fsync the directory containing `path` so the rename itself is
+// durable (a crash after rename cannot resurrect the old name).
+bool sync_parent_dir(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash == 0 ? 1 : slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0)
+        return false;
+    const bool ok = ::fsync(dfd) == 0;
+    ::close(dfd);
+    return ok;
+}
+
+} // namespace
+
+SnapshotStatus write_snapshot_file(const std::string &path,
+                                   const SnapshotMeta &meta,
+                                   const std::vector<ShardRange> &shards,
+                                   const float *weights)
+{
+    const std::vector<uint8_t> buf = serialize_snapshot(meta, shards, weights);
+
+    // Temp name in the same directory (rename must not cross
+    // filesystems); pid-suffixed so concurrent writers never collide.
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%ld",
+                  static_cast<long>(::getpid()));
+    const std::string tmp = path + suffix;
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return SnapshotStatus::IoError;
+    const bool wrote = write_all(fd, buf.data(), buf.size());
+    const bool synced = wrote && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced || ::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return SnapshotStatus::IoError;
+    }
+    // Best-effort: data + rename are already ordered; directory sync
+    // failing (e.g. exotic fs) does not un-write the artifact.
+    (void)sync_parent_dir(path);
+    return SnapshotStatus::Ok;
+}
+
+} // namespace autofl::store

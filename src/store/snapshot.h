@@ -1,0 +1,174 @@
+/**
+ * @file
+ * On-disk snapshot format: the versioned, 64-byte-aligned, arch-
+ * independent model artifact shared by the checkpoint writer (training
+ * side) and the mmap reader (serving side).
+ *
+ * An artifact is a fixed 64-byte header — magic, format version, commit
+ * epoch, training round, weight count, model topology hash, shard
+ * count, payload offset, and two checksums — followed by the shard
+ * table (one {begin, end} range per store shard) and, at a 64-byte-
+ * aligned offset, the flat f32 weight payload as IEEE-754 bit images
+ * (the same convention as the wire format in net/wire.h, so weights
+ * survive the disk bit-exact and the determinism contract extends
+ * across restarts). Integers are little-endian; the layout is defined
+ * by bytes, never by host struct packing.
+ *
+ * Parsing never throws, never over-reads and never allocates from a
+ * length it has not validated: every malformed artifact — truncated
+ * file, stray magic, version from the future, header or payload
+ * corruption, a shard table that does not tile the weight vector —
+ * maps to a typed SnapshotStatus, so a damaged disk produces an error,
+ * not a crash. The payload checksum covers every byte after the
+ * header, which is what lets the corruption fuzz sweep promise that
+ * any single flipped bit is detected.
+ *
+ * Durability protocol (writer side): serialize to a temp file in the
+ * artifact's directory, fsync, rename() over the final name, fsync the
+ * directory. rename() is atomic on POSIX, so a crash at any instant
+ * leaves either the previous artifact or the new one — never a torn
+ * file. Readers ignore temp names by construction (they open exact
+ * paths).
+ */
+#ifndef AUTOFL_STORE_SNAPSHOT_H
+#define AUTOFL_STORE_SNAPSHOT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autofl::store {
+
+/** Typed outcome of reading bytes (or a file) as a snapshot. */
+enum class SnapshotStatus {
+    Ok,             ///< A fully valid artifact.
+    IoError,        ///< The file could not be opened/read/written.
+    Truncated,      ///< Shorter than its declared layout.
+    BadMagic,       ///< First four bytes are not the artifact magic.
+    BadVersion,     ///< Format version this reader does not speak.
+    BadHeader,      ///< Header fields are inconsistent with the layout.
+    Oversized,      ///< Declared weight count exceeds kMaxSnapshotFloats.
+    BadChecksum,    ///< Header or payload bytes fail their checksum.
+    BadShardTable,  ///< Shard ranges do not tile [0, dim) in order.
+    BadTopology,    ///< Artifact was written for a different model.
+};
+
+/** Display name ("Ok", "BadChecksum", ...). */
+const char *snapshot_status_name(SnapshotStatus s);
+
+constexpr uint32_t kSnapshotMagic = 0x41465331u;  // "AFS1" (AutoFL Snap).
+constexpr uint16_t kSnapshotVersion = 1;
+constexpr size_t kSnapshotHeaderBytes = 64;
+
+/** Alignment of the weight payload's file offset. A page-aligned mmap
+ *  base plus a 64-byte-aligned offset gives cache-line-aligned weights
+ *  in memory — the same guarantee Tensor storage makes. */
+constexpr size_t kSnapshotAlign = 64;
+
+/**
+ * Weight-count ceiling: large enough for any model this repo trains
+ * (weights are ~1e5 floats), small enough that a corrupt or hostile
+ * dim field cannot drive a multi-gigabyte allocation — the same
+ * reasoning as net/wire.h's kMaxPayloadBytes.
+ */
+constexpr uint64_t kMaxSnapshotFloats = 64ull << 20;
+
+/** Shard-count ceiling (a store never stripes finer than its floats). */
+constexpr uint32_t kMaxSnapshotShards = 1u << 16;
+
+/** Fixed header fields of one artifact (see the file comment). */
+struct SnapshotMeta
+{
+    uint64_t epoch = 0;   ///< Store commit clock at the checkpoint.
+    uint64_t round = 0;   ///< Last fully retired training round.
+    uint64_t dim = 0;     ///< Flat weight-vector length (f32 count).
+    uint64_t topology_hash = 0;  ///< model_topology_hash() of the job.
+    uint32_t shard_count = 0;    ///< Store lock stripes at write time.
+};
+
+/** One shard's flat-index range [begin, end). */
+struct ShardRange
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+};
+
+/**
+ * Stable identity of the model a snapshot belongs to: FNV-1a over the
+ * workload name and the flat dimension. Restoring an artifact into a
+ * different architecture is rejected as BadTopology instead of
+ * silently scattering weights into the wrong layers.
+ */
+uint64_t model_topology_hash(const std::string &workload, uint64_t dim);
+
+/**
+ * The store's contiguous shard split (base size dim / shards, first
+ * dim % shards stripes one element larger) — the same layout
+ * ShardedStore uses, recorded in the artifact so a future multi-node
+ * restore can hand each server node its own ranges.
+ */
+std::vector<ShardRange> even_shard_ranges(uint64_t dim, uint32_t shards);
+
+/** Byte length serialize_snapshot would produce. */
+size_t snapshot_bytes(const SnapshotMeta &meta);
+
+/**
+ * Serialize one artifact (header + shard table + aligned payload).
+ * meta.dim/shard_count must match the actual vector sizes (asserted).
+ */
+std::vector<uint8_t> serialize_snapshot(const SnapshotMeta &meta,
+                                        const std::vector<ShardRange> &shards,
+                                        const float *weights);
+
+/**
+ * Zero-copy view into a validated artifact buffer. `weights` points
+ * into the caller's buffer, which must outlive the view.
+ */
+struct SnapshotView
+{
+    SnapshotMeta meta;
+    std::vector<ShardRange> shards;
+    const float *weights = nullptr;
+};
+
+/**
+ * Validate @p data as one complete artifact. On Ok, @p out views into
+ * the buffer. @p expected_topology, when non-zero, must match the
+ * header's hash (BadTopology otherwise). Any other status leaves
+ * @p out untouched; no status ever throws.
+ */
+SnapshotStatus parse_snapshot(const uint8_t *data, size_t len,
+                              SnapshotView *out,
+                              uint64_t expected_topology = 0);
+
+/** An artifact read into owned memory (the training-resume path). */
+struct SnapshotData
+{
+    SnapshotMeta meta;
+    std::vector<ShardRange> shards;
+    std::vector<float> weights;
+};
+
+/**
+ * Read and validate the artifact at @p path into owned memory. Every
+ * failure — missing file, short read, any corruption — is a typed
+ * status, never a crash or a throw.
+ */
+SnapshotStatus read_snapshot_file(const std::string &path, SnapshotData *out,
+                                  uint64_t expected_topology = 0);
+
+/**
+ * Durably write one artifact: serialize, write to "<path>.tmp.<pid>",
+ * fsync, atomically rename() onto @p path, fsync the directory. On any
+ * IO failure the temp file is unlinked and IoError returned; @p path
+ * is only ever the previous artifact or a complete new one.
+ */
+SnapshotStatus write_snapshot_file(const std::string &path,
+                                   const SnapshotMeta &meta,
+                                   const std::vector<ShardRange> &shards,
+                                   const float *weights);
+
+} // namespace autofl::store
+
+#endif // AUTOFL_STORE_SNAPSHOT_H

@@ -275,6 +275,32 @@ TEST(ConfigValidation, RejectsBadServeConfig)
     expect_rejected(cfg, "serve.batch_timeout_us");
 }
 
+TEST(ConfigValidation, RejectsBadSnapshotKnobs)
+{
+    ExperimentConfig cfg = fast_cfg();
+    cfg.snapshot_dir = "ckpt";
+    cfg.snapshot_every_epochs = 0;
+    expect_rejected(cfg, "snapshot_every_epochs");
+
+    // A cadence without a directory silently checkpoints nothing —
+    // rejected so the misconfiguration is caught, not ignored.
+    cfg = fast_cfg();
+    cfg.snapshot_every_epochs = 4;
+    expect_rejected(cfg, "snapshot_dir");
+}
+
+TEST(ConfigValidation, RejectsResumeCombinedWithCompression)
+{
+    // Error-feedback residuals are not persisted in artifacts, so a
+    // resumed compressed run would silently diverge.
+    ExperimentConfig cfg = fast_cfg();
+    cfg.sync_mode = SyncMode::SemiAsync;
+    cfg.staleness_bound = 0;
+    cfg.compression.mode = Compression::Int8;
+    cfg.resume_from = "ckpt/latest.snap";
+    expect_rejected(cfg, "resume_from");
+}
+
 TEST(ConfigValidation, FlSystemCtorRejectsBadRuntimeKnobs)
 {
     FlSystemConfig cfg;

@@ -28,6 +28,15 @@ using testing::random_weights;
 using testing::ScopedKernelArch;
 using testing::small_test_set;
 
+/** Handle weights materialized for vector comparisons (the handle
+ *  itself exposes a span view since the artifact-backed source). */
+std::vector<float>
+as_vec(const SnapshotHandle &h)
+{
+    const auto w = h.weights();
+    return {w.begin(), w.end()};
+}
+
 // ------------------------------------------------------ model service --
 
 TEST(ModelService, PublishVersionsOnlyRealChanges)
@@ -46,7 +55,7 @@ TEST(ModelService, PublishVersionsOnlyRealChanges)
     const SnapshotHandle h = ms.acquire();
     ASSERT_TRUE(h.valid());
     EXPECT_EQ(h.epoch(), 2u);
-    EXPECT_EQ(h.weights(), w);
+    EXPECT_EQ(as_vec(h), w);
 }
 
 TEST(ModelService, RefreshHonorsMaxSnapshotLag)
@@ -82,7 +91,7 @@ TEST(ModelService, HandleKeepsOldVersionAliveAfterNewPublishes)
     std::vector<float> w = random_weights(Workload::CnnMnist, 3);
     ms.publish(w);
     const SnapshotHandle old = ms.acquire();
-    const std::vector<float> expect = old.weights();
+    const std::vector<float> expect = as_vec(old);
 
     for (int i = 0; i < 4; ++i) {
         w[static_cast<size_t>(i)] += 1.0f;
@@ -90,7 +99,7 @@ TEST(ModelService, HandleKeepsOldVersionAliveAfterNewPublishes)
     }
     // The old handle still reads its own immutable version.
     EXPECT_EQ(old.epoch(), 1u);
-    EXPECT_EQ(old.weights(), expect);
+    EXPECT_EQ(as_vec(old), expect);
     EXPECT_EQ(ms.latest_epoch(), 5u);
 }
 
@@ -113,7 +122,7 @@ TEST(ModelService, StoreAttachVisibleToConcurrentAcquire)
                 const SnapshotHandle h = ms.acquire();
                 if (h.valid()) {
                     ASSERT_EQ(h.weights().size(), w.size());
-                    ASSERT_EQ(h.weights(), w);
+                    ASSERT_EQ(as_vec(h), w);
                 }
             }
         });
@@ -126,7 +135,7 @@ TEST(ModelService, StoreAttachVisibleToConcurrentAcquire)
     stop.store(true, std::memory_order_release);
     for (auto &t : readers)
         t.join();
-    EXPECT_EQ(ms.acquire().weights(), w);
+    EXPECT_EQ(as_vec(ms.acquire()), w);
 }
 
 // ------------------------------------------------- batched inference --
@@ -368,7 +377,7 @@ TEST(SnapshotLifetime, ConcurrentReadersSurviveStripedCommitWaves)
     const SnapshotHandle init = serve.acquire();
     ASSERT_TRUE(init.valid());
     EXPECT_EQ(init.epoch(), 0u);
-    const std::vector<float> init_weights = init.weights();
+    const std::vector<float> init_weights = as_vec(init);
 
     std::atomic<bool> stop{false};
     std::atomic<int> queries{0};
@@ -408,7 +417,7 @@ TEST(SnapshotLifetime, ConcurrentReadersSurviveStripedCommitWaves)
     EXPECT_GT(serve.latest_epoch(), 0u);
     // The initial handle still reads epoch 0's exact weights.
     EXPECT_EQ(init.epoch(), 0u);
-    EXPECT_EQ(init.weights(), init_weights);
+    EXPECT_EQ(as_vec(init), init_weights);
     for (float v : init.weights())
         ASSERT_TRUE(std::isfinite(v));
 }
