@@ -20,6 +20,15 @@
  *     bounded queue sheds (typed rejections observed) and the p99 of
  *     admitted requests stays within a capacity-derived bound instead
  *     of growing with the backlog.
+ *
+ *  3. Two-model isolation through a ServingGateway sharing one slot
+ *     pool: model A at a nominal rate, first solo, then with model B
+ *     offered 2x the pool's capacity, every request carrying a
+ *     feasible deadline. Gates: A's admitted p99 stays within 1.5x of
+ *     its solo baseline, A sheds nothing at nominal load, and no
+ *     admitted request on either model misses its deadline (work that
+ *     cannot make it is shed typed as DeadlineExceeded *before*
+ *     executing, never served late).
  */
 #include <algorithm>
 #include <atomic>
@@ -33,6 +42,7 @@
 #include "data/synthetic.h"
 #include "kernels/kernels.h"
 #include "serve/model_service.h"
+#include "serve/serving_gateway.h"
 #include "util/stats.h"
 
 using namespace autofl;
@@ -51,6 +61,23 @@ constexpr int kQueueDepth = 64;
 constexpr int kBatchTimeoutUs = 200;
 constexpr double kClosedLoopSecs = 1.0;
 constexpr double kOpenLoopSecs = 1.2;
+
+/**
+ * Two-model isolation scenario. Few generator threads and a light
+ * nominal rate keep the *generators* schedulable even on small/shared
+ * runners — the scenario measures how the gateway shares dispatcher
+ * slots, so the load generation itself must never be the bottleneck
+ * (32 threads ticking at a 91k QPS schedule on one core would measure
+ * OS scheduling delay, not the serving plane). B's overload still
+ * offers 2x the measured pool capacity; the deeper per-model queue
+ * absorbs generator wakeup bursts so A's nominal traffic is shed only
+ * if the serving plane itself falls behind.
+ */
+constexpr int kIsoClients = 4;          ///< Generator threads per model.
+constexpr int kIsoQueueDepth = 256;
+constexpr double kIsoNominalFactor = 0.1;   ///< A: well under its share.
+constexpr double kIsoOverloadFactor = 2.0;  ///< B: 2x pool capacity.
+constexpr double kIsoP99FloorMs = 10.0;     ///< Scheduler-noise floor.
 
 double
 secs(Clock::duration d)
@@ -219,6 +246,113 @@ open_loop(ModelService &ms, const std::vector<Tensor> &rows,
     return out;
 }
 
+struct IsolationResult
+{
+    double offered_qps = 0.0;
+    int requests = 0;
+    int ok = 0;
+    int shed = 0;           ///< Admission-control sheds (queue full).
+    int deadline_shed = 0;  ///< Typed DeadlineExceeded (never executed).
+    int missed = 0;         ///< Admitted, served, but past the deadline.
+    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;  ///< Admitted (Ok).
+};
+
+/**
+ * Open-loop generator against one gateway model: same fixed arrival
+ * schedule as open_loop(), but every request carries an absolute
+ * deadline of scheduled-arrival + @p deadline_slack_us. A reply that
+ * comes back Ok *after* its deadline counts as missed — the SLO
+ * failure mode the feasibility shed exists to prevent.
+ */
+IsolationResult
+gateway_open_loop(ServingGateway &gw, const std::string &key,
+                  const std::vector<Tensor> &rows, double offered_qps,
+                  uint64_t deadline_slack_us)
+{
+    const int total = static_cast<int>(offered_qps * kOpenLoopSecs);
+    struct Pending
+    {
+        Clock::time_point scheduled;
+        uint64_t deadline_us = 0;
+        std::future<InferenceReply> fut;
+    };
+    std::vector<std::vector<Pending>> pending(
+        static_cast<size_t>(kIsoClients));
+    const auto t0 = Clock::now() + std::chrono::milliseconds(10);
+    std::vector<std::thread> clients;
+    clients.reserve(kIsoClients);
+    for (int c = 0; c < kIsoClients; ++c) {
+        clients.emplace_back([&, c] {
+            auto &mine = pending[static_cast<size_t>(c)];
+            for (int i = c; i < total; i += kIsoClients) {
+                const auto at = t0 +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(i / offered_qps));
+                std::this_thread::sleep_until(at);
+                SubmitOptions opts;
+                // serve_now_us() and Clock share the steady epoch.
+                opts.deadline_us =
+                    static_cast<uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            at.time_since_epoch())
+                            .count()) +
+                    deadline_slack_us;
+                Tensor row =
+                    rows[static_cast<size_t>(i) % rows.size()];
+                mine.push_back({at, opts.deadline_us,
+                                gw.submit(key, std::move(row), false,
+                                          opts)});
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    IsolationResult out;
+    out.offered_qps = offered_qps;
+    out.requests = total;
+    std::vector<double> lat;
+    for (auto &v : pending) {
+        for (auto &p : v) {
+            const InferenceReply r = p.fut.get();
+            if (r.ok()) {
+                ++out.ok;
+                lat.push_back(secs(r.completed_at - p.scheduled));
+                const uint64_t done_us = static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        r.completed_at.time_since_epoch())
+                        .count());
+                if (done_us > p.deadline_us)
+                    ++out.missed;
+            } else if (r.status == ReplyStatus::DeadlineExceeded) {
+                ++out.deadline_shed;
+            } else {
+                ++out.shed;
+            }
+        }
+    }
+    out.p50_ms = percentile(lat, 50) * 1e3;
+    out.p95_ms = percentile(lat, 95) * 1e3;
+    out.p99_ms = percentile(lat, 99) * 1e3;
+    return out;
+}
+
+std::string
+isolation_json(const IsolationResult &r)
+{
+    return "{\"offered_qps\": " + std::to_string(r.offered_qps) +
+        ", \"requests\": " + std::to_string(r.requests) +
+        ", \"ok\": " + std::to_string(r.ok) +
+        ", \"shed\": " + std::to_string(r.shed) +
+        ", \"deadline_shed\": " + std::to_string(r.deadline_shed) +
+        ", \"missed\": " + std::to_string(r.missed) +
+        ", \"p50_ms\": " + std::to_string(r.p50_ms) +
+        ", \"p95_ms\": " + std::to_string(r.p95_ms) +
+        ", \"p99_ms\": " + std::to_string(r.p99_ms) + "}";
+}
+
 } // namespace
 
 int
@@ -316,7 +450,95 @@ main()
     const ServeStats st = ms.serving_stats();
     std::cout << "mean coalesced batch: "
               << TextTable::num(st.mean_batch_rows(), 2)
-              << " samples over " << st.batches << " batches\n";
+              << " samples over " << st.batches << " batches\n\n";
+
+    // ---- two-model isolation through one gateway slot pool.
+    ServeConfig iso_cfg = serve_config();
+    iso_cfg.queue_depth = kIsoQueueDepth;
+    ModelService model_a(kWorkload, iso_cfg);
+    ModelService model_b(kWorkload, iso_cfg);
+    {
+        Sequential ma = make_model(kWorkload);
+        Sequential mb = make_model(kWorkload);
+        Rng ra(kBenchSeed + 1), rb(kBenchSeed + 2);
+        ma.init_weights(ra);
+        mb.init_weights(rb);
+        model_a.publish(ma.flat_weights());
+        model_b.publish(mb.flat_weights());
+    }
+    ServeConfig base = iso_cfg;
+    ServingGateway gw(base);
+    gw.add_service("a", model_a);
+    gw.add_service("b", model_b);
+    gw.start();
+    // Warm both models' slots and their batch-service-time EWMAs (the
+    // feasibility shed needs an estimate before it can protect SLOs).
+    for (int i = 0; i < 64; ++i) {
+        gw.query("a", Tensor(rows[static_cast<size_t>(i) % rows.size()]));
+        gw.query("b", Tensor(rows[static_cast<size_t>(i) % rows.size()]));
+    }
+
+    // A runs well inside its guaranteed half of the pool; B is offered
+    // 2x the whole pool's capacity. Deadlines are feasible: the same
+    // admitted-latency bound the single-model gate uses.
+    const double nominal_qps = kIsoNominalFactor * capacity;
+    const double overload_qps = kIsoOverloadFactor * capacity;
+    const uint64_t slack_us = static_cast<uint64_t>(bound_ms * 1e3);
+
+    const IsolationResult solo_a =
+        gateway_open_loop(gw, "a", rows, nominal_qps, slack_us);
+    IsolationResult cont_a, cont_b;
+    {
+        std::thread tb([&] {
+            cont_b = gateway_open_loop(gw, "b", rows, overload_qps,
+                                       slack_us);
+        });
+        cont_a = gateway_open_loop(gw, "a", rows, nominal_qps, slack_us);
+        tb.join();
+    }
+
+    print_banner(std::cout,
+                 "Two-model isolation (A nominal " +
+                     TextTable::num(nominal_qps, 0) + " QPS, B overload " +
+                     TextTable::num(overload_qps, 0) + " QPS)");
+    TextTable iso;
+    iso.set_header({"model", "offered QPS", "ok", "shed", "ddl-shed",
+                    "missed", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+    const auto iso_row = [&](const char *name, const IsolationResult &r) {
+        iso.add_row({name, TextTable::num(r.offered_qps, 0),
+                     std::to_string(r.ok), std::to_string(r.shed),
+                     std::to_string(r.deadline_shed),
+                     std::to_string(r.missed), TextTable::num(r.p50_ms, 2),
+                     TextTable::num(r.p95_ms, 2),
+                     TextTable::num(r.p99_ms, 2)});
+    };
+    iso_row("A solo", solo_a);
+    iso_row("A contended", cont_a);
+    iso_row("B overload", cont_b);
+    iso.render(std::cout);
+
+    // A's p99 under contention within 1.5x of solo. The floor absorbs
+    // OS scheduler noise: on an oversubscribed or single-core runner a
+    // few-millisecond wakeup delay hits the contended run harder than
+    // the solo one for reasons outside the serving plane.
+    const double iso_p99_bound_ms =
+        1.5 * std::max(solo_a.p99_ms, kIsoP99FloorMs);
+    const bool iso_p99_ok =
+        cont_a.ok > 0 && cont_a.p99_ms <= iso_p99_bound_ms;
+    const bool iso_shed_ok =
+        cont_a.shed == 0 && cont_a.deadline_shed == 0;
+    const bool iso_missed_ok = cont_a.missed == 0 && cont_b.missed == 0;
+    std::cout << "A contended p99 "
+              << TextTable::num(cont_a.p99_ms, 2) << " ms ("
+              << (iso_p99_ok ? "PASS" : "FAIL") << " <= "
+              << TextTable::num(iso_p99_bound_ms, 2)
+              << " ms = 1.5x solo); A sheds at nominal: "
+              << (cont_a.shed + cont_a.deadline_shed) << " ("
+              << (iso_shed_ok ? "PASS" : "FAIL")
+              << " == 0); admitted-but-missed deadlines: "
+              << (cont_a.missed + cont_b.missed) << " ("
+              << (iso_missed_ok ? "PASS" : "FAIL") << " == 0)\n";
+    gw.stop_serving();
 
     std::ofstream json("BENCH_serve_latency.json");
     json << "{\n  \"kernel_arch\": \""
@@ -355,11 +577,24 @@ main()
          << "  \"mean_coalesced_batch_rows\": " << st.mean_batch_rows()
          << ",\n"
          << "  \"overload_p99_bound_ms\": " << bound_ms << ",\n"
+         << "  \"isolation\": {\n"
+         << "    \"deadline_slack_us\": " << slack_us << ",\n"
+         << "    \"a_solo\": " << isolation_json(solo_a) << ",\n"
+         << "    \"a_contended\": " << isolation_json(cont_a) << ",\n"
+         << "    \"b_overload\": " << isolation_json(cont_b) << ",\n"
+         << "    \"a_p99_bound_ms\": " << iso_p99_bound_ms << "\n  },\n"
          << "  \"gates\": {\"batching_speedup_ok\": "
          << (batching_ok ? "true" : "false")
          << ", \"overload_sheds_ok\": " << (sheds_ok ? "true" : "false")
          << ", \"overload_p99_ok\": " << (p99_ok ? "true" : "false")
-         << "}\n}\n";
+         << ", \"isolation_p99_ok\": " << (iso_p99_ok ? "true" : "false")
+         << ", \"isolation_no_shed_ok\": "
+         << (iso_shed_ok ? "true" : "false")
+         << ", \"isolation_no_missed_ok\": "
+         << (iso_missed_ok ? "true" : "false") << "}\n}\n";
     std::cout << "wrote BENCH_serve_latency.json\n";
-    return batching_ok && sheds_ok && p99_ok ? 0 : 1;
+    return batching_ok && sheds_ok && p99_ok && iso_p99_ok &&
+            iso_shed_ok && iso_missed_ok
+        ? 0
+        : 1;
 }

@@ -9,6 +9,7 @@
 #include "ps/executor.h"
 #include "ps/ps_server.h"
 #include "serve/model_service.h"
+#include "store/model_registry.h"
 #include "util/rng.h"
 
 namespace autofl {
@@ -24,6 +25,14 @@ FlSystemConfig::validate() const
     }
     ps.validate("FlSystemConfig.ps");
     serve.validate("FlSystemConfig.serve");
+    if (!serve.registry_dir.empty() && !ps.snapshot_dir.empty()) {
+        throw std::invalid_argument(
+            "FlSystemConfig.serve.registry_dir and "
+            "FlSystemConfig.ps.snapshot_dir are both set: registry "
+            "publication derives the artifact directory from the "
+            "registry (registry_dir/<model>), so a bare snapshot_dir "
+            "would be silently ignored; set exactly one");
+    }
     if (ps.net.enabled() && algorithm == Algorithm::Fedl) {
         throw std::invalid_argument(
             "FlSystemConfig.ps.net cannot run FEDL: its two-phase "
@@ -58,6 +67,40 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
 
     const uint64_t topology = store::model_topology_hash(
         workload_name(cfg_.workload), server_.global_weights().size());
+
+    // Registry publication: register (or re-open) this system's model
+    // in the configured registry and redirect checkpointing into the
+    // model's registry directory — every artifact the run writes
+    // becomes a servable name@version the moment its rename lands.
+    // Must precede runtime construction: PsServer and the barrier
+    // writer below both read ps.snapshot_dir.
+    if (!cfg_.serve.registry_dir.empty()) {
+        store::ModelRegistry registry(cfg_.serve.registry_dir);
+        const std::string name = cfg_.serve.model_name.empty()
+            ? workload_name(cfg_.workload)
+            : cfg_.serve.model_name;
+        std::string dir;
+        const store::RegistryStatus rs = registry.publish_dir(
+            name, workload_name(cfg_.workload), &dir);
+        if (rs != store::RegistryStatus::Ok) {
+            throw std::runtime_error(
+                "FlSystem: cannot publish model '" + name +
+                "' into registry '" + cfg_.serve.registry_dir +
+                "': " + store::registry_status_name(rs) +
+                (rs == store::RegistryStatus::BadManifest
+                     ? " (the name is already bound to a different "
+                       "workload, or its manifest is corrupt)"
+                     : ""));
+        }
+        cfg_.ps.snapshot_dir = dir;
+        // Registry-pinned versions join the retention pins so keep-last
+        // pruning never deletes a version someone pinned.
+        store::RegistryModel m;
+        if (registry.lookup(name, &m) == store::RegistryStatus::Ok) {
+            for (uint64_t r : m.pinned)
+                cfg_.ps.snapshot_pinned.push_back(r);
+        }
+    }
 
     if (!cfg_.ps.resume_from.empty()) {
         // Restore BEFORE any runtime is built: PsServer's store, the
@@ -99,9 +142,12 @@ FlSystem::FlSystem(const FlSystemConfig &cfg)
     // barrier on this thread (sync, cluster). The ps runtime owns its
     // own writer, hooked into its commit path instead.
     if (!cfg_.ps.snapshot_dir.empty() && !ps_) {
+        store::RetentionPolicy retention;
+        retention.keep_last = cfg_.ps.snapshot_keep_last;
+        retention.pinned = cfg_.ps.snapshot_pinned;
         ckpt_ = std::make_unique<store::CheckpointWriter>(
             cfg_.ps.snapshot_dir, topology,
-            static_cast<uint32_t>(cfg_.ps.shards));
+            static_cast<uint32_t>(cfg_.ps.shards), std::move(retention));
     }
 
     // The serving plane. Pipelined mode sources snapshots straight from

@@ -29,8 +29,21 @@ ExperimentConfig::validate() const
     ps_view.compression = compression;
     ps_view.snapshot_dir = snapshot_dir;
     ps_view.snapshot_every_epochs = snapshot_every_epochs;
+    ps_view.snapshot_keep_last = snapshot_keep_last;
     ps_view.resume_from = resume_from;
+    // Registry publication supplies the snapshot directory itself, so
+    // cadence/retention knobs must stay valid without a bare
+    // snapshot_dir; validate against the directory the run will use.
+    if (!serve.registry_dir.empty() && ps_view.snapshot_dir.empty())
+        ps_view.snapshot_dir = serve.registry_dir;
     ps_view.validate("ExperimentConfig");
+    if (!serve.registry_dir.empty() && !snapshot_dir.empty()) {
+        throw std::invalid_argument(
+            "ExperimentConfig.serve.registry_dir and "
+            "ExperimentConfig.snapshot_dir are both set: registry "
+            "publication derives the artifact directory from the "
+            "registry; set exactly one");
+    }
     if (ps_shards < 1) {
         throw std::invalid_argument(
             "ExperimentConfig.ps_shards must be >= 1 (got " +
@@ -281,6 +294,7 @@ run_experiment(const ExperimentConfig &cfg)
     fcfg.ps.compression = cfg.compression;
     fcfg.ps.snapshot_dir = cfg.snapshot_dir;
     fcfg.ps.snapshot_every_epochs = cfg.snapshot_every_epochs;
+    fcfg.ps.snapshot_keep_last = cfg.snapshot_keep_last;
     fcfg.ps.resume_from = cfg.resume_from;
     fcfg.serve = cfg.serve;
     FlSystem fl(fcfg);

@@ -100,6 +100,14 @@ struct ExperimentConfig
     int snapshot_every_epochs = 1;
 
     /**
+     * Checkpoint retention: keep the newest K artifacts plus pinned
+     * rounds; 0 keeps everything (see PsConfig::snapshot_keep_last).
+     * Applies to both bare snapshot_dir and registry publication
+     * (serve.registry_dir) runs.
+     */
+    int snapshot_keep_last = 0;
+
+    /**
      * Resume the run from this artifact (usually
      * <snapshot_dir>/latest.snap): training restarts at the artifact's
      * round + 1 and the round loop records only the remaining rounds.

@@ -21,6 +21,18 @@ workload_name(Workload w)
     return "unknown";
 }
 
+bool
+workload_from_name(const std::string &name, Workload *out)
+{
+    for (Workload w : all_workloads()) {
+        if (workload_name(w) == name) {
+            *out = w;
+            return true;
+        }
+    }
+    return false;
+}
+
 const std::vector<Workload> &
 all_workloads()
 {

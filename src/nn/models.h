@@ -32,6 +32,14 @@ enum class Workload {
 /** Human-readable workload name as printed in the paper. */
 std::string workload_name(Workload w);
 
+/**
+ * Inverse of workload_name (exact match). Returns true and sets @p out
+ * on success; false for any other string. The model-registry manifest
+ * records workload_name(), so registry consumers rebuild the
+ * architecture through this.
+ */
+bool workload_from_name(const std::string &name, Workload *out);
+
 /** All workloads, for sweeps. */
 const std::vector<Workload> &all_workloads();
 

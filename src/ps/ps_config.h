@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "net/net_config.h"
 #include "ps/compression.h"
@@ -134,6 +135,22 @@ struct PsConfig
      * 1 checkpoints every round. Only meaningful with snapshot_dir.
      */
     int snapshot_every_epochs = 1;
+
+    /**
+     * Checkpoint retention: keep the newest K "model-r<N>.snap"
+     * artifacts (plus any registry-pinned rounds) and delete older
+     * ones, counting deletions in the writer's stats. 0 (the default)
+     * keeps everything. Only meaningful with snapshot_dir.
+     */
+    int snapshot_keep_last = 0;
+
+    /**
+     * Rounds retention must never delete — the registry's pinned
+     * versions. FlSystem fills this from the registry manifest when
+     * publishing through one; set by hand otherwise. Ignored when
+     * snapshot_keep_last == 0.
+     */
+    std::vector<uint64_t> snapshot_pinned;
 
     /**
      * Path of an artifact to restore before training starts (the

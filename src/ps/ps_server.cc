@@ -67,6 +67,19 @@ PsConfig::validate(const char *who) const
             "): 1 checkpoints after every round; larger values thin "
             "the artifact cadence");
     }
+    if (snapshot_keep_last < 0) {
+        throw std::invalid_argument(
+            w + ".snapshot_keep_last must be >= 0 (got " +
+            std::to_string(snapshot_keep_last) +
+            "): 0 keeps every artifact; K keeps the newest K plus "
+            "pinned rounds");
+    }
+    if (snapshot_keep_last != 0 && snapshot_dir.empty()) {
+        throw std::invalid_argument(
+            w + ".snapshot_keep_last is set but " + w +
+            ".snapshot_dir is empty: retention without a directory "
+            "prunes nothing; set snapshot_dir to enable persistence");
+    }
     if (snapshot_every_epochs != 1 && snapshot_dir.empty()) {
         throw std::invalid_argument(
             w + ".snapshot_every_epochs is set but " + w +
@@ -135,11 +148,14 @@ PsServer::PsServer(Server &server, Workload workload,
         trainers_.push_back(std::make_unique<LocalTrainer>(workload));
 
     if (!cfg_.snapshot_dir.empty()) {
+        store::RetentionPolicy retention;
+        retention.keep_last = cfg_.snapshot_keep_last;
+        retention.pinned = cfg_.snapshot_pinned;
         ckpt_ = std::make_unique<store::CheckpointWriter>(
             cfg_.snapshot_dir,
             store::model_topology_hash(workload_name(workload),
                                        server.global_weights().size()),
-            static_cast<uint32_t>(cfg_.shards));
+            static_cast<uint32_t>(cfg_.shards), std::move(retention));
     }
 
     if (cfg_.pipeline_depth > 1) {

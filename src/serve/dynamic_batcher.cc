@@ -23,17 +23,23 @@ finish(InferenceRequest &req, ReplyStatus status)
 
 } // namespace
 
-DynamicBatcher::DynamicBatcher(ModelService &service,
-                               const ServeConfig &cfg)
-    : service_(service), cfg_(cfg),
-      batch_axis_(model_batch_axis(service.workload())),
-      batch_rank_(static_cast<int>(
-          model_batch_shape(service.workload(), 1).size())),
-      queue_(cfg.queue_depth, cfg.shed)
+DynamicBatcher::Model::Model(ModelService &svc, const ServeConfig &c,
+                             int axis, int rank)
+    : service(svc), cfg(c), batch_axis(axis), batch_rank(rank),
+      queue(c.queue_depth, c.shed, c.starvation_limit)
 {
-    dispatchers_.reserve(static_cast<size_t>(cfg_.workers));
-    for (int i = 0; i < cfg_.workers; ++i)
-        dispatchers_.emplace_back([this] { dispatch_loop(); });
+}
+
+DynamicBatcher::DynamicBatcher(int workers)
+    : workers_(workers < 1 ? 1 : workers)
+{
+}
+
+DynamicBatcher::DynamicBatcher(ModelService &service, const ServeConfig &cfg)
+    : DynamicBatcher(cfg.workers)
+{
+    add_model(service, cfg);
+    start();
 }
 
 DynamicBatcher::~DynamicBatcher()
@@ -41,22 +47,65 @@ DynamicBatcher::~DynamicBatcher()
     shutdown();
 }
 
+int
+DynamicBatcher::add_model(ModelService &service, const ServeConfig &cfg)
+{
+    cfg.validate("DynamicBatcher.add_model cfg");
+    std::lock_guard<std::mutex> lk(mu_);
+    assert(!started_ && "add_model must precede start()");
+    models_.push_back(std::make_unique<Model>(
+        service, cfg, model_batch_axis(service.workload()),
+        static_cast<int>(model_batch_shape(service.workload(), 1).size())));
+    return static_cast<int>(models_.size()) - 1;
+}
+
+void
+DynamicBatcher::start()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        assert(!started_);
+        assert(!models_.empty() && "start() needs at least one model");
+        started_ = true;
+
+        // Weighted slot guarantees: model i holds
+        // max(1, floor(workers * w_i / sum_w)) of the shared dispatcher
+        // slots whenever it has queued work. Every model gets at least
+        // one — weights shape the split, they cannot silence a model.
+        double sum_w = 0.0;
+        for (const auto &m : models_)
+            sum_w += m->cfg.weight;
+        for (auto &m : models_) {
+            const double share =
+                static_cast<double>(workers_) * m->cfg.weight / sum_w;
+            m->guarantee = share < 1.0 ? 1 : static_cast<int>(share);
+        }
+    }
+    dispatchers_.reserve(static_cast<size_t>(workers_));
+    for (int i = 0; i < workers_; ++i)
+        dispatchers_.emplace_back([this] { dispatch_loop(); });
+}
+
 std::future<InferenceReply>
-DynamicBatcher::submit(Tensor rows, bool want_classes)
+DynamicBatcher::submit(int model, Tensor rows, bool want_classes,
+                       SubmitOptions opts)
 {
     InferenceRequest req;
     std::future<InferenceReply> fut = req.promise.get_future();
+
+    assert(model >= 0 && model < model_count());
+    Model &m = *models_[static_cast<size_t>(model)];
 
     // Validate the shape up front: coalescing concatenates raw buffers
     // along the batch axis, so a tensor that does not fit the served
     // model must fail typed here, never reach a memcpy.
     const int n =
-        rows.rank() == batch_rank_ ? rows.dim(batch_axis_) : 0;
+        rows.rank() == m.batch_rank ? rows.dim(m.batch_axis) : 0;
     if (n < 1 ||
-        rows.shape() != model_batch_shape(service_.workload(), n)) {
+        rows.shape() != model_batch_shape(m.service.workload(), n)) {
         {
-            std::lock_guard<std::mutex> lk(stats_mu_);
-            ++stats_.submitted;
+            std::lock_guard<std::mutex> lk(mu_);
+            ++m.stats.submitted;
         }
         finish(req, ReplyStatus::BadRequest);
         return fut;
@@ -64,67 +113,176 @@ DynamicBatcher::submit(Tensor rows, bool want_classes)
     req.samples = n;
     req.rows = std::move(rows);
     req.want_classes = want_classes;
+    req.priority = opts.priority;
+    const uint64_t now = serve_now_us();
+    // An explicit deadline wins; otherwise the model's configured
+    // default SLO applies (0 = none).
+    req.deadline_us = opts.deadline_us != 0
+        ? opts.deadline_us
+        : (m.cfg.default_deadline_us != 0
+               ? now + m.cfg.default_deadline_us
+               : 0);
 
-    // Count BEFORE the push: a dispatcher may pop and complete the
-    // request the moment it lands in the queue, and a concurrent stats
-    // reader must never see completed > admitted. The optimistic
-    // admitted increment is taken back on the non-admitted outcomes.
-    {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        ++stats_.submitted;
-        ++stats_.admitted;
-    }
     InferenceRequest evicted;
     bool has_evicted = false;
-    switch (queue_.push(req, evicted, has_evicted)) {
-      case RequestQueue::Push::Admitted: {
-        if (has_evicted) {
-            {
-                std::lock_guard<std::mutex> lk(stats_mu_);
-                ++stats_.shed;
+    bool was_closed = false;
+    RequestQueue::Push outcome = RequestQueue::Push::Shed;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++m.stats.submitted;
+        // The closed check and the push share one critical section: a
+        // request must never enter a queue shutdown() has already
+        // drained — its promise would never resolve.
+        was_closed = closed_;
+        if (!was_closed) {
+            // Count admission BEFORE the push is visible: a dispatcher
+            // may pop and complete the request the moment it lands, and
+            // a concurrent stats reader must never see
+            // completed > admitted. The optimistic increment is taken
+            // back on refusal.
+            ++m.stats.admitted;
+            outcome = m.queue.push(req, now, evicted, has_evicted);
+            switch (outcome) {
+              case RequestQueue::Push::Admitted:
+                if (has_evicted)
+                    ++m.stats.shed;
+                break;
+              case RequestQueue::Push::Shed:
+                --m.stats.admitted;
+                ++m.stats.shed;
+                break;
+              case RequestQueue::Push::Expired:
+                --m.stats.admitted;
+                ++m.stats.deadline_shed;
+                break;
             }
+        }
+    }
+    if (was_closed) {
+        finish(req, ReplyStatus::Shutdown);
+        return fut;
+    }
+    switch (outcome) {
+      case RequestQueue::Push::Admitted:
+        if (has_evicted)
             finish(evicted, ReplyStatus::Shed);
-        }
+        // notify_all, not notify_one: one shared CV serves both the
+        // idle outer wait and the coalesce wait, so a single
+        // notification could be swallowed by a coalesce-waiting
+        // dispatcher whose own predicate is still false while an idle
+        // dispatcher sleeps on.
+        work_cv_.notify_all();
         break;
-      }
-      case RequestQueue::Push::Shed: {
-        {
-            std::lock_guard<std::mutex> lk(stats_mu_);
-            --stats_.admitted;
-            ++stats_.shed;
-        }
+      case RequestQueue::Push::Shed:
         finish(req, ReplyStatus::Shed);
         break;
-      }
-      case RequestQueue::Push::Closed: {
-        {
-            std::lock_guard<std::mutex> lk(stats_mu_);
-            --stats_.admitted;
-        }
-        finish(req, ReplyStatus::Shutdown);
+      case RequestQueue::Push::Expired:
+        finish(req, ReplyStatus::DeadlineExceeded);
         break;
-      }
     }
     return fut;
+}
+
+int
+DynamicBatcher::pick_model() const
+{
+    // Below-guarantee models with work always win the slot — that is
+    // the isolation property: an overloaded neighbor saturating its own
+    // share cannot take the slots this model is entitled to. Only when
+    // no entitled model has work may a model borrow beyond its
+    // guarantee (work-conserving); ties fall to the least loaded
+    // relative to weight.
+    int pick = -1;
+    bool pick_entitled = false;
+    double pick_load = 0.0;
+    for (int i = 0; i < static_cast<int>(models_.size()); ++i) {
+        const Model &m = *models_[static_cast<size_t>(i)];
+        if (m.queue.empty())
+            continue;
+        const bool entitled = m.running < m.guarantee;
+        const double load =
+            static_cast<double>(m.running + 1) / m.cfg.weight;
+        if (pick < 0 || (entitled && !pick_entitled) ||
+            (entitled == pick_entitled && load < pick_load)) {
+            pick = i;
+            pick_entitled = entitled;
+            pick_load = load;
+        }
+    }
+    return pick;
 }
 
 void
 DynamicBatcher::dispatch_loop()
 {
-    std::vector<InferenceRequest> batch;
-    while (queue_.pop_batch(batch, cfg_.batch_size,
-                            std::chrono::microseconds(
-                                cfg_.batch_timeout_us))) {
-        dispatch(batch);
-        batch.clear();
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        int idx = -1;
+        work_cv_.wait(lk, [&] {
+            return closed_ || (idx = pick_model()) >= 0;
+        });
+        if (closed_)
+            return;  // Leftovers go to shutdown()'s drain, typed.
+        Model &m = *models_[static_cast<size_t>(idx)];
+        m.running += 1;  // Claim the slot before any waiting.
+
+        // Coalesce: the batch opened when this slot claimed the model;
+        // wait at most batch_timeout_us for batch_size rows to gather,
+        // so a lone request never waits for peers that may not come.
+        if (m.cfg.batch_timeout_us > 0 &&
+            m.queue.queued_rows() < m.cfg.batch_size) {
+            const auto deadline = std::chrono::steady_clock::now() +
+                std::chrono::microseconds(m.cfg.batch_timeout_us);
+            work_cv_.wait_until(lk, deadline, [&] {
+                return closed_ ||
+                    m.queue.queued_rows() >= m.cfg.batch_size;
+            });
+        }
+        if (closed_) {
+            m.running -= 1;
+            return;
+        }
+
+        std::vector<InferenceRequest> batch, infeasible;
+        m.queue.pop_batch(batch, infeasible, m.cfg.batch_size,
+                          serve_now_us(), m.ewma_us);
+        m.stats.deadline_shed += infeasible.size();
+        lk.unlock();
+
+        // Shed the provably late ones without executing them.
+        for (auto &req : infeasible)
+            finish(req, ReplyStatus::DeadlineExceeded);
+
+        uint64_t dur_us = 0;
+        if (!batch.empty()) {
+            const uint64_t t0 = serve_now_us();
+            dispatch(m, batch);
+            dur_us = serve_now_us() - t0;
+        }
+
+        lk.lock();
+        m.running -= 1;
+        if (dur_us != 0) {
+            // EWMA of batch service time: the feasibility estimate used
+            // to shed requests that cannot finish before their
+            // deadline. Full-batch durations make it conservative for
+            // partial batches — sheds err toward firing only when the
+            // deadline is truly hopeless or the backlog deep.
+            m.ewma_us = m.ewma_us == 0 ? dur_us
+                                       : (3 * m.ewma_us + dur_us) / 4;
+        }
+        // A dispatch may have freed guarantee headroom for another
+        // model's waiting dispatcher; and infeasible-only pops consumed
+        // queue entries others may be waiting to coalesce on.
+        work_cv_.notify_all();
     }
 }
 
 void
-DynamicBatcher::dispatch(std::vector<InferenceRequest> &batch)
+DynamicBatcher::dispatch(Model &m, std::vector<InferenceRequest> &batch)
 {
     assert(!batch.empty());
-    const SnapshotHandle snap = service_.acquire();
+    const SnapshotHandle snap = m.service.acquire();
     if (!snap.valid()) {
         for (auto &req : batch)
             finish(req, ReplyStatus::NoModel);
@@ -138,7 +296,7 @@ DynamicBatcher::dispatch(std::vector<InferenceRequest> &batch)
     // same architecture: every dim but the batch axis must agree.
     // Sample counts are taken up front — the single-request fast path
     // moves the tensor out.
-    const int axis = batch_axis_;
+    const int axis = m.batch_axis;
     std::vector<int> counts;
     counts.reserve(batch.size());
     int total = 0;
@@ -178,19 +336,19 @@ DynamicBatcher::dispatch(std::vector<InferenceRequest> &batch)
 
     // One inference pass over the coalesced batch; forward() claims a
     // free engine slot (waiting on the pool's condvar under load).
-    Tensor logits = service_.engine().forward(snap, std::move(big));
+    Tensor logits = m.service.engine().forward(snap, std::move(big));
     const int classes = logits.dim(-1);
 
     // Count before fulfilling any promise: a caller whose future just
     // resolved may read the stats immediately.
     {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        ++stats_.batches;
-        stats_.batched_rows += static_cast<uint64_t>(total);
-        stats_.completed += batch.size();
+        std::lock_guard<std::mutex> lk(mu_);
+        ++m.stats.batches;
+        m.stats.batched_rows += static_cast<uint64_t>(total);
+        m.stats.completed += batch.size();
     }
 
-    // Split the logits back per request, in arrival order.
+    // Split the logits back per request, in scheduling order.
     const auto done = std::chrono::steady_clock::now();
     int row = 0;
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -221,23 +379,41 @@ DynamicBatcher::shutdown()
     // Serialized, not merely flagged: a second caller (say the
     // destructor racing an explicit stop_serving) must not return
     // while the first is still joining dispatchers.
-    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    std::lock_guard<std::mutex> slk(shutdown_mu_);
     if (stopped_)
         return;
-    queue_.close();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+    }
+    work_cv_.notify_all();
     for (auto &t : dispatchers_)
         t.join();
     // Whatever the dispatchers did not drain fails typed, not silently.
-    for (auto &req : queue_.drain())
+    std::vector<InferenceRequest> leftovers;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto &m : models_)
+            for (auto &req : m->queue.drain())
+                leftovers.push_back(std::move(req));
+    }
+    for (auto &req : leftovers)
         finish(req, ReplyStatus::Shutdown);
     stopped_ = true;
 }
 
 ServeStats
-DynamicBatcher::stats() const
+DynamicBatcher::stats(int model) const
 {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    return stats_;
+    assert(model >= 0 && model < model_count());
+    std::lock_guard<std::mutex> lk(mu_);
+    return models_[static_cast<size_t>(model)]->stats;
+}
+
+int
+DynamicBatcher::model_count() const
+{
+    return static_cast<int>(models_.size());
 }
 
 } // namespace autofl

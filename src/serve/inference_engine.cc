@@ -48,6 +48,25 @@ ServeConfig::validate(const char *who) const
             "): 0 dispatches queued requests immediately; a positive "
             "deadline lets a partial batch wait for peers to coalesce");
     }
+    if (!(weight > 0.0)) {
+        throw std::invalid_argument(
+            w + ".weight must be > 0 (got " + std::to_string(weight) +
+            "): gateway slot sharing guarantees each model "
+            "max(1, floor(workers * w_i / sum_w)) slots");
+    }
+    if (starvation_limit < 1) {
+        throw std::invalid_argument(
+            w + ".starvation_limit must be >= 1 (got " +
+            std::to_string(starvation_limit) +
+            "): the bound on consecutive higher-priority dispatches a "
+            "waiting class can be passed over");
+    }
+    if (!model_name.empty() && registry_dir.empty()) {
+        throw std::invalid_argument(
+            w + ".model_name is set but .registry_dir is empty: a "
+            "registry name is only meaningful with a registry "
+            "directory to publish into");
+    }
 }
 
 InferenceEngine::InferenceEngine(Workload workload, const ServeConfig &cfg)

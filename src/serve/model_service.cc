@@ -124,6 +124,16 @@ ModelService::refresh(SnapshotHandle &h) const
 std::future<InferenceReply>
 ModelService::submit(Tensor rows, bool want_classes)
 {
+    // Option-less submissions inherit the configured default SLO class;
+    // the default deadline is applied inside the batcher.
+    SubmitOptions opts;
+    opts.priority = cfg_.default_priority;
+    return submit(std::move(rows), want_classes, opts);
+}
+
+std::future<InferenceReply>
+ModelService::submit(Tensor rows, bool want_classes, SubmitOptions opts)
+{
     DynamicBatcher *b = nullptr;
     {
         std::lock_guard<std::mutex> lk(batcher_mu_);
@@ -144,7 +154,7 @@ ModelService::submit(Tensor rows, bool want_classes)
         p.set_value(std::move(reply));
         return p.get_future();
     }
-    return b->submit(std::move(rows), want_classes);
+    return b->submit(0, std::move(rows), want_classes, opts);
 }
 
 void
@@ -167,7 +177,7 @@ ServeStats
 ModelService::serving_stats() const
 {
     std::lock_guard<std::mutex> lk(batcher_mu_);
-    return batcher_ ? batcher_->stats() : ServeStats{};
+    return batcher_ ? batcher_->stats(0) : ServeStats{};
 }
 
 } // namespace autofl

@@ -163,12 +163,26 @@ class ModelService
     std::future<InferenceReply> submit(Tensor rows,
                                        bool want_classes = false);
 
+    /**
+     * Submit with explicit SLO fields: an absolute deadline
+     * (opts.deadline_us on the serve_now_us() clock; expired or
+     * infeasible requests complete as ReplyStatus::DeadlineExceeded
+     * without executing) and a priority class (strict priority with a
+     * starvation bound, EDF within the class). opts.deadline_us == 0
+     * picks up cfg.default_deadline_us when configured.
+     */
+    std::future<InferenceReply> submit(Tensor rows, bool want_classes,
+                                       SubmitOptions opts);
+
     /** Synchronous convenience wrapper: submit and wait. */
     InferenceReply
     query(Tensor rows, bool want_classes = false)
     {
         return submit(std::move(rows), want_classes).get();
     }
+
+    /** Microseconds now on the deadline clock (see SubmitOptions). */
+    static uint64_t now_us() { return serve_now_us(); }
 
     /**
      * Stop the dynamic batcher (idempotent): queued requests complete

@@ -1,28 +1,36 @@
 /**
  * @file
- * RequestQueue: the admission-controlled waiting room of the serving
- * plane's dynamic batcher.
+ * RequestQueue: the SLO-aware waiting room of the serving plane.
  *
- * Concurrent callers drop InferenceRequests here; dispatcher threads
- * pull them back out coalesced into batches (pop_batch closes a batch
- * at max_rows or a deadline, whichever first). The queue is bounded:
- * once ServeConfig::queue_depth requests wait, the shed policy decides
- * whether the newcomer or the oldest waiter is completed with a typed
- * ReplyStatus::Shed — overload degrades into fast typed rejections with
- * bounded latency for admitted work, never into an unbounded backlog.
+ * The queue orders work by scheduling class and deadline: strict
+ * priority across classes with a starvation bound (a class passed over
+ * starvation_limit times wins the next pick regardless), earliest
+ * deadline first within a class, FIFO (admission sequence) at equal
+ * deadlines. Deadline-less requests (deadline_us == 0) sort after every
+ * deadlined peer of their class.
  *
- * Pushes never block (shedding replaces back-pressure), so the only
- * condition variable is the consumer-side "work arrived" signal.
+ * Admission is bounded: once `depth` requests wait, the shed policy
+ * decides whether the newcomer or the oldest waiter is completed with a
+ * typed ReplyStatus::Shed. Requests whose deadline has already passed
+ * at push — or provably cannot be met given the model's observed batch
+ * service time at pop — are handed back for a typed
+ * ReplyStatus::DeadlineExceeded *without ever running*: overload and
+ * hopeless deadlines degrade into fast typed rejections, never into
+ * wasted inference or an unbounded backlog.
+ *
+ * Unlike its pre-registry ancestor this class is NOT thread-safe: it is
+ * a pure scheduling structure. The multi-model DynamicBatcher owns one
+ * mutex + condition variable across all of its per-model queues (a
+ * dispatcher must pick a *model* and a *batch* under one lock), so the
+ * queue itself stays lock-free and unit-testable synchronously.
  */
 #ifndef AUTOFL_SERVE_REQUEST_QUEUE_H
 #define AUTOFL_SERVE_REQUEST_QUEUE_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
 #include "serve/serve_config.h"
@@ -34,6 +42,7 @@ namespace autofl {
 enum class ReplyStatus {
     Ok,       ///< Served: logits (and classes, when asked) are filled.
     Shed,     ///< Rejected by admission control under overload.
+    DeadlineExceeded,  ///< Deadline passed/infeasible; never executed.
     NoModel,  ///< No model version published yet at dispatch time.
     BadRequest,  ///< Input shape does not fit the served model.
     Shutdown, ///< The service stopped before the request was served.
@@ -41,6 +50,9 @@ enum class ReplyStatus {
 
 /** Display name of a reply status. */
 const char *reply_status_name(ReplyStatus s);
+
+/** Microseconds on the serving plane's steady clock (deadline base). */
+uint64_t serve_now_us();
 
 /** Completion of one submitted inference request. */
 struct InferenceReply
@@ -63,6 +75,9 @@ struct InferenceRequest
     Tensor rows;      ///< Model-ready input (layout per Dataset::batch_x).
     int samples = 1;  ///< Sample count along the workload's batch axis.
     bool want_classes = false;  ///< Also argmax the logits per sample.
+    uint64_t deadline_us = 0;   ///< Absolute serve_now_us() deadline; 0 = none.
+    Priority priority = Priority::Normal;  ///< Scheduling class.
+    uint64_t seq = 0;  ///< Admission order, assigned by push (FIFO tie-break).
     std::promise<InferenceReply> promise;
 };
 
@@ -72,6 +87,7 @@ struct ServeStats
     uint64_t submitted = 0;  ///< submit() calls observed.
     uint64_t admitted = 0;   ///< Requests that entered the queue.
     uint64_t shed = 0;       ///< Typed rejections (either shed policy).
+    uint64_t deadline_shed = 0;  ///< DeadlineExceeded (expired/infeasible).
     uint64_t completed = 0;  ///< Requests answered with Ok.
     uint64_t batches = 0;    ///< Coalesced engine batches dispatched.
     uint64_t batched_rows = 0;  ///< Total rows across those batches.
@@ -86,71 +102,99 @@ struct ServeStats
     }
 };
 
-/** Bounded MPMC queue of inference requests with shed-based admission. */
+/**
+ * Bounded priority/EDF queue of inference requests. NOT thread-safe —
+ * the owning batcher serializes access (see file comment).
+ */
 class RequestQueue
 {
   public:
     /**
      * @param depth Admission bound (>= 1).
      * @param policy What to do with new work once depth requests wait.
+     * @param starvation_limit Picks a class may be passed over (>= 1).
      */
-    RequestQueue(int depth, ShedPolicy policy);
+    RequestQueue(int depth, ShedPolicy policy, int starvation_limit);
 
     RequestQueue(const RequestQueue &) = delete;
     RequestQueue &operator=(const RequestQueue &) = delete;
+    RequestQueue(RequestQueue &&) = default;
 
     /** Outcome of a push attempt. */
     enum class Push {
         Admitted,  ///< @p req entered the queue (possibly evicting).
         Shed,      ///< Queue full under RejectNew: @p req stays with the
                    ///< caller, who completes its promise as Shed.
-        Closed,    ///< Queue closed: @p req stays with the caller.
+        Expired,   ///< deadline_us <= now at arrival: @p req stays with
+                   ///< the caller, who completes it as DeadlineExceeded.
     };
 
     /**
-     * Try to enqueue @p req; consumes it only when admitted. Under
-     * DropOldest a full queue admits @p req by evicting the oldest
-     * waiter into @p evicted (set @p has_evicted) for the caller to
-     * complete as Shed outside the lock.
+     * Try to enqueue @p req; consumes it only when admitted (stamping
+     * req.seq). Expired-on-arrival requests are refused before
+     * admission control runs — they could never be served in time, so
+     * they must not evict viable work. Under DropOldest a full queue
+     * admits @p req by evicting the earliest-admitted waiter into
+     * @p evicted (set @p has_evicted) for the caller to complete as
+     * Shed outside the owner's lock.
      */
-    Push push(InferenceRequest &req, InferenceRequest &evicted,
-              bool &has_evicted);
+    Push push(InferenceRequest &req, uint64_t now_us,
+              InferenceRequest &evicted, bool &has_evicted);
 
     /**
-     * Pull one coalesced batch: blocks until a request arrives (the
-     * batch "opens"), then keeps gathering until the batch holds at
-     * least @p max_rows rows or @p timeout has elapsed since it opened,
-     * whichever first. Appends to @p out in arrival order.
-     * @return False when the queue is closed and drained (dispatcher
-     *         exit signal); @p out is untouched then.
+     * Build the next batch: repeatedly pick the scheduling-next request
+     * (starvation-bounded strict priority, EDF within class, FIFO at
+     * equal deadlines) until @p max_rows samples are gathered or the
+     * queue empties. A picked request whose deadline cannot be met —
+     * deadline_us != 0 and deadline_us < now_us + estimate_us, where
+     * the estimate is the model's observed batch service time — goes to
+     * @p infeasible instead of @p out (shed before executing, counted
+     * by the caller as DeadlineExceeded).
+     * @return Rows gathered into @p out.
      */
-    bool pop_batch(std::vector<InferenceRequest> &out, int max_rows,
-                   std::chrono::microseconds timeout);
+    int pop_batch(std::vector<InferenceRequest> &out,
+                  std::vector<InferenceRequest> &infeasible, int max_rows,
+                  uint64_t now_us, uint64_t estimate_us);
 
-    /**
-     * Close the queue: subsequent pushes return Closed, blocked
-     * pop_batch calls drain what is left and then return false.
-     */
-    void close();
-
-    /**
-     * Remove every queued request (for the owner to complete as
-     * Shutdown). Call after close(); dispatchers may have drained some
-     * already.
-     */
+    /** Remove every queued request (owner completes them as Shutdown). */
     std::vector<InferenceRequest> drain();
 
     /** Requests currently waiting. */
-    size_t size() const;
+    size_t
+    size() const
+    {
+        size_t n = 0;
+        for (const auto &c : classes_)
+            n += c.size();
+        return n;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Total samples currently waiting (for coalescing decisions). */
+    int
+    queued_rows() const
+    {
+        int n = 0;
+        for (const auto &c : classes_)
+            for (const auto &e : c)
+                n += e.samples;
+        return n;
+    }
 
   private:
+    /** Class index of the scheduling-next request; -1 when empty. */
+    int pick_class() const;
+
     const size_t depth_;
     const ShedPolicy policy_;
+    const int starvation_limit_;
 
-    mutable std::mutex mu_;
-    std::condition_variable work_cv_;  ///< Signaled per admitted push.
-    std::deque<InferenceRequest> q_;
-    bool closed_ = false;
+    /** Waiting requests per class, in admission order. */
+    std::deque<InferenceRequest> classes_[kPriorityClasses];
+    /** Consecutive picks each non-empty class was passed over. */
+    int passed_over_[kPriorityClasses] = {0, 0, 0};
+    uint64_t next_seq_ = 1;
 };
 
 } // namespace autofl

@@ -7,6 +7,9 @@
 #ifndef AUTOFL_SERVE_SERVE_CONFIG_H
 #define AUTOFL_SERVE_SERVE_CONFIG_H
 
+#include <cstdint>
+#include <string>
+
 namespace autofl {
 
 /**
@@ -25,6 +28,42 @@ enum class ShedPolicy {
      * traffic; long-waiting requests are the ones sacrificed.
      */
     DropOldest,
+};
+
+/**
+ * Request priority class. Scheduling is strict-priority with a
+ * starvation bound: within a class the earliest deadline dispatches
+ * first (FIFO at equal deadlines); a lower class that has been passed
+ * over ServeConfig::starvation_limit times gets the next dispatch
+ * regardless, so sustained high-priority load cannot starve it.
+ */
+enum class Priority : uint8_t {
+    High = 0,
+    Normal = 1,
+    Low = 2,
+};
+
+/** Number of Priority classes (array-sizing constant). */
+inline constexpr int kPriorityClasses = 3;
+
+/**
+ * Per-request SLO fields, defaulted from ServeConfig when a caller
+ * submits without options.
+ */
+struct SubmitOptions
+{
+    /**
+     * Absolute completion deadline in microseconds on the serving
+     * plane's steady clock (see ModelService::now_us()). 0 = no
+     * deadline. A request whose deadline already passed — or provably
+     * cannot be met given the model's observed batch service time — is
+     * shed as ReplyStatus::DeadlineExceeded *before* any inference
+     * work runs on it.
+     */
+    uint64_t deadline_us = 0;
+
+    /** Scheduling class (see Priority). */
+    Priority priority = Priority::Normal;
 };
 
 /** Configuration of the model-serving plane (src/serve/). */
@@ -77,6 +116,47 @@ struct ServeConfig
 
     /** Overload behavior once queue_depth requests wait (see above). */
     ShedPolicy shed = ShedPolicy::RejectNew;
+
+    /**
+     * Model registry directory (see store::ModelRegistry). When set on
+     * an FlSystemConfig/ExperimentConfig, training publishes its
+     * checkpoints as registry versions under model_name instead of
+     * writing a bare ps.snapshot_dir, and a ServingGateway can serve
+     * every registered model from a cold start. Empty = no registry
+     * (single-model legacy paths).
+     */
+    std::string registry_dir;
+
+    /**
+     * Registry name this system trains/serves. Empty defaults to the
+     * workload's workload_name() at publish time.
+     */
+    std::string model_name;
+
+    /**
+     * Relative slot-pool weight of this model under a ServingGateway.
+     * Model i is guaranteed max(1, floor(workers * w_i / sum_w))
+     * dispatcher slots when it has queued work; idle capacity is shared
+     * work-conserving. Must be > 0.
+     */
+    double weight = 1.0;
+
+    /**
+     * Default relative deadline (microseconds from submit) applied when
+     * a request carries SubmitOptions::deadline_us == 0. 0 = requests
+     * without an explicit deadline have none.
+     */
+    uint64_t default_deadline_us = 0;
+
+    /** Default scheduling class for option-less submissions. */
+    Priority default_priority = Priority::Normal;
+
+    /**
+     * Starvation bound: after a priority class's head request has been
+     * passed over this many times by higher-class dispatches, it wins
+     * the next dispatch regardless of class. Must be >= 1.
+     */
+    int starvation_limit = 8;
 
     /**
      * Validate the knobs, throwing std::invalid_argument with an

@@ -1,0 +1,176 @@
+#include "serve/serving_gateway.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace autofl {
+
+ServingGateway::ServingGateway(ServeConfig base)
+    : base_(std::move(base)), registry_(base_.registry_dir)
+{
+    base_.validate("ServingGateway base");
+}
+
+ServingGateway::~ServingGateway()
+{
+    stop_serving();
+}
+
+store::RegistryStatus
+ServingGateway::load_registry(
+    std::vector<std::pair<std::string, store::RegistryStatus>> *failed)
+{
+    std::vector<store::RegistryModel> models;
+    const store::RegistryStatus st = registry_.scan(&models);
+    if (st != store::RegistryStatus::Ok)
+        return st;
+    for (const auto &m : models) {
+        const store::RegistryStatus ls = load_model(m.name);
+        if (ls != store::RegistryStatus::Ok && failed != nullptr)
+            failed->emplace_back(m.name, ls);
+    }
+    return store::RegistryStatus::Ok;
+}
+
+store::RegistryStatus
+ServingGateway::load_model(const std::string &ref, const ServeConfig *cfg)
+{
+    assert(!started_ && "load_model is setup-phase only");
+    store::ModelRef parsed;
+    store::RegistryStatus st = store::parse_model_ref(ref, &parsed);
+    if (st != store::RegistryStatus::Ok)
+        return st;
+    if (find(ref) != nullptr)
+        return store::RegistryStatus::Ok;  // Already serving this key.
+
+    store::RegistryModel meta;
+    st = registry_.lookup(parsed.name, &meta);
+    if (st != store::RegistryStatus::Ok)
+        return st;
+    Workload workload;
+    if (!workload_from_name(meta.workload, &workload))
+        return store::RegistryStatus::BadManifest;
+
+    std::shared_ptr<const store::MappedSnapshot> artifact;
+    uint64_t version = 0;
+    st = registry_.open(parsed, &artifact, &version);
+    if (st != store::RegistryStatus::Ok)
+        return st;
+
+    Entry e;
+    e.key = ref;
+    e.cfg = cfg != nullptr ? *cfg : base_;
+    // The slot pool is the gateway's: per-model engines keep a full
+    // complement of slots so a dispatcher never blocks on an engine
+    // slot while holding its scheduling share.
+    e.cfg.workers = base_.workers;
+    e.cfg.validate("ServingGateway.load_model cfg");
+    e.owned = std::make_unique<ModelService>(workload, e.cfg);
+    try {
+        e.owned->attach_artifact(std::move(artifact));
+    } catch (const std::invalid_argument &) {
+        // Manifest said one architecture, artifact holds another —
+        // registry-level corruption, reported typed like the rest.
+        return store::RegistryStatus::BadArtifact;
+    }
+    e.service = e.owned.get();
+    e.version = version;
+    entries_.push_back(std::move(e));
+    return store::RegistryStatus::Ok;
+}
+
+void
+ServingGateway::add_service(const std::string &name, ModelService &service,
+                            const ServeConfig *cfg)
+{
+    assert(!started_ && "add_service is setup-phase only");
+    assert(find(name) == nullptr && "duplicate gateway key");
+    Entry e;
+    e.key = name;
+    e.cfg = cfg != nullptr ? *cfg : base_;
+    e.cfg.validate("ServingGateway.add_service cfg");
+    e.service = &service;
+    entries_.push_back(std::move(e));
+}
+
+void
+ServingGateway::start()
+{
+    assert(!started_);
+    assert(!entries_.empty() && "start() needs at least one model");
+    batcher_ = std::make_unique<DynamicBatcher>(base_.workers);
+    for (auto &e : entries_)
+        e.id = batcher_->add_model(*e.service, e.cfg);
+    batcher_->start();
+    started_ = true;
+}
+
+std::vector<std::string>
+ServingGateway::models() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(e.key);
+    return out;
+}
+
+const ServingGateway::Entry *
+ServingGateway::find(const std::string &key) const
+{
+    for (const auto &e : entries_)
+        if (e.key == key)
+            return &e;
+    return nullptr;
+}
+
+ModelService *
+ServingGateway::service(const std::string &key)
+{
+    const Entry *e = find(key);
+    return e != nullptr ? e->service : nullptr;
+}
+
+uint64_t
+ServingGateway::version(const std::string &key) const
+{
+    const Entry *e = find(key);
+    return e != nullptr ? e->version : 0;
+}
+
+std::future<InferenceReply>
+ServingGateway::submit(const std::string &key, Tensor rows,
+                       bool want_classes, SubmitOptions opts)
+{
+    const Entry *e = find(key);
+    if (e == nullptr || !started_) {
+        // Unknown model key: typed, immediate — the caller asked for
+        // something this gateway does not serve.
+        std::promise<InferenceReply> p;
+        InferenceReply reply;
+        reply.status = ReplyStatus::BadRequest;
+        reply.completed_at = std::chrono::steady_clock::now();
+        p.set_value(std::move(reply));
+        return p.get_future();
+    }
+    return batcher_->submit(e->id, std::move(rows), want_classes, opts);
+}
+
+ServeStats
+ServingGateway::stats(const std::string &key) const
+{
+    const Entry *e = find(key);
+    if (e == nullptr || e->id < 0 || batcher_ == nullptr)
+        return ServeStats{};
+    return batcher_->stats(e->id);
+}
+
+void
+ServingGateway::stop_serving()
+{
+    if (batcher_ != nullptr)
+        batcher_->shutdown();
+}
+
+} // namespace autofl

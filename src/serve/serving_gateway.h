@@ -1,0 +1,147 @@
+/**
+ * @file
+ * ServingGateway: the multi-model front door of the serving plane.
+ *
+ * A gateway owns the shared dispatcher-slot pool (one multi-model
+ * DynamicBatcher) and a fleet of per-model ModelService/InferenceEngine
+ * instances behind string keys. Models arrive two ways:
+ *
+ *  - **Registry cold start** (load_registry / load_model): resolve
+ *    "name" or "name@version" through a store::ModelRegistry, mmap the
+ *    snapshot artifact, rebuild the architecture from the manifest's
+ *    workload line and serve it — no training stack constructed, pages
+ *    shared read-only with every other process serving the same
+ *    artifact. Failures are typed RegistryStatus values (unknown
+ *    name/version, corrupt manifest, damaged artifact), never throws.
+ *  - **Live binding** (add_service): an externally owned ModelService
+ *    that training is still publishing into — the
+ *    serving-while-training path, now per model.
+ *
+ * Setup (load/add) is single-threaded and must precede start();
+ * submit/query/stats are thread-safe afterwards. Scheduling across
+ * models is the batcher's weighted slot sharing: each model's
+ * ServeConfig::weight buys it a guaranteed share of the slot pool, so
+ * one overloaded model cannot starve the others (see DynamicBatcher).
+ */
+#ifndef AUTOFL_SERVE_SERVING_GATEWAY_H
+#define AUTOFL_SERVE_SERVING_GATEWAY_H
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/dynamic_batcher.h"
+#include "serve/model_service.h"
+#include "serve/serve_config.h"
+#include "store/model_registry.h"
+
+namespace autofl {
+
+/** Multi-model serving facade over a registry + shared slot pool. */
+class ServingGateway
+{
+  public:
+    /**
+     * @param base Gateway-wide defaults: base.workers sizes the shared
+     *             dispatcher pool, base.registry_dir points
+     *             load_registry()/load_model() at a registry; the other
+     *             knobs default per-model config where none is given.
+     */
+    explicit ServingGateway(ServeConfig base = {});
+    ~ServingGateway();
+
+    ServingGateway(const ServingGateway &) = delete;
+    ServingGateway &operator=(const ServingGateway &) = delete;
+
+    /**
+     * Cold-start every registered model at its newest version. Models
+     * that fail to load are skipped (their name + typed status land in
+     * @p failed when non-null) — a damaged neighbor must not keep the
+     * healthy fleet down. @return IoError when the registry directory
+     * itself is unreadable, otherwise Ok (load_count() says how many
+     * models serve).
+     */
+    store::RegistryStatus load_registry(
+        std::vector<std::pair<std::string, store::RegistryStatus>>
+            *failed = nullptr);
+
+    /**
+     * Load one "name" or "name@version" reference from the registry
+     * under exactly that key (so "m@3" and "m" can serve side by side).
+     * @param cfg Per-model knobs (weight, SLOs, batching); nullptr uses
+     *            the gateway base. @return Typed failure; Ok on load.
+     */
+    store::RegistryStatus load_model(const std::string &ref,
+                                     const ServeConfig *cfg = nullptr);
+
+    /**
+     * Bind an externally owned live service under @p name. @p service
+     * must outlive the gateway (or its stop_serving()). Setup-phase
+     * only, like load_model.
+     */
+    void add_service(const std::string &name, ModelService &service,
+                     const ServeConfig *cfg = nullptr);
+
+    /** Spawn the shared dispatchers. Requires >= 1 model. */
+    void start();
+
+    /** Registered model keys, in registration order. */
+    std::vector<std::string> models() const;
+
+    /** The service behind @p key (nullptr when unknown). */
+    ModelService *service(const std::string &key);
+
+    /** Registry version serving under @p key (0 for live bindings). */
+    uint64_t version(const std::string &key) const;
+
+    /**
+     * Submit against model @p key (see DynamicBatcher::submit for the
+     * batching/SLO contract). An unknown key completes immediately as
+     * ReplyStatus::BadRequest.
+     */
+    std::future<InferenceReply> submit(const std::string &key, Tensor rows,
+                                       bool want_classes = false,
+                                       SubmitOptions opts = {});
+
+    /** Synchronous convenience wrapper: submit and wait. */
+    InferenceReply
+    query(const std::string &key, Tensor rows, bool want_classes = false,
+          SubmitOptions opts = {})
+    {
+        return submit(key, std::move(rows), want_classes, opts).get();
+    }
+
+    /** One model's serving counters (zeros for an unknown key). */
+    ServeStats stats(const std::string &key) const;
+
+    /**
+     * Stop the shared batcher: queued requests complete as Shutdown,
+     * dispatchers join. Idempotent. Owned (registry-loaded) services
+     * stay alive for direct engine use until destruction.
+     */
+    void stop_serving();
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::unique_ptr<ModelService> owned;  ///< Registry-loaded only.
+        ModelService *service = nullptr;
+        ServeConfig cfg;
+        uint64_t version = 0;  ///< Registry version (0 = live binding).
+        int id = -1;           ///< Batcher model id (set by start()).
+    };
+
+    const Entry *find(const std::string &key) const;
+
+    ServeConfig base_;
+    store::ModelRegistry registry_;
+    std::vector<Entry> entries_;  ///< Setup-phase writes only.
+    std::unique_ptr<DynamicBatcher> batcher_;
+    bool started_ = false;
+};
+
+} // namespace autofl
+
+#endif // AUTOFL_SERVE_SERVING_GATEWAY_H

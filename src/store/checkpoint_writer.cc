@@ -1,20 +1,65 @@
 #include "store/checkpoint_writer.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 namespace autofl::store {
 
+namespace {
+
+/** "model-r<N>.snap" → N; false for any other file name. */
+bool
+artifact_file_round(const char *fname, uint64_t *round)
+{
+    static constexpr const char kPrefix[] = "model-r";
+    static constexpr const char kSuffix[] = ".snap";
+    const size_t len = std::strlen(fname);
+    const size_t plen = sizeof(kPrefix) - 1;
+    const size_t slen = sizeof(kSuffix) - 1;
+    if (len <= plen + slen || std::strncmp(fname, kPrefix, plen) != 0 ||
+        std::strcmp(fname + len - slen, kSuffix) != 0)
+        return false;
+    uint64_t r = 0;
+    for (size_t i = plen; i < len - slen; ++i) {
+        if (fname[i] < '0' || fname[i] > '9')
+            return false;
+        r = r * 10 + static_cast<uint64_t>(fname[i] - '0');
+    }
+    *round = r;
+    return true;
+}
+
+} // namespace
+
 CheckpointWriter::CheckpointWriter(std::string dir, uint64_t topology_hash,
-                                   uint32_t shard_count)
+                                   uint32_t shard_count,
+                                   RetentionPolicy retention)
     : dir_(std::move(dir)), topology_hash_(topology_hash),
-      shard_count_(shard_count)
+      shard_count_(shard_count), retention_(std::move(retention))
 {
     // Best-effort create; a missing/unwritable directory surfaces as
     // IoError in stats() on the first write, never as a throw.
     ::mkdir(dir_.c_str(), 0755);
+    std::sort(retention_.pinned.begin(), retention_.pinned.end());
+
+    // Adopt artifacts a previous run left behind: resumed training must
+    // count them toward keep-last-K, or a long stop/start cycle still
+    // accumulates unboundedly.
+    if (DIR *d = ::opendir(dir_.c_str())) {
+        while (struct dirent *e = ::readdir(d)) {
+            uint64_t r = 0;
+            if (artifact_file_round(e->d_name, &r))
+                kept_rounds_.push_back(r);
+        }
+        ::closedir(d);
+        std::sort(kept_rounds_.begin(), kept_rounds_.end());
+        stats_.deleted += apply_retention();  // Pre-thread: no lock needed.
+    }
     thread_ = std::thread([this] { run(); });
 }
 
@@ -123,10 +168,56 @@ void CheckpointWriter::write_one(const Request &req)
         }
     }
 
+    uint64_t deleted = 0;
+    if (st == SnapshotStatus::Ok) {
+        kept_rounds_.insert(
+            std::upper_bound(kept_rounds_.begin(), kept_rounds_.end(),
+                             req.round),
+            req.round);
+        deleted = apply_retention();
+    }
+
     std::lock_guard<std::mutex> lk(mu_);
     stats_.last_status = st;
+    stats_.deleted += deleted;
     if (st == SnapshotStatus::Ok)
         ++stats_.written;
+}
+
+uint64_t CheckpointWriter::apply_retention()
+{
+    if (retention_.keep_last <= 0)
+        return 0;
+
+    // Pins are kept *on top of* the newest-K window: count only
+    // unpinned artifacts against keep_last, delete the oldest unpinned
+    // ones beyond it. latest.snap hard-links the newest round, which is
+    // always inside the window, so deletions never invalidate it.
+    size_t unpinned = 0;
+    for (uint64_t r : kept_rounds_)
+        if (!std::binary_search(retention_.pinned.begin(),
+                                retention_.pinned.end(), r))
+            ++unpinned;
+    if (unpinned <= static_cast<size_t>(retention_.keep_last))
+        return 0;
+
+    uint64_t deleted = 0;
+    size_t excess = unpinned - static_cast<size_t>(retention_.keep_last);
+    std::vector<uint64_t> survivors;
+    survivors.reserve(kept_rounds_.size());
+    for (uint64_t r : kept_rounds_) {
+        const bool pinned = std::binary_search(retention_.pinned.begin(),
+                                               retention_.pinned.end(), r);
+        if (excess > 0 && !pinned &&
+            ::unlink(artifact_path(r).c_str()) == 0) {
+            --excess;
+            ++deleted;
+        } else {
+            survivors.push_back(r);
+        }
+    }
+    kept_rounds_ = std::move(survivors);
+    return deleted;
 }
 
 } // namespace autofl::store

@@ -43,7 +43,28 @@ struct CheckpointStats
     uint64_t requested = 0;  ///< request() calls accepted.
     uint64_t written = 0;    ///< Artifacts durably on disk.
     uint64_t dropped = 0;    ///< Pending checkpoints superseded unwritten.
+    uint64_t deleted = 0;    ///< Artifacts removed by retention.
     SnapshotStatus last_status = SnapshotStatus::Ok;  ///< Last write outcome.
+};
+
+/**
+ * What the writer keeps on disk. Without a policy every
+ * "model-r<N>.snap" accumulates forever; production wants a bounded
+ * window of recent rounds plus explicitly pinned epochs (the registry's
+ * "pin" manifest lines — see ModelRegistry).
+ */
+struct RetentionPolicy
+{
+    /**
+     * Keep the newest K artifacts by round. 0 (the default) keeps
+     * everything — the pre-retention behavior. The artifact
+     * "latest.snap" links to is always among the kept set (it is the
+     * newest by construction).
+     */
+    int keep_last = 0;
+
+    /** Rounds retention must never delete (pinned registry versions). */
+    std::vector<uint64_t> pinned;
 };
 
 class CheckpointWriter
@@ -54,9 +75,12 @@ class CheckpointWriter
      * @param topology_hash  Stamped into every header.
      * @param shard_count    Store stripe count recorded in the shard
      *                       table (>= 1).
+     * @param retention      Keep-last-K + pins; applied after every
+     *                       successful write, and at construction over
+     *                       artifacts a previous run left behind.
      */
     CheckpointWriter(std::string dir, uint64_t topology_hash,
-                     uint32_t shard_count);
+                     uint32_t shard_count, RetentionPolicy retention = {});
 
     /** Drains the pending checkpoint (if any), then joins. */
     ~CheckpointWriter();
@@ -93,10 +117,18 @@ class CheckpointWriter
 
     void run();
     void write_one(const Request &req);
+    /**
+     * Delete unpinned artifacts beyond keep_last (writer thread / ctor
+     * only — kept_rounds_ is single-owner). Returns how many were
+     * removed; the caller folds that into stats_ under mu_.
+     */
+    uint64_t apply_retention();
 
     const std::string dir_;
     const uint64_t topology_hash_;
     const uint32_t shard_count_;
+    RetentionPolicy retention_;        ///< pinned sorted in ctor.
+    std::vector<uint64_t> kept_rounds_;  ///< Artifacts on disk, ascending.
 
     mutable std::mutex mu_;
     std::condition_variable cv_;       ///< Signals the writer thread.

@@ -1,0 +1,368 @@
+#include "store/model_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace autofl::store {
+
+namespace {
+
+constexpr const char *kManifestName = "MANIFEST";
+constexpr const char *kManifestMagic = "afreg1";
+
+/** "model-r<N>.snap" → N; false for any other file name. */
+bool
+artifact_round(const char *fname, uint64_t *round)
+{
+    static constexpr const char kPrefix[] = "model-r";
+    static constexpr const char kSuffix[] = ".snap";
+    const size_t len = std::strlen(fname);
+    const size_t plen = sizeof(kPrefix) - 1;
+    const size_t slen = sizeof(kSuffix) - 1;
+    if (len <= plen + slen || std::strncmp(fname, kPrefix, plen) != 0 ||
+        std::strcmp(fname + len - slen, kSuffix) != 0)
+        return false;
+    uint64_t r = 0;
+    for (size_t i = plen; i < len - slen; ++i) {
+        if (fname[i] < '0' || fname[i] > '9')
+            return false;
+        r = r * 10 + static_cast<uint64_t>(fname[i] - '0');
+    }
+    *round = r;
+    return true;
+}
+
+} // namespace
+
+const char *
+registry_status_name(RegistryStatus s)
+{
+    switch (s) {
+      case RegistryStatus::Ok:
+        return "Ok";
+      case RegistryStatus::IoError:
+        return "IoError";
+      case RegistryStatus::BadName:
+        return "BadName";
+      case RegistryStatus::UnknownModel:
+        return "UnknownModel";
+      case RegistryStatus::UnknownVersion:
+        return "UnknownVersion";
+      case RegistryStatus::NoVersions:
+        return "NoVersions";
+      case RegistryStatus::BadManifest:
+        return "BadManifest";
+      case RegistryStatus::BadArtifact:
+        return "BadArtifact";
+    }
+    return "?";
+}
+
+RegistryStatus
+parse_model_ref(const std::string &ref, ModelRef *out)
+{
+    ModelRef r;
+    const size_t at = ref.find('@');
+    r.name = ref.substr(0, at);
+    if (!ModelRegistry::valid_name(r.name))
+        return RegistryStatus::BadName;
+    if (at != std::string::npos) {
+        const std::string v = ref.substr(at + 1);
+        if (v.empty())
+            return RegistryStatus::BadName;
+        uint64_t ver = 0;
+        for (char c : v) {
+            if (c < '0' || c > '9')
+                return RegistryStatus::BadName;
+            ver = ver * 10 + static_cast<uint64_t>(c - '0');
+        }
+        r.version = ver;
+    }
+    *out = std::move(r);
+    return RegistryStatus::Ok;
+}
+
+ModelRegistry::ModelRegistry(std::string dir) : dir_(std::move(dir)) {}
+
+bool
+ModelRegistry::valid_name(const std::string &name)
+{
+    if (name.empty() || name.size() > 128)
+        return false;
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    // "." / ".." would escape the registry directory.
+    return name != "." && name != "..";
+}
+
+std::string
+ModelRegistry::model_dir(const std::string &name) const
+{
+    return dir_ + "/" + name;
+}
+
+std::string
+ModelRegistry::manifest_path(const std::string &name) const
+{
+    return model_dir(name) + "/" + kManifestName;
+}
+
+RegistryStatus
+ModelRegistry::read_manifest(const std::string &name,
+                             RegistryModel *out) const
+{
+    std::ifstream in(manifest_path(name));
+    if (!in)
+        return RegistryStatus::BadManifest;
+    RegistryModel m;
+    m.name = name;
+    std::string line;
+    if (!std::getline(in, line) || line != kManifestMagic)
+        return RegistryStatus::BadManifest;
+    bool have_model = false, have_workload = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "model") {
+            std::string v;
+            ls >> v;
+            // The manifest must agree with the directory it lives in —
+            // a copied/stale manifest is corruption, not a rename.
+            if (v != name)
+                return RegistryStatus::BadManifest;
+            have_model = true;
+        } else if (key == "workload") {
+            // Workload display names contain spaces ("CNN-MNIST" does
+            // not, but be permissive): rest of line, trimmed.
+            std::string rest;
+            std::getline(ls, rest);
+            const size_t b = rest.find_first_not_of(' ');
+            if (b == std::string::npos)
+                return RegistryStatus::BadManifest;
+            m.workload = rest.substr(b);
+            have_workload = true;
+        } else if (key == "pin") {
+            uint64_t r = 0;
+            if (!(ls >> r))
+                return RegistryStatus::BadManifest;
+            m.pinned.push_back(r);
+        } else {
+            // Unknown keys are corruption in v1: the format is ours
+            // end to end, so leniency would only mask damage.
+            return RegistryStatus::BadManifest;
+        }
+    }
+    if (!have_model || !have_workload)
+        return RegistryStatus::BadManifest;
+    std::sort(m.pinned.begin(), m.pinned.end());
+    m.pinned.erase(std::unique(m.pinned.begin(), m.pinned.end()),
+                   m.pinned.end());
+    *out = std::move(m);
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::write_manifest(const RegistryModel &m) const
+{
+    // Same durability discipline as the artifacts: temp in the same
+    // directory, then atomic rename — a crash leaves the previous
+    // manifest or the new one, never a torn file.
+    const std::string path = manifest_path(m.name);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return RegistryStatus::IoError;
+        out << kManifestMagic << "\n";
+        out << "model " << m.name << "\n";
+        out << "workload " << m.workload << "\n";
+        for (uint64_t r : m.pinned)
+            out << "pin " << r << "\n";
+        out.flush();
+        if (!out) {
+            ::unlink(tmp.c_str());
+            return RegistryStatus::IoError;
+        }
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        return RegistryStatus::IoError;
+    }
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::scan_versions(const std::string &name,
+                             std::vector<uint64_t> *out) const
+{
+    DIR *d = ::opendir(model_dir(name).c_str());
+    if (d == nullptr)
+        return RegistryStatus::UnknownModel;
+    std::vector<uint64_t> versions;
+    while (struct dirent *e = ::readdir(d)) {
+        uint64_t r = 0;
+        if (artifact_round(e->d_name, &r))
+            versions.push_back(r);
+    }
+    ::closedir(d);
+    std::sort(versions.begin(), versions.end());
+    *out = std::move(versions);
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::lookup(const std::string &name, RegistryModel *out) const
+{
+    if (!valid_name(name))
+        return RegistryStatus::BadName;
+    std::vector<uint64_t> versions;
+    const RegistryStatus vs = scan_versions(name, &versions);
+    if (vs != RegistryStatus::Ok)
+        return vs;
+    RegistryModel m;
+    const RegistryStatus ms = read_manifest(name, &m);
+    if (ms != RegistryStatus::Ok)
+        return ms;
+    m.versions = std::move(versions);
+    *out = std::move(m);
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::scan(std::vector<RegistryModel> *out) const
+{
+    DIR *d = ::opendir(dir_.c_str());
+    if (d == nullptr)
+        return RegistryStatus::IoError;
+    std::vector<std::string> names;
+    while (struct dirent *e = ::readdir(d)) {
+        if (!valid_name(e->d_name))
+            continue;
+        struct stat st;
+        if (::stat((dir_ + "/" + e->d_name).c_str(), &st) == 0 &&
+            S_ISDIR(st.st_mode))
+            names.push_back(e->d_name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+
+    std::vector<RegistryModel> models;
+    for (const std::string &n : names) {
+        RegistryModel m;
+        if (lookup(n, &m) == RegistryStatus::Ok)
+            models.push_back(std::move(m));
+        // Corrupt/unregistered subdirectories are not servable; scan
+        // skips them, direct lookup reports them typed.
+    }
+    *out = std::move(models);
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::resolve(const ModelRef &ref, std::string *path,
+                       uint64_t *version) const
+{
+    RegistryModel m;
+    const RegistryStatus st = lookup(ref.name, &m);
+    if (st != RegistryStatus::Ok)
+        return st;
+    uint64_t v = ref.version;
+    if (v == 0) {
+        if (m.versions.empty())
+            return RegistryStatus::NoVersions;
+        v = m.newest();
+    } else if (!std::binary_search(m.versions.begin(), m.versions.end(),
+                                   v)) {
+        return RegistryStatus::UnknownVersion;
+    }
+    *path = model_dir(ref.name) + "/model-r" + std::to_string(v) + ".snap";
+    if (version != nullptr)
+        *version = v;
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::open(const ModelRef &ref,
+                    std::shared_ptr<const MappedSnapshot> *out,
+                    uint64_t *version, SnapshotStatus *detail) const
+{
+    std::string path;
+    const RegistryStatus rs = resolve(ref, &path, version);
+    if (rs != RegistryStatus::Ok)
+        return rs;
+    SnapshotStatus st = SnapshotStatus::Ok;
+    auto snap = MappedSnapshot::open(path, &st);
+    if (detail != nullptr)
+        *detail = st;
+    if (snap == nullptr)
+        return RegistryStatus::BadArtifact;
+    *out = std::move(snap);
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::publish_dir(const std::string &name,
+                           const std::string &workload, std::string *out)
+{
+    if (!valid_name(name))
+        return RegistryStatus::BadName;
+    // Best-effort create registry + model dirs; failures surface on
+    // the manifest write below.
+    ::mkdir(dir_.c_str(), 0755);
+    ::mkdir(model_dir(name).c_str(), 0755);
+
+    RegistryModel m;
+    const RegistryStatus ms = read_manifest(name, &m);
+    if (ms == RegistryStatus::Ok) {
+        // Re-publish: the name is already bound to an architecture; a
+        // different workload under the same name would silently serve
+        // the wrong model to every existing consumer.
+        if (m.workload != workload)
+            return RegistryStatus::BadManifest;
+    } else {
+        struct stat st;
+        if (::stat(manifest_path(name).c_str(), &st) == 0)
+            return RegistryStatus::BadManifest;  // Present but corrupt.
+        m.name = name;
+        m.workload = workload;
+        const RegistryStatus ws = write_manifest(m);
+        if (ws != RegistryStatus::Ok)
+            return ws;
+    }
+    if (out != nullptr)
+        *out = model_dir(name);
+    return RegistryStatus::Ok;
+}
+
+RegistryStatus
+ModelRegistry::pin(const std::string &name, uint64_t version)
+{
+    RegistryModel m;
+    const RegistryStatus st = lookup(name, &m);
+    if (st != RegistryStatus::Ok)
+        return st;
+    if (!std::binary_search(m.versions.begin(), m.versions.end(), version))
+        return RegistryStatus::UnknownVersion;
+    if (std::binary_search(m.pinned.begin(), m.pinned.end(), version))
+        return RegistryStatus::Ok;  // Idempotent.
+    m.pinned.push_back(version);
+    std::sort(m.pinned.begin(), m.pinned.end());
+    return write_manifest(m);
+}
+
+} // namespace autofl::store

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * ModelRegistry: the name@version → artifact catalogue on top of the
+ * snapshot store — the piece that turns a directory of checkpoints
+ * into a servable model fleet.
+ *
+ * Layout: one registry directory holds one subdirectory per model
+ * name. Each model directory contains the artifacts the checkpoint
+ * writer produced ("model-r<N>.snap", "latest.snap") plus a small text
+ * MANIFEST recording the model's identity:
+ *
+ *     <registry_dir>/
+ *       mnist-small/
+ *         MANIFEST            afreg1 / model / workload / pin lines
+ *         model-r3.snap
+ *         model-r7.snap
+ *         latest.snap         hard link to the newest artifact
+ *       shakespeare/
+ *         ...
+ *
+ * The artifact *round* is the registry *version*: "mnist-small@7"
+ * names model-r7.snap; "mnist-small" (or @0) resolves to the newest
+ * round present on disk. Versions are discovered by directory scan on
+ * every lookup — the filesystem is the source of truth, so a registry
+ * object held by a serving process sees artifacts the moment training
+ * durably renames them in, with no refresh protocol.
+ *
+ * Every failure is a typed RegistryStatus — unknown model, unknown
+ * version, missing or corrupt manifest, damaged artifact (the
+ * underlying SnapshotStatus is surfaced alongside) — never a throw:
+ * the registry sits on the serving cold-start path, where a damaged
+ * disk must produce a diagnosis, not a crash.
+ *
+ * Pins: "pin <round>" manifest lines mark versions the retention
+ * policy must never delete (see CheckpointWriter). pin() rewrites the
+ * manifest with the same temp + rename discipline the artifacts use.
+ */
+#ifndef AUTOFL_STORE_MODEL_REGISTRY_H
+#define AUTOFL_STORE_MODEL_REGISTRY_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/mapped_snapshot.h"
+#include "store/snapshot.h"
+
+namespace autofl::store {
+
+/** Typed outcome of a registry operation. */
+enum class RegistryStatus {
+    Ok,              ///< Lookup / publish succeeded.
+    IoError,         ///< The registry directory could not be read/written.
+    BadName,         ///< Model name outside [A-Za-z0-9._-]+ (or empty).
+    UnknownModel,    ///< No registered model under that name.
+    UnknownVersion,  ///< Model exists but has no such version on disk.
+    NoVersions,      ///< Model registered but no artifact written yet.
+    BadManifest,     ///< MANIFEST missing, malformed or self-inconsistent.
+    BadArtifact,     ///< The resolved artifact failed snapshot validation.
+};
+
+/** Display name ("Ok", "UnknownModel", ...). */
+const char *registry_status_name(RegistryStatus s);
+
+/** A parsed "name@version" reference (version 0 = newest). */
+struct ModelRef
+{
+    std::string name;
+    uint64_t version = 0;
+};
+
+/**
+ * Parse "name" or "name@<version>" into a ModelRef. BadName on an
+ * empty/illegal name or a malformed version field.
+ */
+RegistryStatus parse_model_ref(const std::string &ref, ModelRef *out);
+
+/** One registered model as the scan sees it. */
+struct RegistryModel
+{
+    std::string name;
+    std::string workload;  ///< workload_name() string from the manifest.
+    std::vector<uint64_t> versions;  ///< Rounds on disk, ascending.
+    std::vector<uint64_t> pinned;    ///< Manifest-pinned rounds, ascending.
+
+    /** Newest version on disk (0 when none is written yet). */
+    uint64_t
+    newest() const
+    {
+        return versions.empty() ? 0 : versions.back();
+    }
+};
+
+/** name@version → snapshot-artifact catalogue over one directory. */
+class ModelRegistry
+{
+  public:
+    /** Bind to @p dir (created lazily by the first publish_dir). */
+    explicit ModelRegistry(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Enumerate every registered model: each subdirectory holding a
+     * parseable MANIFEST, with its on-disk versions. Subdirectories
+     * with a *corrupt* manifest are skipped here (scan enumerates what
+     * is servable) but fail typed on direct lookup. IoError when the
+     * registry directory itself cannot be read.
+     */
+    RegistryStatus scan(std::vector<RegistryModel> *out) const;
+
+    /**
+     * One model's registration and versions. UnknownModel when the
+     * directory is absent, BadManifest when present but unreadable.
+     */
+    RegistryStatus lookup(const std::string &name, RegistryModel *out) const;
+
+    /**
+     * Resolve @p ref to an artifact path without opening it.
+     * ref.version 0 picks the newest version on disk; the resolved
+     * version is reported through @p version when non-null.
+     */
+    RegistryStatus resolve(const ModelRef &ref, std::string *path,
+                           uint64_t *version = nullptr) const;
+
+    /**
+     * Resolve, mmap and fully validate @p ref — the serving cold-start
+     * path. On Ok, @p out holds the validated mapping (shared
+     * read-only across processes; see MappedSnapshot). On BadArtifact
+     * the snapshot-level cause lands in @p detail when non-null.
+     */
+    RegistryStatus open(const ModelRef &ref,
+                        std::shared_ptr<const MappedSnapshot> *out,
+                        uint64_t *version = nullptr,
+                        SnapshotStatus *detail = nullptr) const;
+
+    /**
+     * Register @p name (creating directory + manifest as needed,
+     * verifying the workload on re-publish — a name can never silently
+     * switch architectures) and return the directory a
+     * CheckpointWriter should write artifacts into. The training-side
+     * publish hook: FlSystem points its writer here, and every
+     * checkpoint becomes a registry version the moment its rename
+     * lands.
+     */
+    RegistryStatus publish_dir(const std::string &name,
+                               const std::string &workload,
+                               std::string *out);
+
+    /**
+     * Pin @p version of @p name: retention keeps pinned rounds forever
+     * (CheckpointWriter reads pins at startup; pins added while a
+     * writer runs apply to its next construction). The version must
+     * exist on disk. Manifest rewrite is temp + atomic rename.
+     */
+    RegistryStatus pin(const std::string &name, uint64_t version);
+
+    /** Manifest path of @p name (for tests and tooling). */
+    std::string manifest_path(const std::string &name) const;
+
+    /** Model directory of @p name. */
+    std::string model_dir(const std::string &name) const;
+
+    /** Whether @p name is a legal model name. */
+    static bool valid_name(const std::string &name);
+
+  private:
+    RegistryStatus read_manifest(const std::string &name,
+                                 RegistryModel *out) const;
+    RegistryStatus write_manifest(const RegistryModel &m) const;
+    RegistryStatus scan_versions(const std::string &name,
+                                 std::vector<uint64_t> *out) const;
+
+    std::string dir_;
+};
+
+} // namespace autofl::store
+
+#endif // AUTOFL_STORE_MODEL_REGISTRY_H

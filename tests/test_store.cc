@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include <sys/stat.h>
@@ -20,8 +22,10 @@
 
 #include "fl/system.h"
 #include "serve/model_service.h"
+#include "serve/serving_gateway.h"
 #include "store/checkpoint_writer.h"
 #include "store/mapped_snapshot.h"
+#include "store/model_registry.h"
 #include "store/snapshot.h"
 #include "test_util.h"
 
@@ -36,17 +40,48 @@ using store::SnapshotMeta;
 using store::SnapshotStatus;
 using store::SnapshotView;
 using testing::random_weights;
+using testing::small_test_set;
 
-/** A unique scratch directory under the build tree, wiped on setup. */
-std::string
-scratch_dir(const std::string &name)
+/**
+ * A unique scratch directory under the system temp dir, wiped on setup
+ * and removed on scope exit — tests leave no litter in the CWD however
+ * they end (short of a crash, where the next same-named run wipes it).
+ */
+class ScratchDir
 {
-    const std::string dir = "store_test_" + name;
-    const std::string cmd = "rm -rf " + dir;
-    [[maybe_unused]] const int rc = std::system(cmd.c_str());
-    ::mkdir(dir.c_str(), 0755);
-    return dir;
-}
+  public:
+    explicit ScratchDir(const std::string &name)
+    {
+        namespace fs = std::filesystem;
+        path_ = (fs::temp_directory_path() /
+                 ("autofl_store_test_" + name + "_" +
+                  std::to_string(static_cast<long>(::getpid()))))
+                    .string();
+        std::error_code ec;
+        fs::remove_all(path_, ec);
+        fs::create_directories(path_, ec);
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);  // Best-effort cleanup.
+    }
+
+    ScratchDir(const ScratchDir &) = delete;
+    ScratchDir &operator=(const ScratchDir &) = delete;
+
+    operator const std::string &() const { return path_; }
+    const std::string &str() const { return path_; }
+    /** "<scratch>/<suffix>" (string's operator+ cannot deduce us). */
+    std::string operator+(const char *suffix) const
+    {
+        return path_ + suffix;
+    }
+
+  private:
+    std::string path_;
+};
 
 /** Deterministic weights with varied bit patterns (incl. negatives). */
 std::vector<float>
@@ -250,7 +285,7 @@ TEST(SnapshotFile, MissingAndOversizedFilesAreTyped)
 
     // A header declaring an absurd dim must be rejected without
     // allocating for it.
-    const std::string dir = scratch_dir("oversized");
+    const ScratchDir dir("oversized");
     const std::vector<float> w = pattern_weights(16);
     SnapshotMeta meta = meta_for(w, 1);
     auto buf =
@@ -274,7 +309,7 @@ TEST(SnapshotFile, MissingAndOversizedFilesAreTyped)
 
 TEST(SnapshotFile, WriteReadRoundTrip)
 {
-    const std::string dir = scratch_dir("roundtrip");
+    const ScratchDir dir("roundtrip");
     const std::string path = dir + "/model.snap";
     const std::vector<float> w = pattern_weights(500);
     const SnapshotMeta meta = meta_for(w);
@@ -314,7 +349,7 @@ TEST(SnapshotFile, UnwritableDirectoryIsTypedNotThrown)
 
 TEST(CheckpointWriter, WritesArtifactsAndRepointsLatest)
 {
-    const std::string dir = scratch_dir("writer");
+    const ScratchDir dir("writer");
     const std::vector<float> w0 = pattern_weights(200);
     std::vector<float> w1 = w0;
     w1[0] += 1.0f;
@@ -346,7 +381,7 @@ TEST(CheckpointWriter, WritesArtifactsAndRepointsLatest)
 
 TEST(CheckpointWriter, DestructorDrainsLastRequest)
 {
-    const std::string dir = scratch_dir("drain");
+    const ScratchDir dir("drain");
     const std::vector<float> w = pattern_weights(64);
     const uint64_t topo = store::model_topology_hash("CNN-MNIST", w.size());
     {
@@ -430,7 +465,7 @@ expect_bit_exact_resume(FlSystemConfig cfg, const std::string &tag)
 {
     constexpr uint64_t kRounds = 6;    // Rounds 0..5.
     constexpr uint64_t kCut = 2;       // Resume from round 2's artifact.
-    const std::string dir = scratch_dir("resume_" + tag);
+    const ScratchDir dir("resume_" + tag);
 
     // Uninterrupted reference.
     FlSystemConfig ref_cfg = cfg;
@@ -483,7 +518,7 @@ TEST(CrashResume, PipelinedSemiAsyncS0BitExact)
 
 TEST(CrashResume, ResumeRejectsWrongModelArtifact)
 {
-    const std::string dir = scratch_dir("wrongmodel");
+    const ScratchDir dir("wrongmodel");
     // Write an artifact of the right byte size but the wrong topology.
     FlSystemConfig cfg = small_job(1, -1);
     FlSystem probe(cfg);
@@ -506,7 +541,7 @@ TEST(CrashResume, PipelinedCheckpointCadenceAndOverlapSafety)
 {
     // snapshot_every_epochs thins the cadence; the writer never sees a
     // round that is not due, and a pipelined run's artifacts parse Ok.
-    const std::string dir = scratch_dir("cadence");
+    const ScratchDir dir("cadence");
     FlSystemConfig cfg = small_job(3, 0);
     cfg.ps.snapshot_dir = dir;
     cfg.ps.snapshot_every_epochs = 2;  // Rounds 1, 3, 5, ...
@@ -540,7 +575,7 @@ TEST(MmapServing, ArtifactBackedServiceMatchesStoreBackedPredictions)
     // ModelService from the artifact alone (no ps store) and require
     // identical predictions — the cross-process weight-sharing story
     // in one process.
-    const std::string dir = scratch_dir("mmap");
+    const ScratchDir dir("mmap");
     FlSystemConfig cfg = small_job(3, 0);
     cfg.ps.snapshot_dir = dir;
     FlSystem fl(cfg);
@@ -570,9 +605,297 @@ TEST(MmapServing, ArtifactBackedServiceMatchesStoreBackedPredictions)
     EXPECT_EQ(cold.classify(h, fl.test_set(), probe), want);
 }
 
+// --------------------------------------------------------- retention --
+
+TEST(CheckpointWriter, RetentionKeepsNewestKPlusPinned)
+{
+    const ScratchDir dir("retention");
+    const std::vector<float> w = pattern_weights(64);
+    const uint64_t topo = store::model_topology_hash("CNN-MNIST", w.size());
+    const auto weights = std::make_shared<const std::vector<float>>(w);
+
+    store::RetentionPolicy pol;
+    pol.keep_last = 2;
+    pol.pinned = {1};
+    CheckpointWriter wr(dir, topo, 1, pol);
+    for (uint64_t r = 0; r < 6; ++r) {
+        wr.request(r, r + 1, weights);
+        wr.flush();  // Serialize so no checkpoint is dropped.
+    }
+
+    const auto st = wr.stats();
+    EXPECT_EQ(st.written, 6u);
+    EXPECT_EQ(st.deleted, 3u);  // Rounds 0, 2, 3.
+    // Pins survive on top of the newest-K window, not inside it.
+    for (uint64_t r : {uint64_t{1}, uint64_t{4}, uint64_t{5}})
+        EXPECT_TRUE(std::filesystem::exists(wr.artifact_path(r)))
+            << "round " << r;
+    for (uint64_t r : {uint64_t{0}, uint64_t{2}, uint64_t{3}})
+        EXPECT_FALSE(std::filesystem::exists(wr.artifact_path(r)))
+            << "round " << r;
+    // Deletions never invalidate latest.snap (hard link to newest).
+    SnapshotData d;
+    ASSERT_EQ(store::read_snapshot_file(wr.latest_path(), &d, topo),
+              SnapshotStatus::Ok);
+    EXPECT_EQ(d.meta.round, 5u);
+}
+
+TEST(CheckpointWriter, RetentionAdoptsArtifactsFromAPreviousRun)
+{
+    const ScratchDir dir("retention_adopt");
+    const std::vector<float> w = pattern_weights(64);
+    const uint64_t topo = store::model_topology_hash("CNN-MNIST", w.size());
+    const auto weights = std::make_shared<const std::vector<float>>(w);
+    {
+        CheckpointWriter wr(dir, topo, 1);  // Unbounded first run.
+        for (uint64_t r = 0; r < 5; ++r) {
+            wr.request(r, r + 1, weights);
+            wr.flush();
+        }
+        EXPECT_EQ(wr.stats().deleted, 0u);
+    }
+    // A new writer applies retention to the inherited artifacts at
+    // construction, before any request arrives.
+    store::RetentionPolicy pol;
+    pol.keep_last = 2;
+    CheckpointWriter wr(dir, topo, 1, pol);
+    EXPECT_EQ(wr.stats().deleted, 3u);  // Rounds 0, 1, 2.
+    EXPECT_TRUE(std::filesystem::exists(wr.artifact_path(3)));
+    EXPECT_TRUE(std::filesystem::exists(wr.artifact_path(4)));
+    EXPECT_FALSE(std::filesystem::exists(wr.artifact_path(0)));
+    SnapshotData d;
+    ASSERT_EQ(store::read_snapshot_file(wr.latest_path(), &d, topo),
+              SnapshotStatus::Ok);
+    EXPECT_EQ(d.meta.round, 4u);
+}
+
+// ---------------------------------------------------- model registry --
+
+using store::ModelRef;
+using store::ModelRegistry;
+using store::RegistryModel;
+using store::RegistryStatus;
+
+TEST(Registry, ParseModelRefTypedErrors)
+{
+    ModelRef ref;
+    ASSERT_EQ(store::parse_model_ref("mnist-small@7", &ref),
+              RegistryStatus::Ok);
+    EXPECT_EQ(ref.name, "mnist-small");
+    EXPECT_EQ(ref.version, 7u);
+    ASSERT_EQ(store::parse_model_ref("m", &ref), RegistryStatus::Ok);
+    EXPECT_EQ(ref.version, 0u);  // 0 = newest.
+
+    for (const char *bad : {"", "@3", "m@", "m@x", "bad/name", "a b"})
+        EXPECT_EQ(store::parse_model_ref(bad, &ref), RegistryStatus::BadName)
+            << "'" << bad << "'";
+}
+
+TEST(Registry, PublishScanResolvePinRoundTrip)
+{
+    const ScratchDir dir("registry");
+    ModelRegistry reg(dir);
+    std::string mdir;
+    ASSERT_EQ(reg.publish_dir("mnist-small", "CNN-MNIST", &mdir),
+              RegistryStatus::Ok);
+
+    // Artifacts land through the ordinary checkpoint writer; the round
+    // is the registry version.
+    const std::vector<float> w = pattern_weights(64);
+    const uint64_t topo = store::model_topology_hash("CNN-MNIST", w.size());
+    {
+        CheckpointWriter wr(mdir, topo, 1);
+        const auto weights = std::make_shared<const std::vector<float>>(w);
+        wr.request(3, 4, weights);
+        wr.flush();
+        wr.request(7, 8, weights);
+        wr.flush();
+    }
+
+    std::vector<RegistryModel> models;
+    ASSERT_EQ(reg.scan(&models), RegistryStatus::Ok);
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(models[0].name, "mnist-small");
+    EXPECT_EQ(models[0].workload, "CNN-MNIST");
+    EXPECT_EQ(models[0].versions, (std::vector<uint64_t>{3, 7}));
+    EXPECT_EQ(models[0].newest(), 7u);
+
+    // Resolution: @0 picks the newest; explicit versions name their file.
+    std::string path;
+    uint64_t ver = 0;
+    ASSERT_EQ(reg.resolve({"mnist-small", 0}, &path, &ver),
+              RegistryStatus::Ok);
+    EXPECT_EQ(ver, 7u);
+    ASSERT_EQ(reg.resolve({"mnist-small", 3}, &path), RegistryStatus::Ok);
+    EXPECT_NE(path.find("model-r3.snap"), std::string::npos);
+    EXPECT_EQ(reg.resolve({"mnist-small", 4}, &path),
+              RegistryStatus::UnknownVersion);
+
+    RegistryModel m;
+    EXPECT_EQ(reg.lookup("nope", &m), RegistryStatus::UnknownModel);
+    EXPECT_EQ(reg.resolve({"nope", 0}, &path), RegistryStatus::UnknownModel);
+
+    // open() = resolve + mmap + full validation.
+    std::shared_ptr<const MappedSnapshot> snap;
+    ASSERT_EQ(reg.open({"mnist-small", 0}, &snap, &ver), RegistryStatus::Ok);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(ver, 7u);
+    EXPECT_EQ(snap->meta().round, 7u);
+
+    // Pins round-trip through the manifest; pin() is idempotent.
+    ASSERT_EQ(reg.pin("mnist-small", 3), RegistryStatus::Ok);
+    ASSERT_EQ(reg.pin("mnist-small", 3), RegistryStatus::Ok);
+    EXPECT_EQ(reg.pin("mnist-small", 99), RegistryStatus::UnknownVersion);
+    ASSERT_EQ(reg.lookup("mnist-small", &m), RegistryStatus::Ok);
+    EXPECT_EQ(m.pinned, (std::vector<uint64_t>{3}));
+
+    // A name can never silently switch architectures.
+    EXPECT_EQ(reg.publish_dir("mnist-small", "LSTM-Shakespeare", &mdir),
+              RegistryStatus::BadManifest);
+
+    EXPECT_EQ(reg.publish_dir("bad/name", "CNN-MNIST", &mdir),
+              RegistryStatus::BadName);
+}
+
+TEST(Registry, CorruptManifestAndArtifactAreTypedNeverThrown)
+{
+    const ScratchDir dir("registry_corrupt");
+    ModelRegistry reg(dir);
+    std::string mdir;
+    ASSERT_EQ(reg.publish_dir("m", "CNN-MNIST", &mdir), RegistryStatus::Ok);
+    const std::vector<float> w = pattern_weights(64);
+    const uint64_t topo = store::model_topology_hash("CNN-MNIST", w.size());
+    {
+        CheckpointWriter wr(mdir, topo, 1);
+        wr.request(1, 2, std::make_shared<const std::vector<float>>(w));
+        wr.flush();
+    }
+
+    // Truncated artifact: open() surfaces the snapshot-level cause.
+    std::filesystem::resize_file(mdir + "/model-r1.snap", 16);
+    std::shared_ptr<const MappedSnapshot> snap;
+    SnapshotStatus detail = SnapshotStatus::Ok;
+    EXPECT_EQ(reg.open({"m", 1}, &snap, nullptr, &detail),
+              RegistryStatus::BadArtifact);
+    EXPECT_NE(detail, SnapshotStatus::Ok);
+
+    // Corrupt manifest: direct lookups fail typed...
+    {
+        FILE *f = std::fopen(reg.manifest_path("m").c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a manifest\n", f);
+        std::fclose(f);
+    }
+    RegistryModel m;
+    EXPECT_EQ(reg.lookup("m", &m), RegistryStatus::BadManifest);
+    // ...and scan skips the damaged model instead of failing the fleet.
+    std::vector<RegistryModel> models;
+    ASSERT_EQ(reg.scan(&models), RegistryStatus::Ok);
+    EXPECT_TRUE(models.empty());
+}
+
+// ------------------------------------------- registry serving round trip
+
+TEST(RegistryServing, GatewayColdStartsBitExactFromRegistryAlone)
+{
+    // The acceptance round trip: train two models into one registry,
+    // then a fresh process (here: a fresh ServingGateway that sees only
+    // the snapshot directory) serves bit-identical predictions for
+    // every registered name@version via mmap.
+    const ScratchDir dir("registry_gateway");
+    const Dataset test = small_test_set(Workload::CnnMnist, 64);
+    const std::vector<int> probe = {0, 5, 11, 23};
+
+    const std::vector<std::string> names = {"model-a", "model-b"};
+    std::vector<std::vector<int>> want_live;
+    for (int i = 0; i < 2; ++i) {
+        FlSystemConfig cfg = small_job(1, -1);
+        cfg.seed = 100 + static_cast<uint64_t>(i);
+        cfg.serve.registry_dir = dir;
+        cfg.serve.model_name = names[i];
+        FlSystem fl(cfg);
+        run_rounds(fl, 0, 2);
+        ASSERT_NE(fl.checkpoint_writer(), nullptr);
+        fl.checkpoint_writer()->flush();
+        ASSERT_EQ(fl.checkpoint_writer()->stats().last_status,
+                  SnapshotStatus::Ok);
+        // Sync runtime: the service sees weights on publish, not via a
+        // ps store — push the final state the last artifact captured.
+        fl.serve().publish(fl.server().global_weights());
+        want_live.push_back(
+            fl.serve().classify(fl.serve().acquire(), test, probe));
+    }
+
+    // Cold start: only the directory, no training stack.
+    ServeConfig base;
+    base.registry_dir = dir;
+    base.workers = 2;
+    ServingGateway gw(base);
+
+    // Typed failures on the load path (before start, like any setup).
+    EXPECT_EQ(gw.load_model("nope"), RegistryStatus::UnknownModel);
+    EXPECT_EQ(gw.load_model("model-a@99"), RegistryStatus::UnknownVersion);
+    EXPECT_EQ(gw.load_model("bad/name"), RegistryStatus::BadName);
+
+    std::vector<std::pair<std::string, RegistryStatus>> failed;
+    ASSERT_EQ(gw.load_registry(&failed), RegistryStatus::Ok);
+    EXPECT_TRUE(failed.empty());
+    ASSERT_EQ(gw.models().size(), 2u);
+
+    // Also register every explicit name@version present on disk, with
+    // an independent mmap-backed reference prediction for each.
+    ModelRegistry reg(dir);
+    std::vector<RegistryModel> models;
+    ASSERT_EQ(reg.scan(&models), RegistryStatus::Ok);
+    ASSERT_EQ(models.size(), 2u);
+    struct VersionedKey
+    {
+        std::string key;
+        std::vector<int> want;
+    };
+    std::vector<VersionedKey> keys;
+    for (const RegistryModel &m : models) {
+        ASSERT_FALSE(m.versions.empty());
+        for (uint64_t v : m.versions) {
+            const std::string key = m.name + "@" + std::to_string(v);
+            ASSERT_EQ(gw.load_model(key), RegistryStatus::Ok);
+            // "@0" is the newest-version alias, so a round-0 artifact
+            // resolves to the newest round under an explicit "@0" key.
+            EXPECT_EQ(gw.version(key), v == 0 ? m.newest() : v);
+            std::shared_ptr<const MappedSnapshot> snap;
+            ASSERT_EQ(reg.open({m.name, v}, &snap), RegistryStatus::Ok);
+            Workload wl;
+            ASSERT_TRUE(workload_from_name(m.workload, &wl));
+            ModelService ref_ms(wl);
+            ref_ms.attach_artifact(snap);
+            keys.push_back(
+                {key, ref_ms.classify(ref_ms.acquire(), test, probe)});
+        }
+    }
+
+    gw.start();
+    // Newest-version aliases match the live training-side predictions.
+    for (int i = 0; i < 2; ++i) {
+        const InferenceReply r = gw.query(names[i], test.batch_x(probe),
+                                          true);
+        ASSERT_TRUE(r.ok()) << reply_status_name(r.status);
+        EXPECT_EQ(r.classes, want_live[i]) << names[i];
+    }
+    // Every explicit name@version matches its mmap-backed reference.
+    for (const VersionedKey &k : keys) {
+        const InferenceReply r = gw.query(k.key, test.batch_x(probe), true);
+        ASSERT_TRUE(r.ok()) << k.key;
+        EXPECT_EQ(r.classes, k.want) << k.key;
+    }
+    // Unknown keys complete immediately as BadRequest, not a hang.
+    EXPECT_EQ(gw.query("missing", test.batch_x(probe)).status,
+              ReplyStatus::BadRequest);
+    gw.stop_serving();
+}
+
 TEST(MmapServing, AttachArtifactRejectsWrongModel)
 {
-    const std::string dir = scratch_dir("mmap_wrong");
+    const ScratchDir dir("mmap_wrong");
     const std::vector<float> w = pattern_weights(128);
     SnapshotMeta meta;
     meta.dim = w.size();
